@@ -1,0 +1,720 @@
+//! Eager, taped, reverse-mode automatic differentiation.
+//!
+//! Every operation both computes its value immediately *and* records a node
+//! on the [`Tape`]. [`Tape::grad`] walks the tape backwards and expresses
+//! each adjoint **as new taped operations**, so gradients are themselves
+//! differentiable. This "double backward" capability is what lets the DNNP
+//! trainer minimise a force-matching loss: forces are `-∂E/∂x`, and the loss
+//! gradient with respect to the network weights therefore needs
+//! `∂/∂w (∂E/∂x)`.
+//!
+//! The design mirrors `tf.gradients` with second-order support, which is
+//! what DeePMD-kit relies on in TensorFlow.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::tensor::{Shape, Tensor};
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    idx: usize,
+}
+
+impl Var {
+    /// Position of this variable on its tape (tapes are append-only).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+}
+
+/// Elementwise nonlinearities known to the tape.
+///
+/// `Step` and `Clamp01` exist so that the derivatives of the piecewise
+/// activations (`relu`, `relu6`) and of the descriptor switching function
+/// can themselves be expressed as taped operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unary {
+    Tanh,
+    Sigmoid,
+    Softplus,
+    Relu,
+    Relu6,
+    Exp,
+    Sqrt,
+    Recip,
+    Square,
+    /// Heaviside step: `1` for `x > 0`, else `0`. Its derivative is zero.
+    Step,
+    /// Clamp to `[0, 1]`. Its derivative is the indicator of `(0, 1)`.
+    Clamp01,
+}
+
+impl Unary {
+    fn eval(self, x: f64) -> f64 {
+        match self {
+            Unary::Tanh => x.tanh(),
+            Unary::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            // Numerically stable softplus: max(x, 0) + ln(1 + e^{-|x|}).
+            Unary::Softplus => x.max(0.0) + (-x.abs()).exp().ln_1p(),
+            Unary::Relu => x.max(0.0),
+            Unary::Relu6 => x.clamp(0.0, 6.0),
+            Unary::Exp => x.exp(),
+            Unary::Sqrt => x.sqrt(),
+            Unary::Recip => 1.0 / x,
+            Unary::Square => x * x,
+            Unary::Step => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Unary::Clamp01 => x.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+#[allow(dead_code)] // constant payloads are kept for Debug output even where
+                    // the backward pass recomputes them from node shapes
+enum Op {
+    Const,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Neg(Var),
+    Scale(Var, f64),
+    AddScalar(Var, f64),
+    AddBias(Var, Var),
+    Matmul(Var, Var),
+    Transpose(Var),
+    Unary(Unary, Var),
+    SumAll(Var),
+    SumRows(Var),
+    BroadcastRows(Var, usize),
+    BroadcastScalar(Var, Shape),
+    GatherRows(Var, Rc<[usize]>),
+    ScatterAddRows(Var, Rc<[usize]>, usize),
+    MulColVec(Var, Var),
+    RowwiseDot(Var, Var),
+    Reshape(Var, Shape),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// An append-only tape of eagerly evaluated tensor operations.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: RefCell::new(Vec::new()) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        Var { idx: nodes.len() - 1 }
+    }
+
+    /// Record a constant (a leaf). Leaves are also the differentiation targets.
+    pub fn constant(&self, t: Tensor) -> Var {
+        self.push(t, Op::Const)
+    }
+
+    /// Record a scalar constant.
+    pub fn scalar(&self, v: f64) -> Var {
+        self.constant(Tensor::scalar(v))
+    }
+
+    /// Clone out the current value of a variable.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.idx].value.clone()
+    }
+
+    /// Shape of a variable's value.
+    pub fn shape(&self, v: Var) -> Shape {
+        self.nodes.borrow()[v.idx].value.shape()
+    }
+
+    /// The scalar value of a length-1 variable.
+    pub fn item(&self, v: Var) -> f64 {
+        self.nodes.borrow()[v.idx].value.item()
+    }
+
+    /// True if the variable's value contains NaN or ±∞.
+    pub fn has_non_finite(&self, v: Var) -> bool {
+        self.nodes.borrow()[v.idx].value.has_non_finite()
+    }
+
+    fn binary(&self, a: Var, b: Var, f: impl FnOnce(&Tensor, &Tensor) -> Tensor, op: Op) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            f(&nodes[a.idx].value, &nodes[b.idx].value)
+        };
+        self.push(value, op)
+    }
+
+    fn unary_op(&self, a: Var, f: impl FnOnce(&Tensor) -> Tensor, op: Op) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            f(&nodes[a.idx].value)
+        };
+        self.push(value, op)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.add(y), Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.sub(y), Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.mul(y), Op::Mul(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        self.unary_op(a, |x| x.scale(-1.0), Op::Neg(a))
+    }
+
+    /// Multiply by a compile-time constant.
+    pub fn scale(&self, a: Var, c: f64) -> Var {
+        self.unary_op(a, |x| x.scale(c), Op::Scale(a, c))
+    }
+
+    /// Add a compile-time constant to every element.
+    pub fn add_scalar(&self, a: Var, c: f64) -> Var {
+        self.unary_op(a, |x| x.add_scalar(c), Op::AddScalar(a, c))
+    }
+
+    /// `[n,k] + [k]` bias broadcast.
+    pub fn add_bias(&self, m: Var, bias: Var) -> Var {
+        self.binary(m, bias, |x, b| x.add_bias(b), Op::AddBias(m, bias))
+    }
+
+    /// Matrix product of two rank-2 variables.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        debug_assert!(matches!(self.shape(a), Shape::D2(..)), "matmul lhs must be 2-D");
+        debug_assert!(matches!(self.shape(b), Shape::D2(..)), "matmul rhs must be 2-D");
+        self.binary(a, b, |x, y| x.matmul(y), Op::Matmul(a, b))
+    }
+
+    /// Matrix transpose of a rank-2 variable.
+    pub fn transpose(&self, a: Var) -> Var {
+        self.unary_op(a, |x| x.transpose(), Op::Transpose(a))
+    }
+
+    /// Apply an elementwise nonlinearity.
+    pub fn unary(&self, k: Unary, a: Var) -> Var {
+        self.unary_op(a, |x| x.map(|v| k.eval(v)), Op::Unary(k, a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        self.unary(Unary::Tanh, a)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        self.unary(Unary::Sigmoid, a)
+    }
+
+    /// Softplus `ln(1+e^x)`.
+    pub fn softplus(&self, a: Var) -> Var {
+        self.unary(Unary::Softplus, a)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        self.unary(Unary::Relu, a)
+    }
+
+    /// ReLU clipped at 6.
+    pub fn relu6(&self, a: Var) -> Var {
+        self.unary(Unary::Relu6, a)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        self.unary(Unary::Exp, a)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self, a: Var) -> Var {
+        self.unary(Unary::Sqrt, a)
+    }
+
+    /// Elementwise reciprocal.
+    pub fn recip(&self, a: Var) -> Var {
+        self.unary(Unary::Recip, a)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        self.unary(Unary::Square, a)
+    }
+
+    /// Heaviside step (derivative of `relu`).
+    pub fn step(&self, a: Var) -> Var {
+        self.unary(Unary::Step, a)
+    }
+
+    /// Clamp into the unit interval.
+    pub fn clamp01(&self, a: Var) -> Var {
+        self.unary(Unary::Clamp01, a)
+    }
+
+    /// Sum every element into a scalar `[1]`.
+    pub fn sum_all(&self, a: Var) -> Var {
+        self.unary_op(a, |x| Tensor::scalar(x.sum()), Op::SumAll(a))
+    }
+
+    /// Column sums: `[n,k] -> [k]`.
+    pub fn sum_rows(&self, a: Var) -> Var {
+        self.unary_op(a, |x| x.sum_rows(), Op::SumRows(a))
+    }
+
+    /// Replicate a `[k]` vector into `[n,k]`.
+    pub fn broadcast_rows(&self, a: Var, n: usize) -> Var {
+        self.unary_op(a, |x| x.broadcast_rows(n), Op::BroadcastRows(a, n))
+    }
+
+    /// Replicate a scalar into an arbitrary shape.
+    pub fn broadcast_scalar(&self, a: Var, shape: Shape) -> Var {
+        self.unary_op(
+            a,
+            |x| Tensor::full(shape, x.item()),
+            Op::BroadcastScalar(a, shape),
+        )
+    }
+
+    /// Gather rows by index.
+    pub fn gather_rows(&self, a: Var, idx: Rc<[usize]>) -> Var {
+        self.unary_op(a, |x| x.gather_rows(&idx), Op::GatherRows(a, Rc::clone(&idx)))
+    }
+
+    /// Scatter-add rows into a zeroed tensor with `n` rows.
+    pub fn scatter_add_rows(&self, a: Var, idx: Rc<[usize]>, n: usize) -> Var {
+        self.unary_op(
+            a,
+            |x| x.scatter_add_rows(&idx, n),
+            Op::ScatterAddRows(a, Rc::clone(&idx), n),
+        )
+    }
+
+    /// Scale row `i` of `m` by `v[i]`.
+    pub fn mul_col_vec(&self, m: Var, v: Var) -> Var {
+        self.binary(m, v, |x, y| x.mul_col_vec(y), Op::MulColVec(m, v))
+    }
+
+    /// Row-wise dot product, producing `[n]`.
+    pub fn rowwise_dot(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x.rowwise_dot(y), Op::RowwiseDot(a, b))
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    pub fn reshape(&self, a: Var, shape: Shape) -> Var {
+        self.unary_op(a, |x| x.reshape(shape), Op::Reshape(a, shape))
+    }
+
+    /// A zero constant with the same shape as `a`.
+    pub fn zeros_like(&self, a: Var) -> Var {
+        let shape = self.shape(a);
+        self.constant(Tensor::zeros(shape))
+    }
+
+    /// Derivative `f'(x)` of a unary op, built from taped primitives so that
+    /// it is itself differentiable. `y` is the already-computed `f(x)`.
+    fn unary_derivative(&self, k: Unary, x: Var, y: Var) -> Var {
+        match k {
+            // tanh' = 1 - tanh².
+            Unary::Tanh => self.add_scalar(self.scale(self.square(y), -1.0), 1.0),
+            // σ' = σ(1-σ).
+            Unary::Sigmoid => self.mul(y, self.add_scalar(self.scale(y, -1.0), 1.0)),
+            // softplus' = σ.
+            Unary::Softplus => self.sigmoid(x),
+            Unary::Relu => self.step(x),
+            // relu6' = 1 on (0,6): step(x)·step(6-x).
+            Unary::Relu6 => {
+                let six_minus = self.add_scalar(self.scale(x, -1.0), 6.0);
+                self.mul(self.step(x), self.step(six_minus))
+            }
+            Unary::Exp => y,
+            // sqrt' = 1/(2√x).
+            Unary::Sqrt => self.scale(self.recip(y), 0.5),
+            // (1/x)' = -1/x² = -y².
+            Unary::Recip => self.scale(self.square(y), -1.0),
+            Unary::Square => self.scale(x, 2.0),
+            Unary::Step => self.zeros_like(x),
+            // clamp01' = 1 on (0,1): step(x)·step(1-x).
+            Unary::Clamp01 => {
+                let one_minus = self.add_scalar(self.scale(x, -1.0), 1.0);
+                self.mul(self.step(x), self.step(one_minus))
+            }
+        }
+    }
+
+    /// Reverse-mode gradients of `sum(y)` with respect to each entry in `wrt`.
+    ///
+    /// The returned gradients are ordinary tape variables, so calling `grad`
+    /// on an expression built from them yields correct second-order
+    /// derivatives. Variables that `y` does not depend on receive zero
+    /// gradients of the appropriate shape.
+    pub fn grad(&self, y: Var, wrt: &[Var]) -> Vec<Var> {
+        let limit = y.idx + 1;
+        let mut adjoint: Vec<Option<Var>> = vec![None; limit];
+        let seed_shape = self.shape(y);
+        adjoint[y.idx] = Some(self.constant(Tensor::ones(seed_shape)));
+
+        for i in (0..limit).rev() {
+            let Some(g) = adjoint[i] else { continue };
+            let op = self.nodes.borrow()[i].op.clone();
+            let accumulate = |slot: Var, contribution: Var, adjoint: &mut Vec<Option<Var>>| {
+                let entry = &mut adjoint[slot.idx];
+                *entry = Some(match *entry {
+                    None => contribution,
+                    Some(existing) => self.add(existing, contribution),
+                });
+            };
+            match op {
+                Op::Const => {}
+                Op::Add(a, b) => {
+                    accumulate(a, g, &mut adjoint);
+                    accumulate(b, g, &mut adjoint);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(a, g, &mut adjoint);
+                    let ng = self.neg(g);
+                    accumulate(b, ng, &mut adjoint);
+                }
+                Op::Mul(a, b) => {
+                    let ga = self.mul(g, b);
+                    let gb = self.mul(g, a);
+                    accumulate(a, ga, &mut adjoint);
+                    accumulate(b, gb, &mut adjoint);
+                }
+                Op::Neg(a) => {
+                    let ng = self.neg(g);
+                    accumulate(a, ng, &mut adjoint);
+                }
+                Op::Scale(a, c) => {
+                    let gs = self.scale(g, c);
+                    accumulate(a, gs, &mut adjoint);
+                }
+                Op::AddScalar(a, _) => accumulate(a, g, &mut adjoint),
+                Op::AddBias(m, bias) => {
+                    accumulate(m, g, &mut adjoint);
+                    let gb = self.sum_rows(g);
+                    accumulate(bias, gb, &mut adjoint);
+                }
+                Op::Matmul(a, b) => {
+                    let bt = self.transpose(b);
+                    let ga = self.matmul(g, bt);
+                    let at = self.transpose(a);
+                    let gb = self.matmul(at, g);
+                    accumulate(a, ga, &mut adjoint);
+                    accumulate(b, gb, &mut adjoint);
+                }
+                Op::Transpose(a) => {
+                    let gt = self.transpose(g);
+                    accumulate(a, gt, &mut adjoint);
+                }
+                Op::Unary(k, x) => {
+                    let d = self.unary_derivative(k, x, Var { idx: i });
+                    let gx = self.mul(g, d);
+                    accumulate(x, gx, &mut adjoint);
+                }
+                Op::SumAll(a) => {
+                    let shape = self.shape(a);
+                    let gb = self.broadcast_scalar(g, shape);
+                    accumulate(a, gb, &mut adjoint);
+                }
+                Op::SumRows(a) => {
+                    let n = self.shape(a).rows();
+                    let gb = self.broadcast_rows(g, n);
+                    accumulate(a, gb, &mut adjoint);
+                }
+                Op::BroadcastRows(a, _) => {
+                    let gs = self.sum_rows(g);
+                    accumulate(a, gs, &mut adjoint);
+                }
+                Op::BroadcastScalar(a, _) => {
+                    let gs = self.sum_all(g);
+                    accumulate(a, gs, &mut adjoint);
+                }
+                Op::GatherRows(a, idx) => {
+                    let n = self.shape(a).rows();
+                    let gs = self.scatter_add_rows(g, idx, n);
+                    accumulate(a, gs, &mut adjoint);
+                }
+                Op::ScatterAddRows(a, idx, _) => {
+                    let gg = self.gather_rows(g, idx);
+                    accumulate(a, gg, &mut adjoint);
+                }
+                Op::MulColVec(m, v) => {
+                    let gm = self.mul_col_vec(g, v);
+                    let gv = self.rowwise_dot(g, m);
+                    accumulate(m, gm, &mut adjoint);
+                    accumulate(v, gv, &mut adjoint);
+                }
+                Op::RowwiseDot(a, b) => {
+                    let ga = self.mul_col_vec(b, g);
+                    let gb = self.mul_col_vec(a, g);
+                    accumulate(a, ga, &mut adjoint);
+                    accumulate(b, gb, &mut adjoint);
+                }
+                Op::Reshape(a, _) => {
+                    let shape = self.shape(a);
+                    let gr = self.reshape(g, shape);
+                    accumulate(a, gr, &mut adjoint);
+                }
+            }
+        }
+
+        wrt.iter()
+            .map(|v| {
+                assert!(v.idx < limit, "grad target created after output variable");
+                adjoint[v.idx].unwrap_or_else(|| self.zeros_like(*v))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+        let h = 1e-6;
+        (0..x.len())
+            .map(|i| {
+                let mut xp = x.to_vec();
+                let mut xm = x.to_vec();
+                xp[i] += h;
+                xm[i] -= h;
+                (f(&xp) - f(&xm)) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "element {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_of_simple_polynomial() {
+        // y = sum(x² + 3x), dy/dx = 2x + 3.
+        let t = Tape::new();
+        let x = t.constant(Tensor::vector(&[1.0, -2.0, 0.5]));
+        let y = t.sum_all(t.add(t.square(x), t.scale(x, 3.0)));
+        let g = t.grad(y, &[x]);
+        assert_eq!(t.value(g[0]).data(), &[5.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference_mlp() {
+        // One hidden layer net, all five paper activations.
+        for act in [Unary::Tanh, Unary::Sigmoid, Unary::Softplus, Unary::Relu, Unary::Relu6] {
+            let w_data = [0.3, -0.2, 0.5, 0.7, -0.4, 0.1];
+            let eval = |w: &[f64]| -> f64 {
+                let t = Tape::new();
+                let x = t.constant(Tensor::matrix(2, 2, vec![0.4, -1.2, 2.5, 0.3]));
+                let w1 = t.constant(Tensor::matrix(2, 2, w[..4].to_vec()));
+                let b1 = t.constant(Tensor::vector(&w[4..6]));
+                let h = t.unary(act, t.add_bias(t.matmul(x, w1), b1));
+                t.item(t.sum_all(t.square(h)))
+            };
+            let t = Tape::new();
+            let x = t.constant(Tensor::matrix(2, 2, vec![0.4, -1.2, 2.5, 0.3]));
+            let w1 = t.constant(Tensor::matrix(2, 2, w_data[..4].to_vec()));
+            let b1 = t.constant(Tensor::vector(&w_data[4..6]));
+            let h = t.unary(act, t.add_bias(t.matmul(x, w1), b1));
+            let y = t.sum_all(t.square(h));
+            let g = t.grad(y, &[w1, b1]);
+            let fd = finite_diff(eval, &w_data);
+            let mut analytic = t.value(g[0]).into_data();
+            analytic.extend(t.value(g[1]).into_data());
+            assert_close(&analytic, &fd, 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_gradients() {
+        // y = sum(gather(x, [0,0,2])²); dy/dx0 counts both gathers of row 0.
+        let t = Tape::new();
+        let x = t.constant(Tensor::vector(&[2.0, 5.0, -1.0]));
+        let idx: Rc<[usize]> = Rc::from(vec![0usize, 0, 2]);
+        let g1 = t.gather_rows(x, idx);
+        let y = t.sum_all(t.square(g1));
+        let g = t.grad(y, &[x]);
+        assert_eq!(t.value(g[0]).data(), &[8.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn mul_col_vec_and_rowwise_dot_gradients() {
+        let m0 = [1.0, 2.0, 3.0, 4.0];
+        let v0 = [0.5, -1.5];
+        let eval = |p: &[f64]| -> f64 {
+            let t = Tape::new();
+            let m = t.constant(Tensor::matrix(2, 2, p[..4].to_vec()));
+            let v = t.constant(Tensor::vector(&p[4..6]));
+            let s = t.mul_col_vec(m, v);
+            let d = t.rowwise_dot(s, m);
+            t.item(t.sum_all(t.square(d)))
+        };
+        let t = Tape::new();
+        let m = t.constant(Tensor::matrix(2, 2, m0.to_vec()));
+        let v = t.constant(Tensor::vector(&v0));
+        let s = t.mul_col_vec(m, v);
+        let d = t.rowwise_dot(s, m);
+        let y = t.sum_all(t.square(d));
+        let g = t.grad(y, &[m, v]);
+        let mut p = m0.to_vec();
+        p.extend_from_slice(&v0);
+        let fd = finite_diff(eval, &p);
+        let mut analytic = t.value(g[0]).into_data();
+        analytic.extend(t.value(g[1]).into_data());
+        assert_close(&analytic, &fd, 1e-5);
+    }
+
+    #[test]
+    fn double_backward_cubic() {
+        // y = sum(x³) → dy/dx = 3x² → d²y/dx² (diag) = 6x.
+        let t = Tape::new();
+        let x = t.constant(Tensor::vector(&[1.5, -0.5, 2.0]));
+        let y = t.sum_all(t.mul(t.square(x), x));
+        let g = t.grad(y, &[x])[0];
+        // Differentiating sum(g) gives the Hessian row sums = 6x for a
+        // diagonal Hessian.
+        let sg = t.sum_all(g);
+        let h = t.grad(sg, &[x])[0];
+        assert_close(t.value(h).data(), &[9.0, -3.0, 12.0], 1e-12);
+    }
+
+    #[test]
+    fn double_backward_through_tanh() {
+        // f = tanh(x); check d²f/dx² = -2 tanh (1 - tanh²) via double grad.
+        let t = Tape::new();
+        let x = t.constant(Tensor::vector(&[0.7]));
+        let y = t.sum_all(t.tanh(x));
+        let g = t.grad(y, &[x])[0];
+        let h = t.grad(t.sum_all(g), &[x])[0];
+        let v: f64 = 0.7;
+        let expected = -2.0 * v.tanh() * (1.0 - v.tanh() * v.tanh());
+        assert_close(t.value(h).data(), &[expected], 1e-12);
+    }
+
+    #[test]
+    fn force_matching_style_second_order() {
+        // The critical DNNP pattern: E = net(x); F = -dE/dx;
+        // L = sum((F - F*)²); dL/dw checked against finite differences of L.
+        let w0 = [0.2, -0.6, 0.4, 0.9, 0.1, -0.3];
+        let x0 = [0.5, -1.0];
+        let f_star = [0.3, -0.2];
+        let loss = |w: &[f64]| -> f64 {
+            let t = Tape::new();
+            let x = t.constant(Tensor::matrix(1, 2, x0.to_vec()));
+            let w1 = t.constant(Tensor::matrix(2, 2, w[..4].to_vec()));
+            let w2 = t.constant(Tensor::matrix(2, 1, w[4..6].to_vec()));
+            let e = t.sum_all(t.matmul(t.tanh(t.matmul(x, w1)), w2));
+            let de_dx = t.grad(e, &[x])[0];
+            let f = t.neg(de_dx);
+            let fs = t.constant(Tensor::matrix(1, 2, f_star.to_vec()));
+            t.item(t.sum_all(t.square(t.sub(f, fs))))
+        };
+        let t = Tape::new();
+        let x = t.constant(Tensor::matrix(1, 2, x0.to_vec()));
+        let w1 = t.constant(Tensor::matrix(2, 2, w0[..4].to_vec()));
+        let w2 = t.constant(Tensor::matrix(2, 1, w0[4..6].to_vec()));
+        let e = t.sum_all(t.matmul(t.tanh(t.matmul(x, w1)), w2));
+        let de_dx = t.grad(e, &[x])[0];
+        let f = t.neg(de_dx);
+        let fs = t.constant(Tensor::matrix(1, 2, f_star.to_vec()));
+        let l = t.sum_all(t.square(t.sub(f, fs)));
+        let grads = t.grad(l, &[w1, w2]);
+        let mut analytic = t.value(grads[0]).into_data();
+        analytic.extend(t.value(grads[1]).into_data());
+        let fd = finite_diff(loss, &w0);
+        assert_close(&analytic, &fd, 1e-4);
+    }
+
+    #[test]
+    fn grad_of_independent_variable_is_zero() {
+        let t = Tape::new();
+        let x = t.constant(Tensor::vector(&[1.0]));
+        let z = t.constant(Tensor::vector(&[4.0, 4.0]));
+        let y = t.sum_all(t.square(x));
+        let g = t.grad(y, &[z]);
+        assert_eq!(t.value(g[0]).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn switching_function_composition_is_differentiable() {
+        // s(r) = (1/r)·p(clamp01(u)), u = (r-rmin)/(rmax-rmin),
+        // p(u) = 1 + u³(-6u² + 15u - 10) — smooth from 1/r to 0.
+        let rmin = 2.0;
+        let rmax = 6.0;
+        let s_of = |r: f64| -> f64 {
+            let u = ((r - rmin) / (rmax - rmin)).clamp(0.0, 1.0);
+            (1.0 / r) * (1.0 + u * u * u * (-6.0 * u * u + 15.0 * u - 10.0))
+        };
+        let t = Tape::new();
+        let r = t.constant(Tensor::vector(&[1.0, 3.0, 5.9, 7.0]));
+        let u = t.clamp01(t.scale(t.add_scalar(r, -rmin), 1.0 / (rmax - rmin)));
+        let u3 = t.mul(t.square(u), u);
+        let poly = t.add_scalar(
+            t.mul(
+                u3,
+                t.add_scalar(
+                    t.add(t.scale(t.square(u), -6.0), t.scale(u, 15.0)),
+                    -10.0,
+                ),
+            ),
+            1.0,
+        );
+        let s = t.mul(t.recip(r), poly);
+        let vals = t.value(s);
+        for (i, &rv) in [1.0, 3.0, 5.9, 7.0].iter().enumerate() {
+            assert!((vals.data()[i] - s_of(rv)).abs() < 1e-12);
+        }
+        // r < rmin behaves as 1/r; r > rmax is exactly zero.
+        assert!((vals.data()[0] - 1.0).abs() < 1e-12);
+        assert!(vals.data()[3].abs() < 1e-15);
+        // And the whole thing is differentiable.
+        let g = t.grad(t.sum_all(s), &[r]);
+        let gv = t.value(g[0]);
+        assert!((gv.data()[0] + 1.0).abs() < 1e-9); // d(1/r)/dr = -1 at r=1
+        assert!(gv.data()[3].abs() < 1e-15);
+    }
+}

@@ -1,0 +1,538 @@
+//! Dense `f64` tensors restricted to one and two dimensions.
+//!
+//! This is deliberately a small tensor type: the DNNP substrate only needs
+//! vectors (per-pair scalars, per-atom scalars) and matrices (activations,
+//! weights). Keeping the rank bounded keeps every operation allocation-lean
+//! and easy to audit, per the workspace's HPC coding guides.
+
+use std::fmt;
+
+/// Shape of a [`Tensor`]: rank 1 (`[n]`) or rank 2 (`[rows, cols]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// A vector of length `n`.
+    D1(usize),
+    /// A row-major matrix with `rows × cols` elements.
+    D2(usize, usize),
+}
+
+impl Shape {
+    /// Total number of scalar elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match *self {
+            Shape::D1(n) => n,
+            Shape::D2(r, c) => r * c,
+        }
+    }
+
+    /// True when the shape holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows for a matrix, length for a vector.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        match *self {
+            Shape::D1(n) => n,
+            Shape::D2(r, _) => r,
+        }
+    }
+
+    /// Columns for a matrix, `1` for a vector.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        match *self {
+            Shape::D1(_) => 1,
+            Shape::D2(_, c) => c,
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Shape::D1(n) => write!(f, "[{n}]"),
+            Shape::D2(r, c) => write!(f, "[{r}, {c}]"),
+        }
+    }
+}
+
+/// A dense, row-major, `f64` tensor of rank 1 or 2.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{}, {}, …, {}]", self.data[0], self.data[1], self.data[self.data.len() - 1])
+        }
+    }
+}
+
+impl Tensor {
+    /// Build a tensor from a shape and backing data; panics on length mismatch.
+    pub fn new(shape: Shape, data: Vec<f64>) -> Self {
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "shape {shape} does not match data length {}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A vector tensor from a slice.
+    pub fn vector(data: &[f64]) -> Self {
+        Tensor::new(Shape::D1(data.len()), data.to_vec())
+    }
+
+    /// A matrix tensor from row-major data.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        Tensor::new(Shape::D2(rows, cols), data)
+    }
+
+    /// A scalar, represented as a length-1 vector.
+    pub fn scalar(v: f64) -> Self {
+        Tensor::new(Shape::D1(1), vec![v])
+    }
+
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor { shape, data: vec![0.0; shape.len()] }
+    }
+
+    /// All-one tensor of the given shape.
+    pub fn ones(shape: Shape) -> Self {
+        Tensor { shape, data: vec![1.0; shape.len()] }
+    }
+
+    /// Fill with a constant.
+    pub fn full(shape: Shape, v: f64) -> Self {
+        Tensor { shape, data: vec![v; shape.len()] }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Flat element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the backing vector.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The single value of a scalar tensor; panics if `len() != 1`.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar tensor {}", self.shape);
+        self.data[0]
+    }
+
+    /// Matrix element access (row-major).
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        let cols = self.shape.cols();
+        self.data[r * cols + c]
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Reinterpret the data with a new shape of identical element count.
+    pub fn reshape(&self, shape: Shape) -> Tensor {
+        assert_eq!(self.shape.len(), shape.len(), "reshape {} -> {shape}", self.shape);
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Elementwise binary map; shapes must match exactly.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch {} vs {}", self.shape, other.shape);
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor { shape: self.shape, data }
+    }
+
+    /// Elementwise unary map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor { shape: self.shape, data: self.data.iter().map(|&a| f(a)).collect() }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiply every element by `c`.
+    pub fn scale(&self, c: f64) -> Tensor {
+        self.map(|a| a * c)
+    }
+
+    /// Add `c` to every element.
+    pub fn add_scalar(&self, c: f64) -> Tensor {
+        self.map(|a| a + c)
+    }
+
+    /// In-place `self += other`, used for adjoint accumulation.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += c * other` (axpy).
+    pub fn axpy(&mut self, c: f64, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += c * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Euclidean norm of the flattened data.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// `[n,k] + [k]` row-broadcast addition (bias add).
+    pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        let (r, c) = match self.shape {
+            Shape::D2(r, c) => (r, c),
+            Shape::D1(n) => (1, n),
+        };
+        assert_eq!(bias.shape.len(), c, "bias length {} vs cols {c}", bias.shape.len());
+        let mut data = self.data.clone();
+        for i in 0..r {
+            for j in 0..c {
+                data[i * c + j] += bias.data[j];
+            }
+        }
+        Tensor { shape: self.shape, data }
+    }
+
+    /// Matrix product `self @ other` for 2-D operands.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = match self.shape {
+            Shape::D2(m, k) => (m, k),
+            Shape::D1(k) => (1, k),
+        };
+        let (k2, n) = match other.shape {
+            Shape::D2(k2, n) => (k2, n),
+            Shape::D1(k2) => (k2, 1),
+        };
+        assert_eq!(k, k2, "matmul inner-dim mismatch {} x {}", self.shape, other.shape);
+        let mut out = vec![0.0; m * n];
+        // ikj loop order keeps the inner loop contiguous in both `other` and `out`.
+        for i in 0..m {
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * n..kk * n + n];
+                let orow = &mut out[i * n..i * n + n];
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        Tensor { shape: Shape::D2(m, n), data: out }
+    }
+
+    /// Matrix transpose; vectors become `[1, n]` row matrices transposed to `[n, 1]`.
+    pub fn transpose(&self) -> Tensor {
+        let (r, c) = match self.shape {
+            Shape::D2(r, c) => (r, c),
+            Shape::D1(n) => (1, n),
+        };
+        let mut data = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { shape: Shape::D2(c, r), data }
+    }
+
+    /// Column-sum: `[n,k] -> [k]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let (r, c) = match self.shape {
+            Shape::D2(r, c) => (r, c),
+            Shape::D1(n) => (1, n),
+        };
+        let mut out = vec![0.0; c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j] += self.data[i * c + j];
+            }
+        }
+        Tensor { shape: Shape::D1(c), data: out }
+    }
+
+    /// Replicate a `[k]` vector into an `[n, k]` matrix.
+    pub fn broadcast_rows(&self, n: usize) -> Tensor {
+        let k = match self.shape {
+            Shape::D1(k) => k,
+            Shape::D2(1, k) => k,
+            s => panic!("broadcast_rows on shape {s}"),
+        };
+        let mut data = Vec::with_capacity(n * k);
+        for _ in 0..n {
+            data.extend_from_slice(&self.data[..k]);
+        }
+        Tensor { shape: Shape::D2(n, k), data }
+    }
+
+    /// Gather rows by index: `out[i] = self[idx[i]]`.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let c = self.shape.cols();
+        let r = self.shape.rows();
+        let mut data = Vec::with_capacity(idx.len() * c);
+        for &i in idx {
+            assert!(i < r, "gather_rows index {i} out of range {r}");
+            data.extend_from_slice(&self.data[i * c..i * c + c]);
+        }
+        match self.shape {
+            Shape::D1(_) => Tensor { shape: Shape::D1(idx.len()), data },
+            Shape::D2(..) => Tensor { shape: Shape::D2(idx.len(), c), data },
+        }
+    }
+
+    /// Scatter-add rows into a fresh `[n, cols]` (or `[n]`) tensor:
+    /// `out[idx[i]] += self[i]`.
+    pub fn scatter_add_rows(&self, idx: &[usize], n: usize) -> Tensor {
+        let c = self.shape.cols();
+        assert_eq!(self.shape.rows(), idx.len(), "scatter_add_rows index count");
+        let mut data = vec![0.0; n * c];
+        for (row, &i) in idx.iter().enumerate() {
+            assert!(i < n, "scatter_add_rows index {i} out of range {n}");
+            for j in 0..c {
+                data[i * c + j] += self.data[row * c + j];
+            }
+        }
+        match self.shape {
+            Shape::D1(_) => Tensor { shape: Shape::D1(n), data },
+            Shape::D2(..) => Tensor { shape: Shape::D2(n, c), data },
+        }
+    }
+
+    /// Scale row `i` of a matrix by `v[i]` (column-vector broadcast multiply).
+    pub fn mul_col_vec(&self, v: &Tensor) -> Tensor {
+        let (r, c) = match self.shape {
+            Shape::D2(r, c) => (r, c),
+            Shape::D1(n) => (n, 1),
+        };
+        assert_eq!(v.shape.len(), r, "mul_col_vec length mismatch");
+        let mut data = self.data.clone();
+        for i in 0..r {
+            let s = v.data[i];
+            for j in 0..c {
+                data[i * c + j] *= s;
+            }
+        }
+        Tensor { shape: self.shape, data }
+    }
+
+    /// Row-wise dot product of two same-shape matrices: `out[i] = Σ_j a[i,j] b[i,j]`.
+    pub fn rowwise_dot(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "rowwise_dot shape mismatch");
+        let (r, c) = match self.shape {
+            Shape::D2(r, c) => (r, c),
+            Shape::D1(n) => (n, 1),
+        };
+        let mut out = vec![0.0; r];
+        for i in 0..r {
+            let mut acc = 0.0;
+            for j in 0..c {
+                acc += self.data[i * c + j] * other.data[i * c + j];
+            }
+            out[i] = acc;
+        }
+        Tensor { shape: Shape::D1(r), data: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_accessors() {
+        assert_eq!(Shape::D1(5).len(), 5);
+        assert_eq!(Shape::D2(3, 4).len(), 12);
+        assert_eq!(Shape::D2(3, 4).rows(), 3);
+        assert_eq!(Shape::D2(3, 4).cols(), 4);
+        assert_eq!(Shape::D1(5).cols(), 1);
+        assert!(Shape::D1(0).is_empty());
+        assert!(!Shape::D2(1, 1).is_empty());
+    }
+
+    #[test]
+    fn construction_and_item() {
+        let t = Tensor::scalar(3.5);
+        assert_eq!(t.item(), 3.5);
+        let m = Tensor::matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.at(1, 0), 3.0);
+        assert_eq!(Tensor::zeros(Shape::D1(3)).sum(), 0.0);
+        assert_eq!(Tensor::ones(Shape::D2(2, 3)).sum(), 6.0);
+        assert_eq!(Tensor::full(Shape::D1(4), 2.0).mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn bad_construction_panics() {
+        let _ = Tensor::new(Shape::D1(3), vec![1.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = Tensor::vector(&[1.0, 1.0]);
+        a.add_assign(&Tensor::vector(&[2.0, 3.0]));
+        assert_eq!(a.data(), &[3.0, 4.0]);
+        a.axpy(0.5, &Tensor::vector(&[2.0, 2.0]));
+        assert_eq!(a.data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::matrix(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), Shape::D2(2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::matrix(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), Shape::D2(3, 2));
+        assert_eq!(t.at(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn bias_and_row_reductions() {
+        let m = Tensor::matrix(2, 3, vec![1.0; 6]);
+        let b = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let mb = m.add_bias(&b);
+        assert_eq!(mb.data(), &[2.0, 3.0, 4.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mb.sum_rows().data(), &[4.0, 6.0, 8.0]);
+        let br = b.broadcast_rows(2);
+        assert_eq!(br.shape(), Shape::D2(2, 3));
+        assert_eq!(br.sum_rows().data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let m = Tensor::matrix(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = g.scatter_add_rows(&[2, 0, 2], 3);
+        assert_eq!(s.data(), &[1.0, 2.0, 0.0, 0.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn col_vec_and_rowwise_dot() {
+        let m = Tensor::matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let v = Tensor::vector(&[10.0, 0.5]);
+        assert_eq!(m.mul_col_vec(&v).data(), &[10.0, 20.0, 1.5, 2.0]);
+        let d = m.rowwise_dot(&m);
+        assert_eq!(d.data(), &[5.0, 25.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let v = Tensor::vector(&[1.0, 2.0, 3.0, 4.0]);
+        let m = v.reshape(Shape::D2(2, 2));
+        assert_eq!(m.at(1, 1), 4.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::vector(&[1.0, 2.0]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[0] = f64::NAN;
+        assert!(t.has_non_finite());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based finite-difference validation of every differentiable
+//! primitive, plus second-order spot checks.
+
+use dphpo_autograd::{Shape, Tape, Tensor, Unary};
+use proptest::prelude::*;
+
+fn finite_diff(f: impl Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+    let h = 1e-6;
+    (0..x.len())
+        .map(|i| {
+            let mut xp = x.to_vec();
+            let mut xm = x.to_vec();
+            xp[i] += h;
+            xm[i] -= h;
+            (f(&xp) - f(&xm)) / (2.0 * h)
+        })
+        .collect()
+}
+
+fn check_unary(kind: Unary, data: &[f64]) {
+    // Keep away from the kinks of relu/relu6 where finite differences are
+    // invalid.
+    let safe: Vec<f64> = data
+        .iter()
+        .map(|&v| {
+            let mut v = v;
+            for kink in [0.0, 1.0, 6.0] {
+                if (v - kink).abs() < 1e-3 {
+                    v += 2e-3;
+                }
+            }
+            v
+        })
+        .collect();
+    let eval = |x: &[f64]| -> f64 {
+        let tape = Tape::new();
+        let v = tape.constant(Tensor::vector(x));
+        tape.item(tape.sum_all(tape.unary(kind, v)))
+    };
+    let tape = Tape::new();
+    let v = tape.constant(Tensor::vector(&safe));
+    let y = tape.sum_all(tape.unary(kind, v));
+    let g = tape.grad(y, &[v])[0];
+    let analytic = tape.value(g);
+    let numeric = finite_diff(eval, &safe);
+    for (a, n) in analytic.data().iter().zip(numeric.iter()) {
+        assert!(
+            (a - n).abs() < 1e-4 * (1.0 + n.abs()),
+            "{kind:?}: {a} vs {n}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unary_gradients_match_finite_differences(
+        data in prop::collection::vec(-3.0f64..3.0, 1..12)
+    ) {
+        for kind in [Unary::Tanh, Unary::Sigmoid, Unary::Softplus, Unary::Relu,
+                     Unary::Relu6, Unary::Square] {
+            check_unary(kind, &data);
+        }
+    }
+
+    #[test]
+    fn positive_domain_unary_gradients(
+        data in prop::collection::vec(0.1f64..4.0, 1..12)
+    ) {
+        for kind in [Unary::Sqrt, Unary::Recip, Unary::Exp] {
+            check_unary(kind, &data);
+        }
+    }
+
+    #[test]
+    fn structural_op_gradients(
+        data in prop::collection::vec(-2.0f64..2.0, 6)
+    ) {
+        // Compose sum_rows → broadcast_rows → reshape → mul and check the
+        // whole chain against finite differences.
+        let eval = |x: &[f64]| -> f64 {
+            let tape = Tape::new();
+            let m = tape.constant(Tensor::matrix(2, 3, x.to_vec()));
+            let cols = tape.sum_rows(m);                     // [3]
+            let back = tape.broadcast_rows(cols, 2);         // [2,3]
+            let flat = tape.reshape(back, Shape::D1(6));     // [6]
+            let orig = tape.reshape(m, Shape::D1(6));
+            tape.item(tape.sum_all(tape.mul(flat, orig)))
+        };
+        let tape = Tape::new();
+        let m = tape.constant(Tensor::matrix(2, 3, data.clone()));
+        let cols = tape.sum_rows(m);
+        let back = tape.broadcast_rows(cols, 2);
+        let flat = tape.reshape(back, Shape::D1(6));
+        let orig = tape.reshape(m, Shape::D1(6));
+        let y = tape.sum_all(tape.mul(flat, orig));
+        let g = tape.grad(y, &[m])[0];
+        let numeric = finite_diff(eval, &data);
+        for (a, n) in tape.value(g).data().iter().zip(numeric.iter()) {
+            prop_assert!((a - n).abs() < 1e-4 * (1.0 + n.abs()));
+        }
+    }
+
+    #[test]
+    fn second_derivative_of_quartic(x0 in -1.5f64..1.5) {
+        // y = x⁴ → y'' = 12x².
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::vector(&[x0]));
+        let y = tape.sum_all(tape.square(tape.square(x)));
+        let g = tape.grad(y, &[x])[0];
+        let h = tape.grad(tape.sum_all(g), &[x])[0];
+        let expected = 12.0 * x0 * x0;
+        prop_assert!((tape.value(h).data()[0] - expected).abs() < 1e-8 * (1.0 + expected));
+    }
+
+    #[test]
+    fn add_bias_and_sum_rows_are_adjoint(
+        m in prop::collection::vec(-2.0f64..2.0, 6),
+        bias in prop::collection::vec(-2.0f64..2.0, 3)
+    ) {
+        // d(sum(M + 1·bᵀ))/db = column counts: each bias column contributes
+        // once per row.
+        let tape = Tape::new();
+        let vm = tape.constant(Tensor::matrix(2, 3, m));
+        let vb = tape.constant(Tensor::vector(&bias));
+        let y = tape.sum_all(tape.add_bias(vm, vb));
+        let g = tape.grad(y, &[vb])[0];
+        for v in tape.value(g).data() {
+            prop_assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+}

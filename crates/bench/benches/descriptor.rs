@@ -1,0 +1,58 @@
+//! Criterion microbench of the descriptor substrate: neighbor-pair
+//! enumeration, switching-function evaluation, and frame-cache builds at
+//! the paper's three rcut regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphpo_dnnp::{switching_scalar, DescriptorStats, FrameCache};
+use dphpo_md::generate::{generate_dataset, GenConfig};
+use dphpo_md::pairs_brute_force;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_descriptor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let dataset = generate_dataset(&GenConfig::reduced(), &mut rng);
+    let species_idx: Vec<usize> = dataset.species.iter().map(|s| s.index()).collect();
+    let frame = &dataset.frames[0];
+
+    let mut group = c.benchmark_group("descriptor");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for rcut in [6.0f64, 9.0, 12.0] {
+        group.bench_with_input(BenchmarkId::new("pair_list", rcut as u32), &rcut, |b, &rcut| {
+            b.iter(|| pairs_brute_force(&dataset.cell, &frame.positions, rcut))
+        });
+        let frames: Vec<&[[f64; 3]]> = vec![&frame.positions];
+        let stats =
+            DescriptorStats::compute(&dataset.cell, &species_idx, &frames, rcut, 2.0, 3);
+        group.bench_with_input(BenchmarkId::new("frame_cache", rcut as u32), &rcut, |b, &rcut| {
+            b.iter(|| {
+                FrameCache::build(
+                    &dataset.cell,
+                    &species_idx,
+                    &frame.positions,
+                    rcut,
+                    2.0,
+                    &stats,
+                    3,
+                )
+            })
+        });
+    }
+
+    group.bench_function("switching_scalar_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += switching_scalar(0.5 + i as f64 * 0.012, 2.0, 9.0);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_descriptor);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbench of the EA reproduction-pipeline operators
+//! (Listing 1): offspring creation, crowding distance, truncation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dphpo_evo::ops::{create_offspring, random_population, truncation_selection};
+use dphpo_evo::{assign_rank_and_crowding, Fitness, Individual};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn evaluated_population(n: usize, seed: u64) -> Vec<Individual> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ranges = dphpo_core::DeepMDRepresentation::init_ranges();
+    let mut pop = random_population(n, &ranges, &mut rng);
+    for ind in &mut pop {
+        ind.fitness = Some(Fitness::new(vec![
+            rng.random_range(0.0..0.01),
+            rng.random_range(0.0..0.1),
+        ]));
+    }
+    assign_rank_and_crowding(&mut pop);
+    pop
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_operators");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    let parents = evaluated_population(100, 1);
+    let std = dphpo_core::DeepMDRepresentation::initial_std();
+    let bounds = dphpo_core::DeepMDRepresentation::bounds();
+
+    group.bench_function("create_offspring_100", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| create_offspring(&parents, 100, &std, &bounds, &mut rng))
+    });
+
+    group.bench_function("rank_and_crowding_200", |b| {
+        b.iter_batched(
+            || evaluated_population(200, 3),
+            |mut pool| assign_rank_and_crowding(&mut pool),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("truncation_selection_200_to_100", |b| {
+        b.iter_batched(
+            || evaluated_population(200, 4),
+            |pool| truncation_selection(pool, 100),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbench of the distributed-evaluation simulator: batch
+//! dispatch overhead with and without fault injection, across pool widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphpo_hpc::{run_batch, EvalOutcome, FaultInjector, PoolConfig};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    let inputs: Vec<u64> = (0..100).collect();
+    for workers in [4usize, 16, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_100_tasks", workers),
+            &workers,
+            |b, &workers| {
+                let config = PoolConfig { n_workers: workers, ..PoolConfig::default() };
+                b.iter(|| {
+                    run_batch(
+                        &inputs,
+                        |_, &x| EvalOutcome { value: Ok(x * 2), minutes: 70.0 },
+                        &config,
+                        &FaultInjector::none(),
+                    )
+                })
+            },
+        );
+    }
+
+    group.bench_function("dispatch_with_faults_and_retries", |b| {
+        let config = PoolConfig { n_workers: 16, nanny: true, max_attempts: 10, ..PoolConfig::default() };
+        b.iter(|| {
+            let faults = FaultInjector::new(0.05, 9);
+            run_batch(
+                &inputs,
+                |_, &x| EvalOutcome { value: Ok(x), minutes: 70.0 },
+                &config,
+                &faults,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion microbench backing §2.1.4: rank-based non-dominated sorting
+//! versus Deb's fast non-dominated sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphpo_evo::{fast_nondominated_sort, rank_ordinal_sort, Fitness};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fitnesses(n: usize, seed: u64) -> Vec<Fitness> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Fitness::new(vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)]))
+        .collect()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nondominated_sort");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    // 200 = the paper's merged parents+offspring pool (2 × 100).
+    for n in [200usize, 800, 3200] {
+        let fits = fitnesses(n, 7);
+        let refs: Vec<&Fitness> = fits.iter().collect();
+        group.bench_with_input(BenchmarkId::new("deb_fast", n), &refs, |b, refs| {
+            b.iter(|| fast_nondominated_sort(std::hint::black_box(refs)))
+        });
+        group.bench_with_input(BenchmarkId::new("rank_ordinal", n), &refs, |b, refs| {
+            b.iter(|| rank_ordinal_sort(std::hint::black_box(refs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

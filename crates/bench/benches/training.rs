@@ -1,0 +1,70 @@
+//! Criterion microbench of the DNNP trainer: cost of a full training step
+//! (forward + forces + double-backward + Adam) at small/large cutoffs, and
+//! of inference (energy + forces) — the quantities the hpc cost model
+//! abstracts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphpo_dnnp::{train, DnnpModel, TrainConfig};
+use dphpo_md::generate::{generate_dataset, GenConfig};
+use dphpo_md::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn data() -> (Dataset, Dataset) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let gen = GenConfig { n_frames: 24, ..GenConfig::reduced() };
+    let mut ds = generate_dataset(&gen, &mut rng);
+    ds.add_label_noise(0.0005, 0.03, &mut rng);
+    ds.split(0.25, &mut rng)
+}
+
+fn config(rcut: f64, steps: usize) -> TrainConfig {
+    TrainConfig {
+        rcut,
+        rcut_smth: 2.2,
+        start_lr: 0.008,
+        stop_lr: 1e-4,
+        num_steps: steps,
+        disp_freq: steps,
+        val_max_frames: 2,
+        ..TrainConfig::default()
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (train_ds, val_ds) = data();
+    let mut group = c.benchmark_group("dnnp_training");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // 10 full optimisation steps (6-frame batches with force matching).
+    for rcut in [6.0f64, 11.0] {
+        group.bench_with_input(
+            BenchmarkId::new("ten_steps", rcut as u32),
+            &rcut,
+            |b, &rcut| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    train(&config(rcut, 10), &train_ds, &val_ds, &mut rng).unwrap()
+                })
+            },
+        );
+    }
+
+    // Inference: energy + analytic forces for one frame.
+    let mut rng = StdRng::seed_from_u64(8);
+    let model = DnnpModel::new(config(9.0, 10), &train_ds, &mut rng).unwrap();
+    let frame = &val_ds.frames[0];
+    group.bench_function("predict_energy_forces", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&frame.positions)))
+    });
+    let cache = model.build_cache(&frame.positions);
+    group.bench_function("predict_cached", |b| {
+        b.iter(|| model.predict_cached(std::hint::black_box(&cache)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

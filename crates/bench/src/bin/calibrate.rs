@@ -1,0 +1,71 @@
+//! Calibration probe: trains a handful of hand-picked configurations on
+//! the reduced-scale dataset and prints loss magnitudes and wall time, so
+//! the experiment scale can be tuned to the paper's loss ballpark.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dphpo_core::workflow::{evaluate_individual, EvalContext};
+use dphpo_core::ExperimentConfig;
+use dphpo_hpc::CostModel;
+use dphpo_md::generate::generate_dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = ExperimentConfig::reduced();
+    let mut rng = StdRng::seed_from_u64(config.master_seed ^ 0xda7a_5e7);
+    let t0 = Instant::now();
+    let mut dataset = generate_dataset(&config.gen_config, &mut rng);
+    dataset.add_label_noise(config.label_noise.0, config.label_noise.1, &mut rng);
+    let (train_ds, val_ds) = dataset.split(0.25, &mut rng);
+    println!(
+        "dataset: {} train / {} val frames of {} atoms (generated in {:.1?})",
+        train_ds.n_frames(),
+        val_ds.n_frames(),
+        train_ds.n_atoms(),
+        t0.elapsed()
+    );
+
+    let ctx = EvalContext {
+        base_config: config.base_train_config.clone(),
+        train: Arc::new(train_ds),
+        val: Arc::new(val_ds),
+        cost_model: CostModel::default(),
+        workdir: None,
+    };
+
+    // genome: [start_lr, stop_lr, rcut, rcut_smth, scale, desc_act, fit_act]
+    // acts: 0 relu, 1 relu6, 2 softplus, 3 sigmoid, 4 tanh
+    // scale: 0 linear, 1 sqrt, 2 none
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("tanh/tanh none rcut=11 lr=5e-3", vec![5e-3, 1e-4, 11.0, 2.4, 2.5, 4.5, 4.5]),
+        ("tanh/tanh none rcut=9  lr=5e-3", vec![5e-3, 1e-4, 9.0, 2.4, 2.5, 4.5, 4.5]),
+        ("tanh/tanh none rcut=7  lr=5e-3", vec![5e-3, 1e-4, 7.0, 2.4, 2.5, 4.5, 4.5]),
+        ("tanh/tanh none rcut=6  lr=5e-3", vec![5e-3, 1e-4, 6.05, 2.4, 2.5, 4.5, 4.5]),
+        ("sigmoid desc     rcut=11", vec![5e-3, 1e-4, 11.0, 2.4, 2.5, 3.5, 4.5]),
+        ("relu fitting     rcut=11", vec![5e-3, 1e-4, 11.0, 2.4, 2.5, 4.5, 0.5]),
+        ("softplus/softplus rcut=11", vec![5e-3, 1e-4, 11.0, 2.4, 2.5, 2.5, 2.5]),
+        ("tanh/tanh linear  rcut=11 lr=9e-3", vec![9e-3, 1e-4, 11.0, 2.4, 0.5, 4.5, 4.5]),
+        ("tanh/tanh none low lr=1e-4", vec![1e-4, 1e-5, 11.0, 2.4, 2.5, 4.5, 4.5]),
+        ("tanh/tanh none lr=1e-2 sqrt", vec![1e-2, 1e-4, 11.0, 2.4, 1.5, 4.5, 4.5]),
+    ];
+
+    println!("\n{:<36} {:>10} {:>10} {:>8} {:>7}", "case", "e_loss", "f_loss", "min", "wall");
+    for (label, genome) in &cases {
+        let t = Instant::now();
+        let record = evaluate_individual(&ctx, genome, 17);
+        let wall = t.elapsed();
+        if record.failed {
+            println!("{label:<36} {:>10} {:>10} {:>8.1} {:>6.1?}", "FAILED", "FAILED", record.minutes, wall);
+        } else {
+            println!(
+                "{label:<36} {:>10.5} {:>10.5} {:>8.1} {:>6.1?}",
+                record.fitness.get(0),
+                record.fitness.get(1),
+                record.minutes,
+                wall
+            );
+        }
+    }
+}

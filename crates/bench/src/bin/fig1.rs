@@ -1,0 +1,83 @@
+//! Regenerates **Figure 1**: energy-vs-force loss level plots per
+//! generation over the five independent EA runs, plus the §3.1/§3.2
+//! accounting (total trainings, failures per generation, grid-search
+//! comparison).
+//!
+//! This is the binary that *runs the experiment* and caches the snapshot
+//! (`results/experiment.json`) that `fig2_table2`, `fig3`, and `table3`
+//! reuse. Pass `--smoke` for a fast test-scale run.
+
+use dphpo_bench::harness::{
+    experiment_scale, run_and_report, save_experiment, write_artifact,
+};
+use dphpo_core::analysis::{ascii_level_plot, level_plot_csv};
+
+fn main() {
+    let config = experiment_scale();
+    let total = config.n_runs * config.pop_size * (config.generations + 1);
+    println!(
+        "Figure 1: {} runs x pop {} x {} generations = {} DNNP trainings",
+        config.n_runs, config.pop_size, config.generations, total
+    );
+    let result = run_and_report(&config);
+    save_experiment(&result);
+
+    // CSV of every individual of every generation (the raw level-plot data).
+    let csv = level_plot_csv(&result);
+    write_artifact("fig1_levels.csv", &csv);
+
+    // ASCII density plots, one per generation, aggregated over runs. The
+    // paper culls generation-0 outliers (force > 0.6 or energy > 0.03) for
+    // clarity; the same limits bound our axes.
+    let mut report = String::new();
+    report.push_str("Figure 1: energy (y, eV/atom) vs force (x, eV/AA) losses per generation\n");
+    report.push_str("aggregated over all runs; axis limits match the paper's culled panel\n\n");
+    for generation in 0..=config.generations {
+        let points: Vec<(f64, f64)> = result
+            .runs
+            .iter()
+            .flat_map(|run| {
+                run.history[generation].population.iter().map(|ind| {
+                    let f = ind.fitness();
+                    (f.get(0), f.get(1))
+                })
+            })
+            .collect();
+        let finite = points
+            .iter()
+            .filter(|(e, f)| e.is_finite() && f.is_finite() && *e < 1e17 && *f < 1e17)
+            .count();
+        report.push_str(&format!(
+            "--- generation {generation} ({} individuals, {} evaluable) ---\n",
+            points.len(),
+            finite
+        ));
+        report.push_str(&ascii_level_plot(&points, 0.6, 0.03, 64, 16));
+        report.push('\n');
+    }
+
+    // §3.1: evaluation-count accounting.
+    report.push_str(&format!(
+        "total DNNP trainings: {} (paper: 3500 at full scale)\n",
+        result.total_evaluations()
+    ));
+    report.push_str(
+        "brute-force grid at 10 points/parameter would need 10^7 = 10,000,000 trainings\n",
+    );
+
+    // §3.2: failure accounting ("25 failed trainings spread across all five
+    // jobs ... none in the last generation").
+    report.push_str("\nfailed trainings per generation (all runs):\n");
+    let failures = result.failures_per_generation();
+    for (generation, count) in failures.iter().enumerate() {
+        report.push_str(&format!("  generation {generation}: {count}\n"));
+    }
+    report.push_str(&format!(
+        "total failures: {}; failures in final generation: {}\n",
+        failures.iter().sum::<usize>(),
+        failures.last().copied().unwrap_or(0)
+    ));
+
+    print!("{report}");
+    write_artifact("fig1_report.txt", &report);
+}

@@ -1,0 +1,70 @@
+//! Parameter probe: `probe <n_atoms> <num_steps> [start_lr]` trains the
+//! reference configurations at that scale and prints loss magnitudes, used
+//! to pick the default experiment scale.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dphpo_core::workflow::{evaluate_individual, EvalContext};
+use dphpo_dnnp::TrainConfig;
+use dphpo_hpc::CostModel;
+use dphpo_md::generate::{generate_dataset, GenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_atoms: usize = args.get(1).map_or(20, |s| s.parse().unwrap());
+    let num_steps: usize = args.get(2).map_or(1200, |s| s.parse().unwrap());
+    let start_lr: f64 = args.get(3).map_or(5e-3, |s| s.parse().unwrap());
+
+    let mut rng = StdRng::seed_from_u64(0xda7a_5e7);
+    let gen = GenConfig { n_atoms, box_len: 17.84, n_frames: 120, ..GenConfig::reduced() };
+    let mut dataset = generate_dataset(&gen, &mut rng);
+    dataset.add_label_noise(0.0005, 0.03, &mut rng);
+    let (train_ds, val_ds) = dataset.split(0.25, &mut rng);
+
+    let ctx = EvalContext {
+        base_config: TrainConfig {
+            num_steps,
+            disp_freq: num_steps / 4,
+            val_max_frames: 6,
+            ..TrainConfig::default()
+        },
+        train: Arc::new(train_ds),
+        val: Arc::new(val_ds),
+        cost_model: CostModel::default(),
+        workdir: None,
+    };
+
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("tanh none r=11.5", vec![start_lr, 1e-4, 11.5, 2.4, 2.5, 4.5, 4.5]),
+        ("tanh none r=9.5 ", vec![start_lr, 1e-4, 9.5, 2.4, 2.5, 4.5, 4.5]),
+        ("tanh none r=8.0 ", vec![start_lr, 1e-4, 8.0, 2.4, 2.5, 4.5, 4.5]),
+        ("tanh none r=6.2 ", vec![start_lr, 1e-4, 6.2, 2.4, 2.5, 4.5, 4.5]),
+        ("sigmoid desc r=11.5", vec![start_lr, 1e-4, 11.5, 2.4, 2.5, 3.5, 4.5]),
+        ("relu fit   r=11.5", vec![start_lr, 1e-4, 11.5, 2.4, 2.5, 4.5, 0.5]),
+        ("relu6 fit  r=11.5", vec![start_lr, 1e-4, 11.5, 2.4, 2.5, 4.5, 1.5]),
+        ("softplus both r=11.5", vec![start_lr, 1e-4, 11.5, 2.4, 2.5, 2.5, 2.5]),
+        ("tanh LINEAR r=11.5", vec![start_lr, 1e-4, 11.5, 2.4, 0.5, 4.5, 4.5]),
+        ("tanh SQRT  r=11.5", vec![start_lr, 1e-4, 11.5, 2.4, 1.5, 4.5, 4.5]),
+        ("tanh none smth=5.5 r=11.5", vec![start_lr, 1e-4, 11.5, 5.5, 2.5, 4.5, 4.5]),
+    ];
+
+    println!("atoms={n_atoms} steps={num_steps} start_lr={start_lr}");
+    println!("{:<28} {:>10} {:>10} {:>7}", "case", "e_loss", "f_loss", "wall");
+    for (label, genome) in &cases {
+        let t = Instant::now();
+        let record = evaluate_individual(&ctx, genome, 17);
+        if record.failed {
+            println!("{label:<28} {:>10} {:>10} {:>6.1?}", "FAILED", "FAILED", t.elapsed());
+        } else {
+            println!(
+                "{label:<28} {:>10.5} {:>10.5} {:>6.1?}",
+                record.fitness.get(0),
+                record.fitness.get(1),
+                t.elapsed()
+            );
+        }
+    }
+}

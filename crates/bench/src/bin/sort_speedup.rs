@@ -1,0 +1,65 @@
+//! Regenerates the §2.1.4 claim: the rank-based non-dominated sort gives a
+//! significant speed-up over Deb's fast non-dominated sort (Burlacu 2022),
+//! while producing identical fronts.
+
+use std::time::Instant;
+
+use dphpo_bench::harness::write_artifact;
+use dphpo_evo::{fast_nondominated_sort, rank_ordinal_sort, Fitness};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_fitnesses(n: usize, rng: &mut StdRng) -> Vec<Fitness> {
+    (0..n)
+        .map(|_| Fitness::new(vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)]))
+        .collect()
+}
+
+fn time_it(f: impl Fn()) -> f64 {
+    // Warm up once, then take the best of three (1-core machine: median-ish).
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut report = String::new();
+    report.push_str("S2.1.4: rank-based sort vs Deb's fast non-dominated sort (2 objectives)\n\n");
+    report.push_str(&format!(
+        "{:>8} {:>14} {:>14} {:>10} {:>8}\n",
+        "N", "Deb (ms)", "rank (ms)", "speedup", "fronts"
+    ));
+    for n in [100usize, 200, 400, 800, 1600, 3200, 6400] {
+        let fitnesses = random_fitnesses(n, &mut rng);
+        let refs: Vec<&Fitness> = fitnesses.iter().collect();
+        let deb = time_it(|| {
+            let _ = fast_nondominated_sort(&refs);
+        });
+        let rank = time_it(|| {
+            let _ = rank_ordinal_sort(&refs);
+        });
+        let a = fast_nondominated_sort(&refs).normalised();
+        let b = rank_ordinal_sort(&refs).normalised();
+        assert_eq!(a, b, "sorts disagree at N={n}");
+        report.push_str(&format!(
+            "{n:>8} {:>14.3} {:>14.3} {:>9.1}x {:>8}\n",
+            deb * 1e3,
+            rank * 1e3,
+            deb / rank,
+            a.len()
+        ));
+    }
+    report.push_str(
+        "\nidentical fronts verified at every size; the rank-based sort's advantage \
+         grows with population size (the paper's population is 200 per sort: \
+         100 parents + 100 offspring)\n",
+    );
+    print!("{report}");
+    write_artifact("sort_speedup.txt", &report);
+}

@@ -1,0 +1,242 @@
+//! Shared helpers for the figure/table regeneration binaries: artifact
+//! output, experiment-scale selection, and a JSON snapshot of experiment
+//! results so the expensive EA runs execute once (`fig1` writes the
+//! snapshot; `fig2_table2`, `fig3`, and `table3` reuse it).
+
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use dphpo_core::experiment::{ExperimentConfig, ExperimentResult};
+use dphpo_evo::nsga2::{GenerationRecord, RunResult};
+use dphpo_evo::{Fitness, Individual};
+
+/// Output directory for regenerated artifacts (`results/` at the repo
+/// root, overridable with `DPHPO_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("DPHPO_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// Write an artifact file and echo its path.
+pub fn write_artifact(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    match std::fs::write(&path, content) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Scale selector shared by all harness binaries: `--smoke` (or
+/// `DPHPO_SCALE=smoke`) runs the fast test scale; the default is the
+/// reduced experiment scale of DESIGN.md.
+pub fn experiment_scale() -> ExperimentConfig {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("DPHPO_SCALE").is_ok_and(|v| v == "smoke");
+    if smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::reduced()
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SavedIndividual {
+    genome: Vec<f64>,
+    fitness: Vec<f64>,
+    minutes: Option<f64>,
+    rank: usize,
+    distance: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SavedGeneration {
+    generation: usize,
+    failures: usize,
+    population: Vec<SavedIndividual>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SavedRun {
+    evaluations: usize,
+    history: Vec<SavedGeneration>,
+}
+
+/// On-disk snapshot of an experiment (enough to regenerate every figure
+/// and table; scheduler reports are not needed downstream).
+#[derive(Serialize, Deserialize)]
+pub struct SavedExperiment {
+    /// Number of EA generations after generation 0.
+    pub generations: usize,
+    runs: Vec<SavedRun>,
+}
+
+impl SavedExperiment {
+    /// Snapshot an in-memory result.
+    pub fn from_result(result: &ExperimentResult) -> Self {
+        SavedExperiment {
+            generations: result.config.generations,
+            runs: result
+                .runs
+                .iter()
+                .map(|run| SavedRun {
+                    evaluations: run.evaluations,
+                    history: run
+                        .history
+                        .iter()
+                        .map(|g| SavedGeneration {
+                            generation: g.generation,
+                            failures: g.failures,
+                            population: g
+                                .population
+                                .iter()
+                                .map(|i| SavedIndividual {
+                                    genome: i.genome.clone(),
+                                    fitness: i.fitness().values().to_vec(),
+                                    minutes: i.eval_minutes,
+                                    rank: i.rank,
+                                    // serde_json renders non-finite floats
+                                    // as null; boundary crowding distances
+                                    // are +inf, so clamp for the snapshot.
+                                    distance: if i.distance.is_finite() {
+                                        i.distance
+                                    } else {
+                                        f64::MAX
+                                    },
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild an [`ExperimentResult`] (the passed config is provenance —
+    /// its `generations` should match the snapshot's).
+    pub fn into_result(self, config: ExperimentConfig) -> ExperimentResult {
+        let runs = self
+            .runs
+            .into_iter()
+            .map(|run| RunResult {
+                evaluations: run.evaluations,
+                history: run
+                    .history
+                    .into_iter()
+                    .map(|g| GenerationRecord {
+                        generation: g.generation,
+                        failures: g.failures,
+                        population: g
+                            .population
+                            .into_iter()
+                            .map(|s| {
+                                let mut ind = Individual::new(s.genome);
+                                ind.fitness = Some(Fitness::new(s.fitness));
+                                ind.eval_minutes = s.minutes;
+                                ind.rank = s.rank;
+                                ind.distance = s.distance;
+                                ind
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        ExperimentResult { config, runs, pool_reports: Vec::new() }
+    }
+}
+
+/// Path of the cached experiment snapshot.
+pub fn snapshot_path() -> PathBuf {
+    results_dir().join("experiment.json")
+}
+
+/// Save a result snapshot to `results/experiment.json`.
+pub fn save_experiment(result: &ExperimentResult) {
+    let saved = SavedExperiment::from_result(result);
+    match serde_json::to_string(&saved) {
+        Ok(text) => write_artifact("experiment.json", &text),
+        Err(e) => eprintln!("snapshot serialisation failed: {e}"),
+    }
+}
+
+/// Load the snapshot if present, otherwise run the experiment at the
+/// selected scale (and save it for the next binary).
+pub fn load_or_run_experiment() -> ExperimentResult {
+    let mut config = experiment_scale();
+    let path = snapshot_path();
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        match serde_json::from_str::<SavedExperiment>(&text) {
+            Ok(saved) => {
+                println!("loaded cached experiment from {}", path.display());
+                config.generations = saved.generations;
+                return saved.into_result(config);
+            }
+            Err(e) => eprintln!("ignoring unreadable snapshot {}: {e}", path.display()),
+        }
+    }
+    println!(
+        "no cached experiment; running {} runs x pop {} x {} generations \
+         (this trains {} models -- run `fig1` first to cache it)",
+        config.n_runs,
+        config.pop_size,
+        config.generations,
+        config.n_runs * config.pop_size * (config.generations + 1)
+    );
+    let result = run_and_report(&config);
+    save_experiment(&result);
+    result
+}
+
+/// Run the experiment with stderr progress.
+pub fn run_and_report(config: &ExperimentConfig) -> ExperimentResult {
+    let t0 = std::time::Instant::now();
+    let mut progress = |run: usize, generation: usize| {
+        eprintln!(
+            "[{:>7.1?}] run {run}: reached generation {generation}",
+            t0.elapsed()
+        );
+    };
+    dphpo_core::experiment::run_experiment_with(config, Some(&mut progress))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphpo_core::experiment::run_experiment;
+
+    #[test]
+    fn snapshot_round_trips_every_figure_relevant_field() {
+        let config = ExperimentConfig::smoke();
+        let result = run_experiment(&config);
+        let saved = SavedExperiment::from_result(&result);
+        let text = serde_json::to_string(&saved).unwrap();
+        let loaded: SavedExperiment = serde_json::from_str(&text).unwrap();
+        let rebuilt = loaded.into_result(config);
+        assert_eq!(rebuilt.runs.len(), result.runs.len());
+        for (a, b) in rebuilt.runs.iter().zip(result.runs.iter()) {
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.history.len(), b.history.len());
+            for (ga, gb) in a.history.iter().zip(b.history.iter()) {
+                assert_eq!(ga.generation, gb.generation);
+                assert_eq!(ga.failures, gb.failures);
+                for (ia, ib) in ga.population.iter().zip(gb.population.iter()) {
+                    assert_eq!(ia.genome, ib.genome);
+                    assert_eq!(ia.fitness().values(), ib.fitness().values());
+                    assert_eq!(ia.eval_minutes, ib.eval_minutes);
+                    assert_eq!(ia.rank, ib.rank);
+                }
+            }
+        }
+        // The analysis downstream of a snapshot must match the original.
+        let original = dphpo_core::analyze(&result);
+        let config2 = ExperimentConfig::smoke();
+        let restored = dphpo_core::analyze(
+            &SavedExperiment::from_result(&result).into_result(config2),
+        );
+        assert_eq!(original.frontier, restored.frontier);
+        assert_eq!(original.accurate, restored.accurate);
+    }
+}

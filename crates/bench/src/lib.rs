@@ -1,0 +1,8 @@
+//! # dphpo-bench
+//!
+//! Benchmark and reproduction harness: one binary per paper artifact
+//! (Table 1–3, Fig. 1–3, the speedup and sort-speedup claims) plus
+//! criterion microbenchmarks of the substrate layers. See DESIGN.md §4 for
+//! the experiment index.
+
+pub mod harness;

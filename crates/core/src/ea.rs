@@ -1,0 +1,164 @@
+//! The distributed NSGA-II deployment: `dphpo-evo`'s Listing-1 pipeline
+//! driven by a `dphpo-hpc` worker pool that evaluates every offspring's
+//! DNNP training in parallel, with the paper's timeout/fault semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dphpo_evo::nsga2::{BatchEvaluator, EvalResult};
+use dphpo_evo::Fitness;
+use dphpo_hpc::{run_batch, EvalOutcome, FaultInjector, PoolConfig, PoolReport};
+
+use crate::workflow::{derive_seed, evaluate_individual, EvalContext};
+
+/// A batch evaluator that fans genomes out across the simulated Summit
+/// allocation. Any task-level error — timeout, worker death, divergence —
+/// becomes the MAXINT penalty fitness, per §2.2.4.
+pub struct SummitEvaluator {
+    ctx: Arc<EvalContext>,
+    pool: PoolConfig,
+    faults: FaultInjector,
+    base_seed: u64,
+    counter: AtomicU64,
+    reports: Vec<PoolReport>,
+}
+
+impl SummitEvaluator {
+    /// Build an evaluator around a shared context.
+    pub fn new(
+        ctx: Arc<EvalContext>,
+        pool: PoolConfig,
+        faults: FaultInjector,
+        base_seed: u64,
+    ) -> Self {
+        SummitEvaluator { ctx, pool, faults, base_seed, counter: AtomicU64::new(0), reports: Vec::new() }
+    }
+
+    /// Scheduler reports collected so far (one per evaluated batch).
+    pub fn reports(&self) -> &[PoolReport] {
+        &self.reports
+    }
+
+    /// Total simulated makespan across all batches, in minutes — what the
+    /// batch job's wall clock would have accumulated.
+    pub fn total_makespan_minutes(&self) -> f64 {
+        self.reports.iter().map(|r| r.makespan_minutes).sum()
+    }
+}
+
+impl BatchEvaluator for SummitEvaluator {
+    fn evaluate(&mut self, genomes: &[Vec<f64>]) -> Vec<EvalResult> {
+        let first = self.counter.fetch_add(genomes.len() as u64, Ordering::Relaxed);
+        let seeds: Vec<u64> = (0..genomes.len() as u64)
+            .map(|i| derive_seed(self.base_seed, first + i))
+            .collect();
+        let ctx = Arc::clone(&self.ctx);
+        let (records, report) = run_batch(
+            genomes,
+            |i, genome: &Vec<f64>| {
+                let record = evaluate_individual(&ctx, genome, seeds[i]);
+                if record.failed {
+                    EvalOutcome {
+                        value: Err("training failed".to_string()),
+                        minutes: record.minutes,
+                    }
+                } else {
+                    EvalOutcome { value: Ok(record.fitness), minutes: record.minutes }
+                }
+            },
+            &self.pool,
+            &self.faults,
+        );
+        self.reports.push(report);
+        records
+            .into_iter()
+            .map(|r| {
+                let fitness = match r.value {
+                    Ok(f) => f,
+                    Err(_) => Fitness::penalty(2),
+                };
+                EvalResult { fitness, minutes: Some(r.minutes) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphpo_dnnp::TrainConfig;
+    use dphpo_hpc::CostModel;
+    use dphpo_md::generate::{generate_dataset, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_ctx() -> Arc<EvalContext> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gen = GenConfig::tiny();
+        gen.n_atoms = 10;
+        gen.box_len = 9.0;
+        gen.n_frames = 8;
+        let mut ds = generate_dataset(&gen, &mut rng);
+        ds.add_label_noise(0.0005, 0.03, &mut rng);
+        let (train_ds, val_ds) = ds.split(0.25, &mut rng);
+        Arc::new(EvalContext {
+            base_config: TrainConfig {
+                embedding_neurons: vec![4, 4],
+                fitting_neurons: vec![6],
+                num_steps: 15,
+                batch_per_worker: 1,
+                n_workers: 1,
+                disp_freq: 10,
+                val_max_frames: 2,
+                ..TrainConfig::default()
+            },
+            train: Arc::new(train_ds),
+            val: Arc::new(val_ds),
+            cost_model: CostModel::default(),
+            workdir: None,
+        })
+    }
+
+    #[test]
+    fn batch_evaluation_returns_one_result_per_genome() {
+        let mut evaluator = SummitEvaluator::new(
+            tiny_ctx(),
+            PoolConfig { n_workers: 3, ..PoolConfig::default() },
+            FaultInjector::none(),
+            9,
+        );
+        let genomes: Vec<Vec<f64>> = vec![
+            vec![0.005, 1e-4, 7.0, 2.5, 2.5, 4.5, 4.5],
+            vec![0.002, 5e-5, 9.0, 3.0, 1.5, 2.5, 4.5],
+            vec![0.008, 1e-4, 6.5, 2.2, 0.5, 3.5, 2.5],
+        ];
+        let results = evaluator.evaluate(&genomes);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.fitness.len(), 2);
+            assert!(!r.fitness.is_penalty(), "healthy genome failed");
+            assert!(r.minutes.unwrap() > 0.0);
+        }
+        assert_eq!(evaluator.reports().len(), 1);
+        assert!(evaluator.total_makespan_minutes() > 0.0);
+    }
+
+    #[test]
+    fn worker_faults_become_penalties_or_retries() {
+        let mut evaluator = SummitEvaluator::new(
+            tiny_ctx(),
+            PoolConfig { n_workers: 2, nanny: true, max_attempts: 1, ..PoolConfig::default() },
+            FaultInjector::new(0.5, 3),
+            10,
+        );
+        let genomes: Vec<Vec<f64>> =
+            (0..12).map(|_| vec![0.005, 1e-4, 7.0, 2.5, 2.5, 4.5, 4.5]).collect();
+        let results = evaluator.evaluate(&genomes);
+        assert_eq!(results.len(), 12);
+        // With 50 % per-task deaths and no retries, a mixed outcome over 12
+        // tasks is overwhelmingly likely (each tail has probability 2⁻¹²).
+        let penalties = results.iter().filter(|r| r.fitness.is_penalty()).count();
+        assert!(penalties > 0, "expected at least one fault-penalty");
+        assert!(penalties < 12, "expected at least one survivor");
+    }
+}

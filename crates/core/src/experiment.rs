@@ -1,0 +1,270 @@
+//! Experiment orchestration: N independent EA deployments over one shared
+//! dataset — the paper runs five, each on 100 Summit nodes for 7
+//! generations (the random generation 0 plus 6 EA steps).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dphpo_dnnp::TrainConfig;
+use dphpo_evo::nsga2::{run_nsga2, Nsga2Config, RunResult};
+use dphpo_hpc::{CostModel, FaultInjector, PoolConfig, PoolReport};
+use dphpo_md::generate::{generate_dataset, GenConfig};
+use dphpo_md::Dataset;
+
+use crate::ea::SummitEvaluator;
+use crate::representation::DeepMDRepresentation;
+use crate::workflow::EvalContext;
+
+/// Full experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Independent EA deployments (paper: 5).
+    pub n_runs: usize,
+    /// Population size = offspring size = node count (paper: 100).
+    pub pop_size: usize,
+    /// EA steps after the random initial generation (paper: 6).
+    pub generations: usize,
+    /// Fixed training settings shared by every evaluation.
+    pub base_train_config: TrainConfig,
+    /// Synthetic-FPMD dataset generation parameters.
+    pub gen_config: GenConfig,
+    /// DFT-noise-floor label noise: energy (eV/atom), force (eV/Å).
+    pub label_noise: (f64, f64),
+    /// Worker-pool shape (timeout, nannies, retries).
+    pub pool: PoolConfig,
+    /// Per-task worker-death probability (hardware faults).
+    pub fault_probability: f64,
+    /// Master seed; run `r` uses `master_seed + r`.
+    pub master_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's scale, for the record (do not run on a laptop: 3500
+    /// trainings of a 160-atom system).
+    pub fn paper_scale() -> Self {
+        ExperimentConfig {
+            n_runs: 5,
+            pop_size: 100,
+            generations: 6,
+            base_train_config: TrainConfig::paper_scale(),
+            gen_config: GenConfig::paper_scale(),
+            label_noise: (0.0005, 0.03),
+            pool: PoolConfig {
+                n_workers: 100,
+                timeout_minutes: Some(120.0),
+                nanny: false,
+                max_attempts: 3,
+            },
+            fault_probability: 0.002,
+            master_seed: 2023,
+        }
+    }
+
+    /// Reduced scale that preserves every qualitative behaviour: 40 atoms
+    /// in the paper's 17.84 Å box, a few hundred training steps, population
+    /// in the dozens. This is what the figure/table harnesses run.
+    pub fn reduced() -> Self {
+        ExperimentConfig {
+            n_runs: 5,
+            pop_size: 12,
+            generations: 6,
+            base_train_config: TrainConfig {
+                num_steps: 2_000,
+                disp_freq: 500,
+                val_max_frames: 6,
+                ..TrainConfig::default()
+            },
+            gen_config: GenConfig::reduced(),
+            label_noise: (0.0005, 0.03),
+            pool: PoolConfig {
+                n_workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+                timeout_minutes: Some(120.0),
+                nanny: false,
+                max_attempts: 3,
+            },
+            fault_probability: 0.002,
+            master_seed: 2023,
+        }
+    }
+
+    /// Minimal smoke scale for unit and integration tests.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            n_runs: 2,
+            pop_size: 4,
+            generations: 1,
+            base_train_config: TrainConfig {
+                embedding_neurons: vec![4, 4],
+                fitting_neurons: vec![6],
+                num_steps: 12,
+                batch_per_worker: 1,
+                n_workers: 1,
+                disp_freq: 12,
+                val_max_frames: 2,
+                ..TrainConfig::default()
+            },
+            gen_config: GenConfig {
+                n_atoms: 10,
+                box_len: 9.0,
+                n_frames: 8,
+                equil_steps: 80,
+                sample_every: 4,
+                ..GenConfig::tiny()
+            },
+            label_noise: (0.0005, 0.03),
+            pool: PoolConfig {
+                n_workers: 2,
+                timeout_minutes: Some(120.0),
+                nanny: false,
+                max_attempts: 3,
+            },
+            fault_probability: 0.0,
+            master_seed: 7,
+        }
+    }
+}
+
+/// Result of the full experiment.
+pub struct ExperimentResult {
+    /// The configuration that produced it.
+    pub config: ExperimentConfig,
+    /// One EA history per run.
+    pub runs: Vec<RunResult>,
+    /// Scheduler reports per run (makespans, deaths, retries).
+    pub pool_reports: Vec<Vec<PoolReport>>,
+}
+
+impl ExperimentResult {
+    /// Total DNNP trainings performed (the paper reports 3500 over five
+    /// 7-generation runs of population 100).
+    pub fn total_evaluations(&self) -> usize {
+        self.runs.iter().map(|r| r.evaluations).sum()
+    }
+
+    /// Failures (MAXINT evaluations) per generation, summed across runs.
+    pub fn failures_per_generation(&self) -> Vec<usize> {
+        let gens = self.config.generations + 1;
+        let mut out = vec![0usize; gens];
+        for run in &self.runs {
+            for record in &run.history {
+                out[record.generation] += record.failures;
+            }
+        }
+        out
+    }
+}
+
+/// Generate the shared dataset (the "CP2K trajectory"), with label noise
+/// and the paper's 75/25 split.
+pub fn build_dataset(config: &ExperimentConfig) -> (Arc<Dataset>, Arc<Dataset>) {
+    let mut rng = StdRng::seed_from_u64(config.master_seed ^ 0xda7a_5e7);
+    let mut dataset = generate_dataset(&config.gen_config, &mut rng);
+    dataset.add_label_noise(config.label_noise.0, config.label_noise.1, &mut rng);
+    let (train, val) = dataset.split(0.25, &mut rng);
+    (Arc::new(train), Arc::new(val))
+}
+
+/// Run the complete experiment: dataset generation plus `n_runs`
+/// independent NSGA-II deployments.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    run_experiment_with(config, None)
+}
+
+/// As [`run_experiment`], with an optional per-generation progress callback
+/// `(run, generation)` for long harnesses.
+pub fn run_experiment_with(
+    config: &ExperimentConfig,
+    mut progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> ExperimentResult {
+    let (train, val) = build_dataset(config);
+    let nsga2_config = Nsga2Config {
+        pop_size: config.pop_size,
+        generations: config.generations,
+        init_ranges: DeepMDRepresentation::init_ranges(),
+        bounds: DeepMDRepresentation::bounds(),
+        std: DeepMDRepresentation::initial_std(),
+        anneal_factor: DeepMDRepresentation::ANNEAL_FACTOR,
+    };
+
+    let mut runs = Vec::with_capacity(config.n_runs);
+    let mut pool_reports = Vec::with_capacity(config.n_runs);
+    for run_idx in 0..config.n_runs {
+        let seed = config.master_seed + run_idx as u64;
+        let ctx = Arc::new(EvalContext {
+            base_config: config.base_train_config.clone(),
+            train: Arc::clone(&train),
+            val: Arc::clone(&val),
+            cost_model: CostModel::default(),
+            workdir: None,
+        });
+        let mut evaluator = SummitEvaluator::new(
+            ctx,
+            config.pool,
+            FaultInjector::new(config.fault_probability, seed ^ 0xfa_17),
+            seed,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(cb) = progress.as_deref_mut() {
+            cb(run_idx, 0);
+        }
+        let result = run_nsga2(&nsga2_config, &mut evaluator, &mut rng);
+        if let Some(cb) = progress.as_deref_mut() {
+            cb(run_idx, config.generations);
+        }
+        pool_reports.push(evaluator.reports().to_vec());
+        runs.push(result);
+    }
+    ExperimentResult { config: config.clone(), runs, pool_reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_published_numbers() {
+        let c = ExperimentConfig::paper_scale();
+        assert_eq!(c.n_runs, 5);
+        assert_eq!(c.pop_size, 100);
+        assert_eq!(c.generations, 6);
+        assert_eq!(c.pool.n_workers, 100);
+        assert_eq!(c.pool.timeout_minutes, Some(120.0));
+        assert!(!c.pool.nanny, "the paper disables nannies");
+        // 5 runs × 100 × (1 random + 6 EA) generations = 3500 trainings.
+        let total = c.n_runs * c.pop_size * (c.generations + 1);
+        assert_eq!(total, 3500);
+    }
+
+    #[test]
+    fn smoke_experiment_runs_end_to_end() {
+        let config = ExperimentConfig::smoke();
+        let result = run_experiment(&config);
+        assert_eq!(result.runs.len(), 2);
+        assert_eq!(result.total_evaluations(), 2 * 4 * 2);
+        for run in &result.runs {
+            assert_eq!(run.history.len(), 2);
+            for record in &run.history {
+                assert_eq!(record.population.len(), 4);
+                assert!(record.population.iter().all(|i| i.fitness.is_some()));
+            }
+        }
+        assert_eq!(result.failures_per_generation().len(), 2);
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let config = ExperimentConfig::smoke();
+        let fitness_of = |r: &ExperimentResult| {
+            r.runs[0]
+                .final_population()
+                .iter()
+                .map(|i| i.fitness().values().to_vec())
+                .collect::<Vec<_>>()
+        };
+        let a = run_experiment(&config);
+        let b = run_experiment(&config);
+        assert_eq!(fitness_of(&a), fitness_of(&b));
+    }
+}

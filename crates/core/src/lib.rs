@@ -1,0 +1,44 @@
+//! # dphpo-core
+//!
+//! The paper's contribution: multiobjective hyperparameter optimization of
+//! deep-learning interatomic potential training with NSGA-II, deployed on a
+//! (simulated) Summit allocation.
+//!
+//! * [`representation`] — the seven-gene real-valued genome of Table 1.
+//! * [`decode`] — the `floor(gene) % n` categorical decoder of §2.2.2.
+//! * [`template`] — `string.Template`-style `input.json` substitution.
+//! * [`workflow`] — the §2.2.4 per-individual evaluation: decode → run dir
+//!   → input.json → train → read `lcurve.out` → two-element fitness, with
+//!   MAXINT on every failure path.
+//! * [`ea`] — the NSGA-II deployment over the `dphpo-hpc` worker pool.
+//! * [`experiment`] — five independent runs over a shared dataset.
+//! * [`analysis`] — Pareto frontier, chemical-accuracy filtering, and the
+//!   exports behind every figure and table of the evaluation section.
+//!
+//! ```no_run
+//! use dphpo_core::analysis::analyze;
+//! use dphpo_core::experiment::{run_experiment, ExperimentConfig};
+//!
+//! let result = run_experiment(&ExperimentConfig::reduced());
+//! let analysis = analyze(&result);
+//! for (force, energy) in analysis.table2() {
+//!     println!("frontier solution: {force:.4} eV/Å, {energy:.4} eV/atom");
+//! }
+//! ```
+
+pub mod analysis;
+pub mod decode;
+pub mod ea;
+pub mod nas;
+pub mod experiment;
+pub mod representation;
+pub mod template;
+pub mod workflow;
+
+pub use analysis::{analyze, analyze_with_thresholds, Analysis, SolutionRecord, CHEM_ACC_ENERGY, CHEM_ACC_FORCE};
+pub use decode::{decode, DecodedGenome};
+pub use nas::{decode_nas, DecodedNas, NasRepresentation};
+pub use ea::SummitEvaluator;
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use representation::DeepMDRepresentation;
+pub use workflow::{evaluate_individual, EvalContext, EvalRecord};

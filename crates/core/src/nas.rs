@@ -1,0 +1,162 @@
+//! Neural-architecture-search extension (the paper's §4 future work):
+//! "model fidelity may also be further improved by incorporating neural
+//! architecture searching on the two DeePMD neural networks".
+//!
+//! This module extends the seven-gene representation with two width genes
+//! — one for the embedding (descriptor) network, one for the fitting
+//! network — decoded with the same floor-based scheme as the categorical
+//! genes, so the *same* NSGA-II machinery optimises hyperparameters and
+//! architecture jointly.
+
+use dphpo_dnnp::TrainConfig;
+
+use crate::decode::{decode, DecodedGenome};
+use crate::representation::{DeepMDRepresentation, N_GENES};
+
+/// Number of genes in the extended representation.
+pub const N_NAS_GENES: usize = N_GENES + 2;
+
+/// Index of the embedding-width gene.
+pub const GENE_EMB_WIDTH: usize = N_GENES;
+/// Index of the fitting-width gene.
+pub const GENE_FIT_WIDTH: usize = N_GENES + 1;
+
+/// The architecture-search representation: Table 1 plus two width genes.
+pub struct NasRepresentation;
+
+impl NasRepresentation {
+    /// Initialisation ranges: the seven of Table 1, then embedding width
+    /// ∈ (4, 12) and fitting width ∈ (8, 32).
+    pub fn init_ranges() -> Vec<(f64, f64)> {
+        let mut ranges = DeepMDRepresentation::init_ranges();
+        ranges.push((4.0, 12.0));
+        ranges.push((8.0, 32.0));
+        ranges
+    }
+
+    /// Hard bounds (same as the initialisation ranges).
+    pub fn bounds() -> Vec<(f64, f64)> {
+        Self::init_ranges()
+    }
+
+    /// Mutation standard deviations: Table 1 plus width σ of 0.5 / 1.0.
+    pub fn initial_std() -> Vec<f64> {
+        let mut std = DeepMDRepresentation::initial_std();
+        std.push(0.5);
+        std.push(1.0);
+        std
+    }
+}
+
+/// A decoded extended genome: the paper's seven hyperparameters plus
+/// concrete network shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecodedNas {
+    /// The seven base hyperparameters.
+    pub base: DecodedGenome,
+    /// Embedding net widths (two layers: `[w, max(2, 2w/3)]`, final entry
+    /// is the descriptor channel count M).
+    pub embedding_neurons: Vec<usize>,
+    /// Fitting net widths (two equal hidden layers).
+    pub fitting_neurons: Vec<usize>,
+}
+
+/// Decode a nine-gene genome.
+pub fn decode_nas(genome: &[f64]) -> DecodedNas {
+    assert_eq!(genome.len(), N_NAS_GENES, "genome must have {N_NAS_GENES} genes");
+    let base = decode(&genome[..N_GENES]);
+    let emb = genome[GENE_EMB_WIDTH].floor().max(2.0) as usize;
+    let fit = genome[GENE_FIT_WIDTH].floor().max(4.0) as usize;
+    DecodedNas {
+        base,
+        embedding_neurons: vec![emb, (emb * 2 / 3).max(2)],
+        fitting_neurons: vec![fit, fit],
+    }
+}
+
+impl DecodedNas {
+    /// Merge into a base training configuration (hyperparameters *and*
+    /// architecture).
+    pub fn apply_to(&self, base: &TrainConfig) -> TrainConfig {
+        let mut config = self.base.apply_to(base);
+        config.embedding_neurons = self.embedding_neurons.clone();
+        config.fitting_neurons = self.fitting_neurons.clone();
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphpo_evo::ops::random_population;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn representation_dimensions() {
+        assert_eq!(NasRepresentation::init_ranges().len(), 9);
+        assert_eq!(NasRepresentation::initial_std().len(), 9);
+        // The first seven entries are exactly Table 1.
+        assert_eq!(
+            &NasRepresentation::init_ranges()[..7],
+            &DeepMDRepresentation::init_ranges()[..]
+        );
+    }
+
+    #[test]
+    fn decode_produces_legal_architectures() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = random_population(200, &NasRepresentation::init_ranges(), &mut rng);
+        for ind in &pop {
+            let d = decode_nas(&ind.genome);
+            assert!(d.embedding_neurons[0] >= 4 && d.embedding_neurons[0] <= 12);
+            assert!(d.embedding_neurons[1] >= 2);
+            assert!(d.fitting_neurons[0] >= 8 && d.fitting_neurons[0] <= 32);
+            assert_eq!(d.fitting_neurons[0], d.fitting_neurons[1]);
+        }
+    }
+
+    #[test]
+    fn apply_to_overrides_architecture() {
+        let genome = vec![0.005, 1e-4, 9.0, 2.5, 2.5, 4.5, 4.5, 10.2, 24.9];
+        let d = decode_nas(&genome);
+        let config = d.apply_to(&TrainConfig::default());
+        assert_eq!(config.embedding_neurons, vec![10, 6]);
+        assert_eq!(config.fitting_neurons, vec![24, 24]);
+        assert_eq!(config.rcut, 9.0);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn nas_configs_train_end_to_end() {
+        use dphpo_md::generate::{generate_dataset, GenConfig};
+        let mut rng = StdRng::seed_from_u64(2);
+        let gen = GenConfig {
+            n_atoms: 10,
+            box_len: 9.0,
+            n_frames: 8,
+            equil_steps: 80,
+            sample_every: 4,
+            ..GenConfig::tiny()
+        };
+        let ds = generate_dataset(&gen, &mut rng);
+        let (train_ds, val_ds) = ds.split(0.25, &mut rng);
+        let genome = vec![0.005, 1e-4, 6.5, 2.5, 2.5, 4.5, 4.5, 5.5, 9.5];
+        let config = decode_nas(&genome).apply_to(&TrainConfig {
+            num_steps: 10,
+            disp_freq: 10,
+            val_max_frames: 2,
+            batch_per_worker: 1,
+            n_workers: 1,
+            ..TrainConfig::default()
+        });
+        let report = dphpo_dnnp::train(&config, &train_ds, &val_ds, &mut rng).unwrap();
+        assert!(report.lcurve.final_losses().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "genome must have")]
+    fn wrong_length_panics() {
+        decode_nas(&[0.0; 7]);
+    }
+}

@@ -1,0 +1,112 @@
+//! The seven-gene real-valued representation of Table 1.
+
+/// Gene indices into the seven-element genome.
+pub mod gene {
+    /// Start learning rate.
+    pub const START_LR: usize = 0;
+    /// Stop learning rate.
+    pub const STOP_LR: usize = 1;
+    /// Descriptor radial cutoff (Å).
+    pub const RCUT: usize = 2;
+    /// Switching-onset radius (Å).
+    pub const RCUT_SMTH: usize = 3;
+    /// Learning-rate scaling scheme (decoded to {linear, sqrt, none}).
+    pub const SCALE_BY_WORKER: usize = 4;
+    /// Descriptor activation (decoded to one of five functions).
+    pub const DESC_ACTIV_FUNC: usize = 5;
+    /// Fitting activation (decoded to one of five functions).
+    pub const FITTING_ACTIV_FUNC: usize = 6;
+}
+
+/// Number of genes.
+pub const N_GENES: usize = 7;
+
+/// Human-readable gene names, in genome order (used by Fig. 3 exports).
+pub const GENE_NAMES: [&str; N_GENES] = [
+    "start_lr",
+    "stop_lr",
+    "rcut",
+    "rcut_smth",
+    "scale_by_worker",
+    "desc_activ_func",
+    "fitting_activ_func",
+];
+
+/// The representation: initialisation ranges, hard bounds, and initial
+/// mutation standard deviations — Table 1 of the paper, verbatim.
+#[derive(Clone, Debug)]
+pub struct DeepMDRepresentation;
+
+impl DeepMDRepresentation {
+    /// Table 1, column 2: ranges in which random initial gene values are
+    /// generated.
+    pub fn init_ranges() -> Vec<(f64, f64)> {
+        vec![
+            (3.51e-8, 0.01),   // start_lr
+            (3.51e-8, 0.0001), // stop_lr
+            (6.0, 12.0),       // rcut
+            (2.0, 6.0),        // rcut_smth
+            (0.0, 3.0),        // scale_by_worker
+            (0.0, 5.0),        // desc_activ_func
+            (0.0, 5.0),        // fitting_activ_func
+        ]
+    }
+
+    /// Hard bounds applied by the Gaussian mutation operator
+    /// (`hard_bounds=DeepMDRepresentation.bounds` in Listing 1).
+    pub fn bounds() -> Vec<(f64, f64)> {
+        Self::init_ranges()
+    }
+
+    /// Table 1, column 3: initial Gaussian mutation standard deviations.
+    pub fn initial_std() -> Vec<f64> {
+        vec![0.001, 0.0001, 0.0625, 0.0625, 0.0625, 0.0625, 0.0625]
+    }
+
+    /// The per-generation σ annealing factor (§2.2.3).
+    pub const ANNEAL_FACTOR: f64 = 0.85;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_dimensions_agree() {
+        assert_eq!(DeepMDRepresentation::init_ranges().len(), N_GENES);
+        assert_eq!(DeepMDRepresentation::bounds().len(), N_GENES);
+        assert_eq!(DeepMDRepresentation::initial_std().len(), N_GENES);
+        assert_eq!(GENE_NAMES.len(), N_GENES);
+    }
+
+    #[test]
+    fn table_1_values_match_paper() {
+        let ranges = DeepMDRepresentation::init_ranges();
+        assert_eq!(ranges[gene::START_LR], (3.51e-8, 0.01));
+        assert_eq!(ranges[gene::STOP_LR], (3.51e-8, 0.0001));
+        assert_eq!(ranges[gene::RCUT], (6.0, 12.0));
+        assert_eq!(ranges[gene::RCUT_SMTH], (2.0, 6.0));
+        assert_eq!(ranges[gene::SCALE_BY_WORKER], (0.0, 3.0));
+        assert_eq!(ranges[gene::DESC_ACTIV_FUNC], (0.0, 5.0));
+        assert_eq!(ranges[gene::FITTING_ACTIV_FUNC], (0.0, 5.0));
+        let std = DeepMDRepresentation::initial_std();
+        assert_eq!(std[gene::START_LR], 0.001);
+        assert_eq!(std[gene::STOP_LR], 0.0001);
+        assert!(std[2..].iter().all(|&s| s == 0.0625));
+    }
+
+    #[test]
+    fn ranges_are_well_formed() {
+        for (lo, hi) in DeepMDRepresentation::init_ranges() {
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn rcut_ranges_cannot_invert() {
+        // rcut_smth ∈ (2, 6) is always strictly below rcut ∈ (6, 12), so
+        // the decoded configuration never violates rcut_smth < rcut.
+        let ranges = DeepMDRepresentation::init_ranges();
+        assert!(ranges[gene::RCUT_SMTH].1 <= ranges[gene::RCUT].0);
+    }
+}

@@ -1,0 +1,205 @@
+//! `string.Template`-style substitution (§2.2.4, step 3).
+//!
+//! The paper builds each individual's DeePMD `input.json` by substituting
+//! decoded gene values into a JSON template with Python's
+//! `string.Template`. This module reimplements that mechanism: `$name` and
+//! `${name}` placeholders, `$$` escaping, and an error on unknown
+//! placeholders (matching `Template.substitute` strictness).
+
+use std::collections::BTreeMap;
+
+use crate::decode::DecodedGenome;
+
+/// Substitute `$name` / `${name}` placeholders from `vars`; `$$` → `$`.
+pub fn substitute(template: &str, vars: &BTreeMap<String, String>) -> Result<String, String> {
+    let bytes = template.as_bytes();
+    let mut out = String::with_capacity(template.len());
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'$' {
+            // Copy the run up to the next '$'.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'$' {
+                i += 1;
+            }
+            out.push_str(&template[start..i]);
+            continue;
+        }
+        // At a '$'.
+        i += 1;
+        match bytes.get(i) {
+            Some(b'$') => {
+                out.push('$');
+                i += 1;
+            }
+            Some(b'{') => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'}' {
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err("unterminated ${placeholder}".to_string());
+                }
+                let name = &template[start..i];
+                i += 1;
+                out.push_str(
+                    vars.get(name)
+                        .ok_or_else(|| format!("unknown placeholder '{name}'"))?,
+                );
+            }
+            Some(c) if c.is_ascii_alphabetic() || *c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let name = &template[start..i];
+                out.push_str(
+                    vars.get(name)
+                        .ok_or_else(|| format!("unknown placeholder '{name}'"))?,
+                );
+            }
+            _ => return Err("lone '$' in template".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// The DeePMD input template used by the evaluation workflow: fixed
+/// settings inline, EA-tuned hyperparameters as placeholders.
+pub const INPUT_TEMPLATE: &str = r#"{
+    "model": {
+        "descriptor": {
+            "type": "se_e2_r",
+            "rcut": $rcut,
+            "rcut_smth": $rcut_smth,
+            "neuron": $embedding_neurons,
+            "activation_function": "$desc_activ_func"
+        },
+        "fitting_net": {
+            "neuron": $fitting_neurons,
+            "activation_function": "$fitting_activ_func"
+        }
+    },
+    "learning_rate": {
+        "type": "exp",
+        "start_lr": $start_lr,
+        "stop_lr": $stop_lr,
+        "scale_by_worker": "$scale_by_worker"
+    },
+    "loss": {
+        "start_pref_e": 0.02,
+        "limit_pref_e": 1,
+        "start_pref_f": 1000,
+        "limit_pref_f": 1
+    },
+    "training": {
+        "numb_steps": $numb_steps,
+        "batch_size": $batch_size,
+        "n_workers": $n_workers,
+        "disp_freq": $disp_freq,
+        "val_max_frames": $val_max_frames,
+        "seed": $seed
+    }
+}
+"#;
+
+/// Substitution variables for one decoded individual plus run settings.
+#[allow(clippy::too_many_arguments)]
+pub fn template_vars(
+    decoded: &DecodedGenome,
+    embedding_neurons: &[usize],
+    fitting_neurons: &[usize],
+    numb_steps: usize,
+    batch_size: usize,
+    n_workers: usize,
+    disp_freq: usize,
+    val_max_frames: usize,
+    seed: u64,
+) -> BTreeMap<String, String> {
+    let list = |ns: &[usize]| {
+        let items: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
+        format!("[{}]", items.join(", "))
+    };
+    let mut vars = BTreeMap::new();
+    vars.insert("start_lr".into(), format!("{:e}", decoded.start_lr));
+    vars.insert("stop_lr".into(), format!("{:e}", decoded.stop_lr));
+    vars.insert("rcut".into(), format!("{}", decoded.rcut));
+    vars.insert("rcut_smth".into(), format!("{}", decoded.rcut_smth));
+    vars.insert("scale_by_worker".into(), decoded.scale_by_worker.name().to_string());
+    vars.insert("desc_activ_func".into(), decoded.desc_activ_func.name().to_string());
+    vars.insert("fitting_activ_func".into(), decoded.fitting_activ_func.name().to_string());
+    vars.insert("embedding_neurons".into(), list(embedding_neurons));
+    vars.insert("fitting_neurons".into(), list(fitting_neurons));
+    vars.insert("numb_steps".into(), numb_steps.to_string());
+    vars.insert("batch_size".into(), batch_size.to_string());
+    vars.insert("n_workers".into(), n_workers.to_string());
+    vars.insert("disp_freq".into(), disp_freq.to_string());
+    vars.insert("val_max_frames".into(), val_max_frames.to_string());
+    vars.insert("seed".into(), seed.to_string());
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use dphpo_dnnp::{Json, TrainConfig};
+
+    fn vars_of(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn basic_substitution_forms() {
+        let vars = vars_of(&[("a", "1"), ("b_c", "two")]);
+        assert_eq!(substitute("x=$a y=${b_c}!", &vars).unwrap(), "x=1 y=two!");
+        assert_eq!(substitute("$$a stays", &vars).unwrap(), "$a stays");
+        assert_eq!(substitute("no placeholders", &vars).unwrap(), "no placeholders");
+    }
+
+    #[test]
+    fn unknown_placeholder_is_an_error() {
+        let vars = vars_of(&[("a", "1")]);
+        assert!(substitute("$missing", &vars).unwrap_err().contains("missing"));
+        assert!(substitute("${also_missing}", &vars).is_err());
+    }
+
+    #[test]
+    fn malformed_templates_error() {
+        let vars = vars_of(&[("a", "1")]);
+        assert!(substitute("${unterminated", &vars).is_err());
+        assert!(substitute("lone $ sign", &vars).is_err());
+    }
+
+    #[test]
+    fn full_template_produces_valid_input_json() {
+        let decoded = decode(&[0.0047, 1e-4, 11.32, 2.42, 2.0, 4.0, 4.0]);
+        let vars = template_vars(&decoded, &[10, 8], &[24, 24], 300, 1, 6, 50, 8, 7);
+        let text = substitute(INPUT_TEMPLATE, &vars).unwrap();
+        let doc = Json::parse(&text).expect("substituted template must be valid JSON");
+        let config = TrainConfig::from_input_json(&doc).expect("and a valid TrainConfig");
+        assert_eq!(config.rcut, 11.32);
+        assert_eq!(config.rcut_smth, 2.42);
+        assert!((config.start_lr - 0.0047).abs() < 1e-12);
+        assert_eq!(config.desc_activation.name(), "tanh");
+        assert_eq!(config.scale_by_worker.name(), "none");
+        assert_eq!(config.num_steps, 300);
+        assert_eq!(config.seed, 7);
+        // Fixed prefactors came through the literal part of the template.
+        assert_eq!(config.start_pref_f, 1000.0);
+        assert_eq!(config.limit_pref_e, 1.0);
+    }
+
+    #[test]
+    fn template_round_trips_every_decoded_choice() {
+        for (scale_gene, act_gene) in [(0.5, 0.5), (1.5, 1.5), (2.5, 2.5), (0.1, 3.5), (2.9, 4.9)] {
+            let decoded = decode(&[0.001, 1e-5, 8.0, 3.0, scale_gene, act_gene, act_gene]);
+            let vars = template_vars(&decoded, &[4], &[6], 10, 1, 6, 5, 2, 0);
+            let text = substitute(INPUT_TEMPLATE, &vars).unwrap();
+            let config = TrainConfig::from_input_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(config.scale_by_worker, decoded.scale_by_worker);
+            assert_eq!(config.desc_activation, decoded.desc_activ_func);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Model checkpointing: §2.2.4 notes that "successful DeePMD training
+//! would produce a model"; this module makes that artifact real — a JSON
+//! document holding the configuration, descriptor statistics, and every
+//! weight, from which an identical [`DnnpModel`] can be restored.
+
+use dphpo_autograd::{Shape, Tensor};
+use dphpo_md::{Cell, Species};
+
+use crate::config::TrainConfig;
+use crate::descriptor::DescriptorStats;
+use crate::json::Json;
+use crate::model::{DnnpModel, LinearLayer, ModelParams};
+
+fn tensor_to_json(t: &Tensor) -> Json {
+    let shape = match t.shape() {
+        Shape::D1(n) => vec![Json::Number(n as f64)],
+        Shape::D2(r, c) => vec![Json::Number(r as f64), Json::Number(c as f64)],
+    };
+    Json::object(vec![
+        ("shape", Json::Array(shape)),
+        (
+            "data",
+            Json::Array(t.data().iter().map(|&v| Json::Number(v)).collect()),
+        ),
+    ])
+}
+
+fn tensor_from_json(doc: &Json) -> Result<Tensor, String> {
+    let dims: Vec<usize> = match doc.get("shape") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as usize).ok_or("bad shape entry".to_string()))
+            .collect::<Result<_, _>>()?,
+        _ => return Err("missing tensor shape".into()),
+    };
+    let data: Vec<f64> = match doc.get("data") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|v| v.as_f64().ok_or("bad data entry".to_string()))
+            .collect::<Result<_, _>>()?,
+        _ => return Err("missing tensor data".into()),
+    };
+    let shape = match dims.as_slice() {
+        [n] => Shape::D1(*n),
+        [r, c] => Shape::D2(*r, *c),
+        _ => return Err(format!("unsupported tensor rank {}", dims.len())),
+    };
+    if shape.len() != data.len() {
+        return Err("tensor shape/data length mismatch".into());
+    }
+    Ok(Tensor::new(shape, data))
+}
+
+fn vec_f64_json(v: &[f64]) -> Json {
+    Json::Array(v.iter().map(|&x| Json::Number(x)).collect())
+}
+
+fn vec_f64_from(doc: Option<&Json>, what: &str) -> Result<Vec<f64>, String> {
+    match doc {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|v| v.as_f64().ok_or(format!("bad {what} entry")))
+            .collect(),
+        _ => Err(format!("missing {what}")),
+    }
+}
+
+/// Serialise a trained model to a JSON checkpoint document.
+pub fn save_model(model: &DnnpModel) -> Json {
+    let layer = |l: &LinearLayer| {
+        Json::object(vec![("w", tensor_to_json(&l.w)), ("b", tensor_to_json(&l.b))])
+    };
+    Json::object(vec![
+        ("format", Json::String("dphpo-dnnp-checkpoint-v1".into())),
+        ("input", model.config.to_input_json()),
+        (
+            "stats",
+            Json::object(vec![
+                ("davg", vec_f64_json(&model.stats.davg)),
+                ("dstd", vec_f64_json(&model.stats.dstd)),
+                ("avg_neighbors", vec_f64_json(&model.stats.avg_neighbors)),
+            ]),
+        ),
+        (
+            "system",
+            Json::object(vec![
+                ("box_len", Json::Number(model.cell.length())),
+                (
+                    "species",
+                    Json::Array(
+                        model
+                            .species_idx
+                            .iter()
+                            .map(|&i| Json::String(Species::ALL[i].index().to_string()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "params",
+            Json::object(vec![
+                (
+                    "embeddings",
+                    Json::Array(
+                        model
+                            .params
+                            .embeddings
+                            .iter()
+                            .map(|net| Json::Array(net.iter().map(layer).collect()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "fit_first",
+                    Json::Array(model.params.fit_first.iter().map(tensor_to_json).collect()),
+                ),
+                ("fit_onehot", tensor_to_json(&model.params.fit_onehot)),
+                ("fit_b0", tensor_to_json(&model.params.fit_b0)),
+                (
+                    "fit_rest",
+                    Json::Array(model.params.fit_rest.iter().map(layer).collect()),
+                ),
+                ("energy_bias", tensor_to_json(&model.params.energy_bias)),
+            ]),
+        ),
+    ])
+}
+
+/// Restore a model from a checkpoint document.
+pub fn load_model(doc: &Json) -> Result<DnnpModel, String> {
+    if doc.get("format").and_then(Json::as_str) != Some("dphpo-dnnp-checkpoint-v1") {
+        return Err("not a dphpo-dnnp checkpoint".into());
+    }
+    let config = TrainConfig::from_input_json(
+        doc.get("input").ok_or("missing input section")?,
+    )?;
+    let stats = DescriptorStats {
+        davg: vec_f64_from(doc.at(&["stats", "davg"]), "davg")?,
+        dstd: vec_f64_from(doc.at(&["stats", "dstd"]), "dstd")?,
+        avg_neighbors: vec_f64_from(doc.at(&["stats", "avg_neighbors"]), "avg_neighbors")?,
+    };
+    let box_len = doc
+        .at(&["system", "box_len"])
+        .and_then(Json::as_f64)
+        .ok_or("missing box_len")?;
+    let species_idx: Vec<usize> = match doc.at(&["system", "species"]) {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or("bad species entry".to_string())
+            })
+            .collect::<Result<_, _>>()?,
+        _ => return Err("missing species".into()),
+    };
+    let n_species = species_idx.iter().copied().max().unwrap_or(0) + 1;
+
+    let layer_from = |doc: &Json| -> Result<LinearLayer, String> {
+        Ok(LinearLayer {
+            w: tensor_from_json(doc.get("w").ok_or("missing layer w")?)?,
+            b: tensor_from_json(doc.get("b").ok_or("missing layer b")?)?,
+        })
+    };
+    let embeddings = match doc.at(&["params", "embeddings"]) {
+        Some(Json::Array(nets)) => nets
+            .iter()
+            .map(|net| match net {
+                Json::Array(layers) => layers.iter().map(layer_from).collect(),
+                _ => Err("bad embedding net".to_string()),
+            })
+            .collect::<Result<Vec<Vec<LinearLayer>>, _>>()?,
+        _ => return Err("missing embeddings".into()),
+    };
+    let fit_first = match doc.at(&["params", "fit_first"]) {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(tensor_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("missing fit_first".into()),
+    };
+    let fit_rest = match doc.at(&["params", "fit_rest"]) {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(layer_from)
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("missing fit_rest".into()),
+    };
+    let params = ModelParams {
+        embeddings,
+        fit_first,
+        fit_onehot: tensor_from_json(
+            doc.at(&["params", "fit_onehot"]).ok_or("missing fit_onehot")?,
+        )?,
+        fit_b0: tensor_from_json(doc.at(&["params", "fit_b0"]).ok_or("missing fit_b0")?)?,
+        fit_rest,
+        energy_bias: tensor_from_json(
+            doc.at(&["params", "energy_bias"]).ok_or("missing energy_bias")?,
+        )?,
+    };
+
+    let n = species_idx.len();
+    let mut onehot = Tensor::zeros(Shape::D2(n, n_species));
+    for (i, &t) in species_idx.iter().enumerate() {
+        onehot.data_mut()[i * n_species + t] = 1.0;
+    }
+    Ok(DnnpModel {
+        config,
+        params,
+        stats,
+        species_idx,
+        n_species,
+        onehot,
+        cell: Cell::cubic(box_len),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphpo_md::generate::{generate_dataset, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model_and_frame() -> (DnnpModel, Vec<[f64; 3]>) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut gen = GenConfig::tiny();
+        gen.n_frames = 3;
+        let ds = generate_dataset(&gen, &mut rng);
+        let config = TrainConfig {
+            rcut: 5.0,
+            rcut_smth: 2.0,
+            embedding_neurons: vec![5, 4],
+            fitting_neurons: vec![7],
+            ..TrainConfig::default()
+        };
+        let model = DnnpModel::new(config, &ds, &mut rng).unwrap();
+        (model, ds.frames[0].positions.clone())
+    }
+
+    #[test]
+    fn checkpoint_round_trips_predictions_exactly() {
+        let (model, positions) = model_and_frame();
+        let doc = save_model(&model);
+        let text = doc.to_string();
+        let restored = load_model(&Json::parse(&text).unwrap()).unwrap();
+        let (e1, f1) = model.predict(&positions);
+        let (e2, f2) = restored.predict(&positions);
+        assert!((e1 - e2).abs() < 1e-9, "energy drifted through checkpoint");
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-9);
+            }
+        }
+        assert_eq!(restored.config, model.config);
+        assert_eq!(restored.species_idx, model.species_idx);
+    }
+
+    #[test]
+    fn wrong_format_rejected() {
+        assert!(load_model(&Json::parse("{\"format\": \"other\"}").unwrap()).is_err());
+        assert!(load_model(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let (model, _) = model_and_frame();
+        let doc = save_model(&model);
+        // Drop the params section.
+        if let Json::Object(mut map) = doc {
+            map.remove("params");
+            assert!(load_model(&Json::Object(map)).is_err());
+        } else {
+            panic!("checkpoint must be an object");
+        }
+    }
+}

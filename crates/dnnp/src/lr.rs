@@ -1,0 +1,116 @@
+//! Exponential learning-rate decay with by-worker scaling.
+
+use crate::config::{LrScaling, TrainConfig};
+
+/// Exponentially decaying learning-rate schedule, DeePMD-style:
+/// `lr(t) = scale · start_lr · (stop_lr/start_lr)^(t/num_steps)`, so the
+/// unscaled rate reaches exactly `stop_lr` at the final step. The worker
+/// scaling multiplies the whole schedule, as Horovod-style LR scaling does.
+#[derive(Clone, Copy, Debug)]
+pub struct LrSchedule {
+    start_lr: f64,
+    decay: f64, // ln(stop/start) / num_steps
+    scale: f64,
+    num_steps: usize,
+}
+
+impl LrSchedule {
+    /// Build from raw parameters.
+    pub fn new(
+        start_lr: f64,
+        stop_lr: f64,
+        num_steps: usize,
+        scaling: LrScaling,
+        workers: usize,
+    ) -> Self {
+        assert!(start_lr > 0.0 && stop_lr > 0.0 && num_steps > 0);
+        LrSchedule {
+            start_lr,
+            decay: (stop_lr / start_lr).ln() / num_steps as f64,
+            scale: scaling.factor(workers),
+            num_steps,
+        }
+    }
+
+    /// Build from a [`TrainConfig`].
+    pub fn from_config(config: &TrainConfig) -> Self {
+        LrSchedule::new(
+            config.start_lr,
+            config.stop_lr,
+            config.num_steps,
+            config.scale_by_worker,
+            config.n_workers,
+        )
+    }
+
+    /// The (scaled) learning rate at step `t`.
+    pub fn lr(&self, step: usize) -> f64 {
+        self.scale * self.start_lr * (self.decay * step as f64).exp()
+    }
+
+    /// The decay ratio `lr_unscaled(t)/start_lr ∈ (0, 1]`, which drives the
+    /// loss-prefactor schedule.
+    pub fn decay_ratio(&self, step: usize) -> f64 {
+        (self.decay * step as f64).exp()
+    }
+
+    /// Total step count the schedule was built for.
+    pub fn num_steps(&self) -> usize {
+        self.num_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_start_and_stop() {
+        let s = LrSchedule::new(0.01, 1e-6, 1000, LrScaling::None, 6);
+        assert!((s.lr(0) - 0.01).abs() < 1e-15);
+        assert!((s.lr(1000) - 1e-6).abs() / 1e-6 < 1e-9);
+    }
+
+    #[test]
+    fn decay_is_monotonic() {
+        let s = LrSchedule::new(0.01, 1e-8, 500, LrScaling::None, 1);
+        let mut prev = f64::MAX;
+        for t in (0..=500).step_by(50) {
+            let lr = s.lr(t);
+            assert!(lr < prev);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn worker_scaling_multiplies_schedule() {
+        let base = LrSchedule::new(0.001, 1e-7, 100, LrScaling::None, 6);
+        let lin = LrSchedule::new(0.001, 1e-7, 100, LrScaling::Linear, 6);
+        let sq = LrSchedule::new(0.001, 1e-7, 100, LrScaling::Sqrt, 6);
+        for t in [0, 10, 100] {
+            assert!((lin.lr(t) - 6.0 * base.lr(t)).abs() < 1e-15);
+            assert!((sq.lr(t) - 6f64.sqrt() * base.lr(t)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn decay_ratio_is_unscaled() {
+        let lin = LrSchedule::new(0.001, 1e-7, 100, LrScaling::Linear, 6);
+        assert!((lin.decay_ratio(0) - 1.0).abs() < 1e-15);
+        assert!((lin.decay_ratio(100) - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_config_uses_all_fields() {
+        let config = TrainConfig {
+            start_lr: 0.004,
+            stop_lr: 1e-5,
+            num_steps: 200,
+            scale_by_worker: LrScaling::Sqrt,
+            n_workers: 4,
+            ..TrainConfig::default()
+        };
+        let s = LrSchedule::from_config(&config);
+        assert!((s.lr(0) - 0.008).abs() < 1e-15); // 0.004 × √4
+    }
+}

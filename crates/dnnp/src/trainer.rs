@@ -1,0 +1,451 @@
+//! The training loop: Adam optimisation of the prefactor-weighted
+//! energy+force loss with exponential LR decay and simulated 6-way
+//! synchronous data parallelism (gradient averaging across worker shards,
+//! exactly what Horovod does for DeePMD on one Summit node).
+
+use rand::Rng;
+
+use dphpo_autograd::{Shape, Tape, Tensor};
+use dphpo_md::Dataset;
+
+use std::rc::Rc;
+
+use crate::config::TrainConfig;
+use crate::descriptor::{merge_frame_caches, FrameCache};
+use crate::lcurve::{Lcurve, LcurveRow};
+use crate::loss::PrefactorSchedule;
+use crate::lr::LrSchedule;
+use crate::model::{forward_cached, DnnpModel, ModelParams};
+
+/// Adam optimiser state (DeePMD's optimiser; β₁ 0.9, β₂ 0.999, ε 1e-8).
+pub struct Adam {
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: usize,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+}
+
+impl Adam {
+    /// Fresh state matching the given parameter shapes.
+    pub fn new(shapes: &[Shape]) -> Self {
+        Adam {
+            m: shapes.iter().map(|&s| Tensor::zeros(s)).collect(),
+            v: shapes.iter().map(|&s| Tensor::zeros(s)).collect(),
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Apply one update with the given learning rate.
+    pub fn step(&mut self, params: &mut ModelParams, grads: &[Tensor], lr: f64) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((target, grad), (m, v)) in params
+            .flat_mut()
+            .into_iter()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            let td = target.data_mut();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let gd = grad.data();
+            for i in 0..td.len() {
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gd[i];
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gd[i] * gd[i];
+                let mhat = md[i] / bc1;
+                let vhat = vd[i] / bc2;
+                td[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Tile a one-frame one-hot matrix `[n, S]` into `[B·n, S]`.
+fn tile_onehot(onehot: &Tensor, batch: usize) -> Tensor {
+    let rows = onehot.shape().rows();
+    let cols = onehot.shape().cols();
+    let mut data = Vec::with_capacity(batch * rows * cols);
+    for _ in 0..batch {
+        data.extend_from_slice(onehot.data());
+    }
+    Tensor::matrix(batch * rows, cols, data)
+}
+
+/// A fixed set of frames assembled into one merged batch graph input, used
+/// for the validation RMSE rows (one tape per evaluation instead of one
+/// per frame).
+struct PreparedBatch {
+    merged: FrameCache,
+    onehot: Tensor,
+    frame_ids: Rc<[usize]>,
+    energies: Vec<f64>,
+    forces_flat: Vec<f64>,
+    n_frames: usize,
+    n_atoms: usize,
+}
+
+impl PreparedBatch {
+    fn assemble(
+        model: &DnnpModel,
+        dataset: &Dataset,
+        indices: &[usize],
+        caches: Vec<FrameCache>,
+    ) -> Self {
+        let n_atoms = dataset.n_atoms();
+        let refs: Vec<&FrameCache> = caches.iter().collect();
+        let merged = merge_frame_caches(&refs);
+        let frame_ids: Rc<[usize]> = indices
+            .iter()
+            .enumerate()
+            .flat_map(|(b, _)| std::iter::repeat(b).take(n_atoms))
+            .collect::<Vec<usize>>()
+            .into();
+        PreparedBatch {
+            merged,
+            onehot: tile_onehot(&model.onehot, indices.len()),
+            frame_ids,
+            energies: indices.iter().map(|&i| dataset.frames[i].energy).collect(),
+            forces_flat: indices
+                .iter()
+                .flat_map(|&i| dataset.frames[i].forces.iter().flatten().copied())
+                .collect(),
+            n_frames: indices.len(),
+            n_atoms,
+        }
+    }
+
+    /// `(energy RMSE per atom, force RMSE)` of the model on this batch.
+    fn rmse(&self, model: &DnnpModel) -> (f64, f64) {
+        let tape = Tape::new();
+        let taped = model.params.register(&tape);
+        let graph = forward_cached(
+            &tape,
+            &taped,
+            &model.config,
+            &model.stats,
+            &self.merged,
+            &self.onehot,
+            true,
+        );
+        let energies =
+            tape.scatter_add_rows(graph.atomic, Rc::clone(&self.frame_ids), self.n_frames);
+        let e_pred = tape.value(energies);
+        let f_pred = tape.value(graph.forces.expect("forces requested"));
+        let n = self.n_atoms as f64;
+        let e_sq: f64 = e_pred
+            .data()
+            .iter()
+            .zip(self.energies.iter())
+            .map(|(p, r)| ((p - r) / n) * ((p - r) / n))
+            .sum::<f64>()
+            / self.n_frames as f64;
+        let f_sq: f64 = f_pred
+            .data()
+            .iter()
+            .zip(self.forces_flat.iter())
+            .map(|(p, r)| (p - r) * (p - r))
+            .sum::<f64>()
+            / self.forces_flat.len() as f64;
+        (e_sq.sqrt(), f_sq.sqrt())
+    }
+}
+
+/// Result of a training run.
+pub struct TrainReport {
+    /// The trained model (whatever state it reached).
+    pub model: DnnpModel,
+    /// The learning curve (the paper's `lcurve.out`).
+    pub lcurve: Lcurve,
+    /// True if training diverged (non-finite loss/weights) — the paper's
+    /// "training failed" case, penalised with MAXINT fitness upstream.
+    pub diverged: bool,
+    /// Steps actually completed.
+    pub steps_completed: usize,
+}
+
+/// Loss values considered irrecoverable even when still finite.
+const DIVERGENCE_LOSS_LIMIT: f64 = 1e12;
+
+/// Train a model on `train`, validating against `val`.
+pub fn train<R: Rng + ?Sized>(
+    config: &TrainConfig,
+    train_ds: &Dataset,
+    val_ds: &Dataset,
+    rng: &mut R,
+) -> Result<TrainReport, String> {
+    config.validate()?;
+    if val_ds.frames.is_empty() {
+        return Err("empty validation dataset".into());
+    }
+    let mut model = DnnpModel::new(config.clone(), train_ds, rng)?;
+    let schedule = LrSchedule::from_config(config);
+    let prefactors = PrefactorSchedule::from_config(config);
+    let n_atoms = train_ds.n_atoms();
+    let n = n_atoms as f64;
+
+    // Descriptor values are weight-independent: cache them per frame once
+    // (training and validation), which removes the geometry subgraph from
+    // every step.
+    let train_caches: Vec<FrameCache> =
+        train_ds.frames.iter().map(|f| model.build_cache(&f.positions)).collect();
+    let n_val = config.val_max_frames.max(1).min(val_ds.frames.len());
+    let val_indices: Vec<usize> = (0..n_val).collect();
+    let val_batch = PreparedBatch::assemble(&model, val_ds, &val_indices, {
+        let caches: Vec<FrameCache> = val_ds.frames[..n_val]
+            .iter()
+            .map(|f| model.build_cache(&f.positions))
+            .collect();
+        caches
+    });
+
+    let shapes: Vec<Shape> = model.params.flat().iter().map(|t| t.shape()).collect();
+    let mut adam = Adam::new(&shapes);
+    let mut lcurve = Lcurve::new();
+    let mut diverged = false;
+    let mut steps_completed = 0usize;
+    let batch_total = config.n_workers * config.batch_per_worker;
+    let onehot_batch = tile_onehot(&model.onehot, batch_total);
+    let frame_ids: Rc<[usize]> = (0..batch_total)
+        .flat_map(|b| std::iter::repeat(b).take(n_atoms))
+        .collect::<Vec<usize>>()
+        .into();
+
+    for step in 0..config.num_steps {
+        let pref = prefactors.at(schedule.decay_ratio(step));
+        let indices: Vec<usize> = (0..batch_total)
+            .map(|_| rng.random_range(0..train_ds.frames.len()))
+            .collect();
+
+        // One tape evaluates the whole data-parallel batch (the B frames a
+        // Horovod step would process across its workers).
+        let batch_caches: Vec<&FrameCache> =
+            indices.iter().map(|&i| &train_caches[i]).collect();
+        let merged = merge_frame_caches(&batch_caches);
+        let tape = Tape::new();
+        let taped = model.params.register(&tape);
+        let graph = forward_cached(
+            &tape,
+            &taped,
+            config,
+            &model.stats,
+            &merged,
+            &onehot_batch,
+            true,
+        );
+        let forces = graph.forces.expect("training requests forces");
+
+        // Per-frame energies from the per-atom energies.
+        let energies = tape.scatter_add_rows(graph.atomic, Rc::clone(&frame_ids), batch_total);
+        let e_ref_data: Vec<f64> = indices.iter().map(|&i| train_ds.frames[i].energy).collect();
+        let e_ref = tape.constant(Tensor::matrix(batch_total, 1, e_ref_data));
+        let e_diff = tape.sub(energies, e_ref);
+        let f_ref_data: Vec<f64> = indices
+            .iter()
+            .flat_map(|&i| train_ds.frames[i].forces.iter().flatten().copied())
+            .collect();
+        let f_ref = tape.constant(Tensor::matrix(batch_total * n_atoms, 3, f_ref_data));
+        let f_diff = tape.sub(forces, f_ref);
+
+        // Batch-mean loss: (1/B)·Σ_b [pe·(ΔE_b/N)² + pf·Σ‖ΔF_b‖²/(3N)].
+        let b = batch_total as f64;
+        let le = tape.scale(tape.sum_all(tape.square(e_diff)), pref.pe / (n * n * b));
+        let lf = tape.scale(tape.sum_all(tape.square(f_diff)), pref.pf / (3.0 * n * b));
+        let loss = tape.add(le, lf);
+
+        let loss_value = tape.item(loss);
+        if !loss_value.is_finite() || loss_value > DIVERGENCE_LOSS_LIMIT {
+            diverged = true;
+            break;
+        }
+
+        // Training-batch RMSE bookkeeping (free: values already live).
+        let trn_e_sq: f64 =
+            tape.value(e_diff).data().iter().map(|v| (v / n) * (v / n)).sum::<f64>() / b;
+        let fd = tape.value(f_diff);
+        let trn_f_sq: f64 = fd.data().iter().map(|v| v * v).sum::<f64>() / fd.len() as f64;
+
+        let grads = tape.grad(loss, &taped.flat);
+        let grad_values: Vec<Tensor> = grads.iter().map(|&g| tape.value(g)).collect();
+        drop(tape);
+        if grad_values.iter().any(|g| g.has_non_finite()) {
+            diverged = true;
+            break;
+        }
+
+        adam.step(&mut model.params, &grad_values, schedule.lr(step));
+        if model.params.has_non_finite() {
+            diverged = true;
+            break;
+        }
+        steps_completed = step + 1;
+
+        if step % config.disp_freq == 0 {
+            let (rmse_e_val, rmse_f_val) = val_batch.rmse(&model);
+            if !rmse_e_val.is_finite() || !rmse_f_val.is_finite() {
+                diverged = true;
+                break;
+            }
+            lcurve.push(LcurveRow {
+                step,
+                rmse_e_val,
+                rmse_e_trn: trn_e_sq.sqrt(),
+                rmse_f_val,
+                rmse_f_trn: trn_f_sq.sqrt(),
+                lr: schedule.lr(step),
+            });
+        }
+    }
+
+    // Always attempt a final validation row for completed training.
+    if !diverged {
+        let (rmse_e_val, rmse_f_val) = val_batch.rmse(&model);
+        if rmse_e_val.is_finite() && rmse_f_val.is_finite() {
+            let last = lcurve.last().copied();
+            lcurve.push(LcurveRow {
+                step: config.num_steps,
+                rmse_e_val,
+                rmse_e_trn: last.map_or(rmse_e_val, |r| r.rmse_e_trn),
+                rmse_f_val,
+                rmse_f_trn: last.map_or(rmse_f_val, |r| r.rmse_f_trn),
+                lr: schedule.lr(config.num_steps),
+            });
+        } else {
+            diverged = true;
+        }
+    }
+
+    Ok(TrainReport { model, lcurve, diverged, steps_completed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphpo_md::generate::{generate_dataset, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_data(seed: u64) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = GenConfig::tiny();
+        gen.n_frames = 10;
+        let ds = generate_dataset(&gen, &mut rng);
+        ds.split(0.25, &mut rng)
+    }
+
+    fn tiny_config() -> TrainConfig {
+        TrainConfig {
+            start_lr: 0.005,
+            stop_lr: 1e-4,
+            rcut: 5.0,
+            rcut_smth: 2.0,
+            embedding_neurons: vec![6, 4],
+            fitting_neurons: vec![8, 8],
+            num_steps: 60,
+            batch_per_worker: 1,
+            n_workers: 2,
+            disp_freq: 20,
+            val_max_frames: 2,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_validation_loss() {
+        let (train_ds, val_ds) = tiny_data(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = train(&tiny_config(), &train_ds, &val_ds, &mut rng).unwrap();
+        assert!(!report.diverged);
+        assert_eq!(report.steps_completed, 60);
+        let rows = report.lcurve.rows();
+        assert!(rows.len() >= 2);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            last.rmse_f_val < first.rmse_f_val,
+            "force RMSE did not improve: {} -> {}",
+            first.rmse_f_val,
+            last.rmse_f_val
+        );
+        assert!(
+            last.rmse_e_val < first.rmse_e_val,
+            "energy RMSE did not improve: {} -> {}",
+            first.rmse_e_val,
+            last.rmse_e_val
+        );
+    }
+
+    #[test]
+    fn lcurve_final_row_is_at_num_steps() {
+        let (train_ds, val_ds) = tiny_data(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = train(&tiny_config(), &train_ds, &val_ds, &mut rng).unwrap();
+        assert_eq!(report.lcurve.last().unwrap().step, 60);
+        assert!(report.lcurve.final_losses().is_some());
+    }
+
+    #[test]
+    fn absurd_learning_rate_diverges() {
+        let (train_ds, val_ds) = tiny_data(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = TrainConfig { start_lr: 1e100, stop_lr: 1e99, ..tiny_config() };
+        let report = train(&config, &train_ds, &val_ds, &mut rng).unwrap();
+        assert!(report.diverged, "1e100 learning rate should diverge");
+        assert!(report.steps_completed < config.num_steps);
+    }
+
+    #[test]
+    fn empty_validation_is_rejected() {
+        let (train_ds, _) = tiny_data(7);
+        let empty = Dataset { cell: train_ds.cell, species: train_ds.species.clone(), frames: vec![] };
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(train(&tiny_config(), &train_ds, &empty, &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (train_ds, val_ds) = tiny_data(9);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut config = tiny_config();
+            config.num_steps = 20;
+            let report = train(&config, &train_ds, &val_ds, &mut rng).unwrap();
+            report.lcurve.final_losses().unwrap()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn adam_moves_parameters_toward_gradient_descent() {
+        let mut adam = Adam::new(&[Shape::D1(2)]);
+        // Minimise f(w) = w² with constant gradient queries.
+        let mut params_holder = {
+            let (train_ds, _) = tiny_data(13);
+            let mut rng = StdRng::seed_from_u64(14);
+            DnnpModel::new(tiny_config(), &train_ds, &mut rng).unwrap()
+        };
+        // Use the first parameter tensor as a stand-in container: check that
+        // a positive gradient lowers the value.
+        let before = params_holder.params.flat()[0].data()[0];
+        let shapes: Vec<Shape> = params_holder.params.flat().iter().map(|t| t.shape()).collect();
+        let mut full_adam = Adam::new(&shapes);
+        let grads: Vec<Tensor> = shapes
+            .iter()
+            .map(|&s| {
+                let mut t = Tensor::zeros(s);
+                t.data_mut().iter_mut().for_each(|v| *v = 1.0);
+                t
+            })
+            .collect();
+        full_adam.step(&mut params_holder.params, &grads, 0.01);
+        let after = params_holder.params.flat()[0].data()[0];
+        assert!(after < before, "positive gradient must decrease weight");
+        let _ = &mut adam; // silence unused for the simple state
+    }
+}

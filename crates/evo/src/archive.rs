@@ -1,0 +1,160 @@
+//! A Pareto archive: the best non-dominated set seen across a whole run
+//! (the paper aggregates the *final generations* of five runs; an archive
+//! additionally guards against good solutions being lost to crowding
+//! pressure mid-run).
+
+use crate::individual::{Fitness, Individual};
+
+/// An elitist archive of mutually non-dominating individuals, optionally
+/// capacity-bounded (evicting the most crowded member first).
+#[derive(Clone, Debug, Default)]
+pub struct ParetoArchive {
+    members: Vec<Individual>,
+    capacity: Option<usize>,
+}
+
+impl ParetoArchive {
+    /// Unbounded archive.
+    pub fn new() -> Self {
+        ParetoArchive { members: Vec::new(), capacity: None }
+    }
+
+    /// Archive that keeps at most `capacity` members.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ParetoArchive { members: Vec::new(), capacity: Some(capacity) }
+    }
+
+    /// Current members (mutually non-dominating).
+    pub fn members(&self) -> &[Individual] {
+        &self.members
+    }
+
+    /// Number of archived solutions.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when nothing has been archived.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Offer one individual. Penalty fitnesses are ignored; dominated
+    /// offers are rejected; members dominated by the offer are evicted.
+    /// Returns true if the individual was admitted.
+    pub fn offer(&mut self, candidate: &Individual) -> bool {
+        let Some(fitness) = candidate.fitness.as_ref() else {
+            return false;
+        };
+        if fitness.is_penalty() {
+            return false;
+        }
+        // Rejected if any member dominates (or duplicates) the candidate.
+        for member in &self.members {
+            let mf = member.fitness();
+            if mf.dominates(fitness) || mf == fitness {
+                return false;
+            }
+        }
+        self.members.retain(|member| !fitness.dominates(member.fitness()));
+        self.members.push(candidate.clone());
+        if let Some(cap) = self.capacity {
+            while self.members.len() > cap {
+                self.evict_most_crowded();
+            }
+        }
+        true
+    }
+
+    /// Offer a whole population.
+    pub fn offer_all(&mut self, population: &[Individual]) -> usize {
+        population.iter().filter(|i| self.offer(i)).count()
+    }
+
+    fn evict_most_crowded(&mut self) {
+        let fitnesses: Vec<&Fitness> = self.members.iter().map(|m| m.fitness()).collect();
+        let front: Vec<usize> = (0..fitnesses.len()).collect();
+        let distances = crate::mo::crowding_distance(&fitnesses, &front);
+        if let Some((idx, _)) = distances
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        {
+            self.members.swap_remove(idx);
+        }
+    }
+
+    /// The archive's objective pairs (for hypervolume/IGD computation),
+    /// valid for two-objective archives.
+    pub fn objective_pairs(&self) -> Vec<(f64, f64)> {
+        self.members
+            .iter()
+            .map(|m| (m.fitness().get(0), m.fitness().get(1)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(e: f64, f: f64) -> Individual {
+        let mut i = Individual::new(vec![0.0]);
+        i.fitness = Some(Fitness::new(vec![e, f]));
+        i
+    }
+
+    #[test]
+    fn archive_keeps_only_nondominated() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.offer(&ind(1.0, 4.0)));
+        assert!(archive.offer(&ind(2.0, 3.0)));
+        // Dominated by (2,3):
+        assert!(!archive.offer(&ind(2.5, 3.5)));
+        assert_eq!(archive.len(), 2);
+        // A dominator evicts:
+        assert!(archive.offer(&ind(0.5, 2.0)));
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.members()[0].fitness().values(), &[0.5, 2.0]);
+    }
+
+    #[test]
+    fn duplicates_and_penalties_rejected() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.offer(&ind(1.0, 1.0)));
+        assert!(!archive.offer(&ind(1.0, 1.0)), "exact duplicate admitted");
+        let mut failed = Individual::new(vec![0.0]);
+        failed.fitness = Some(Fitness::penalty(2));
+        assert!(!archive.offer(&failed));
+        let unevaluated = Individual::new(vec![0.0]);
+        assert!(!archive.offer(&unevaluated));
+    }
+
+    #[test]
+    fn capacity_evicts_most_crowded() {
+        let mut archive = ParetoArchive::with_capacity(3);
+        // Four non-dominated points; two clustered tightly.
+        archive.offer(&ind(0.0, 10.0));
+        archive.offer(&ind(5.0, 5.0));
+        archive.offer(&ind(5.1, 4.9));
+        archive.offer(&ind(10.0, 0.0));
+        assert_eq!(archive.len(), 3);
+        // The boundary points survive; one of the clustered pair is gone.
+        let pairs = archive.objective_pairs();
+        assert!(pairs.contains(&(0.0, 10.0)));
+        assert!(pairs.contains(&(10.0, 0.0)));
+        let clustered = pairs
+            .iter()
+            .filter(|&&(e, _)| (4.9..=5.2).contains(&e))
+            .count();
+        assert_eq!(clustered, 1);
+    }
+
+    #[test]
+    fn offer_all_counts_admissions() {
+        let mut archive = ParetoArchive::new();
+        let pop = vec![ind(1.0, 4.0), ind(2.0, 3.0), ind(2.5, 3.5)];
+        assert_eq!(archive.offer_all(&pop), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Multi-objective quality metrics beyond hypervolume: inverted
+//! generational distance (IGD) against a reference front, front spread,
+//! and analytic reference fronts for the ZDT problems — used to validate
+//! the optimizer quantitatively.
+
+use crate::individual::Fitness;
+
+/// Inverted generational distance: mean Euclidean distance from each
+/// reference-front point to its nearest obtained point (lower is better).
+pub fn igd(obtained: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert!(!reference.is_empty(), "empty reference front");
+    if obtained.is_empty() {
+        return f64::INFINITY;
+    }
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    };
+    reference
+        .iter()
+        .map(|r| {
+            obtained
+                .iter()
+                .map(|o| dist(r, o))
+                .fold(f64::MAX, f64::min)
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Spread (Δ-style): standard deviation of consecutive gap lengths along a
+/// bi-objective front sorted by the first objective, normalised by the mean
+/// gap. 0 = perfectly uniform spacing.
+pub fn spread_2d(front: &[(f64, f64)]) -> f64 {
+    if front.len() < 3 {
+        return 0.0;
+    }
+    let mut pts = front.to_vec();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let gaps: Vec<f64> = pts
+        .windows(2)
+        .map(|w| ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt())
+        .collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+    var.sqrt() / mean
+}
+
+/// `n` evenly spaced points on ZDT1's true front `f2 = 1 − √f1`.
+pub fn zdt1_reference_front(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|k| {
+            let f1 = k as f64 / (n - 1).max(1) as f64;
+            vec![f1, 1.0 - f1.sqrt()]
+        })
+        .collect()
+}
+
+/// `n` evenly spaced points on ZDT2's true front `f2 = 1 − f1²`.
+pub fn zdt2_reference_front(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|k| {
+            let f1 = k as f64 / (n - 1).max(1) as f64;
+            vec![f1, 1.0 - f1 * f1]
+        })
+        .collect()
+}
+
+/// Objective vectors of the non-penalty members of a population slice.
+pub fn objective_vectors(fitnesses: &[&Fitness]) -> Vec<Vec<f64>> {
+    fitnesses
+        .iter()
+        .filter(|f| !f.is_penalty())
+        .map(|f| f.values().to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igd_zero_when_fronts_match() {
+        let reference = zdt1_reference_front(20);
+        assert_eq!(igd(&reference, &reference), 0.0);
+    }
+
+    #[test]
+    fn igd_decreases_as_points_approach_front() {
+        let reference = zdt1_reference_front(30);
+        let far: Vec<Vec<f64>> = reference.iter().map(|p| vec![p[0], p[1] + 1.0]).collect();
+        let near: Vec<Vec<f64>> = reference.iter().map(|p| vec![p[0], p[1] + 0.1]).collect();
+        assert!(igd(&near, &reference) < igd(&far, &reference));
+        // Each reference point has its shifted twin at distance exactly
+        // 0.1, so the nearest-point distance is bounded by (and close to)
+        // that.
+        let near_igd = igd(&near, &reference);
+        assert!(near_igd <= 0.1 + 1e-9 && near_igd > 0.03, "igd {near_igd}");
+    }
+
+    #[test]
+    fn igd_of_empty_set_is_infinite() {
+        assert!(igd(&[], &zdt1_reference_front(5)).is_infinite());
+    }
+
+    #[test]
+    fn igd_penalises_partial_coverage() {
+        // Covering only half the front leaves the rest at a distance.
+        let reference = zdt1_reference_front(40);
+        let half: Vec<Vec<f64>> = reference[..20].to_vec();
+        assert!(igd(&half, &reference) > 0.01);
+    }
+
+    #[test]
+    fn spread_uniform_vs_clustered() {
+        let uniform: Vec<(f64, f64)> =
+            (0..10).map(|k| (k as f64 / 9.0, 1.0 - k as f64 / 9.0)).collect();
+        let mut clustered = uniform.clone();
+        // Push half the points into a tight cluster.
+        for p in clustered.iter_mut().take(5) {
+            p.0 *= 0.05;
+            p.1 = 1.0 - p.0;
+        }
+        assert!(spread_2d(&uniform) < 1e-9);
+        assert!(spread_2d(&clustered) > spread_2d(&uniform));
+    }
+
+    #[test]
+    fn spread_degenerate_inputs() {
+        assert_eq!(spread_2d(&[]), 0.0);
+        assert_eq!(spread_2d(&[(0.0, 1.0), (1.0, 0.0)]), 0.0);
+    }
+
+    #[test]
+    fn reference_fronts_have_expected_shape() {
+        let f1 = zdt1_reference_front(11);
+        assert_eq!(f1.len(), 11);
+        assert_eq!(f1[0], vec![0.0, 1.0]);
+        assert!((f1[10][1] - 0.0).abs() < 1e-12);
+        let f2 = zdt2_reference_front(11);
+        assert!((f2[5][1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_vectors_skip_penalties() {
+        let fits = vec![
+            Fitness::new(vec![0.1, 0.2]),
+            Fitness::penalty(2),
+            Fitness::new(vec![0.3, 0.4]),
+        ];
+        let refs: Vec<&Fitness> = fits.iter().collect();
+        let vecs = objective_vectors(&refs);
+        assert_eq!(vecs.len(), 2);
+        assert_eq!(vecs[1], vec![0.3, 0.4]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Reproduction-pipeline operators, mirroring the LEAP operator pipeline of
+//! the paper's Listing 1:
+//!
+//! ```text
+//! pipe(parents,
+//!      ops.random_selection,
+//!      ops.clone,
+//!      mutate_gaussian(std=context['std'], expected_num_mutations='isotropic',
+//!                      hard_bounds=DeepMDRepresentation.bounds),
+//!      eval_pool(client=client, size=len(parents)),
+//!      rank_ordinal_sort(parents=parents),
+//!      crowding_distance_calc,
+//!      ops.truncation_selection(size=len(parents),
+//!                               key=lambda x: (-x.rank, x.distance)))
+//! ```
+//!
+//! Rust has no lazy generator pipelines, so each operator is a plain
+//! function over populations; [`crate::nsga2`] composes them in the same
+//! order.
+
+use rand::Rng;
+
+use crate::individual::Individual;
+
+/// Inclusive lower / exclusive-ish upper hard bounds per gene.
+pub type Bounds = Vec<(f64, f64)>;
+
+/// Standard normal sample via the Marsaglia polar method (no `rand_distr`
+/// dependency; see DESIGN.md §5).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// `ops.random_selection`: pick one parent uniformly at random.
+pub fn random_selection<'a, R: Rng + ?Sized>(
+    parents: &'a [Individual],
+    rng: &mut R,
+) -> &'a Individual {
+    assert!(!parents.is_empty(), "random_selection on empty population");
+    &parents[rng.random_range(0..parents.len())]
+}
+
+/// `mutate_gaussian` with `expected_num_mutations='isotropic'`: every gene
+/// receives Gaussian noise with its own standard deviation, then is clipped
+/// to its hard bounds (LEAP semantics).
+pub fn mutate_gaussian<R: Rng + ?Sized>(
+    genome: &mut [f64],
+    std: &[f64],
+    bounds: &[(f64, f64)],
+    rng: &mut R,
+) {
+    assert_eq!(genome.len(), std.len(), "std vector length mismatch");
+    assert_eq!(genome.len(), bounds.len(), "bounds length mismatch");
+    for ((g, &s), &(lo, hi)) in genome.iter_mut().zip(std.iter()).zip(bounds.iter()) {
+        *g += s * gaussian(rng);
+        *g = g.clamp(lo, hi);
+    }
+}
+
+/// Create `count` unevaluated offspring: random parent selection → clone →
+/// isotropic Gaussian mutation with hard bounds (Listing 1, lines 2–10).
+pub fn create_offspring<R: Rng + ?Sized>(
+    parents: &[Individual],
+    count: usize,
+    std: &[f64],
+    bounds: &[(f64, f64)],
+    rng: &mut R,
+) -> Vec<Individual> {
+    (0..count)
+        .map(|_| {
+            let parent = random_selection(parents, rng);
+            let mut child = parent.clone_as_offspring();
+            mutate_gaussian(&mut child.genome, std, bounds, rng);
+            child
+        })
+        .collect()
+}
+
+/// `ops.truncation_selection(size, key=lambda x: (-x.rank, x.distance))`:
+/// keep the `size` best individuals by (ascending rank, descending crowding
+/// distance). Requires `rank`/`distance` to be populated (run
+/// [`crate::mo::assign_rank_and_crowding`] first).
+pub fn truncation_selection(mut pool: Vec<Individual>, size: usize) -> Vec<Individual> {
+    assert!(
+        pool.iter().all(|i| i.rank != usize::MAX),
+        "truncation_selection before rank assignment"
+    );
+    pool.sort_by(|a, b| {
+        a.rank
+            .cmp(&b.rank)
+            .then_with(|| b.distance.partial_cmp(&a.distance).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pool.truncate(size);
+    pool
+}
+
+/// Uniform-random initial population within per-gene initialisation ranges.
+pub fn random_population<R: Rng + ?Sized>(
+    size: usize,
+    init_ranges: &[(f64, f64)],
+    rng: &mut R,
+) -> Vec<Individual> {
+    (0..size)
+        .map(|_| {
+            let genome = init_ranges
+                .iter()
+                .map(|&(lo, hi)| rng.random_range(lo..hi))
+                .collect();
+            Individual::new(genome)
+        })
+        .collect()
+}
+
+/// Per-generation annealing of the mutation standard deviations: the paper
+/// multiplies the σ vector by 0.85 after each generation's offspring are
+/// produced (a fixed-rate variant of the 1/5-success-rule annealing).
+pub fn anneal_std(std: &mut [f64], factor: f64) {
+    for s in std.iter_mut() {
+        *s *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::individual::Fitness;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn mutation_respects_hard_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bounds = vec![(0.0, 1.0), (-5.0, 5.0)];
+        let std = vec![10.0, 10.0]; // huge σ to force clipping
+        for _ in 0..200 {
+            let mut genome = vec![0.5, 0.0];
+            mutate_gaussian(&mut genome, &std, &bounds, &mut rng);
+            assert!((0.0..=1.0).contains(&genome[0]));
+            assert!((-5.0..=5.0).contains(&genome[1]));
+        }
+    }
+
+    #[test]
+    fn mutation_is_isotropic_all_genes_move() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bounds = vec![(-1e9, 1e9); 4];
+        let std = vec![1.0; 4];
+        let mut genome = vec![0.0; 4];
+        mutate_gaussian(&mut genome, &std, &bounds, &mut rng);
+        assert!(genome.iter().all(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn zero_std_is_identity_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut genome = vec![0.25, 0.75];
+        mutate_gaussian(&mut genome, &[0.0, 0.0], &[(0.0, 1.0), (0.0, 1.0)], &mut rng);
+        assert_eq!(genome, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn create_offspring_clones_and_mutates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let parents: Vec<Individual> =
+            (0..3).map(|i| Individual::new(vec![i as f64, i as f64])).collect();
+        let kids = create_offspring(&parents, 5, &[0.1, 0.1], &[(-10.0, 10.0); 2], &mut rng);
+        assert_eq!(kids.len(), 5);
+        for k in &kids {
+            assert!(k.fitness.is_none());
+            assert!(parents.iter().all(|p| p.id != k.id));
+        }
+    }
+
+    #[test]
+    fn truncation_prefers_low_rank_then_high_distance() {
+        let mk = |rank, distance| {
+            let mut i = Individual::new(vec![0.0]);
+            i.fitness = Some(Fitness::new(vec![0.0, 0.0]));
+            i.rank = rank;
+            i.distance = distance;
+            i
+        };
+        let pool = vec![mk(1, 9.0), mk(0, 0.1), mk(0, 5.0), mk(2, 100.0)];
+        let kept = truncation_selection(pool, 2);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].rank, 0);
+        assert!((kept[0].distance - 5.0).abs() < 1e-12);
+        assert_eq!(kept[1].rank, 0);
+        assert!((kept[1].distance - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_population_within_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ranges = vec![(3.51e-8, 0.01), (6.0, 12.0)];
+        let pop = random_population(50, &ranges, &mut rng);
+        assert_eq!(pop.len(), 50);
+        for ind in &pop {
+            assert!(ind.genome[0] >= 3.51e-8 && ind.genome[0] < 0.01);
+            assert!(ind.genome[1] >= 6.0 && ind.genome[1] < 12.0);
+        }
+    }
+
+    #[test]
+    fn anneal_std_applies_factor() {
+        let mut std = vec![0.001, 0.0625];
+        anneal_std(&mut std, 0.85);
+        assert!((std[0] - 0.00085).abs() < 1e-12);
+        assert!((std[1] - 0.053125).abs() < 1e-12);
+    }
+}

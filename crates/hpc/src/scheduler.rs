@@ -1,0 +1,390 @@
+//! A Dask-like client/scheduler/worker evaluation pool.
+//!
+//! Mirrors the paper's §2.2.5 deployment: a scheduler fans evaluation tasks
+//! out to one worker per compute node, workers may die mid-task (hardware
+//! faults), "nannies" may restart dead workers or — as the paper found
+//! preferable — be disabled so the scheduler simply reassigns the task to a
+//! surviving worker. Tasks also carry a *simulated* runtime (minutes) from
+//! the cost model, and the scheduler enforces the paper's 2-hour per-task
+//! timeout against that simulated clock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a task produced no value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TaskError {
+    /// The simulated runtime exceeded the per-task limit (the paper's
+    /// 2-hour `subprocess` timeout → `TimeoutError`).
+    Timeout {
+        /// The enforced limit in minutes.
+        limit_minutes: f64,
+    },
+    /// The worker hosting the task died (hardware fault); attempts were
+    /// exhausted or no workers survived.
+    WorkerFailed,
+    /// The evaluation itself failed (e.g. diverged training).
+    Failed(String),
+}
+
+/// Outcome produced by the user's evaluation function.
+pub struct EvalOutcome<T> {
+    /// The evaluation result, or a failure description.
+    pub value: Result<T, String>,
+    /// Simulated runtime in minutes.
+    pub minutes: f64,
+}
+
+/// Final per-task record returned by [`run_batch`].
+#[derive(Clone, Debug)]
+pub struct TaskRecord<T> {
+    /// Value or the error that ended the task.
+    pub value: Result<T, TaskError>,
+    /// Simulated minutes charged for the final attempt (timeouts charge the
+    /// full limit, as the real job would have been killed there).
+    pub minutes: f64,
+    /// Worker that produced the final outcome.
+    pub worker: usize,
+    /// Number of attempts (1 = no retries).
+    pub attempts: u32,
+}
+
+/// Pool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Number of workers (the paper: one per allocated node, 100).
+    pub n_workers: usize,
+    /// Per-task simulated-runtime limit in minutes (the paper: 120).
+    pub timeout_minutes: Option<f64>,
+    /// Restart dead workers (Dask nannies). The paper disables them.
+    pub nanny: bool,
+    /// Maximum attempts per task before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { n_workers: 4, timeout_minutes: Some(120.0), nanny: false, max_attempts: 3 }
+    }
+}
+
+/// Stochastic worker-death injection. Each task execution kills its worker
+/// with probability `death_probability` (before completing the task).
+pub struct FaultInjector {
+    death_probability: f64,
+    rng: Mutex<StdRng>,
+}
+
+impl FaultInjector {
+    /// A fault plan; `death_probability` of 0 disables faults.
+    pub fn new(death_probability: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&death_probability));
+        FaultInjector { death_probability, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// No faults.
+    pub fn none() -> Self {
+        FaultInjector::new(0.0, 0)
+    }
+
+    fn task_kills_worker(&self) -> bool {
+        if self.death_probability == 0.0 {
+            return false;
+        }
+        self.rng.lock().random_range(0.0..1.0) < self.death_probability
+    }
+}
+
+/// Per-run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PoolReport {
+    /// Simulated makespan: the longest per-worker busy time in minutes
+    /// (what the batch job's wall clock would have shown).
+    pub makespan_minutes: f64,
+    /// Simulated busy minutes per worker slot.
+    pub per_worker_minutes: Vec<f64>,
+    /// Worker deaths observed.
+    pub worker_deaths: usize,
+    /// Tasks that were retried at least once.
+    pub retried_tasks: usize,
+}
+
+enum Message<T> {
+    Done { task: usize, outcome: EvalOutcome<T>, worker: usize, minutes_charged: f64 },
+    Died { task: usize, worker: usize },
+}
+
+/// Evaluate every input in parallel on a simulated worker pool.
+///
+/// `eval` receives `(task_index, &input)` and returns a value plus its
+/// simulated runtime. Panics inside `eval` are treated as worker deaths.
+pub fn run_batch<I, T, F>(
+    inputs: &[I],
+    eval: F,
+    config: &PoolConfig,
+    faults: &FaultInjector,
+) -> (Vec<TaskRecord<T>>, PoolReport)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> EvalOutcome<T> + Sync,
+{
+    assert!(config.n_workers > 0, "pool needs at least one worker");
+    assert!(config.max_attempts > 0, "max_attempts must be positive");
+    let n = inputs.len();
+    let mut records: Vec<Option<TaskRecord<T>>> = (0..n).map(|_| None).collect();
+    if n == 0 {
+        return (Vec::new(), PoolReport::default());
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (msg_tx, msg_rx) = channel::unbounded::<Message<T>>();
+    for i in 0..n {
+        task_tx.send(i).expect("queue open");
+    }
+
+    let mut attempts = vec![0u32; n];
+    let alive = AtomicUsize::new(config.n_workers);
+    let mut report = PoolReport::default();
+
+    std::thread::scope(|scope| {
+        for worker in 0..config.n_workers {
+            let task_rx = task_rx.clone();
+            let msg_tx = msg_tx.clone();
+            let eval = &eval;
+            let faults = &faults;
+            let alive = &alive;
+            let timeout = config.timeout_minutes;
+            let nanny = config.nanny;
+            scope.spawn(move || {
+                while let Ok(task) = task_rx.recv() {
+                    if faults.task_kills_worker() {
+                        // The worker dies mid-task. With a nanny it is
+                        // restarted (continue); without, the thread exits.
+                        let _ = msg_tx.send(Message::Died { task, worker });
+                        if nanny {
+                            continue;
+                        }
+                        alive.fetch_sub(1, Ordering::SeqCst);
+                        return;
+                    }
+                    let outcome = eval(task, &inputs[task]);
+                    // Timeouts charge the limit: the real job would have
+                    // been killed at the wall.
+                    let minutes_charged = match timeout {
+                        Some(limit) if outcome.minutes > limit => limit,
+                        _ => outcome.minutes,
+                    };
+                    let _ = msg_tx.send(Message::Done { task, outcome, worker, minutes_charged });
+                }
+            });
+        }
+        drop(msg_tx);
+
+        let mut completed = 0usize;
+        while completed < n {
+            // If every worker died with work outstanding, fail the rest.
+            if alive.load(Ordering::SeqCst) == 0 {
+                for (task, slot) in records.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        *slot = Some(TaskRecord {
+                            value: Err(TaskError::WorkerFailed),
+                            minutes: 0.0,
+                            worker: usize::MAX,
+                            attempts: attempts[task],
+                        });
+                    }
+                }
+                break;
+            }
+            let msg = match msg_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                Ok(m) => m,
+                Err(channel::RecvTimeoutError::Timeout) => continue,
+                Err(channel::RecvTimeoutError::Disconnected) => break,
+            };
+            match msg {
+                Message::Done { task, outcome, worker, minutes_charged } => {
+                    attempts[task] += 1;
+                    let timed_out = matches!(config.timeout_minutes, Some(limit) if outcome.minutes > limit);
+                    let value = if timed_out {
+                        Err(TaskError::Timeout {
+                            limit_minutes: config.timeout_minutes.unwrap(),
+                        })
+                    } else {
+                        outcome.value.map_err(TaskError::Failed)
+                    };
+                    records[task] = Some(TaskRecord {
+                        value,
+                        minutes: minutes_charged,
+                        worker,
+                        attempts: attempts[task],
+                    });
+                    completed += 1;
+                }
+                Message::Died { task, worker } => {
+                    report.worker_deaths += 1;
+                    attempts[task] += 1;
+                    let _ = worker;
+                    if attempts[task] < config.max_attempts {
+                        report.retried_tasks += 1;
+                        let _ = task_tx.send(task);
+                    } else {
+                        records[task] = Some(TaskRecord {
+                            value: Err(TaskError::WorkerFailed),
+                            minutes: 0.0,
+                            worker,
+                            attempts: attempts[task],
+                        });
+                        completed += 1;
+                    }
+                }
+            }
+        }
+        drop(task_tx); // release workers blocked on recv
+    });
+
+    let results: Vec<TaskRecord<T>> = records
+        .into_iter()
+        .map(|r| r.expect("scheduler completed every task"))
+        .collect();
+
+    // Physical threads race for tasks in real time (they finish almost
+    // instantly), so the *simulated* wall clock is reconstructed by list-
+    // scheduling the charged minutes onto the worker slots: each task goes
+    // to the simulated-least-loaded worker, exactly how a Dask worker pool
+    // with one task per node drains a queue.
+    let mut per_worker = vec![0.0f64; config.n_workers];
+    for record in &results {
+        let (slot, _) = per_worker
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("at least one worker");
+        per_worker[slot] += record.minutes;
+    }
+    report.makespan_minutes = per_worker.iter().copied().fold(0.0, f64::max);
+    report.per_worker_minutes = per_worker;
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_eval(minutes: f64) -> impl Fn(usize, &u64) -> EvalOutcome<u64> + Sync {
+        move |_, &x| EvalOutcome { value: Ok(x * 2), minutes }
+    }
+
+    #[test]
+    fn all_tasks_complete_without_faults() {
+        let inputs: Vec<u64> = (0..20).collect();
+        let config = PoolConfig { n_workers: 4, ..PoolConfig::default() };
+        let (records, report) = run_batch(&inputs, quick_eval(10.0), &config, &FaultInjector::none());
+        assert_eq!(records.len(), 20);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(*r.value.as_ref().unwrap(), (i as u64) * 2);
+            assert_eq!(r.attempts, 1);
+            assert_eq!(r.minutes, 10.0);
+        }
+        assert_eq!(report.worker_deaths, 0);
+        // 20 ten-minute tasks over 4 workers → 50 simulated minutes.
+        assert!((report.makespan_minutes - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_is_enforced_on_simulated_minutes() {
+        let inputs = vec![1u64, 2, 3];
+        let eval = |task: usize, &x: &u64| EvalOutcome {
+            value: Ok(x),
+            minutes: if task == 1 { 150.0 } else { 60.0 },
+        };
+        let config = PoolConfig { n_workers: 2, timeout_minutes: Some(120.0), ..PoolConfig::default() };
+        let (records, _) = run_batch(&inputs, eval, &config, &FaultInjector::none());
+        assert!(records[0].value.is_ok());
+        assert_eq!(
+            records[1].value,
+            Err(TaskError::Timeout { limit_minutes: 120.0 })
+        );
+        // The killed job is charged the full limit, not its would-be time.
+        assert_eq!(records[1].minutes, 120.0);
+        assert!(records[2].value.is_ok());
+    }
+
+    #[test]
+    fn evaluation_failures_are_reported() {
+        let inputs = vec![0u64, 1];
+        let eval = |task: usize, _: &u64| EvalOutcome {
+            value: if task == 0 { Err("diverged".to_string()) } else { Ok(7u64) },
+            minutes: 5.0,
+        };
+        let (records, _) =
+            run_batch(&inputs, eval, &PoolConfig::default(), &FaultInjector::none());
+        assert_eq!(records[0].value, Err(TaskError::Failed("diverged".into())));
+        assert_eq!(*records[1].value.as_ref().unwrap(), 7);
+    }
+
+    #[test]
+    fn worker_deaths_trigger_reassignment_without_nannies() {
+        let inputs: Vec<u64> = (0..30).collect();
+        let config = PoolConfig { n_workers: 8, nanny: false, max_attempts: 30, ..PoolConfig::default() };
+        let faults = FaultInjector::new(0.10, 42);
+        let (records, report) = run_batch(&inputs, quick_eval(5.0), &config, &faults);
+        // With 10 % per-task deaths over 30 tasks, some deaths are certain
+        // under this seed.
+        assert!(report.worker_deaths > 0, "seed produced no deaths");
+        // Every task still completes as long as a worker survives.
+        let survivors = 8 - report.worker_deaths.min(7);
+        if survivors > 0 {
+            assert!(records.iter().all(|r| r.value.is_ok()));
+            assert!(records.iter().any(|r| r.attempts > 1), "no task was retried");
+        }
+    }
+
+    #[test]
+    fn nannies_restart_workers() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let config = PoolConfig { n_workers: 2, nanny: true, max_attempts: 50, ..PoolConfig::default() };
+        let faults = FaultInjector::new(0.2, 7);
+        let (records, report) = run_batch(&inputs, quick_eval(1.0), &config, &faults);
+        assert!(report.worker_deaths > 0);
+        // With nannies, workers always come back, so everything finishes.
+        assert!(records.iter().all(|r| r.value.is_ok()));
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_task() {
+        let inputs = vec![0u64];
+        let config = PoolConfig { n_workers: 1, nanny: true, max_attempts: 2, ..PoolConfig::default() };
+        // Certain-death injector: the task can never complete.
+        let faults = FaultInjector::new(0.999, 3);
+        let (records, report) = run_batch(&inputs, quick_eval(1.0), &config, &faults);
+        assert_eq!(records[0].value, Err(TaskError::WorkerFailed));
+        assert_eq!(records[0].attempts, 2);
+        assert_eq!(report.worker_deaths, 2);
+    }
+
+    #[test]
+    fn makespan_reflects_load_balance() {
+        // 5 tasks of 10 min on 5 workers → 10 min; on 1 worker → 50 min.
+        let inputs: Vec<u64> = (0..5).collect();
+        let wide = PoolConfig { n_workers: 5, ..PoolConfig::default() };
+        let narrow = PoolConfig { n_workers: 1, ..PoolConfig::default() };
+        let (_, r_wide) = run_batch(&inputs, quick_eval(10.0), &wide, &FaultInjector::none());
+        let (_, r_narrow) = run_batch(&inputs, quick_eval(10.0), &narrow, &FaultInjector::none());
+        assert!((r_wide.makespan_minutes - 10.0).abs() < 1e-9);
+        assert!((r_narrow.makespan_minutes - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let inputs: Vec<u64> = vec![];
+        let (records, report) =
+            run_batch(&inputs, quick_eval(1.0), &PoolConfig::default(), &FaultInjector::none());
+        assert!(records.is_empty());
+        assert_eq!(report.makespan_minutes, 0.0);
+    }
+}

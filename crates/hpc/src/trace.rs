@@ -1,0 +1,155 @@
+//! Execution tracing for the simulated batch job: reconstructs per-worker
+//! simulated timelines from task records and renders a text Gantt chart —
+//! the observability a Dask dashboard would give (the paper disabled the
+//! Bokeh dashboard on Summit; this is the offline equivalent).
+
+use crate::scheduler::TaskRecord;
+
+/// One scheduled span on a worker's simulated timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Task index.
+    pub task: usize,
+    /// Simulated start minute.
+    pub start: f64,
+    /// Simulated end minute.
+    pub end: f64,
+    /// Whether the task ultimately succeeded.
+    pub ok: bool,
+}
+
+/// Per-worker simulated timelines produced by list-scheduling the charged
+/// minutes (the same rule the scheduler's makespan uses).
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// `timelines[w]` holds worker w's spans in start order.
+    pub timelines: Vec<Vec<Span>>,
+}
+
+impl Timeline {
+    /// Rebuild timelines for `n_workers` from task records (in submission
+    /// order, matching the scheduler's accounting).
+    pub fn reconstruct<T>(records: &[TaskRecord<T>], n_workers: usize) -> Self {
+        assert!(n_workers > 0);
+        let mut timelines: Vec<Vec<Span>> = vec![Vec::new(); n_workers];
+        let mut clock = vec![0.0f64; n_workers];
+        for (task, record) in records.iter().enumerate() {
+            let (slot, _) = clock
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("at least one worker");
+            let start = clock[slot];
+            let end = start + record.minutes;
+            timelines[slot].push(Span { task, start, end, ok: record.value.is_ok() });
+            clock[slot] = end;
+        }
+        Timeline { timelines }
+    }
+
+    /// Simulated makespan (minutes).
+    pub fn makespan(&self) -> f64 {
+        self.timelines
+            .iter()
+            .filter_map(|spans| spans.last().map(|s| s.end))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean worker utilisation (busy time / makespan), in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        let makespan = self.makespan();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .timelines
+            .iter()
+            .map(|spans| spans.iter().map(|s| s.end - s.start).sum::<f64>())
+            .sum();
+        busy / (makespan * self.timelines.len() as f64)
+    }
+
+    /// Render a text Gantt chart, `width` characters across the makespan.
+    /// `#` marks successful task time, `x` failed task time.
+    pub fn gantt(&self, width: usize) -> String {
+        let makespan = self.makespan().max(1e-9);
+        let mut out = String::new();
+        for (w, spans) in self.timelines.iter().enumerate() {
+            let mut row = vec![' '; width];
+            for span in spans {
+                let a = ((span.start / makespan) * width as f64) as usize;
+                let b = (((span.end / makespan) * width as f64) as usize).min(width);
+                let mark = if span.ok { '#' } else { 'x' };
+                for cell in row.iter_mut().take(b).skip(a.min(width.saturating_sub(1))) {
+                    *cell = mark;
+                }
+            }
+            out.push_str(&format!("worker {w:>3} |{}|\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "makespan {:.1} min, utilisation {:.0}%\n",
+            self.makespan(),
+            self.utilisation() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::TaskError;
+
+    fn record(minutes: f64, ok: bool) -> TaskRecord<u64> {
+        TaskRecord {
+            value: if ok { Ok(0) } else { Err(TaskError::WorkerFailed) },
+            minutes,
+            worker: 0,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_list_scheduling() {
+        // 5 × 10-minute tasks on 2 workers → makespan 30 (3+2 split).
+        let records: Vec<TaskRecord<u64>> = (0..5).map(|_| record(10.0, true)).collect();
+        let timeline = Timeline::reconstruct(&records, 2);
+        assert!((timeline.makespan() - 30.0).abs() < 1e-9);
+        let counts: Vec<usize> = timeline.timelines.iter().map(Vec::len).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert!(counts.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn utilisation_is_perfect_for_balanced_load() {
+        let records: Vec<TaskRecord<u64>> = (0..4).map(|_| record(10.0, true)).collect();
+        let timeline = Timeline::reconstruct(&records, 2);
+        assert!((timeline.utilisation() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilisation_drops_for_imbalanced_load() {
+        let records = vec![record(30.0, true), record(5.0, true)];
+        let timeline = Timeline::reconstruct(&records, 2);
+        assert!(timeline.utilisation() < 0.7);
+    }
+
+    #[test]
+    fn gantt_renders_failures_distinctly() {
+        let records = vec![record(10.0, true), record(10.0, false)];
+        let timeline = Timeline::reconstruct(&records, 2);
+        let chart = timeline.gantt(20);
+        assert!(chart.contains('#'));
+        assert!(chart.contains('x'));
+        assert!(chart.contains("worker   0"));
+        assert!(chart.contains("utilisation"));
+    }
+
+    #[test]
+    fn empty_records_are_harmless() {
+        let records: Vec<TaskRecord<u64>> = Vec::new();
+        let timeline = Timeline::reconstruct(&records, 3);
+        assert_eq!(timeline.makespan(), 0.0);
+        assert_eq!(timeline.utilisation(), 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Trajectory analysis: radial distribution functions and mean-squared
+//! displacement. The paper's motivation is molten-salt *structure and
+//! dynamics* ("local structure, dynamics, and speciation in molten salts");
+//! these observables validate that the synthetic melt actually behaves like
+//! a liquid and give deployed DNNP simulations something physical to be
+//! compared on.
+
+use crate::cell::Cell;
+use crate::generate::Dataset;
+use crate::potential::Species;
+
+/// A radial distribution function g(r) histogram.
+#[derive(Clone, Debug)]
+pub struct Rdf {
+    /// Bin centers (Å).
+    pub r: Vec<f64>,
+    /// g(r) values.
+    pub g: Vec<f64>,
+}
+
+impl Rdf {
+    /// The position (Å) of the first maximum of g(r) — the nearest-neighbor
+    /// shell distance.
+    pub fn first_peak(&self) -> Option<(f64, f64)> {
+        self.r
+            .iter()
+            .zip(self.g.iter())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(&r, &g)| (r, g))
+    }
+}
+
+/// Compute the partial RDF between species `a` and `b` over all frames of a
+/// dataset, up to `r_max` with `bins` bins.
+pub fn partial_rdf(dataset: &Dataset, a: Species, b: Species, r_max: f64, bins: usize) -> Rdf {
+    assert!(bins > 0 && r_max > 0.0);
+    let cell = &dataset.cell;
+    let dr = r_max / bins as f64;
+    let mut counts = vec![0.0f64; bins];
+    let idx_a: Vec<usize> = (0..dataset.n_atoms())
+        .filter(|&i| dataset.species[i] == a)
+        .collect();
+    let idx_b: Vec<usize> = (0..dataset.n_atoms())
+        .filter(|&i| dataset.species[i] == b)
+        .collect();
+    let n_a = idx_a.len() as f64;
+    let n_b = idx_b.len() as f64;
+    if idx_a.is_empty() || idx_b.is_empty() || dataset.frames.is_empty() {
+        return Rdf {
+            r: (0..bins).map(|k| (k as f64 + 0.5) * dr).collect(),
+            g: vec![0.0; bins],
+        };
+    }
+
+    for frame in &dataset.frames {
+        for &i in &idx_a {
+            for &j in &idx_b {
+                if i == j {
+                    continue;
+                }
+                let r = cell.distance(frame.positions[i], frame.positions[j]);
+                if r < r_max {
+                    counts[(r / dr) as usize] += 1.0;
+                }
+            }
+        }
+    }
+
+    // Normalise by the ideal-gas shell count: ρ_b · 4πr²dr per a-atom.
+    let volume = cell.volume();
+    let rho_b = n_b / volume;
+    let frames = dataset.frames.len() as f64;
+    let same = a == b;
+    let r: Vec<f64> = (0..bins).map(|k| (k as f64 + 0.5) * dr).collect();
+    let g: Vec<f64> = counts
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| {
+            let shell = 4.0 * std::f64::consts::PI * r[k] * r[k] * dr;
+            // For identical species the pair count excludes self, so the
+            // ideal reference density is (n_b − 1)/V per central atom.
+            let rho = if same { (n_b - 1.0) / volume } else { rho_b };
+            c / (frames * n_a * rho * shell)
+        })
+        .collect();
+    Rdf { r, g }
+}
+
+/// Mean-squared displacement (Å²) per frame lag, computed from a sequence
+/// of *consecutive* frames (the generator's `sample_every` sets the time
+/// spacing). Uses unwrapped displacement via minimum image per step.
+pub fn mean_squared_displacement(dataset: &Dataset, max_lag: usize) -> Vec<f64> {
+    let n_frames = dataset.n_frames();
+    let n_atoms = dataset.n_atoms();
+    if n_frames < 2 {
+        return vec![0.0; max_lag.min(1)];
+    }
+    let cell = &dataset.cell;
+
+    // Unwrap trajectories: accumulate minimum-image steps.
+    let mut unwrapped: Vec<Vec<[f64; 3]>> = Vec::with_capacity(n_frames);
+    unwrapped.push(dataset.frames[0].positions.clone());
+    for f in 1..n_frames {
+        let prev_wrapped = &dataset.frames[f - 1].positions;
+        let cur_wrapped = &dataset.frames[f].positions;
+        let prev_un = unwrapped[f - 1].clone();
+        let mut cur_un = Vec::with_capacity(n_atoms);
+        for i in 0..n_atoms {
+            let step = cell.min_image(prev_wrapped[i], cur_wrapped[i]);
+            cur_un.push([
+                prev_un[i][0] + step[0],
+                prev_un[i][1] + step[1],
+                prev_un[i][2] + step[2],
+            ]);
+        }
+        unwrapped.push(cur_un);
+    }
+
+    let lags = max_lag.min(n_frames - 1);
+    (1..=lags)
+        .map(|lag| {
+            let mut sq = 0.0;
+            let mut count = 0usize;
+            for start in 0..(n_frames - lag) {
+                for i in 0..n_atoms {
+                    let a = unwrapped[start][i];
+                    let b = unwrapped[start + lag][i];
+                    sq += (b[0] - a[0]).powi(2) + (b[1] - a[1]).powi(2) + (b[2] - a[2]).powi(2);
+                    count += 1;
+                }
+            }
+            sq / count as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_dataset, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn melt() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gen = GenConfig {
+            n_atoms: 20,
+            box_len: 11.0,
+            n_frames: 20,
+            equil_steps: 300,
+            sample_every: 5,
+            ..GenConfig::tiny()
+        };
+        generate_dataset(&gen, &mut rng)
+    }
+
+    #[test]
+    fn unlike_rdf_has_contact_peak_and_excluded_core() {
+        let ds = melt();
+        let rdf = partial_rdf(&ds, Species::Al, Species::Cl, 5.5, 55);
+        // Hard core: essentially nothing below ~1.5 Å.
+        let low: f64 = rdf
+            .r
+            .iter()
+            .zip(&rdf.g)
+            .filter(|(&r, _)| r < 1.5)
+            .map(|(_, &g)| g)
+            .sum();
+        assert!(low < 0.05, "core not excluded: {low}");
+        // First shell: a clear peak above the ideal-gas baseline.
+        let (peak_r, peak_g) = rdf.first_peak().unwrap();
+        assert!(
+            (1.6..4.0).contains(&peak_r),
+            "Al–Cl first shell at odd distance {peak_r}"
+        );
+        assert!(peak_g > 1.5, "no structuring: peak g(r) = {peak_g}");
+    }
+
+    #[test]
+    fn like_rdf_is_pushed_outward() {
+        // Coulomb repulsion keeps like ions farther apart than unlike ones.
+        let ds = melt();
+        let unlike = partial_rdf(&ds, Species::Al, Species::Cl, 5.5, 55);
+        let like = partial_rdf(&ds, Species::Cl, Species::Cl, 5.5, 55);
+        let first_r = |rdf: &Rdf| {
+            rdf.r
+                .iter()
+                .zip(&rdf.g)
+                .find(|(_, &g)| g > 0.5)
+                .map(|(&r, _)| r)
+                .unwrap_or(f64::MAX)
+        };
+        assert!(
+            first_r(&like) > first_r(&unlike),
+            "like ions should sit farther out"
+        );
+    }
+
+    #[test]
+    fn missing_species_pair_gives_zero_rdf() {
+        // A dataset holding only the first 10 atoms may lack K; the RDF
+        // must degrade gracefully rather than divide by zero.
+        let ds = melt();
+        let mut no_k = ds.clone();
+        let keep: Vec<usize> = (0..no_k.n_atoms())
+            .filter(|&i| no_k.species[i] != Species::K)
+            .collect();
+        no_k.species = keep.iter().map(|&i| ds.species[i]).collect();
+        for frame in &mut no_k.frames {
+            frame.positions = keep.iter().map(|&i| frame.positions[i]).collect();
+            frame.forces = keep.iter().map(|&i| frame.forces[i]).collect();
+        }
+        let rdf = partial_rdf(&no_k, Species::K, Species::Cl, 5.0, 10);
+        assert!(rdf.g.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn msd_grows_in_a_liquid() {
+        let ds = melt();
+        let msd = mean_squared_displacement(&ds, 10);
+        assert_eq!(msd.len(), 10);
+        assert!(msd[0] > 0.0, "atoms must move between samples");
+        // Diffusive growth: long-lag MSD exceeds short-lag MSD.
+        assert!(
+            msd[9] > msd[0],
+            "MSD should grow with lag in a melt: {:?}",
+            msd
+        );
+    }
+
+    #[test]
+    fn msd_of_static_frames_is_zero() {
+        let ds = melt();
+        let mut frozen = ds.clone();
+        let first = frozen.frames[0].clone();
+        for frame in &mut frozen.frames {
+            frame.positions = first.positions.clone();
+        }
+        let msd = mean_squared_displacement(&frozen, 5);
+        assert!(msd.iter().all(|&v| v.abs() < 1e-12));
+    }
+}

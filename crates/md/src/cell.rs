@@ -1,0 +1,131 @@
+//! Periodic cubic simulation cell and minimum-image geometry.
+
+/// A cubic periodic box of side length `L` (Å), matching the paper's
+/// 17.84 Å molten-salt cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cell {
+    length: f64,
+}
+
+impl Cell {
+    /// A cubic cell with the given side length in Å.
+    pub fn cubic(length: f64) -> Self {
+        assert!(length > 0.0 && length.is_finite(), "invalid cell length {length}");
+        Cell { length }
+    }
+
+    /// The paper's simulation cell: 17.84 Å.
+    pub fn paper() -> Self {
+        Cell::cubic(17.84)
+    }
+
+    /// Side length in Å.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Cell volume in Å³.
+    pub fn volume(&self) -> f64 {
+        self.length * self.length * self.length
+    }
+
+    /// Wrap a coordinate into `[0, L)`.
+    pub fn wrap_coord(&self, x: f64) -> f64 {
+        let l = self.length;
+        let w = x - l * (x / l).floor();
+        // Guard the x == -0.0 / rounding edge so the result is in [0, L).
+        if w >= l {
+            w - l
+        } else {
+            w
+        }
+    }
+
+    /// Wrap a position vector into the primary cell.
+    pub fn wrap(&self, p: [f64; 3]) -> [f64; 3] {
+        [self.wrap_coord(p[0]), self.wrap_coord(p[1]), self.wrap_coord(p[2])]
+    }
+
+    /// Minimum-image displacement from `a` to `b` (`b - a`, shifted into
+    /// `[-L/2, L/2)` per component).
+    pub fn min_image(&self, a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        let l = self.length;
+        let mut d = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        for v in &mut d {
+            *v -= l * (*v / l).round();
+        }
+        d
+    }
+
+    /// Minimum-image distance between `a` and `b`.
+    pub fn distance(&self, a: [f64; 3], b: [f64; 3]) -> f64 {
+        let d = self.min_image(a, b);
+        (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_into_primary_cell() {
+        let c = Cell::cubic(10.0);
+        assert!((c.wrap_coord(12.5) - 2.5).abs() < 1e-12);
+        assert!((c.wrap_coord(-0.5) - 9.5).abs() < 1e-12);
+        assert_eq!(c.wrap_coord(0.0), 0.0);
+        let w = c.wrap([11.0, -1.0, 5.0]);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 9.0).abs() < 1e-12);
+        assert_eq!(w[2], 5.0);
+    }
+
+    #[test]
+    fn wrap_result_always_in_range() {
+        let c = Cell::cubic(7.3);
+        for i in -50..50 {
+            let x = i as f64 * 1.7;
+            let w = c.wrap_coord(x);
+            assert!((0.0..7.3).contains(&w), "wrap({x}) = {w}");
+        }
+    }
+
+    #[test]
+    fn min_image_picks_nearest_copy() {
+        let c = Cell::cubic(10.0);
+        // 9.0 → 1.0 across the boundary is distance 2, not 8.
+        let d = c.min_image([9.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        assert!((d[0] - 2.0).abs() < 1e-12);
+        assert!((c.distance([9.0, 0.0, 0.0], [1.0, 0.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_is_antisymmetric() {
+        let c = Cell::cubic(17.84);
+        let a = [1.0, 2.0, 3.0];
+        let b = [15.0, 0.5, 17.0];
+        let dab = c.min_image(a, b);
+        let dba = c.min_image(b, a);
+        for k in 0..3 {
+            assert!((dab[k] + dba[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_bounded_by_half_diagonal() {
+        let c = Cell::cubic(10.0);
+        let max = 10.0 * (3.0f64).sqrt() / 2.0;
+        for &(a, b) in &[
+            ([0.0, 0.0, 0.0], [5.0, 5.0, 5.0]),
+            ([1.0, 9.0, 4.0], [9.0, 1.0, 6.0]),
+        ] {
+            assert!(c.distance(a, b) <= max + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cell length")]
+    fn rejects_nonpositive_length() {
+        Cell::cubic(0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! DeePMD data-directory export — the paper's §2.1.3 conversion step:
+//! "converted to input data formats compatible with DeePMD (energy, force,
+//! box values in Numpy arrays) using in-house scripts".
+//!
+//! Layout produced (DeePMD "System" convention):
+//!
+//! ```text
+//! <root>/
+//!   type.raw            # species index per atom, one per line
+//!   type_map.raw        # species names in index order
+//!   set.000/
+//!     coord.npy         # [n_frames, 3·n_atoms]
+//!     energy.npy        # [n_frames]
+//!     force.npy         # [n_frames, 3·n_atoms]
+//!     box.npy           # [n_frames, 9] (flattened 3×3 cell)
+//! ```
+
+use std::path::Path;
+
+use crate::generate::Dataset;
+use crate::npy::NpyArray;
+use crate::potential::Species;
+
+/// Build the four arrays in memory (frames × flattened per-frame data).
+pub fn dataset_arrays(dataset: &Dataset) -> (NpyArray, NpyArray, NpyArray, NpyArray) {
+    let n_frames = dataset.n_frames();
+    let n_atoms = dataset.n_atoms();
+    let mut coord = Vec::with_capacity(n_frames * n_atoms * 3);
+    let mut force = Vec::with_capacity(n_frames * n_atoms * 3);
+    let mut energy = Vec::with_capacity(n_frames);
+    let mut boxes = Vec::with_capacity(n_frames * 9);
+    let l = dataset.cell.length();
+    for frame in &dataset.frames {
+        coord.extend(frame.positions.iter().flatten().copied());
+        force.extend(frame.forces.iter().flatten().copied());
+        energy.push(frame.energy);
+        boxes.extend_from_slice(&[l, 0.0, 0.0, 0.0, l, 0.0, 0.0, 0.0, l]);
+    }
+    (
+        NpyArray::new(vec![n_frames, n_atoms * 3], coord).expect("coord shape"),
+        NpyArray::new(vec![n_frames], energy).expect("energy shape"),
+        NpyArray::new(vec![n_frames, n_atoms * 3], force).expect("force shape"),
+        NpyArray::new(vec![n_frames, 9], boxes).expect("box shape"),
+    )
+}
+
+/// Write a DeePMD-layout data directory.
+pub fn write_deepmd_dir(dataset: &Dataset, root: &Path) -> Result<(), String> {
+    let set_dir = root.join("set.000");
+    std::fs::create_dir_all(&set_dir).map_err(|e| e.to_string())?;
+
+    let type_raw: String = dataset
+        .species
+        .iter()
+        .map(|s| format!("{}\n", s.index()))
+        .collect();
+    std::fs::write(root.join("type.raw"), type_raw).map_err(|e| e.to_string())?;
+    let type_map: String = Species::ALL.iter().map(|s| format!("{s:?}\n")).collect();
+    std::fs::write(root.join("type_map.raw"), type_map).map_err(|e| e.to_string())?;
+
+    let (coord, energy, force, boxes) = dataset_arrays(dataset);
+    for (name, arr) in [
+        ("coord.npy", &coord),
+        ("energy.npy", &energy),
+        ("force.npy", &force),
+        ("box.npy", &boxes),
+    ] {
+        std::fs::write(set_dir.join(name), arr.to_bytes()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Read a DeePMD-layout directory back into a [`Dataset`].
+pub fn read_deepmd_dir(root: &Path) -> Result<Dataset, String> {
+    let set_dir = root.join("set.000");
+    let load = |name: &str| -> Result<NpyArray, String> {
+        let bytes = std::fs::read(set_dir.join(name)).map_err(|e| format!("{name}: {e}"))?;
+        NpyArray::from_bytes(&bytes).map_err(|e| format!("{name}: {e}"))
+    };
+    let coord = load("coord.npy")?;
+    let energy = load("energy.npy")?;
+    let force = load("force.npy")?;
+    let boxes = load("box.npy")?;
+
+    let type_raw =
+        std::fs::read_to_string(root.join("type.raw")).map_err(|e| e.to_string())?;
+    let species: Vec<Species> = type_raw
+        .lines()
+        .map(|line| {
+            line.trim()
+                .parse::<usize>()
+                .ok()
+                .and_then(|i| Species::ALL.get(i).copied())
+                .ok_or_else(|| format!("bad type.raw line '{line}'"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let n_frames = energy.shape[0];
+    let n_atoms = species.len();
+    if coord.shape != vec![n_frames, n_atoms * 3] || force.shape != coord.shape {
+        return Err("coord/force shape mismatch with type.raw".into());
+    }
+    let box_len = boxes.data.first().copied().ok_or("empty box array")?;
+    let cell = crate::cell::Cell::cubic(box_len);
+
+    let frames = (0..n_frames)
+        .map(|f| {
+            let chunk = &coord.data[f * n_atoms * 3..(f + 1) * n_atoms * 3];
+            let positions = chunk.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+            let fchunk = &force.data[f * n_atoms * 3..(f + 1) * n_atoms * 3];
+            let forces = fchunk.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+            crate::generate::Frame { positions, energy: energy.data[f], forces }
+        })
+        .collect();
+    Ok(Dataset { cell, species, frames })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_dataset, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dphpo-export-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn arrays_have_deepmd_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gen = GenConfig::tiny();
+        gen.n_frames = 4;
+        let ds = generate_dataset(&gen, &mut rng);
+        let (coord, energy, force, boxes) = dataset_arrays(&ds);
+        assert_eq!(coord.shape, vec![4, 60]);
+        assert_eq!(energy.shape, vec![4]);
+        assert_eq!(force.shape, vec![4, 60]);
+        assert_eq!(boxes.shape, vec![4, 9]);
+        // Diagonal box entries carry the cell length.
+        assert_eq!(boxes.data[0], ds.cell.length());
+        assert_eq!(boxes.data[4], ds.cell.length());
+        assert_eq!(boxes.data[1], 0.0);
+    }
+
+    #[test]
+    fn directory_round_trips_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gen = GenConfig::tiny();
+        gen.n_frames = 3;
+        let ds = generate_dataset(&gen, &mut rng);
+        let dir = tmp_dir("roundtrip");
+        write_deepmd_dir(&ds, &dir).unwrap();
+        assert!(dir.join("set.000/coord.npy").exists());
+        assert!(dir.join("type.raw").exists());
+        let back = read_deepmd_dir(&dir).unwrap();
+        assert_eq!(back.species, ds.species);
+        assert_eq!(back.n_frames(), ds.n_frames());
+        for (a, b) in back.frames.iter().zip(ds.frames.iter()) {
+            assert_eq!(a.energy, b.energy);
+            assert_eq!(a.positions, b.positions);
+            assert_eq!(a.forces, b.forces);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_rejects_inconsistent_directory() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gen = GenConfig::tiny();
+        gen.n_frames = 2;
+        let ds = generate_dataset(&gen, &mut rng);
+        let dir = tmp_dir("inconsistent");
+        write_deepmd_dir(&ds, &dir).unwrap();
+        // Corrupt type.raw so atom counts disagree with coord.npy.
+        std::fs::write(dir.join("type.raw"), "0\n1\n").unwrap();
+        assert!(read_deepmd_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

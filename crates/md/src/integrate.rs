@@ -1,0 +1,298 @@
+//! Molecular-dynamics integrators: velocity Verlet (NVE) and a BAOAB
+//! Langevin thermostat (NVT), in eV/Å/amu/fs units.
+
+use rand::Rng;
+
+use crate::cell::Cell;
+use crate::potential::{MeltPotential, Species, KB_EV};
+
+/// Acceleration conversion: 1 eV/Å/amu = `ACC_CONV` Å/fs².
+pub const ACC_CONV: f64 = 9.648_533e-3;
+
+/// Kinetic-energy conversion: 1 amu·(Å/fs)² = `KE_CONV` eV.
+pub const KE_CONV: f64 = 103.642_7;
+
+/// Mutable state of an MD simulation.
+#[derive(Clone, Debug)]
+pub struct MdState {
+    /// Wrapped positions (Å).
+    pub positions: Vec<[f64; 3]>,
+    /// Velocities (Å/fs).
+    pub velocities: Vec<[f64; 3]>,
+    /// Current forces (eV/Å).
+    pub forces: Vec<[f64; 3]>,
+    /// Current potential energy (eV).
+    pub potential_energy: f64,
+}
+
+impl MdState {
+    /// Initialise from positions with Maxwell–Boltzmann velocities at
+    /// `temperature` (K).
+    pub fn new<R: Rng + ?Sized>(
+        cell: &Cell,
+        potential: &MeltPotential,
+        species: &[Species],
+        positions: Vec<[f64; 3]>,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Self {
+        let velocities = maxwell_boltzmann(species, temperature, rng);
+        let (potential_energy, forces) = potential.energy_forces(cell, species, &positions);
+        MdState { positions, velocities, forces, potential_energy }
+    }
+
+    /// Kinetic energy in eV.
+    pub fn kinetic_energy(&self, species: &[Species]) -> f64 {
+        self.velocities
+            .iter()
+            .zip(species.iter())
+            .map(|(v, s)| {
+                0.5 * s.mass() * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * KE_CONV
+            })
+            .sum()
+    }
+
+    /// Instantaneous temperature in K.
+    pub fn temperature(&self, species: &[Species]) -> f64 {
+        let ke = self.kinetic_energy(species);
+        2.0 * ke / (3.0 * species.len() as f64 * KB_EV)
+    }
+
+    /// Total (kinetic + potential) energy in eV.
+    pub fn total_energy(&self, species: &[Species]) -> f64 {
+        self.kinetic_energy(species) + self.potential_energy
+    }
+}
+
+/// Gaussian sample (Marsaglia polar; duplicated from dphpo-evo to keep the
+/// crates independent).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Maxwell–Boltzmann velocity draw at `temperature` K with the centre-of-
+/// mass drift removed.
+pub fn maxwell_boltzmann<R: Rng + ?Sized>(
+    species: &[Species],
+    temperature: f64,
+    rng: &mut R,
+) -> Vec<[f64; 3]> {
+    let mut v: Vec<[f64; 3]> = species
+        .iter()
+        .map(|s| {
+            let sigma = (KB_EV * temperature / (s.mass() * KE_CONV)).sqrt();
+            [sigma * gaussian(rng), sigma * gaussian(rng), sigma * gaussian(rng)]
+        })
+        .collect();
+    // Remove net momentum.
+    let total_mass: f64 = species.iter().map(|s| s.mass()).sum();
+    for k in 0..3 {
+        let p: f64 = v.iter().zip(species).map(|(vi, s)| s.mass() * vi[k]).sum();
+        let drift = p / total_mass;
+        for vi in &mut v {
+            vi[k] -= drift;
+        }
+    }
+    v
+}
+
+/// One velocity-Verlet step (NVE), `dt` in fs. Recomputes forces.
+pub fn nve_step(
+    cell: &Cell,
+    potential: &MeltPotential,
+    species: &[Species],
+    state: &mut MdState,
+    dt: f64,
+) {
+    let n = species.len();
+    for i in 0..n {
+        let inv_m = ACC_CONV / species[i].mass();
+        for k in 0..3 {
+            state.velocities[i][k] += 0.5 * dt * state.forces[i][k] * inv_m;
+            state.positions[i][k] += dt * state.velocities[i][k];
+        }
+        state.positions[i] = cell.wrap(state.positions[i]);
+    }
+    let (e, f) = potential.energy_forces(cell, species, &state.positions);
+    state.potential_energy = e;
+    state.forces = f;
+    for i in 0..n {
+        let inv_m = ACC_CONV / species[i].mass();
+        for k in 0..3 {
+            state.velocities[i][k] += 0.5 * dt * state.forces[i][k] * inv_m;
+        }
+    }
+}
+
+/// One BAOAB Langevin step (NVT): half-kick, half-drift, Ornstein–Uhlenbeck
+/// velocity refresh, half-drift, force recompute, half-kick.
+#[allow(clippy::too_many_arguments)]
+pub fn langevin_step<R: Rng + ?Sized>(
+    cell: &Cell,
+    potential: &MeltPotential,
+    species: &[Species],
+    state: &mut MdState,
+    dt: f64,
+    temperature: f64,
+    friction: f64,
+    rng: &mut R,
+) {
+    let n = species.len();
+    let c1 = (-friction * dt).exp();
+    // B + A halves.
+    for i in 0..n {
+        let inv_m = ACC_CONV / species[i].mass();
+        for k in 0..3 {
+            state.velocities[i][k] += 0.5 * dt * state.forces[i][k] * inv_m;
+            state.positions[i][k] += 0.5 * dt * state.velocities[i][k];
+        }
+    }
+    // O: exact OU solution.
+    for i in 0..n {
+        let sigma = (KB_EV * temperature / (species[i].mass() * KE_CONV)).sqrt();
+        let c2 = sigma * (1.0 - c1 * c1).sqrt();
+        for k in 0..3 {
+            state.velocities[i][k] = c1 * state.velocities[i][k] + c2 * gaussian(rng);
+        }
+    }
+    // A half, then force refresh, then B half.
+    for i in 0..n {
+        for k in 0..3 {
+            state.positions[i][k] += 0.5 * dt * state.velocities[i][k];
+        }
+        state.positions[i] = cell.wrap(state.positions[i]);
+    }
+    let (e, f) = potential.energy_forces(cell, species, &state.positions);
+    state.potential_energy = e;
+    state.forces = f;
+    for i in 0..n {
+        let inv_m = ACC_CONV / species[i].mass();
+        for k in 0..3 {
+            state.velocities[i][k] += 0.5 * dt * state.forces[i][k] * inv_m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::lattice_positions;
+    use crate::potential::{melt_composition, shuffled_composition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_system(seed: u64) -> (Cell, MeltPotential, Vec<Species>, MdState) {
+        let cell = Cell::cubic(11.0);
+        let potential = MeltPotential::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let species = shuffled_composition(20, &mut rng);
+        let positions = lattice_positions(&cell, 20, 0.15, &mut rng);
+        let mut state = MdState::new(&cell, &potential, &species, positions, 498.0, &mut rng);
+        // Damped small-step warmup off the lattice start (see generate.rs).
+        for _ in 0..150 {
+            langevin_step(&cell, &potential, &species, &mut state, 0.25, 498.0, 0.5, &mut rng);
+        }
+        (cell, potential, species, state)
+    }
+
+    #[test]
+    fn maxwell_boltzmann_temperature_and_momentum() {
+        let species = melt_composition(160);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = maxwell_boltzmann(&species, 498.0, &mut rng);
+        // Net momentum removed.
+        for k in 0..3 {
+            let p: f64 = v.iter().zip(&species).map(|(vi, s)| s.mass() * vi[k]).sum();
+            assert!(p.abs() < 1e-9, "net momentum {p}");
+        }
+        // Temperature near target (tolerant: 160 atoms, stochastic).
+        let ke: f64 = v
+            .iter()
+            .zip(&species)
+            .map(|(vi, s)| 0.5 * s.mass() * (vi[0].powi(2) + vi[1].powi(2) + vi[2].powi(2)) * KE_CONV)
+            .sum();
+        let t = 2.0 * ke / (3.0 * 160.0 * KB_EV);
+        assert!((t - 498.0).abs() < 80.0, "temperature {t}");
+    }
+
+    #[test]
+    fn nve_conserves_energy() {
+        let (cell, potential, species, mut state) = small_system(2);
+        // Relax with a few strongly damped Langevin steps first so we start
+        // from a reasonable configuration, then measure NVE drift.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            langevin_step(&cell, &potential, &species, &mut state, 0.5, 498.0, 0.05, &mut rng);
+        }
+        let e0 = state.total_energy(&species);
+        for _ in 0..200 {
+            nve_step(&cell, &potential, &species, &mut state, 0.25);
+        }
+        let e1 = state.total_energy(&species);
+        let ke = state.kinetic_energy(&species).max(1.0);
+        assert!(
+            (e1 - e0).abs() < 0.05 * ke,
+            "energy drift {} vs kinetic scale {ke}",
+            e1 - e0
+        );
+    }
+
+    #[test]
+    fn langevin_equilibrates_to_target_temperature() {
+        let (cell, potential, species, mut state) = small_system(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..600 {
+            langevin_step(&cell, &potential, &species, &mut state, 1.0, 498.0, 0.02, &mut rng);
+        }
+        // Average over a window to smooth instantaneous fluctuation.
+        let mut t_sum = 0.0;
+        let window = 400;
+        for _ in 0..window {
+            langevin_step(&cell, &potential, &species, &mut state, 1.0, 498.0, 0.02, &mut rng);
+            t_sum += state.temperature(&species);
+        }
+        let t_avg = t_sum / window as f64;
+        assert!(
+            (t_avg - 498.0).abs() < 150.0,
+            "thermostat failed to hold 498 K: got {t_avg}"
+        );
+    }
+
+    #[test]
+    fn positions_stay_wrapped() {
+        let (cell, potential, species, mut state) = small_system(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            langevin_step(&cell, &potential, &species, &mut state, 1.0, 498.0, 0.02, &mut rng);
+        }
+        for p in &state.positions {
+            for k in 0..3 {
+                assert!((0.0..cell.length()).contains(&p[k]));
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_do_not_fuse() {
+        // The repulsive core must keep unlike ions from collapsing.
+        let (cell, potential, species, mut state) = small_system(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            langevin_step(&cell, &potential, &species, &mut state, 1.0, 498.0, 0.02, &mut rng);
+        }
+        let mut min_r = f64::MAX;
+        for i in 0..species.len() {
+            for j in (i + 1)..species.len() {
+                min_r = min_r.min(cell.distance(state.positions[i], state.positions[j]));
+            }
+        }
+        assert!(min_r > 1.2, "ions fused: min pair distance {min_r}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Neighbor-pair enumeration under periodic boundary conditions.
+//!
+//! Two strategies are provided: a brute-force O(N²) minimum-image scan
+//! (exact for any cutoff, the right tool at the paper's 160-atom scale) and
+//! a linked-cell list that is O(N) when the cutoff is small relative to the
+//! box. Both produce identical directed pair lists (tested).
+
+use crate::cell::Cell;
+
+/// A directed neighbor pair `i → j` within the cutoff.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pair {
+    /// Central atom index.
+    pub i: usize,
+    /// Neighbor atom index.
+    pub j: usize,
+    /// Minimum-image displacement `r_j − r_i`.
+    pub disp: [f64; 3],
+    /// Distance `|disp|`.
+    pub r: f64,
+}
+
+/// Directed pairs (both `i→j` and `j→i`) with `0 < r < rcut`, brute force.
+pub fn pairs_brute_force(cell: &Cell, positions: &[[f64; 3]], rcut: f64) -> Vec<Pair> {
+    assert!(rcut > 0.0, "non-positive cutoff");
+    let n = positions.len();
+    let rcut2 = rcut * rcut;
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = cell.min_image(positions[i], positions[j]);
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            if r2 < rcut2 && r2 > 0.0 {
+                let r = r2.sqrt();
+                pairs.push(Pair { i, j, disp: d, r });
+                pairs.push(Pair { i: j, j: i, disp: [-d[0], -d[1], -d[2]], r });
+            }
+        }
+    }
+    pairs
+}
+
+/// Linked-cell neighbor search. Falls back to [`pairs_brute_force`] when the
+/// box is too small to host a 3×3×3 cell grid at this cutoff (the paper's
+/// regime: rcut up to 12 Å in a 17.84 Å box).
+pub fn pairs_cell_list(cell: &Cell, positions: &[[f64; 3]], rcut: f64) -> Vec<Pair> {
+    assert!(rcut > 0.0, "non-positive cutoff");
+    let l = cell.length();
+    let m = (l / rcut).floor() as usize;
+    if m < 3 {
+        return pairs_brute_force(cell, positions, rcut);
+    }
+    let cell_len = l / m as f64;
+    let cell_of = |p: [f64; 3]| -> [usize; 3] {
+        let w = cell.wrap(p);
+        let mut c = [0usize; 3];
+        for k in 0..3 {
+            c[k] = ((w[k] / cell_len) as usize).min(m - 1);
+        }
+        c
+    };
+    let idx = |c: [usize; 3]| -> usize { (c[0] * m + c[1]) * m + c[2] };
+
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); m * m * m];
+    for (a, &p) in positions.iter().enumerate() {
+        bins[idx(cell_of(p))].push(a);
+    }
+
+    let rcut2 = rcut * rcut;
+    let mut pairs = Vec::new();
+    for cx in 0..m {
+        for cy in 0..m {
+            for cz in 0..m {
+                let home = &bins[idx([cx, cy, cz])];
+                for dx in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dz in -1i64..=1 {
+                            let nb = [
+                                ((cx as i64 + dx).rem_euclid(m as i64)) as usize,
+                                ((cy as i64 + dy).rem_euclid(m as i64)) as usize,
+                                ((cz as i64 + dz).rem_euclid(m as i64)) as usize,
+                            ];
+                            let other = &bins[idx(nb)];
+                            for &i in home {
+                                for &j in other {
+                                    if i == j {
+                                        continue;
+                                    }
+                                    let d = cell.min_image(positions[i], positions[j]);
+                                    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                                    if r2 < rcut2 && r2 > 0.0 {
+                                        pairs.push(Pair { i, j, disp: d, r: r2.sqrt() });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // With periodic wrap-around and m == 3 the same neighbor cell can be
+    // visited from more than one offset; deduplicate.
+    pairs.sort_unstable_by(|a, b| (a.i, a.j).cmp(&(b.i, b.j)));
+    pairs.dedup_by(|a, b| a.i == b.i && a.j == b.j);
+    pairs
+}
+
+/// Sorted copy of a pair list for order-insensitive comparisons.
+pub fn sorted_pairs(mut pairs: Vec<Pair>) -> Vec<Pair> {
+    pairs.sort_unstable_by(|a, b| (a.i, a.j).cmp(&(b.i, b.j)));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_positions(n: usize, l: f64, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| [rng.random_range(0.0..l), rng.random_range(0.0..l), rng.random_range(0.0..l)])
+            .collect()
+    }
+
+    #[test]
+    fn brute_force_pairs_are_symmetric() {
+        let cell = Cell::cubic(10.0);
+        let pos = random_positions(20, 10.0, 1);
+        let pairs = pairs_brute_force(&cell, &pos, 4.0);
+        assert_eq!(pairs.len() % 2, 0);
+        for p in &pairs {
+            assert!(pairs.iter().any(|q| q.i == p.j && q.j == p.i));
+            assert!(p.r < 4.0 && p.r > 0.0);
+        }
+    }
+
+    #[test]
+    fn pair_across_boundary_found() {
+        let cell = Cell::cubic(10.0);
+        let pos = vec![[0.5, 5.0, 5.0], [9.5, 5.0, 5.0]];
+        let pairs = pairs_brute_force(&cell, &pos, 2.0);
+        assert_eq!(pairs.len(), 2);
+        assert!((pairs[0].r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_list_matches_brute_force_small_cutoff() {
+        let cell = Cell::cubic(12.0);
+        let pos = random_positions(60, 12.0, 7);
+        for rcut in [2.0, 3.0, 3.9] {
+            let a = sorted_pairs(pairs_brute_force(&cell, &pos, rcut));
+            let b = sorted_pairs(pairs_cell_list(&cell, &pos, rcut));
+            assert_eq!(a.len(), b.len(), "rcut {rcut}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!((x.i, x.j), (y.i, y.j));
+                assert!((x.r - y.r).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_list_falls_back_for_large_cutoff() {
+        // rcut 6 in a 12 box → m = 2 < 3 → brute-force fallback, still exact.
+        let cell = Cell::cubic(12.0);
+        let pos = random_positions(30, 12.0, 3);
+        let a = sorted_pairs(pairs_brute_force(&cell, &pos, 6.0));
+        let b = sorted_pairs(pairs_cell_list(&cell, &pos, 6.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_pairs_even_for_duplicate_positions() {
+        let cell = Cell::cubic(10.0);
+        let pos = vec![[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        let pairs = pairs_brute_force(&cell, &pos, 3.0);
+        // Identical positions have r = 0 and are skipped (r² > 0 filter).
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn larger_cutoff_never_loses_pairs() {
+        let cell = Cell::cubic(17.84);
+        let pos = random_positions(40, 17.84, 11);
+        let small = pairs_brute_force(&cell, &pos, 6.0);
+        let large = pairs_brute_force(&cell, &pos, 12.0);
+        assert!(large.len() >= small.len());
+        let large_set: std::collections::HashSet<(usize, usize)> =
+            large.iter().map(|p| (p.i, p.j)).collect();
+        for p in &small {
+            assert!(large_set.contains(&(p.i, p.j)));
+        }
+    }
+}

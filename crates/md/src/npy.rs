@@ -1,0 +1,170 @@
+//! Minimal NumPy `.npy` (format version 1.0) reader/writer for
+//! little-endian `f64` arrays — the paper's in-house scripts convert the
+//! CP2K trajectory into "energy, force, box values in Numpy arrays" for
+//! DeePMD, and [`crate::export`] reproduces that artifact byte-for-byte
+//! loadable by `numpy.load`.
+
+/// A dense row-major f64 array with an arbitrary shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NpyArray {
+    /// Dimension sizes.
+    pub shape: Vec<usize>,
+    /// Row-major data; length = product of `shape`.
+    pub data: Vec<f64>,
+}
+
+impl NpyArray {
+    /// Construct, checking shape/data consistency.
+    pub fn new(shape: Vec<usize>, data: Vec<f64>) -> Result<Self, String> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(format!(
+                "shape {shape:?} expects {expected} elements, got {}",
+                data.len()
+            ));
+        }
+        Ok(NpyArray { shape, data })
+    }
+
+    /// Serialise into `.npy` bytes (format 1.0, `<f8`, C order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let shape_str = match self.shape.len() {
+            0 => "()".to_string(),
+            1 => format!("({},)", self.shape[0]),
+            _ => format!(
+                "({})",
+                self.shape.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        let mut header = format!(
+            "{{'descr': '<f8', 'fortran_order': False, 'shape': {shape_str}, }}"
+        );
+        // Pad with spaces so that magic(6)+version(2)+len(2)+header is a
+        // multiple of 64, ending in a newline (the format's requirement).
+        let unpadded = 6 + 2 + 2 + header.len() + 1;
+        let padding = (64 - unpadded % 64) % 64;
+        header.push_str(&" ".repeat(padding));
+        header.push('\n');
+
+        let mut out = Vec::with_capacity(10 + header.len() + self.data.len() * 8);
+        out.extend_from_slice(b"\x93NUMPY");
+        out.push(1); // major
+        out.push(0); // minor
+        out.extend_from_slice(&(header.len() as u16).to_le_bytes());
+        out.extend_from_slice(header.as_bytes());
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse `.npy` bytes (format 1.0/2.0, `<f8`, C order only).
+    pub fn from_bytes(bytes: &[u8]) -> Result<NpyArray, String> {
+        if bytes.len() < 10 || &bytes[..6] != b"\x93NUMPY" {
+            return Err("not an .npy file".into());
+        }
+        let major = bytes[6];
+        let (header_len, header_start) = match major {
+            1 => (u16::from_le_bytes([bytes[8], bytes[9]]) as usize, 10),
+            2 => {
+                if bytes.len() < 12 {
+                    return Err("truncated v2 header".into());
+                }
+                (
+                    u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize,
+                    12,
+                )
+            }
+            v => return Err(format!("unsupported npy version {v}")),
+        };
+        let header_end = header_start + header_len;
+        if bytes.len() < header_end {
+            return Err("truncated header".into());
+        }
+        let header = std::str::from_utf8(&bytes[header_start..header_end])
+            .map_err(|_| "non-UTF8 header".to_string())?;
+        if !header.contains("'<f8'") {
+            return Err(format!("unsupported dtype in header: {header}"));
+        }
+        if header.contains("'fortran_order': True") {
+            return Err("fortran order unsupported".into());
+        }
+        let shape_part = header
+            .split("'shape':")
+            .nth(1)
+            .ok_or("missing shape")?
+            .trim_start()
+            .strip_prefix('(')
+            .ok_or("malformed shape")?;
+        let inner: &str = shape_part.split(')').next().ok_or("malformed shape")?;
+        let shape: Vec<usize> = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse::<usize>().map_err(|_| format!("bad dim '{s}'")))
+            .collect::<Result<_, _>>()?;
+        let count: usize = shape.iter().product();
+        let body = &bytes[header_end..];
+        if body.len() < count * 8 {
+            return Err(format!("expected {} data bytes, got {}", count * 8, body.len()));
+        }
+        let data = body[..count * 8]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(NpyArray { shape, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_1d_and_2d() {
+        for shape in [vec![5], vec![2, 3], vec![4, 3]] {
+            let count: usize = shape.iter().product();
+            let data: Vec<f64> = (0..count).map(|i| i as f64 * 1.5 - 3.0).collect();
+            let arr = NpyArray::new(shape.clone(), data.clone()).unwrap();
+            let bytes = arr.to_bytes();
+            let back = NpyArray::from_bytes(&bytes).unwrap();
+            assert_eq!(back.shape, shape);
+            assert_eq!(back.data, data);
+        }
+    }
+
+    #[test]
+    fn header_is_64_byte_aligned_and_magic_correct() {
+        let arr = NpyArray::new(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let bytes = arr.to_bytes();
+        assert_eq!(&bytes[..6], b"\x93NUMPY");
+        assert_eq!(bytes[6], 1);
+        let header_len = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
+        assert_eq!((10 + header_len) % 64, 0, "numpy requires 64-byte alignment");
+        // Header ends with newline per the spec.
+        assert_eq!(bytes[10 + header_len - 1], b'\n');
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(NpyArray::from_bytes(b"hello world").is_err());
+        assert!(NpyArray::from_bytes(b"").is_err());
+        let arr = NpyArray::new(vec![2], vec![1.0, 2.0]).unwrap();
+        let mut bytes = arr.to_bytes();
+        bytes.truncate(bytes.len() - 4); // cut into the data section
+        assert!(NpyArray::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(NpyArray::new(vec![3, 3], vec![0.0; 8]).is_err());
+    }
+
+    #[test]
+    fn special_values_round_trip() {
+        let data = vec![f64::MAX, f64::MIN_POSITIVE, -0.0, 1e-300];
+        let arr = NpyArray::new(vec![4], data.clone()).unwrap();
+        let back = NpyArray::from_bytes(&arr.to_bytes()).unwrap();
+        assert_eq!(back.data, data);
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) over the core invariants of every
+//! substrate: autograd correctness against finite differences, sorting
+//! algorithm equivalence, dominance laws, decoder totality, hypervolume
+//! monotonicity, JSON round-trips, and cell geometry.
+
+use dphpo::autograd::{Tape, Tensor};
+use dphpo::core::decode::{decode, floor_mod};
+use dphpo::dnnp::{switching_scalar, Json};
+use dphpo::evo::{
+    crowding_distance, fast_nondominated_sort, hypervolume_2d, rank_ordinal_sort, Fitness,
+};
+use dphpo::md::Cell;
+use proptest::prelude::*;
+
+fn finite_fitness() -> impl Strategy<Value = Fitness> {
+    prop::collection::vec(0.0f64..10.0, 2).prop_map(Fitness::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- evo ------------------------------------------------------------
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(f in finite_fitness(), g in finite_fitness()) {
+        prop_assert!(!f.dominates(&f));
+        prop_assert!(!(f.dominates(&g) && g.dominates(&f)));
+    }
+
+    #[test]
+    fn sorting_algorithms_agree(
+        values in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..60)
+    ) {
+        let fits: Vec<Fitness> = values.iter().map(|&(a, b)| Fitness::new(vec![a, b])).collect();
+        let refs: Vec<&Fitness> = fits.iter().collect();
+        let deb = fast_nondominated_sort(&refs).normalised();
+        let rank = rank_ordinal_sort(&refs).normalised();
+        prop_assert_eq!(deb, rank);
+    }
+
+    #[test]
+    fn sorting_agrees_on_three_objectives(
+        values in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..40)
+    ) {
+        let fits: Vec<Fitness> =
+            values.iter().map(|&(a, b, c)| Fitness::new(vec![a, b, c])).collect();
+        let refs: Vec<&Fitness> = fits.iter().collect();
+        prop_assert_eq!(
+            fast_nondominated_sort(&refs).normalised(),
+            rank_ordinal_sort(&refs).normalised()
+        );
+    }
+
+    #[test]
+    fn fronts_partition_the_population(
+        values in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..50)
+    ) {
+        let fits: Vec<Fitness> = values.iter().map(|&(a, b)| Fitness::new(vec![a, b])).collect();
+        let refs: Vec<&Fitness> = fits.iter().collect();
+        let fronts = rank_ordinal_sort(&refs);
+        let mut seen = vec![false; fits.len()];
+        for front in fronts.as_slice() {
+            for &i in front {
+                prop_assert!(!seen[i], "index {} in two fronts", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Front 0 is mutually non-dominating.
+        let first = &fronts.as_slice()[0];
+        for &a in first {
+            for &b in first {
+                prop_assert!(!fits[a].dominates(&fits[b]));
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_distances_are_nonnegative(
+        values in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..40)
+    ) {
+        let fits: Vec<Fitness> = values.iter().map(|&(a, b)| Fitness::new(vec![a, b])).collect();
+        let refs: Vec<&Fitness> = fits.iter().collect();
+        let front: Vec<usize> = (0..fits.len()).collect();
+        for d in crowding_distance(&refs, &front) {
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_extra_points(
+        values in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..30),
+        extra in (0.0f64..1.0, 0.0f64..1.0)
+    ) {
+        let hv = hypervolume_2d(&values, (2.0, 2.0));
+        let mut more = values.clone();
+        more.push(extra);
+        let hv2 = hypervolume_2d(&more, (2.0, 2.0));
+        prop_assert!(hv2 >= hv - 1e-12);
+        prop_assert!(hv >= 0.0);
+    }
+
+    // ---- autograd --------------------------------------------------------
+
+    #[test]
+    fn grad_of_quadratic_form_matches_closed_form(
+        x in prop::collection::vec(-3.0f64..3.0, 1..8)
+    ) {
+        // y = Σ (3x² − 2x), dy/dx = 6x − 2.
+        let tape = Tape::new();
+        let v = tape.constant(Tensor::vector(&x));
+        let y = tape.sum_all(tape.sub(tape.scale(tape.square(v), 3.0), tape.scale(v, 2.0)));
+        let g = tape.grad(y, &[v])[0];
+        let values = tape.value(g);
+        for (xi, gi) in x.iter().zip(values.data()) {
+            prop_assert!((gi - (6.0 * xi - 2.0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmul_grad_is_linear_in_cotangent(
+        a in prop::collection::vec(-2.0f64..2.0, 4),
+        b in prop::collection::vec(-2.0f64..2.0, 4)
+    ) {
+        // d(sum(A·B))/dA = ones · Bᵀ: check against direct computation.
+        let tape = Tape::new();
+        let va = tape.constant(Tensor::matrix(2, 2, a.clone()));
+        let vb = tape.constant(Tensor::matrix(2, 2, b.clone()));
+        let y = tape.sum_all(tape.matmul(va, vb));
+        let g = tape.grad(y, &[va])[0];
+        let expected = Tensor::ones(dphpo::autograd::Shape::D2(2, 2))
+            .matmul(&Tensor::matrix(2, 2, b).transpose());
+        for (got, want) in tape.value(g).data().iter().zip(expected.data()) {
+            prop_assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    // ---- dnnp / descriptor ----------------------------------------------
+
+    #[test]
+    fn switching_function_is_bounded_and_decaying(
+        r in 0.1f64..20.0, smth in 0.5f64..5.9, extent in 0.2f64..8.0
+    ) {
+        let cut = smth + extent;
+        let s = switching_scalar(r, smth, cut);
+        prop_assert!(s >= 0.0, "s(r) must be nonnegative");
+        prop_assert!(s <= 1.0 / r + 1e-12, "s(r) bounded by 1/r");
+        if r >= cut {
+            prop_assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn json_number_round_trip(v in -1e12f64..1e12) {
+        let text = Json::Number(v).to_string();
+        let parsed = Json::parse(&text).unwrap();
+        let got = parsed.as_f64().unwrap();
+        prop_assert!((got - v).abs() <= 1e-9 * (1.0 + v.abs()));
+    }
+
+    #[test]
+    fn json_string_round_trip(s in "[ -~]{0,40}") {
+        let text = Json::String(s.clone()).to_string();
+        prop_assert_eq!(Json::parse(&text).unwrap(), Json::String(s));
+    }
+
+    // ---- core / decode ----------------------------------------------------
+
+    #[test]
+    fn decoder_is_total_over_the_representation(
+        lr in 3.51e-8f64..0.01, stop in 3.51e-8f64..0.0001,
+        rcut in 6.0f64..12.0, smth in 2.0f64..6.0,
+        scale in 0.0f64..3.0, desc in 0.0f64..5.0, fit in 0.0f64..5.0
+    ) {
+        let decoded = decode(&[lr, stop, rcut, smth, scale, desc, fit]);
+        prop_assert!(decoded.rcut_smth < decoded.rcut);
+        prop_assert!(decoded.start_lr > 0.0);
+        // Decoded categories must come from the legal sets.
+        prop_assert!(["linear", "sqrt", "none"].contains(&decoded.scale_by_worker.name()));
+        prop_assert!(
+            ["relu", "relu6", "softplus", "sigmoid", "tanh"]
+                .contains(&decoded.desc_activ_func.name())
+        );
+    }
+
+    #[test]
+    fn floor_mod_is_always_in_range(v in -100.0f64..100.0, n in 1usize..10) {
+        prop_assert!(floor_mod(v, n) < n);
+    }
+
+    // ---- md / geometry ----------------------------------------------------
+
+    #[test]
+    fn min_image_distance_is_symmetric_and_bounded(
+        ax in 0.0f64..17.84, ay in 0.0f64..17.84, az in 0.0f64..17.84,
+        bx in 0.0f64..17.84, by in 0.0f64..17.84, bz in 0.0f64..17.84
+    ) {
+        let cell = Cell::cubic(17.84);
+        let a = [ax, ay, az];
+        let b = [bx, by, bz];
+        let dab = cell.distance(a, b);
+        let dba = cell.distance(b, a);
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!(dab <= 17.84 * 3f64.sqrt() / 2.0 + 1e-9);
+        prop_assert!(dab >= 0.0);
+    }
+
+    #[test]
+    fn wrap_is_idempotent(x in -100.0f64..100.0) {
+        let cell = Cell::cubic(17.84);
+        let w = cell.wrap_coord(x);
+        prop_assert!((0.0..17.84).contains(&w));
+        prop_assert!((cell.wrap_coord(w) - w).abs() < 1e-12);
+    }
+}
