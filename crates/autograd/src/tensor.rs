@@ -4,8 +4,15 @@
 //! vectors (per-pair scalars, per-atom scalars) and matrices (activations,
 //! weights). Keeping the rank bounded keeps every operation allocation-lean
 //! and easy to audit, per the workspace's HPC coding guides.
+//!
+//! The backing storage is a shared `Arc<Vec<f64>>`: cloning a tensor is a
+//! reference-count bump, `reshape` aliases the same buffer, and mutation
+//! goes through copy-on-write (`data_mut`), so the autograd tape can hand
+//! out values without copying and recycle uniquely-owned buffers between
+//! training steps.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Shape of a [`Tensor`]: rank 1 (`[n]`) or rank 2 (`[rows, cols]`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,11 +67,17 @@ impl fmt::Display for Shape {
     }
 }
 
-/// A dense, row-major, `f64` tensor of rank 1 or 2.
+/// Column-panel width for the blocked matmul kernels: a `k × 256` panel of
+/// the right operand (256 × 8 B = 2 KiB per row) stays resident in L1/L2
+/// while the left operand streams past it. Per-element accumulation order
+/// is unchanged from the naive kernel, so results are bit-identical.
+const MATMUL_JBLOCK: usize = 256;
+
+/// A dense, row-major, `f64` tensor of rank 1 or 2 with shared storage.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
 }
 
 impl fmt::Debug for Tensor {
@@ -87,7 +100,7 @@ impl Tensor {
             "shape {shape} does not match data length {}",
             data.len()
         );
-        Tensor { shape, data }
+        Tensor { shape, data: Arc::new(data) }
     }
 
     /// A vector tensor from a slice.
@@ -107,17 +120,17 @@ impl Tensor {
 
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: Shape) -> Self {
-        Tensor { shape, data: vec![0.0; shape.len()] }
+        Tensor { shape, data: Arc::new(vec![0.0; shape.len()]) }
     }
 
     /// All-one tensor of the given shape.
     pub fn ones(shape: Shape) -> Self {
-        Tensor { shape, data: vec![1.0; shape.len()] }
+        Tensor { shape, data: Arc::new(vec![1.0; shape.len()]) }
     }
 
     /// Fill with a constant.
     pub fn full(shape: Shape, v: f64) -> Self {
-        Tensor { shape, data: vec![v; shape.len()] }
+        Tensor { shape, data: Arc::new(vec![v; shape.len()]) }
     }
 
     /// The tensor's shape.
@@ -144,15 +157,46 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the backing data (row-major).
+    /// Mutable view of the backing data (row-major). Copy-on-write: if the
+    /// buffer is shared with another tensor, it is cloned first.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consume into the backing vector.
+    /// Consume into the backing vector (cloning only if the buffer is
+    /// shared with another tensor).
     pub fn into_data(self) -> Vec<f64> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Consume into the backing vector only when this tensor is the sole
+    /// owner — used by the tape's buffer pool to recycle allocations.
+    pub fn try_unique_data(self) -> Option<Vec<f64>> {
+        Arc::try_unwrap(self.data).ok()
+    }
+
+    /// Build a tensor around an already-shared buffer without reallocating.
+    /// Panics on length mismatch.
+    pub(crate) fn from_shared(shape: Shape, data: Arc<Vec<f64>>) -> Self {
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "shape {shape} does not match data length {}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Consume into the shared buffer only when this tensor is the sole
+    /// owner — the tape's pool recycles the `Arc` allocation itself, so a
+    /// recycled buffer costs no heap traffic when reused.
+    pub(crate) fn try_unique_shared(mut self) -> Option<Arc<Vec<f64>>> {
+        if Arc::get_mut(&mut self.data).is_some() {
+            Some(self.data)
+        } else {
+            None
+        }
     }
 
     /// The single value of a scalar tensor; panics if `len() != 1`.
@@ -174,9 +218,10 @@ impl Tensor {
     }
 
     /// Reinterpret the data with a new shape of identical element count.
+    /// Shares the backing buffer — no copy.
     pub fn reshape(&self, shape: Shape) -> Tensor {
         assert_eq!(self.shape.len(), shape.len(), "reshape {} -> {shape}", self.shape);
-        Tensor { shape, data: self.data.clone() }
+        Tensor { shape, data: Arc::clone(&self.data) }
     }
 
     /// Elementwise binary map; shapes must match exactly.
@@ -188,12 +233,12 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Tensor { shape: self.shape, data }
+        Tensor { shape: self.shape, data: Arc::new(data) }
     }
 
     /// Elementwise unary map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor { shape: self.shape, data: self.data.iter().map(|&a| f(a)).collect() }
+        Tensor { shape: self.shape, data: Arc::new(self.data.iter().map(|&a| f(a)).collect()) }
     }
 
     /// Elementwise sum.
@@ -224,7 +269,7 @@ impl Tensor {
     /// In-place `self += other`, used for adjoint accumulation.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
@@ -232,7 +277,7 @@ impl Tensor {
     /// In-place `self += c * other` (axpy).
     pub fn axpy(&mut self, c: f64, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += c * b;
         }
     }
@@ -263,17 +308,16 @@ impl Tensor {
             Shape::D1(n) => (1, n),
         };
         assert_eq!(bias.shape.len(), c, "bias length {} vs cols {c}", bias.shape.len());
-        let mut data = self.data.clone();
+        let mut data = (*self.data).clone();
         for i in 0..r {
             for j in 0..c {
                 data[i * c + j] += bias.data[j];
             }
         }
-        Tensor { shape: self.shape, data }
+        Tensor { shape: self.shape, data: Arc::new(data) }
     }
 
-    /// Matrix product `self @ other` for 2-D operands.
-    pub fn matmul(&self, other: &Tensor) -> Tensor {
+    fn matmul_dims(&self, other: &Tensor) -> (usize, usize, usize) {
         let (m, k) = match self.shape {
             Shape::D2(m, k) => (m, k),
             Shape::D1(k) => (1, k),
@@ -283,22 +327,134 @@ impl Tensor {
             Shape::D1(k2) => (k2, 1),
         };
         assert_eq!(k, k2, "matmul inner-dim mismatch {} x {}", self.shape, other.shape);
+        (m, k, n)
+    }
+
+    /// Matrix product `self @ other` for 2-D operands.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, _, n) = self.matmul_dims(other);
         let mut out = vec![0.0; m * n];
-        // ikj loop order keeps the inner loop contiguous in both `other` and `out`.
+        self.matmul_into(other, &mut out);
+        Tensor { shape: Shape::D2(m, n), data: Arc::new(out) }
+    }
+
+    /// Matrix product into a caller-provided zeroed buffer of length `m·n`.
+    ///
+    /// Column-blocked ikj kernel: within each column panel the inner loop
+    /// is contiguous in both `other` and `out`, and the panel of `other`
+    /// (`k × JB`) stays cache-resident across all rows of `self`. Zero
+    /// entries of `self` skip their panel row, which makes one-hot matmuls
+    /// cost only their non-zeros.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut [f64]) {
+        let (m, k, n) = self.matmul_dims(other);
+        assert_eq!(out.len(), m * n, "matmul_into output length");
         for i in 0..m {
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
+            let arow = &self.data[i * k..i * k + k];
+            let orow = &mut out[i * n..i * n + n];
+            let mut jb = 0;
+            while jb < n {
+                let je = (jb + MATMUL_JBLOCK).min(n);
+                for (kk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let bseg = &other.data[kk * n + jb..kk * n + je];
+                    let oseg = &mut orow[jb..je];
+                    for (o, &bv) in oseg.iter_mut().zip(bseg) {
+                        *o += a * bv;
+                    }
+                }
+                jb = je;
+            }
+        }
+    }
+
+    /// `self @ otherᵀ` without materialising the transpose: `[m,k] x [p,k]
+    /// -> [m,p]`. Both operands are walked along contiguous rows.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, p) = (self.shape.rows(), other.shape.rows());
+        let mut out = vec![0.0; m * p];
+        self.matmul_nt_into(other, &mut out);
+        Tensor { shape: Shape::D2(m, p), data: Arc::new(out) }
+    }
+
+    /// `self @ otherᵀ` into a caller-provided buffer (fully overwritten).
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut [f64]) {
+        let (m, k) = match self.shape {
+            Shape::D2(m, k) => (m, k),
+            Shape::D1(k) => (1, k),
+        };
+        let (p, k2) = match other.shape {
+            Shape::D2(p, k2) => (p, k2),
+            Shape::D1(k2) => (1, k2),
+        };
+        assert_eq!(k, k2, "matmul_nt inner-dim mismatch {} x {}ᵀ", self.shape, other.shape);
+        assert_eq!(out.len(), m * p, "matmul_nt_into output length");
+        // Each output element is a length-k dot product — a serial FP
+        // reduction the compiler may not reorder. Running 8 independent
+        // dots at once hides the FMA latency while keeping every dot's
+        // accumulation order (and thus the result bits) unchanged.
+        for i in 0..m {
+            let arow = &self.data[i * k..i * k + k];
+            let orow = &mut out[i * p..i * p + p];
+            let mut j = 0;
+            while j + 8 <= p {
+                let mut acc = [0.0f64; 8];
+                let rows: [&[f64]; 8] =
+                    std::array::from_fn(|u| &other.data[(j + u) * k..(j + u) * k + k]);
+                for (kk, &a) in arow.iter().enumerate() {
+                    for (s, row) in acc.iter_mut().zip(rows) {
+                        *s += a * row[kk];
+                    }
+                }
+                orow[j..j + 8].copy_from_slice(&acc);
+                j += 8;
+            }
+            for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+                let brow = &other.data[jj * k..jj * k + k];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// `selfᵀ @ other` without materialising the transpose: `[k,m] x [k,n]
+    /// -> [m,n]`. The k-outer loop streams contiguous rows of both inputs.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (m, n) = (self.shape.cols(), other.shape.cols());
+        let mut out = vec![0.0; m * n];
+        self.matmul_tn_into(other, &mut out);
+        Tensor { shape: Shape::D2(m, n), data: Arc::new(out) }
+    }
+
+    /// `selfᵀ @ other` into a caller-provided zeroed buffer.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut [f64]) {
+        let (k, m) = match self.shape {
+            Shape::D2(k, m) => (k, m),
+            Shape::D1(k) => (k, 1),
+        };
+        let (k2, n) = match other.shape {
+            Shape::D2(k2, n) => (k2, n),
+            Shape::D1(k2) => (k2, 1),
+        };
+        assert_eq!(k, k2, "matmul_tn inner-dim mismatch {}ᵀ x {}", self.shape, other.shape);
+        assert_eq!(out.len(), m * n, "matmul_tn_into output length");
+        for kk in 0..k {
+            let arow = &self.data[kk * m..kk * m + m];
+            let brow = &other.data[kk * n..kk * n + n];
+            for (i, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let brow = &other.data[kk * n..kk * n + n];
                 let orow = &mut out[i * n..i * n + n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += a * bv;
                 }
             }
         }
-        Tensor { shape: Shape::D2(m, n), data: out }
     }
 
     /// Matrix transpose; vectors become `[1, n]` row matrices transposed to `[n, 1]`.
@@ -313,7 +469,7 @@ impl Tensor {
                 data[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor { shape: Shape::D2(c, r), data }
+        Tensor { shape: Shape::D2(c, r), data: Arc::new(data) }
     }
 
     /// Column-sum: `[n,k] -> [k]`.
@@ -328,7 +484,7 @@ impl Tensor {
                 out[j] += self.data[i * c + j];
             }
         }
-        Tensor { shape: Shape::D1(c), data: out }
+        Tensor { shape: Shape::D1(c), data: Arc::new(out) }
     }
 
     /// Replicate a `[k]` vector into an `[n, k]` matrix.
@@ -342,7 +498,7 @@ impl Tensor {
         for _ in 0..n {
             data.extend_from_slice(&self.data[..k]);
         }
-        Tensor { shape: Shape::D2(n, k), data }
+        Tensor { shape: Shape::D2(n, k), data: Arc::new(data) }
     }
 
     /// Gather rows by index: `out[i] = self[idx[i]]`.
@@ -354,10 +510,11 @@ impl Tensor {
             assert!(i < r, "gather_rows index {i} out of range {r}");
             data.extend_from_slice(&self.data[i * c..i * c + c]);
         }
-        match self.shape {
-            Shape::D1(_) => Tensor { shape: Shape::D1(idx.len()), data },
-            Shape::D2(..) => Tensor { shape: Shape::D2(idx.len(), c), data },
-        }
+        let shape = match self.shape {
+            Shape::D1(_) => Shape::D1(idx.len()),
+            Shape::D2(..) => Shape::D2(idx.len(), c),
+        };
+        Tensor { shape, data: Arc::new(data) }
     }
 
     /// Scatter-add rows into a fresh `[n, cols]` (or `[n]`) tensor:
@@ -372,10 +529,11 @@ impl Tensor {
                 data[i * c + j] += self.data[row * c + j];
             }
         }
-        match self.shape {
-            Shape::D1(_) => Tensor { shape: Shape::D1(n), data },
-            Shape::D2(..) => Tensor { shape: Shape::D2(n, c), data },
-        }
+        let shape = match self.shape {
+            Shape::D1(_) => Shape::D1(n),
+            Shape::D2(..) => Shape::D2(n, c),
+        };
+        Tensor { shape, data: Arc::new(data) }
     }
 
     /// Scale row `i` of a matrix by `v[i]` (column-vector broadcast multiply).
@@ -385,14 +543,14 @@ impl Tensor {
             Shape::D1(n) => (n, 1),
         };
         assert_eq!(v.shape.len(), r, "mul_col_vec length mismatch");
-        let mut data = self.data.clone();
+        let mut data = (*self.data).clone();
         for i in 0..r {
             let s = v.data[i];
             for j in 0..c {
                 data[i * c + j] *= s;
             }
         }
-        Tensor { shape: self.shape, data }
+        Tensor { shape: self.shape, data: Arc::new(data) }
     }
 
     /// Row-wise dot product of two same-shape matrices: `out[i] = Σ_j a[i,j] b[i,j]`.
@@ -410,7 +568,7 @@ impl Tensor {
             }
             out[i] = acc;
         }
-        Tensor { shape: Shape::D1(r), data: out }
+        Tensor { shape: Shape::D1(r), data: Arc::new(out) }
     }
 }
 
@@ -467,6 +625,28 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_and_mutation_unshares() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let mut b = a.clone();
+        // The clone aliases the same buffer…
+        assert_eq!(a.data().as_ptr(), b.data().as_ptr());
+        // …until one side writes.
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        assert_eq!(b.data(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn unique_data_recovery() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = a.clone();
+        // Shared: recovery fails.
+        assert!(a.try_unique_data().is_none());
+        // Unique again: recovery succeeds.
+        assert_eq!(b.try_unique_data(), Some(vec![1.0, 2.0]));
+    }
+
+    #[test]
     fn matmul_known_product() {
         let a = Tensor::matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = Tensor::matrix(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
@@ -480,6 +660,31 @@ mod tests {
         let a = Tensor::matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let i = Tensor::matrix(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
         assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_on_wide_output() {
+        // Output wider than one column panel exercises the blocking loop.
+        let n = MATMUL_JBLOCK + 37;
+        let a = Tensor::matrix(3, 5, (0..15).map(|v| v as f64 * 0.37 - 2.0).collect());
+        let b = Tensor::matrix(5, n, (0..5 * n).map(|v| (v % 97) as f64 * 0.11 - 4.0).collect());
+        let c = a.matmul(&b);
+        for i in 0..3 {
+            for j in [0, 1, MATMUL_JBLOCK - 1, MATMUL_JBLOCK, n - 1] {
+                let expect: f64 = (0..5).map(|kk| a.at(i, kk) * b.at(kk, j)).sum();
+                assert!((c.at(i, j) - expect).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_matmul_variants_match_explicit_transpose() {
+        let a = Tensor::matrix(2, 3, vec![1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
+        let b = Tensor::matrix(4, 3, (0..12).map(|v| v as f64 * 0.25 - 1.0).collect());
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+        let c = Tensor::matrix(3, 4, (0..12).map(|v| (v as f64).sin()).collect());
+        let d = Tensor::matrix(3, 2, vec![2.0, -1.0, 0.0, 3.0, 1.5, 0.5]);
+        assert_eq!(c.matmul_tn(&d), c.transpose().matmul(&d));
     }
 
     #[test]
@@ -522,10 +727,11 @@ mod tests {
     }
 
     #[test]
-    fn reshape_preserves_data() {
+    fn reshape_preserves_data_and_shares_buffer() {
         let v = Tensor::vector(&[1.0, 2.0, 3.0, 4.0]);
         let m = v.reshape(Shape::D2(2, 2));
         assert_eq!(m.at(1, 1), 4.0);
+        assert_eq!(v.data().as_ptr(), m.data().as_ptr());
     }
 
     #[test]

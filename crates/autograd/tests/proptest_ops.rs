@@ -115,6 +115,116 @@ proptest! {
     }
 
     #[test]
+    fn fused_affine_matches_unfused_composition(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        pool in prop::collection::vec(-1.5f64..1.5, 75)
+    ) {
+        // act(x@w + b) as one fused node must equal the three-op spelling in
+        // value, first derivative, and second derivative, for every MLP
+        // activation. (Tolerance, not equality: e.g. the fused softplus
+        // backward computes σ as 1−e^{−softplus(u)}, which rounds
+        // differently from σ(u).)
+        let (m, k, n) = dims;
+        let xs = &pool[..m * k];
+        let ws = &pool[25..25 + k * n];
+        let bs = &pool[50..50 + n];
+        for act in [Unary::Tanh, Unary::Sigmoid, Unary::Softplus, Unary::Relu, Unary::Relu6] {
+            let run = |fused: bool| -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+                let t = Tape::new();
+                let x = t.constant(Tensor::matrix(m, k, xs.to_vec()));
+                let w = t.constant(Tensor::matrix(k, n, ws.to_vec()));
+                let b = t.constant(Tensor::vector(bs));
+                let h = if fused {
+                    t.affine(x, w, b, Some(act))
+                } else {
+                    t.unary(act, t.add_bias(t.matmul(x, w), b))
+                };
+                // First order: dL/dw for L = Σ h². Second order: the
+                // force-matching shape d(Σ (dL'/dx)²)/dw with L' = Σ h.
+                let l = t.sum_all(t.square(h));
+                let gw = t.grad(l, &[w])[0];
+                let gx = t.grad(t.sum_all(h), &[x])[0];
+                let hw = t.grad(t.sum_all(t.square(gx)), &[w])[0];
+                (t.value(h).into_data(), t.value(gw).into_data(), t.value(hw).into_data())
+            };
+            let (v_f, g_f, h_f) = run(true);
+            let (v_u, g_u, h_u) = run(false);
+            for (a, b) in v_f.iter().zip(v_u.iter()) {
+                prop_assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "{act:?} value");
+            }
+            for (a, b) in g_f.iter().zip(g_u.iter()) {
+                prop_assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()), "{act:?} grad");
+            }
+            for (a, b) in h_f.iter().zip(h_u.iter()) {
+                prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{act:?} 2nd order");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_matmuls_match_matmul_with_transpose(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        pool in prop::collection::vec(-2.0f64..2.0, 50)
+    ) {
+        let (m, k, p) = dims;
+        let a_data = &pool[..m * k];
+        let b_data = &pool[25..25 + p * k];
+        // NT: A[m,k] @ (B[p,k])ᵀ — values and both gradients.
+        {
+            let t = Tape::new();
+            let a = t.constant(Tensor::matrix(m, k, a_data.to_vec()));
+            let b = t.constant(Tensor::matrix(p, k, b_data.to_vec()));
+            let nt = t.matmul_nt(a, b);
+            let explicit = t.matmul(a, t.transpose(b));
+            prop_assert_eq!(t.value(nt), t.value(explicit));
+            let g = t.grad(t.sum_all(t.square(nt)), &[a, b]);
+            let ge = t.grad(t.sum_all(t.square(explicit)), &[a, b]);
+            for (x, y) in g.iter().zip(ge.iter()) {
+                for (va, vb) in t.value(*x).data().iter().zip(t.value(*y).data()) {
+                    prop_assert!((va - vb).abs() < 1e-12 * (1.0 + vb.abs()));
+                }
+            }
+        }
+        // TN: (A[k,m])ᵀ @ B[k,p].
+        {
+            let t = Tape::new();
+            let a = t.constant(Tensor::matrix(k, m, a_data.to_vec()));
+            let b = t.constant(Tensor::matrix(k, p, b_data[..k * p].to_vec()));
+            let tn = t.matmul_tn(a, b);
+            let explicit = t.matmul(t.transpose(a), b);
+            prop_assert_eq!(t.value(tn), t.value(explicit));
+            let g = t.grad(t.sum_all(t.square(tn)), &[a, b]);
+            let ge = t.grad(t.sum_all(t.square(explicit)), &[a, b]);
+            for (x, y) in g.iter().zip(ge.iter()) {
+                for (va, vb) in t.value(*x).data().iter().zip(t.value(*y).data()) {
+                    prop_assert!((va - vb).abs() < 1e-12 * (1.0 + vb.abs()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tape_reset_reproduces_results_bitwise(
+        data in prop::collection::vec(-2.0f64..2.0, 12)
+    ) {
+        // Rebuilding the same graph on a reset (pooled) tape must reproduce
+        // the gradient bit-for-bit — pooling can never leak stale values.
+        let t = Tape::new();
+        let run = |t: &Tape| -> Vec<f64> {
+            let x = t.constant(Tensor::matrix(3, 4, data.clone()));
+            let w = t.constant(Tensor::matrix(4, 2, (0..8).map(|i| 0.3 - 0.1 * i as f64).collect()));
+            let b = t.constant(Tensor::vector(&[0.1, -0.2]));
+            let h = t.affine(x, w, b, Some(Unary::Tanh));
+            let g = t.grad(t.sum_all(t.square(h)), &[w])[0];
+            t.value(g).into_data()
+        };
+        let first = run(&t);
+        t.reset();
+        let second = run(&t);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
     fn add_bias_and_sum_rows_are_adjoint(
         m in prop::collection::vec(-2.0f64..2.0, 6),
         bias in prop::collection::vec(-2.0f64..2.0, 3)

@@ -1,7 +1,10 @@
 //! Criterion microbench of the EA reproduction-pipeline operators
-//! (Listing 1): offspring creation, crowding distance, truncation.
+//! (Listing 1): offspring creation, crowding distance, truncation — plus
+//! the autograd tensor kernels on the DNNP training hot path (blocked and
+//! transposed matmuls, fused affine layers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dphpo_autograd::{Tape, Tensor, Unary};
 use dphpo_evo::ops::{create_offspring, random_population, truncation_selection};
 use dphpo_evo::{assign_rank_and_crowding, Fitness, Individual};
 use rand::rngs::StdRng;
@@ -54,5 +57,60 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators);
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    Tensor::matrix(rows, cols, (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect())
+}
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_kernels");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = random_matrix(64, 64, &mut rng);
+    let b = random_matrix(64, 64, &mut rng);
+    group.bench_function("matmul_64x64", |bch| bch.iter(|| black_box(&a).matmul(black_box(&b))));
+    group.bench_function("matmul_nt_64x64", |bch| {
+        bch.iter(|| black_box(&a).matmul_nt(black_box(&b)))
+    });
+    group.bench_function("matmul_tn_64x64", |bch| {
+        bch.iter(|| black_box(&a).matmul_tn(black_box(&b)))
+    });
+    group.bench_function("matmul_via_transpose_64x64", |bch| {
+        bch.iter(|| black_box(&a).matmul(&black_box(&b).transpose()))
+    });
+
+    // Fused affine layer (forward + weight gradient) against the unfused
+    // matmul/add_bias/tanh spelling, on a reusable arena tape.
+    let x0 = random_matrix(256, 32, &mut rng);
+    let w0 = random_matrix(32, 32, &mut rng);
+    let b0 = Tensor::vector(&(0..32).map(|_| rng.random_range(-0.5..0.5)).collect::<Vec<_>>());
+    let tape = Tape::new();
+    group.bench_function("affine_fused_256x32", |bch| {
+        bch.iter(|| {
+            tape.reset();
+            let x = tape.constant(x0.clone());
+            let w = tape.constant(w0.clone());
+            let b = tape.constant(b0.clone());
+            let h = tape.affine(x, w, b, Some(Unary::Tanh));
+            let g = tape.grad(tape.sum_all(h), &[w])[0];
+            tape.item(tape.sum_all(g))
+        })
+    });
+    group.bench_function("affine_unfused_256x32", |bch| {
+        bch.iter(|| {
+            tape.reset();
+            let x = tape.constant(x0.clone());
+            let w = tape.constant(w0.clone());
+            let b = tape.constant(b0.clone());
+            let h = tape.tanh(tape.add_bias(tape.matmul(x, w), b));
+            let g = tape.grad(tape.sum_all(h), &[w])[0];
+            tape.item(tape.sum_all(g))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_tensor_kernels);
 criterion_main!(benches);

@@ -52,6 +52,15 @@ fn bench_training(c: &mut Criterion) {
         );
     }
 
+    // Steady-state step cost: enough steps that the arena tape and merged
+    // batch caches are warm and the per-step figure dominates setup.
+    group.bench_function("hundred_steps_rcut6", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            train(&config(6.0, 100), &train_ds, &val_ds, &mut rng).unwrap()
+        })
+    });
+
     // Inference: energy + analytic forces for one frame.
     let mut rng = StdRng::seed_from_u64(8);
     let model = DnnpModel::new(config(9.0, 10), &train_ds, &mut rng).unwrap();

@@ -5,9 +5,8 @@
 
 use std::path::PathBuf;
 
-use serde::{Deserialize, Serialize};
-
 use dphpo_core::experiment::{ExperimentConfig, ExperimentResult};
+use dphpo_dnnp::json::Json;
 use dphpo_evo::nsga2::{GenerationRecord, RunResult};
 use dphpo_evo::{Fitness, Individual};
 
@@ -42,7 +41,30 @@ pub fn experiment_scale() -> ExperimentConfig {
     }
 }
 
-#[derive(Serialize, Deserialize)]
+fn numbers(values: impl IntoIterator<Item = f64>) -> Json {
+    Json::Array(values.into_iter().map(Json::Number).collect())
+}
+
+fn number_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn array_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    match v.get(key) {
+        Some(Json::Array(items)) => Ok(items),
+        _ => Err(format!("missing array field '{key}'")),
+    }
+}
+
+fn number_vec(items: &[Json], key: &str) -> Result<Vec<f64>, String> {
+    items
+        .iter()
+        .map(|j| j.as_f64().ok_or_else(|| format!("non-numeric entry in '{key}'")))
+        .collect()
+}
+
 struct SavedIndividual {
     genome: Vec<f64>,
     fitness: Vec<f64>,
@@ -51,22 +73,89 @@ struct SavedIndividual {
     distance: f64,
 }
 
-#[derive(Serialize, Deserialize)]
+impl SavedIndividual {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("genome", numbers(self.genome.iter().copied())),
+            ("fitness", numbers(self.fitness.iter().copied())),
+            ("minutes", self.minutes.map_or(Json::Null, Json::Number)),
+            ("rank", Json::Number(self.rank as f64)),
+            ("distance", Json::Number(self.distance)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(SavedIndividual {
+            genome: number_vec(array_field(v, "genome")?, "genome")?,
+            fitness: number_vec(array_field(v, "fitness")?, "fitness")?,
+            minutes: match v.get("minutes") {
+                None | Some(Json::Null) => None,
+                Some(j) => {
+                    Some(j.as_f64().ok_or_else(|| "non-numeric 'minutes'".to_string())?)
+                }
+            },
+            rank: number_field(v, "rank")? as usize,
+            distance: number_field(v, "distance")?,
+        })
+    }
+}
+
 struct SavedGeneration {
     generation: usize,
     failures: usize,
     population: Vec<SavedIndividual>,
 }
 
-#[derive(Serialize, Deserialize)]
+impl SavedGeneration {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("generation", Json::Number(self.generation as f64)),
+            ("failures", Json::Number(self.failures as f64)),
+            (
+                "population",
+                Json::Array(self.population.iter().map(SavedIndividual::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(SavedGeneration {
+            generation: number_field(v, "generation")? as usize,
+            failures: number_field(v, "failures")? as usize,
+            population: array_field(v, "population")?
+                .iter()
+                .map(SavedIndividual::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 struct SavedRun {
     evaluations: usize,
     history: Vec<SavedGeneration>,
 }
 
+impl SavedRun {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("evaluations", Json::Number(self.evaluations as f64)),
+            ("history", Json::Array(self.history.iter().map(SavedGeneration::to_json).collect())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(SavedRun {
+            evaluations: number_field(v, "evaluations")? as usize,
+            history: array_field(v, "history")?
+                .iter()
+                .map(SavedGeneration::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 /// On-disk snapshot of an experiment (enough to regenerate every figure
 /// and table; scheduler reports are not needed downstream).
-#[derive(Serialize, Deserialize)]
 pub struct SavedExperiment {
     /// Number of EA generations after generation 0.
     pub generations: usize,
@@ -97,8 +186,8 @@ impl SavedExperiment {
                                     fitness: i.fitness().values().to_vec(),
                                     minutes: i.eval_minutes,
                                     rank: i.rank,
-                                    // serde_json renders non-finite floats
-                                    // as null; boundary crowding distances
+                                    // JSON has no literal for non-finite
+                                    // floats; boundary crowding distances
                                     // are +inf, so clamp for the snapshot.
                                     distance: if i.distance.is_finite() {
                                         i.distance
@@ -112,6 +201,27 @@ impl SavedExperiment {
                 })
                 .collect(),
         }
+    }
+
+    /// Serialise to a JSON document.
+    pub fn to_json_string(&self) -> String {
+        Json::object(vec![
+            ("generations", Json::Number(self.generations as f64)),
+            ("runs", Json::Array(self.runs.iter().map(SavedRun::to_json).collect())),
+        ])
+        .to_string()
+    }
+
+    /// Parse a snapshot document.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        Ok(SavedExperiment {
+            generations: number_field(&v, "generations")? as usize,
+            runs: array_field(&v, "runs")?
+                .iter()
+                .map(SavedRun::from_json)
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Rebuild an [`ExperimentResult`] (the passed config is provenance —
@@ -156,10 +266,7 @@ pub fn snapshot_path() -> PathBuf {
 /// Save a result snapshot to `results/experiment.json`.
 pub fn save_experiment(result: &ExperimentResult) {
     let saved = SavedExperiment::from_result(result);
-    match serde_json::to_string(&saved) {
-        Ok(text) => write_artifact("experiment.json", &text),
-        Err(e) => eprintln!("snapshot serialisation failed: {e}"),
-    }
+    write_artifact("experiment.json", &saved.to_json_string());
 }
 
 /// Load the snapshot if present, otherwise run the experiment at the
@@ -168,7 +275,7 @@ pub fn load_or_run_experiment() -> ExperimentResult {
     let mut config = experiment_scale();
     let path = snapshot_path();
     if let Ok(text) = std::fs::read_to_string(&path) {
-        match serde_json::from_str::<SavedExperiment>(&text) {
+        match SavedExperiment::from_json_str(&text) {
             Ok(saved) => {
                 println!("loaded cached experiment from {}", path.display());
                 config.generations = saved.generations;
@@ -212,8 +319,8 @@ mod tests {
         let config = ExperimentConfig::smoke();
         let result = run_experiment(&config);
         let saved = SavedExperiment::from_result(&result);
-        let text = serde_json::to_string(&saved).unwrap();
-        let loaded: SavedExperiment = serde_json::from_str(&text).unwrap();
+        let text = saved.to_json_string();
+        let loaded = SavedExperiment::from_json_str(&text).unwrap();
         let rebuilt = loaded.into_result(config);
         assert_eq!(rebuilt.runs.len(), result.runs.len());
         for (a, b) in rebuilt.runs.iter().zip(result.runs.iter()) {
@@ -238,5 +345,15 @@ mod tests {
         );
         assert_eq!(original.frontier, restored.frontier);
         assert_eq!(original.accurate, restored.accurate);
+    }
+
+    #[test]
+    fn malformed_snapshot_is_rejected_with_context() {
+        let err = match SavedExperiment::from_json_str("{\"generations\": 2}") {
+            Err(e) => e,
+            Ok(_) => panic!("snapshot without runs should be rejected"),
+        };
+        assert!(err.contains("runs"));
+        assert!(SavedExperiment::from_json_str("not json").is_err());
     }
 }

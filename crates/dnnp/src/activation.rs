@@ -1,7 +1,7 @@
 //! The five activation functions the paper's EA selects among for both the
 //! descriptor (embedding) network and the fitting network.
 
-use dphpo_autograd::{Tape, Var};
+use dphpo_autograd::{Tape, Unary, Var};
 
 /// Activation function choice: `{relu, relu6, softplus, sigmoid, tanh}`,
 /// in the paper's decoding order (§2.2.2).
@@ -51,15 +51,21 @@ impl Activation {
         Activation::ALL.iter().position(|a| a == self).unwrap()
     }
 
+    /// The tape-level unary op implementing this activation — used both
+    /// for standalone application and as the fused-affine activation.
+    pub fn unary(&self) -> Unary {
+        match self {
+            Activation::Relu => Unary::Relu,
+            Activation::Relu6 => Unary::Relu6,
+            Activation::Softplus => Unary::Softplus,
+            Activation::Sigmoid => Unary::Sigmoid,
+            Activation::Tanh => Unary::Tanh,
+        }
+    }
+
     /// Apply the activation to a taped variable.
     pub fn apply(&self, tape: &Tape, x: Var) -> Var {
-        match self {
-            Activation::Relu => tape.relu(x),
-            Activation::Relu6 => tape.relu6(x),
-            Activation::Softplus => tape.softplus(x),
-            Activation::Sigmoid => tape.sigmoid(x),
-            Activation::Tanh => tape.tanh(x),
-        }
+        tape.unary(self.unary(), x)
     }
 
     /// Scalar evaluation (for tests and plots).

@@ -244,6 +244,7 @@ pub fn forward_frame(
     let r = frame_pairs.distances(tape, x);
     let s = switching(tape, r, config.rcut_smth, config.rcut);
 
+    let desc_act = Some(config.desc_activation.unary());
     let mut acc: Option<Var> = None;
     for t in 0..n_species {
         let sp = &frame_pairs.per_species[t];
@@ -255,9 +256,7 @@ pub fn forward_frame(
         let z = tape.scale(tape.add_scalar(st, -stats.davg[t]), 1.0 / stats.dstd[t]);
         let mut h = tape.reshape(z, Shape::D2(sp.pair_idx.len(), 1));
         for &(w, b) in &taped.embeddings[t] {
-            h = config
-                .desc_activation
-                .apply(tape, tape.add_bias(tape.matmul(h, w), b));
+            h = tape.affine(h, w, b, desc_act);
         }
         // Weight each pair's embedding by s(r) and pool per center atom.
         let weighted = tape.mul_col_vec(h, st);
@@ -278,15 +277,13 @@ pub fn forward_frame(
         tape.add(acc, tape.matmul(onehot_var, taped.fit_onehot)),
         taped.fit_b0,
     );
+    let fit_act = config.fitting_activation.unary();
     let mut h = config.fitting_activation.apply(tape, pre0);
     let n_rest = taped.fit_rest.len();
     for (k, &(w, b)) in taped.fit_rest.iter().enumerate() {
-        let pre = tape.add_bias(tape.matmul(h, w), b);
-        h = if k + 1 < n_rest {
-            config.fitting_activation.apply(tape, pre)
-        } else {
-            pre // linear output layer
-        };
+        // Fused layer; the last one is linear (no activation).
+        let act = if k + 1 < n_rest { Some(fit_act) } else { None };
+        h = tape.affine(h, w, b, act);
     }
     let atomic = tape.add(h, tape.matmul(onehot_var, taped.energy_bias));
     let energy = tape.sum_all(atomic);
@@ -324,6 +321,7 @@ pub fn forward_cached(
     let h0 = config.fitting_neurons[0];
     debug_assert_eq!(onehot.shape().rows(), n);
 
+    let desc_act = Some(config.desc_activation.unary());
     let mut acc: Option<Var> = None;
     // Leaf variables per species, kept for the force backward.
     let mut z_vars: Vec<Option<Var>> = vec![None; n_species];
@@ -338,9 +336,7 @@ pub fn forward_cached(
         s_vars[t] = Some(s);
         let mut h = z;
         for &(w, b) in &taped.embeddings[t] {
-            h = config
-                .desc_activation
-                .apply(tape, tape.add_bias(tape.matmul(h, w), b));
+            h = tape.affine(h, w, b, desc_act);
         }
         let weighted = tape.mul_col_vec(h, s);
         let pooled = tape.scale(
@@ -360,15 +356,12 @@ pub fn forward_cached(
         tape.add(acc, tape.matmul(onehot_var, taped.fit_onehot)),
         taped.fit_b0,
     );
+    let fit_act = config.fitting_activation.unary();
     let mut h = config.fitting_activation.apply(tape, pre0);
     let n_rest = taped.fit_rest.len();
     for (k, &(w, b)) in taped.fit_rest.iter().enumerate() {
-        let pre = tape.add_bias(tape.matmul(h, w), b);
-        h = if k + 1 < n_rest {
-            config.fitting_activation.apply(tape, pre)
-        } else {
-            pre
-        };
+        let act = if k + 1 < n_rest { Some(fit_act) } else { None };
+        h = tape.affine(h, w, b, act);
     }
     let atomic = tape.add(h, tape.matmul(onehot_var, taped.energy_bias));
     let energy = tape.sum_all(atomic);
@@ -500,12 +493,10 @@ impl DnnpModel {
             true,
         );
         let energy = tape.item(graph.energy);
-        let force_tensor = tape.value(graph.forces.expect("forces requested"));
-        let forces = force_tensor
-            .data()
-            .chunks_exact(3)
-            .map(|c| [c[0], c[1], c[2]])
-            .collect();
+        // Read the forces through a borrow — no tensor handle escapes.
+        let forces = tape.with_value(graph.forces.expect("forces requested"), |t| {
+            t.data().chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect()
+        });
         (energy, forces)
     }
 
@@ -536,12 +527,9 @@ impl DnnpModel {
             true,
         );
         let energy = tape.item(graph.energy);
-        let force_tensor = tape.value(graph.forces.expect("forces requested"));
-        let forces = force_tensor
-            .data()
-            .chunks_exact(3)
-            .map(|c| [c[0], c[1], c[2]])
-            .collect();
+        let forces = tape.with_value(graph.forces.expect("forces requested"), |t| {
+            t.data().chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect()
+        });
         (energy, forces)
     }
 

@@ -8,6 +8,7 @@ use rand::Rng;
 use dphpo_autograd::{Shape, Tape, Tensor};
 use dphpo_md::Dataset;
 
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::config::TrainConfig;
@@ -88,6 +89,9 @@ struct PreparedBatch {
     forces_flat: Vec<f64>,
     n_frames: usize,
     n_atoms: usize,
+    /// Persistent evaluation tape — reset after each RMSE so repeated
+    /// validation rows reuse the same arena.
+    tape: Tape,
 }
 
 impl PreparedBatch {
@@ -117,15 +121,16 @@ impl PreparedBatch {
                 .collect(),
             n_frames: indices.len(),
             n_atoms,
+            tape: Tape::new(),
         }
     }
 
     /// `(energy RMSE per atom, force RMSE)` of the model on this batch.
     fn rmse(&self, model: &DnnpModel) -> (f64, f64) {
-        let tape = Tape::new();
-        let taped = model.params.register(&tape);
+        let tape = &self.tape;
+        let taped = model.params.register(tape);
         let graph = forward_cached(
-            &tape,
+            tape,
             &taped,
             &model.config,
             &model.stats,
@@ -135,23 +140,27 @@ impl PreparedBatch {
         );
         let energies =
             tape.scatter_add_rows(graph.atomic, Rc::clone(&self.frame_ids), self.n_frames);
-        let e_pred = tape.value(energies);
-        let f_pred = tape.value(graph.forces.expect("forces requested"));
         let n = self.n_atoms as f64;
-        let e_sq: f64 = e_pred
-            .data()
-            .iter()
-            .zip(self.energies.iter())
-            .map(|(p, r)| ((p - r) / n) * ((p - r) / n))
-            .sum::<f64>()
-            / self.n_frames as f64;
-        let f_sq: f64 = f_pred
-            .data()
-            .iter()
-            .zip(self.forces_flat.iter())
-            .map(|(p, r)| (p - r) * (p - r))
-            .sum::<f64>()
-            / self.forces_flat.len() as f64;
+        let e_sq: f64 = tape.with_value(energies, |e_pred| {
+            e_pred
+                .data()
+                .iter()
+                .zip(self.energies.iter())
+                .map(|(p, r)| ((p - r) / n) * ((p - r) / n))
+                .sum::<f64>()
+        }) / self.n_frames as f64;
+        let f_sq: f64 = tape.with_value(graph.forces.expect("forces requested"), |f_pred| {
+            f_pred
+                .data()
+                .iter()
+                .zip(self.forces_flat.iter())
+                .map(|(p, r)| (p - r) * (p - r))
+                .sum::<f64>()
+        }) / self.forces_flat.len() as f64;
+        // Recycle the graph now: this also releases the tape's handles on
+        // the model parameters, keeping the optimiser's in-place update
+        // copy-free.
+        tape.reset();
         (e_sq.sqrt(), f_sq.sqrt())
     }
 }
@@ -171,6 +180,11 @@ pub struct TrainReport {
 
 /// Loss values considered irrecoverable even when still finite.
 const DIVERGENCE_LOSS_LIMIT: f64 = 1e12;
+
+/// Maximum number of distinct batch compositions whose merged caches are
+/// kept. Small training sets repeat compositions constantly (the merge is
+/// then free); large runs stay memory-bounded and just merge on the fly.
+const MERGED_CACHE_CAP: usize = 256;
 
 /// Train a model on `train`, validating against `val`.
 pub fn train<R: Rng + ?Sized>(
@@ -216,25 +230,68 @@ pub fn train<R: Rng + ?Sized>(
         .collect::<Vec<usize>>()
         .into();
 
-    for step in 0..config.num_steps {
-        let pref = prefactors.at(schedule.decay_ratio(step));
-        let indices: Vec<usize> = (0..batch_total)
-            .map(|_| rng.random_range(0..train_ds.frames.len()))
+    // Draw every step's batch indices up front (same nested order, so the
+    // rng stream matches a per-step draw). This lets identical batch
+    // compositions share one merged cache instead of re-merging per step.
+    let step_indices: Vec<Vec<usize>> = (0..config.num_steps)
+        .map(|_| {
+            (0..batch_total)
+                .map(|_| rng.random_range(0..train_ds.frames.len()))
+                .collect()
+        })
+        .collect();
+    // Reference labels for a batch composition, as ready-made tensors; the
+    // step loop hands the tape cheap Arc clones instead of re-collecting.
+    let batch_labels = |indices: &[usize]| -> (Tensor, Tensor) {
+        let e: Vec<f64> = indices.iter().map(|&i| train_ds.frames[i].energy).collect();
+        let f: Vec<f64> = indices
+            .iter()
+            .flat_map(|&i| train_ds.frames[i].forces.iter().flatten().copied())
             .collect();
+        (
+            Tensor::matrix(batch_total, 1, e),
+            Tensor::matrix(batch_total * n_atoms, 3, f),
+        )
+    };
+    let mut merged_memo: HashMap<&[usize], (FrameCache, Tensor, Tensor)> = HashMap::new();
+    for indices in &step_indices {
+        if !merged_memo.contains_key(indices.as_slice()) && merged_memo.len() < MERGED_CACHE_CAP
+        {
+            let batch_caches: Vec<&FrameCache> =
+                indices.iter().map(|&i| &train_caches[i]).collect();
+            let (e_ref, f_ref) = batch_labels(indices);
+            merged_memo
+                .insert(indices.as_slice(), (merge_frame_caches(&batch_caches), e_ref, f_ref));
+        }
+    }
+
+    // One persistent tape for the whole run: each step rebuilds the same
+    // graph topology, so `reset()` turns the tape into an arena and the
+    // steady state runs allocation-free.
+    let tape = Tape::new();
+    for (step, indices) in step_indices.iter().enumerate() {
+        let pref = prefactors.at(schedule.decay_ratio(step));
 
         // One tape evaluates the whole data-parallel batch (the B frames a
         // Horovod step would process across its workers).
-        let batch_caches: Vec<&FrameCache> =
-            indices.iter().map(|&i| &train_caches[i]).collect();
-        let merged = merge_frame_caches(&batch_caches);
-        let tape = Tape::new();
+        let merged_fallback;
+        let (merged, e_ref_t, f_ref_t) = match merged_memo.get(indices.as_slice()) {
+            Some((m, e, f)) => (m, e, f),
+            None => {
+                let batch_caches: Vec<&FrameCache> =
+                    indices.iter().map(|&i| &train_caches[i]).collect();
+                let (e_ref, f_ref) = batch_labels(indices);
+                merged_fallback = (merge_frame_caches(&batch_caches), e_ref, f_ref);
+                (&merged_fallback.0, &merged_fallback.1, &merged_fallback.2)
+            }
+        };
         let taped = model.params.register(&tape);
         let graph = forward_cached(
             &tape,
             &taped,
             config,
             &model.stats,
-            &merged,
+            merged,
             &onehot_batch,
             true,
         );
@@ -242,14 +299,9 @@ pub fn train<R: Rng + ?Sized>(
 
         // Per-frame energies from the per-atom energies.
         let energies = tape.scatter_add_rows(graph.atomic, Rc::clone(&frame_ids), batch_total);
-        let e_ref_data: Vec<f64> = indices.iter().map(|&i| train_ds.frames[i].energy).collect();
-        let e_ref = tape.constant(Tensor::matrix(batch_total, 1, e_ref_data));
+        let e_ref = tape.constant(e_ref_t.clone());
         let e_diff = tape.sub(energies, e_ref);
-        let f_ref_data: Vec<f64> = indices
-            .iter()
-            .flat_map(|&i| train_ds.frames[i].forces.iter().flatten().copied())
-            .collect();
-        let f_ref = tape.constant(Tensor::matrix(batch_total * n_atoms, 3, f_ref_data));
+        let f_ref = tape.constant(f_ref_t.clone());
         let f_diff = tape.sub(forces, f_ref);
 
         // Batch-mean loss: (1/B)·Σ_b [pe·(ΔE_b/N)² + pf·Σ‖ΔF_b‖²/(3N)].
@@ -265,14 +317,21 @@ pub fn train<R: Rng + ?Sized>(
         }
 
         // Training-batch RMSE bookkeeping (free: values already live).
-        let trn_e_sq: f64 =
-            tape.value(e_diff).data().iter().map(|v| (v / n) * (v / n)).sum::<f64>() / b;
-        let fd = tape.value(f_diff);
-        let trn_f_sq: f64 = fd.data().iter().map(|v| v * v).sum::<f64>() / fd.len() as f64;
+        let trn_e_sq: f64 = tape.with_value(e_diff, |t| {
+            t.data().iter().map(|v| (v / n) * (v / n)).sum::<f64>()
+        }) / b;
+        let trn_f_sq: f64 = tape.with_value(f_diff, |t| {
+            t.data().iter().map(|v| v * v).sum::<f64>() / t.len() as f64
+        });
 
-        let grads = tape.grad(loss, &taped.flat);
-        let grad_values: Vec<Tensor> = grads.iter().map(|&g| tape.value(g)).collect();
-        drop(tape);
+        // Value-level backward: the optimiser only needs gradient numbers,
+        // so nothing new is recorded on the tape.
+        let grad_values: Vec<Tensor> = tape.grad_values(loss, &taped.flat);
+        // Reset BEFORE the optimiser update: recycling the graph releases
+        // the tape's handles on the parameter tensors, so Adam's in-place
+        // write doesn't trigger copy-on-write. The extracted gradients keep
+        // their buffers alive independently.
+        tape.reset();
         if grad_values.iter().any(|g| g.has_non_finite()) {
             diverged = true;
             break;

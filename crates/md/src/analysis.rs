@@ -5,7 +5,6 @@
 //! a liquid and give deployed DNNP simulations something physical to be
 //! compared on.
 
-use crate::cell::Cell;
 use crate::generate::Dataset;
 use crate::potential::Species;
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Refresh the checked-in training hot-path baseline (BENCH_hotpath.json at
+# the repo root). Quick mode by default; pass --full for the slower, more
+# stable measurement used when comparing optimisation work.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="--quick"
+if [[ "${1:-}" == "--full" ]]; then
+    mode=""
+fi
+
+cargo run --release -p dphpo-bench --bin hotpath -- ${mode}

@@ -1,0 +1,301 @@
+//! Offline stand-in for `criterion` (see `vendor/rand` for why the
+//! workspace vendors its dependencies).
+//!
+//! Implements the benchmark-group API subset the workspace's benches use
+//! and reports mean/min wall-clock time per iteration to stdout. No
+//! statistical analysis, plots, or baselines — just honest timing loops
+//! with a warm-up phase and sized samples. When invoked by `cargo test`
+//! (which passes `--test` to `harness = false` bench binaries) each
+//! benchmark runs a single iteration so the test suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; the stand-in times each input
+/// individually so the variants behave identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier of a parameterized benchmark (`name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Benchmark named by the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level driver; hand out groups via [`Criterion::benchmark_group`].
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Only full-measurement runs
+        // should loop for the configured measurement time.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into().id);
+    }
+
+    /// Run one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (all reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly to fill the measurement budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut est = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            est += t0.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (est.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                timed += t0.elapsed();
+            }
+            self.samples_ns
+                .push(timed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.test_mode {
+            return;
+        }
+        let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len().max(1) as f64;
+        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("{label:<48} time: mean {:>12} min {:>12}", fmt_ns(mean), fmt_ns(min));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collect benchmark functions into a runner callable from `main`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_criterion() -> Criterion {
+        Criterion { test_mode: false }
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = quick_criterion();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut c = quick_criterion();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(4));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sort", 100).id, "sort/100");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
