@@ -6,20 +6,46 @@
 //! This is the binary that *runs the experiment* and caches the snapshot
 //! (`results/experiment.json`) that `fig2_table2`, `fig3`, and `table3`
 //! reuse. Pass `--smoke` for a fast test-scale run.
+//!
+//! Every campaign is journaled to `results/experiment.journal.jsonl`
+//! (write-ahead, one JSONL record per completed evaluation or generation).
+//! If the run is killed, pass `--resume <journal>` to replay the journaled
+//! work and continue to a bit-identical result instead of retraining.
+
+use std::path::PathBuf;
 
 use dphpo_bench::harness::{
-    experiment_scale, run_and_report, save_experiment, write_artifact,
+    experiment_scale, journal_path, resume_and_report, run_journaled_and_report,
+    save_experiment, write_artifact,
 };
 use dphpo_core::analysis::{ascii_level_plot, level_plot_csv};
+
+/// The journal to resume from, when `--resume <path>` was passed.
+fn resume_arg() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--resume").map(|i| {
+        PathBuf::from(
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--resume requires a journal path")),
+        )
+    })
+}
 
 fn main() {
     let config = experiment_scale();
     let total = config.n_runs * config.pop_size * (config.generations + 1);
     println!(
-        "Figure 1: {} runs x pop {} x {} generations = {} DNNP trainings",
-        config.n_runs, config.pop_size, config.generations, total
+        "Figure 1: {} runs x pop {} x {} generations (0-{}) = {} DNNP trainings",
+        config.n_runs,
+        config.pop_size,
+        config.generations + 1,
+        config.generations,
+        total
     );
-    let result = run_and_report(&config);
+    let result = match resume_arg() {
+        Some(journal) => resume_and_report(&config, &journal),
+        None => run_journaled_and_report(&config, &journal_path()),
+    };
     save_experiment(&result);
 
     // CSV of every individual of every generation (the raw level-plot data).

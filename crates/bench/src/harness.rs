@@ -254,7 +254,9 @@ impl SavedExperiment {
                     .collect(),
             })
             .collect();
-        ExperimentResult { config, runs, pool_reports: Vec::new() }
+        // Snapshots predate journaling and carry neither scheduler reports
+        // nor archives; downstream analysis only reads `runs`.
+        ExperimentResult { config, runs, pool_reports: Vec::new(), archives: Vec::new() }
     }
 }
 
@@ -307,6 +309,61 @@ pub fn run_and_report(config: &ExperimentConfig) -> ExperimentResult {
         );
     };
     dphpo_core::experiment::run_experiment_with(config, Some(&mut progress))
+}
+
+/// Default write-ahead journal path: `results/experiment.journal.jsonl`.
+pub fn journal_path() -> PathBuf {
+    results_dir().join("experiment.journal.jsonl")
+}
+
+/// Run the experiment with stderr progress and a write-ahead journal at
+/// `journal` — on a crash, rerun with `--resume <journal>` to continue
+/// bit-identically instead of retraining from scratch.
+pub fn run_journaled_and_report(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+) -> ExperimentResult {
+    let t0 = std::time::Instant::now();
+    let mut progress = |run: usize, generation: usize| {
+        eprintln!(
+            "[{:>7.1?}] run {run}: reached generation {generation}",
+            t0.elapsed()
+        );
+    };
+    println!("journaling to {} (resume with --resume)", journal.display());
+    match dphpo_core::experiment::run_experiment_journaled(config, journal, Some(&mut progress)) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("experiment interrupted: {e}");
+            eprintln!("resume with: --resume {}", journal.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Resume an interrupted experiment from its journal (see
+/// [`run_journaled_and_report`]); journaled work is replayed, missing work
+/// re-submitted, and the final result is bit-identical to an uninterrupted
+/// run.
+pub fn resume_and_report(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+) -> ExperimentResult {
+    let t0 = std::time::Instant::now();
+    let mut progress = |run: usize, generation: usize| {
+        eprintln!(
+            "[{:>7.1?}] run {run}: reached generation {generation}",
+            t0.elapsed()
+        );
+    };
+    println!("resuming from {}", journal.display());
+    match dphpo_core::experiment::resume_experiment(config, journal, Some(&mut progress)) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]

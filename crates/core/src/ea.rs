@@ -1,15 +1,24 @@
 //! The distributed NSGA-II deployment: `dphpo-evo`'s Listing-1 pipeline
 //! driven by a `dphpo-hpc` worker pool that evaluates every offspring's
 //! DNNP training in parallel, with the paper's timeout/fault semantics.
+//!
+//! The evaluator optionally journals every completed task (see
+//! [`crate::journal`]): each finalised evaluation is appended to the
+//! write-ahead journal from the driver thread before the batch returns,
+//! and previously journaled evaluations are *replayed* — the worker
+//! short-circuits training and returns the journaled outcome — so a
+//! resumed campaign recomputes nothing and still reproduces the original
+//! scheduler traffic (fault decisions, retries, reports) bit-identically.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use dphpo_evo::nsga2::{BatchEvaluator, EvalResult};
 use dphpo_evo::Fitness;
-use dphpo_hpc::{run_batch, EvalOutcome, FaultInjector, PoolConfig, PoolReport};
+use dphpo_hpc::{run_batch_with_hooks, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskRecord};
 
-use crate::workflow::{derive_seed, evaluate_individual, EvalContext};
+use crate::journal::{EvalEntry, JournalSink};
+use crate::workflow::{derive_seed, evaluate_individual, EvalContext, EvalRecord};
 
 /// A batch evaluator that fans genomes out across the simulated Summit
 /// allocation. Any task-level error — timeout, worker death, divergence —
@@ -19,8 +28,13 @@ pub struct SummitEvaluator {
     pool: PoolConfig,
     faults: FaultInjector,
     base_seed: u64,
-    counter: AtomicU64,
+    /// Next batch's generation index. Seeds are derived from
+    /// `generation × batch_size + slot`, so they depend only on an
+    /// individual's position in the campaign — never on scheduling order —
+    /// which is what makes journal replay bit-identical.
+    generation: u64,
     reports: Vec<PoolReport>,
+    journal: Option<JournalSink>,
 }
 
 impl SummitEvaluator {
@@ -31,7 +45,38 @@ impl SummitEvaluator {
         faults: FaultInjector,
         base_seed: u64,
     ) -> Self {
-        SummitEvaluator { ctx, pool, faults, base_seed, counter: AtomicU64::new(0), reports: Vec::new() }
+        SummitEvaluator {
+            ctx,
+            pool,
+            faults,
+            base_seed,
+            generation: 0,
+            reports: Vec::new(),
+            journal: None,
+        }
+    }
+
+    /// Attach a write-ahead journal sink: completed tasks are appended,
+    /// journaled tasks are replayed instead of retrained.
+    pub fn attach_journal(&mut self, sink: JournalSink) {
+        self.journal = Some(sink);
+    }
+
+    /// Set the generation index the next `evaluate` call belongs to (used
+    /// when resuming a run mid-campaign).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// The fault injector (exposes driver-liveness for chaos testing).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Seed the report list with journaled reports from completed
+    /// generations, so a resumed run accumulates the same totals.
+    pub fn preload_reports(&mut self, reports: Vec<PoolReport>) {
+        self.reports = reports;
     }
 
     /// Scheduler reports collected so far (one per evaluated batch).
@@ -48,33 +93,76 @@ impl SummitEvaluator {
 
 impl BatchEvaluator for SummitEvaluator {
     fn evaluate(&mut self, genomes: &[Vec<f64>]) -> Vec<EvalResult> {
-        let first = self.counter.fetch_add(genomes.len() as u64, Ordering::Relaxed);
+        let gen = self.generation;
+        self.generation += 1;
+        // Fault decisions hash (seed, generation, task, attempt): keying
+        // the batch makes every generation's fault pattern reproducible in
+        // isolation, independent of how earlier batches were scheduled.
+        self.faults.set_batch_key(gen);
+        let first = gen * genomes.len() as u64;
         let seeds: Vec<u64> = (0..genomes.len() as u64)
             .map(|i| derive_seed(self.base_seed, first + i))
             .collect();
         let ctx = Arc::clone(&self.ctx);
-        let (records, report) = run_batch(
+        let faults = &self.faults;
+        let journal = self.journal.as_ref();
+        let replay: Option<&HashMap<(usize, usize), EvalEntry>> =
+            journal.map(|sink| &*sink.replay);
+        let gen_idx = gen as usize;
+        let seeds_ref = &seeds;
+        let (records, report) = run_batch_with_hooks(
             genomes,
             |i, genome: &Vec<f64>| {
-                let record = evaluate_individual(&ctx, genome, seeds[i]);
+                // Replay: a journaled outcome for this (generation, slot)
+                // with a bit-exact genome match short-circuits training.
+                if let Some(entry) = replay.and_then(|map| map.get(&(gen_idx, i))) {
+                    if entry.genome == *genome {
+                        return entry.to_outcome();
+                    }
+                }
+                let record = evaluate_individual(&ctx, genome, seeds_ref[i]);
                 if record.failed {
                     EvalOutcome {
                         value: Err("training failed".to_string()),
                         minutes: record.minutes,
                     }
                 } else {
-                    EvalOutcome { value: Ok(record.fitness), minutes: record.minutes }
+                    let minutes = record.minutes;
+                    EvalOutcome { value: Ok(record), minutes }
                 }
             },
             &self.pool,
-            &self.faults,
+            faults,
+            |slot, task: &TaskRecord<EvalRecord>| {
+                // Count the completion against the (chaos-mode) driver
+                // lifetime; a dead driver loses the record — exactly the
+                // crash the journal protects against.
+                let driver_alive = faults.note_task_completion();
+                if let Some(sink) = journal {
+                    let replayed = sink
+                        .replay
+                        .get(&(gen_idx, slot))
+                        .is_some_and(|e| e.genome == genomes[slot]);
+                    if driver_alive && !replayed {
+                        let entry = EvalEntry::from_task(
+                            sink.run,
+                            gen_idx,
+                            slot,
+                            seeds_ref[slot],
+                            &genomes[slot],
+                            task,
+                        );
+                        sink.writer.borrow_mut().append_eval(&entry);
+                    }
+                }
+            },
         );
         self.reports.push(report);
         records
             .into_iter()
             .map(|r| {
                 let fitness = match r.value {
-                    Ok(f) => f,
+                    Ok(record) => record.fitness,
                     Err(_) => Fitness::penalty(2),
                 };
                 EvalResult { fitness, minutes: Some(r.minutes) }
@@ -160,5 +248,34 @@ mod tests {
         let penalties = results.iter().filter(|r| r.fitness.is_penalty()).count();
         assert!(penalties > 0, "expected at least one fault-penalty");
         assert!(penalties < 12, "expected at least one survivor");
+    }
+
+    #[test]
+    fn seeds_depend_on_generation_not_call_history() {
+        // Two evaluators that reach generation 1 differently (one evaluated
+        // generation 0, the other resumed) must evaluate identically.
+        let genomes: Vec<Vec<f64>> =
+            vec![vec![0.005, 1e-4, 7.0, 2.5, 2.5, 4.5, 4.5], vec![0.002, 5e-5, 9.0, 3.0, 1.5, 2.5, 4.5]];
+        let mut a = SummitEvaluator::new(
+            tiny_ctx(),
+            PoolConfig { n_workers: 2, ..PoolConfig::default() },
+            FaultInjector::none(),
+            9,
+        );
+        let _ = a.evaluate(&genomes); // generation 0
+        let from_a = a.evaluate(&genomes); // generation 1
+
+        let mut b = SummitEvaluator::new(
+            tiny_ctx(),
+            PoolConfig { n_workers: 2, ..PoolConfig::default() },
+            FaultInjector::none(),
+            9,
+        );
+        b.set_generation(1);
+        let from_b = b.evaluate(&genomes);
+        let values = |rs: &[EvalResult]| {
+            rs.iter().map(|r| r.fitness.values().to_vec()).collect::<Vec<_>>()
+        };
+        assert_eq!(values(&from_a), values(&from_b));
     }
 }

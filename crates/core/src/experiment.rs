@@ -1,19 +1,34 @@
 //! Experiment orchestration: N independent EA deployments over one shared
 //! dataset — the paper runs five, each on 100 Summit nodes for 7
 //! generations (the random generation 0 plus 6 EA steps).
+//!
+//! Campaigns can be journaled ([`run_experiment_journaled`]) and resumed
+//! ([`resume_experiment`]): every evaluation and generation boundary is
+//! appended to a write-ahead JSONL journal, and a resumed campaign replays
+//! the journaled work to a result bit-identical to an uninterrupted run
+//! (see [`crate::journal`] for the determinism contract). The journaled
+//! and plain paths share one driver loop, so journaling never changes the
+//! optimisation itself.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dphpo_dnnp::TrainConfig;
-use dphpo_evo::nsga2::{run_nsga2, Nsga2Config, RunResult};
+use dphpo_evo::nsga2::{Nsga2Config, Nsga2State, RunResult};
+use dphpo_evo::{Individual, ParetoArchive};
 use dphpo_hpc::{CostModel, FaultInjector, PoolConfig, PoolReport};
 use dphpo_md::generate::{generate_dataset, GenConfig};
 use dphpo_md::Dataset;
 
 use crate::ea::SummitEvaluator;
+use crate::journal::{GenEntry, Journal, JournalError, JournalSink, JournalWriter};
 use crate::representation::DeepMDRepresentation;
 use crate::workflow::EvalContext;
 
@@ -134,6 +149,9 @@ pub struct ExperimentResult {
     pub runs: Vec<RunResult>,
     /// Scheduler reports per run (makespans, deaths, retries).
     pub pool_reports: Vec<Vec<PoolReport>>,
+    /// Cross-generation Pareto archive per run (every non-dominated,
+    /// non-penalty solution the run ever surfaced).
+    pub archives: Vec<ParetoArchive>,
 }
 
 impl ExperimentResult {
@@ -156,6 +174,38 @@ impl ExperimentResult {
     }
 }
 
+/// Why a journaled campaign stopped without a result.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The (simulated) driver was killed mid-campaign — the crash the
+    /// write-ahead journal exists for. Resume with [`resume_experiment`].
+    Interrupted {
+        /// Tasks the driver had journaled when it died.
+        completed_tasks: u64,
+    },
+    /// Journal I/O or validation failure (corrupt file, stale config, …).
+    Journal(JournalError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Interrupted { completed_tasks } => {
+                write!(f, "driver killed after {completed_tasks} journaled tasks")
+            }
+            ExperimentError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<JournalError> for ExperimentError {
+    fn from(e: JournalError) -> Self {
+        ExperimentError::Journal(e)
+    }
+}
+
 /// Generate the shared dataset (the "CP2K trajectory"), with label noise
 /// and the paper's 75/25 split.
 pub fn build_dataset(config: &ExperimentConfig) -> (Arc<Dataset>, Arc<Dataset>) {
@@ -164,6 +214,17 @@ pub fn build_dataset(config: &ExperimentConfig) -> (Arc<Dataset>, Arc<Dataset>) 
     dataset.add_label_noise(config.label_noise.0, config.label_noise.1, &mut rng);
     let (train, val) = dataset.split(0.25, &mut rng);
     (Arc::new(train), Arc::new(val))
+}
+
+fn nsga2_config_for(config: &ExperimentConfig) -> Nsga2Config {
+    Nsga2Config {
+        pop_size: config.pop_size,
+        generations: config.generations,
+        init_ranges: DeepMDRepresentation::init_ranges(),
+        bounds: DeepMDRepresentation::bounds(),
+        std: DeepMDRepresentation::initial_std(),
+        anneal_factor: DeepMDRepresentation::ANNEAL_FACTOR,
+    }
 }
 
 /// Run the complete experiment: dataset generation plus `n_runs`
@@ -176,47 +237,237 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
 /// `(run, generation)` for long harnesses.
 pub fn run_experiment_with(
     config: &ExperimentConfig,
-    mut progress: Option<&mut dyn FnMut(usize, usize)>,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> ExperimentResult {
-    let (train, val) = build_dataset(config);
-    let nsga2_config = Nsga2Config {
-        pop_size: config.pop_size,
-        generations: config.generations,
-        init_ranges: DeepMDRepresentation::init_ranges(),
-        bounds: DeepMDRepresentation::bounds(),
-        std: DeepMDRepresentation::initial_std(),
-        anneal_factor: DeepMDRepresentation::ANNEAL_FACTOR,
+    run_experiment_inner(config, progress, None, None, None)
+        .expect("an unjournaled campaign cannot be interrupted")
+}
+
+/// Run the experiment with a write-ahead journal at `journal_path`: every
+/// completed evaluation and generation boundary is appended (and flushed)
+/// before the campaign moves on, so a crash loses at most in-flight work.
+pub fn run_experiment_journaled(
+    config: &ExperimentConfig,
+    journal_path: &Path,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> Result<ExperimentResult, ExperimentError> {
+    let writer = JournalWriter::create(journal_path, config)?;
+    run_experiment_inner(config, progress, Some(Rc::new(RefCell::new(writer))), None, None)
+}
+
+/// Chaos mode: as [`run_experiment_journaled`], but the (simulated) driver
+/// is killed after `kill_after_tasks` task completions — records past that
+/// point are lost, the campaign returns [`ExperimentError::Interrupted`],
+/// and the journal on disk is exactly what a real crash would leave.
+pub fn run_experiment_journaled_with_kill(
+    config: &ExperimentConfig,
+    journal_path: &Path,
+    kill_after_tasks: u64,
+) -> Result<ExperimentResult, ExperimentError> {
+    let writer = JournalWriter::create(journal_path, config)?;
+    run_experiment_inner(
+        config,
+        None,
+        Some(Rc::new(RefCell::new(writer))),
+        Some(kill_after_tasks),
+        None,
+    )
+}
+
+/// Resume an interrupted campaign from its journal. Journaled evaluations
+/// are replayed instead of retrained, missing tasks are re-submitted, and
+/// the continuation (appended to the same journal) reaches a result
+/// **bit-identical** to an uninterrupted run. The journal must have been
+/// written under the same configuration ([`Journal::check_config`]).
+pub fn resume_experiment(
+    config: &ExperimentConfig,
+    journal_path: &Path,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> Result<ExperimentResult, ExperimentError> {
+    let journal = Journal::load(journal_path)?;
+    journal.check_config(config)?;
+    let writer = JournalWriter::open_append(journal_path, journal.valid_len)?;
+    run_experiment_inner(
+        config,
+        progress,
+        Some(Rc::new(RefCell::new(writer))),
+        None,
+        Some(&journal),
+    )
+}
+
+/// Mid-run state reconstructed from a journal's generation boundaries.
+struct RestorePoint {
+    state: Nsga2State,
+    rng_state: [u64; 4],
+    archive: ParetoArchive,
+    reports: Vec<PoolReport>,
+}
+
+fn archive_from_members(members: &[Individual]) -> ParetoArchive {
+    // Journaled members are mutually non-dominating, so offering them in
+    // journal order reproduces the original archive exactly.
+    let mut archive = ParetoArchive::new();
+    archive.offer_all(members);
+    archive
+}
+
+fn restore_point(
+    journal: &Journal,
+    run_idx: usize,
+) -> Result<Option<RestorePoint>, ExperimentError> {
+    let boundaries = journal.boundaries_for(run_idx)?;
+    let Some(last) = boundaries.last() else { return Ok(None) };
+    let history = boundaries.iter().map(|b| b.record.clone()).collect();
+    Ok(Some(RestorePoint {
+        state: Nsga2State::restore(history, last.std.clone(), last.evaluations),
+        rng_state: last.rng_state,
+        archive: archive_from_members(&last.archive),
+        reports: boundaries.iter().map(|b| b.report.clone()).collect(),
+    }))
+}
+
+/// Close out one generation: fold the survivors into the Pareto archive,
+/// verify the (chaos-mode) driver survived the batch, and journal the
+/// boundary. The order matters — a driver that died during the batch must
+/// *not* write the boundary, exactly like a real crash.
+fn finish_generation(
+    state: &Nsga2State,
+    archive: &mut ParetoArchive,
+    journal: &Option<JournalSink>,
+    evaluator: &SummitEvaluator,
+    rng: &StdRng,
+    run_idx: usize,
+) -> Result<(), ExperimentError> {
+    let record = state.history.last().expect("a completed generation has a record");
+    archive.offer_all(&record.population);
+    let faults = evaluator.faults();
+    if !faults.driver_alive() {
+        return Err(ExperimentError::Interrupted { completed_tasks: faults.completed_tasks() });
+    }
+    if let Some(sink) = journal {
+        let entry = GenEntry {
+            run: run_idx,
+            record: record.clone(),
+            std: state.std.clone(),
+            evaluations: state.evaluations,
+            rng_state: rng.state(),
+            archive: archive.members().to_vec(),
+            report: evaluator.reports().last().cloned().unwrap_or_default(),
+        };
+        sink.writer.borrow_mut().append_generation(&entry);
+    }
+    Ok(())
+}
+
+/// Drive one EA run to completion — fresh or restored. Plain, journaled,
+/// and resumed campaigns all pass through here, which is what guarantees
+/// they optimise identically.
+#[allow(clippy::too_many_arguments)]
+fn drive_run(
+    config: &ExperimentConfig,
+    nsga2: &Nsga2Config,
+    train: &Arc<Dataset>,
+    val: &Arc<Dataset>,
+    run_idx: usize,
+    faults: FaultInjector,
+    journal: Option<JournalSink>,
+    restored: Option<RestorePoint>,
+    progress: &mut Option<&mut dyn FnMut(usize, usize)>,
+) -> Result<(RunResult, Vec<PoolReport>, ParetoArchive, u64), ExperimentError> {
+    let seed = config.master_seed + run_idx as u64;
+    let ctx = Arc::new(EvalContext {
+        base_config: config.base_train_config.clone(),
+        train: Arc::clone(train),
+        val: Arc::clone(val),
+        cost_model: CostModel::default(),
+        workdir: None,
+    });
+    let mut evaluator = SummitEvaluator::new(ctx, config.pool, faults, seed);
+    if let Some(sink) = &journal {
+        evaluator.attach_journal(sink.clone());
+    }
+    let (state, mut rng, mut archive) = match restored {
+        Some(point) => {
+            evaluator.set_generation(point.state.generation as u64 + 1);
+            evaluator.preload_reports(point.reports);
+            (Some(point.state), StdRng::from_state(point.rng_state), point.archive)
+        }
+        None => (None, StdRng::seed_from_u64(seed), ParetoArchive::new()),
     };
+    if let Some(cb) = progress.as_deref_mut() {
+        cb(run_idx, state.as_ref().map_or(0, |s| s.generation));
+    }
+    let mut state = match state {
+        Some(s) => s,
+        None => {
+            let s = Nsga2State::start(nsga2, &mut evaluator, &mut rng);
+            finish_generation(&s, &mut archive, &journal, &evaluator, &rng, run_idx)?;
+            s
+        }
+    };
+    while !state.is_complete(nsga2) {
+        state.step(nsga2, &mut evaluator, &mut rng);
+        finish_generation(&state, &mut archive, &journal, &evaluator, &rng, run_idx)?;
+    }
+    if let Some(cb) = progress.as_deref_mut() {
+        cb(run_idx, config.generations);
+    }
+    let completed = evaluator.faults().completed_tasks();
+    let reports = evaluator.reports().to_vec();
+    Ok((state.into_result(), reports, archive, completed))
+}
+
+fn run_experiment_inner(
+    config: &ExperimentConfig,
+    mut progress: Option<&mut dyn FnMut(usize, usize)>,
+    journal_writer: Option<Rc<RefCell<JournalWriter>>>,
+    mut kill_budget: Option<u64>,
+    resume_from: Option<&Journal>,
+) -> Result<ExperimentResult, ExperimentError> {
+    let (train, val) = build_dataset(config);
+    let nsga2 = nsga2_config_for(config);
 
     let mut runs = Vec::with_capacity(config.n_runs);
     let mut pool_reports = Vec::with_capacity(config.n_runs);
+    let mut archives = Vec::with_capacity(config.n_runs);
     for run_idx in 0..config.n_runs {
+        let mut restored = match resume_from {
+            Some(journal) => restore_point(journal, run_idx)?,
+            None => None,
+        };
+        // A run the journal shows as finished is reconstructed outright —
+        // no evaluator, no training, nothing re-journaled.
+        if restored.as_ref().is_some_and(|p| p.state.generation >= config.generations) {
+            let point = restored.take().expect("just checked");
+            runs.push(point.state.into_result());
+            pool_reports.push(point.reports);
+            archives.push(point.archive);
+            continue;
+        }
         let seed = config.master_seed + run_idx as u64;
-        let ctx = Arc::new(EvalContext {
-            base_config: config.base_train_config.clone(),
-            train: Arc::clone(&train),
-            val: Arc::clone(&val),
-            cost_model: CostModel::default(),
-            workdir: None,
+        let mut faults = FaultInjector::new(config.fault_probability, seed ^ 0xfa_17);
+        if let Some(k) = kill_budget {
+            faults = faults.with_driver_kill(k);
+        }
+        let sink = journal_writer.as_ref().map(|writer| JournalSink {
+            run: run_idx,
+            writer: Rc::clone(writer),
+            replay: Rc::new(resume_from.map_or_else(HashMap::new, |j| j.replay_for(run_idx))),
         });
-        let mut evaluator = SummitEvaluator::new(
-            ctx,
-            config.pool,
-            FaultInjector::new(config.fault_probability, seed ^ 0xfa_17),
-            seed,
-        );
-        let mut rng = StdRng::seed_from_u64(seed);
-        if let Some(cb) = progress.as_deref_mut() {
-            cb(run_idx, 0);
+        let (result, reports, archive, completed) = drive_run(
+            config, &nsga2, &train, &val, run_idx, faults, sink, restored, &mut progress,
+        )?;
+        // The kill budget spans the whole campaign: tasks this run consumed
+        // bring the next run's driver that much closer to its death.
+        if let Some(k) = kill_budget.as_mut() {
+            *k -= completed.min(*k);
         }
-        let result = run_nsga2(&nsga2_config, &mut evaluator, &mut rng);
-        if let Some(cb) = progress.as_deref_mut() {
-            cb(run_idx, config.generations);
-        }
-        pool_reports.push(evaluator.reports().to_vec());
         runs.push(result);
+        pool_reports.push(reports);
+        archives.push(archive);
     }
-    ExperimentResult { config: config.clone(), runs, pool_reports }
+    Ok(ExperimentResult { config: config.clone(), runs, pool_reports, archives })
 }
 
 #[cfg(test)]
@@ -251,6 +502,8 @@ mod tests {
             }
         }
         assert_eq!(result.failures_per_generation().len(), 2);
+        assert_eq!(result.archives.len(), 2);
+        assert!(result.archives.iter().all(|a| !a.is_empty()));
     }
 
     #[test]
@@ -266,5 +519,6 @@ mod tests {
         let a = run_experiment(&config);
         let b = run_experiment(&config);
         assert_eq!(fitness_of(&a), fitness_of(&b));
+        assert_eq!(a.archives[0].objective_pairs(), b.archives[0].objective_pairs());
     }
 }

@@ -1,0 +1,1028 @@
+//! The write-ahead evaluation journal: crash-safe, bit-identically
+//! resumable experiment campaigns.
+//!
+//! Every completed evaluation (genome, seed, fitness, wall-minutes, fault
+//! flags, `lcurve.out` tail) and every generation boundary (population, RNG
+//! stream state, mutation σ, Pareto archive, scheduler report) is appended
+//! to a JSONL file *before* the campaign moves on — one record per line,
+//! flushed per record, via the in-repo [`Json`] codec. If the driver dies
+//! mid-campaign, `resume` replays the journaled records instead of
+//! retraining, re-submits only the missing tasks to the worker pool, and
+//! continues to a result **bit-identical** to an uninterrupted run.
+//!
+//! # Determinism contract
+//!
+//! The resumed campaign equals the uninterrupted one because every source
+//! of randomness is restored or re-derived exactly (see DESIGN.md §7 for
+//! the field-by-field schema):
+//!
+//! 1. **EA stream** — each generation boundary stores the xoshiro256++
+//!    state ([`rand::rngs::StdRng::state`]); resume rebuilds the generator
+//!    with `from_state` so offspring of the next generation are
+//!    regenerated bit-identically.
+//! 2. **Training seeds** — per-evaluation seeds are pure functions of
+//!    `(run seed, generation × population + slot)`
+//!    ([`crate::workflow::derive_seed`]), independent of scheduling order.
+//! 3. **Fault decisions** — worker deaths hash `(seed, generation, task,
+//!    attempt)` ([`dphpo_hpc::FaultInjector`]), so an interrupted and an
+//!    uninterrupted campaign see the same fault pattern.
+//! 4. **Replay** — journaled evaluations are matched by `(run, generation,
+//!    slot)` *and* a bit-exact genome comparison; a hit short-circuits
+//!    training and returns the journaled outcome verbatim.
+//!
+//! Journals additionally carry a fingerprint of the campaign configuration
+//! ([`config_fingerprint`]); resuming under a changed configuration is
+//! rejected rather than silently producing a chimera.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+use std::rc::Rc;
+
+use dphpo_dnnp::{Json, LcurveRow};
+use dphpo_evo::nsga2::GenerationRecord;
+use dphpo_evo::{Fitness, Id, Individual};
+use dphpo_hpc::{EvalOutcome, PoolReport, TaskError, TaskRecord};
+
+use crate::experiment::ExperimentConfig;
+use crate::workflow::EvalRecord;
+
+/// Journal format version; bumped on any schema change.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Journal parse/validation failure, with enough context to diagnose a
+/// corrupt or stale file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JournalError {
+    fn new(message: impl Into<String>) -> Self {
+        JournalError { message: message.into() }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+// ---------------------------------------------------------------------------
+// Low-level JSON helpers
+// ---------------------------------------------------------------------------
+
+fn hex_u64(v: u64) -> Json {
+    Json::String(format!("{v:#018x}"))
+}
+
+fn parse_hex_u64(j: Option<&Json>, what: &str) -> Result<u64, JournalError> {
+    let s = j
+        .and_then(Json::as_str)
+        .ok_or_else(|| JournalError::new(format!("missing hex field '{what}'")))?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| JournalError::new(format!("field '{what}' is not 0x-prefixed: {s}")))?;
+    u64::from_str_radix(digits, 16)
+        .map_err(|_| JournalError::new(format!("field '{what}' is not hex: {s}")))
+}
+
+fn numbers(xs: &[f64]) -> Json {
+    Json::Array(xs.iter().copied().map(Json::Number).collect())
+}
+
+fn f64_field(j: &Json, key: &str) -> Result<f64, JournalError> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| JournalError::new(format!("missing numeric field '{key}'")))
+}
+
+fn usize_field(j: &Json, key: &str) -> Result<usize, JournalError> {
+    Ok(f64_field(j, key)? as usize)
+}
+
+fn array_field<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], JournalError> {
+    match j.get(key) {
+        Some(Json::Array(items)) => Ok(items),
+        _ => Err(JournalError::new(format!("missing array field '{key}'"))),
+    }
+}
+
+fn f64_array(j: &Json, key: &str) -> Result<Vec<f64>, JournalError> {
+    array_field(j, key)?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| JournalError::new(format!("non-numeric entry in '{key}'")))
+        })
+        .collect()
+}
+
+/// Crowding distances on front boundaries are `+inf`, which JSON cannot
+/// express as a number literal — encode non-finite values as strings.
+fn json_of_f64_or_inf(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Number(v)
+    } else if v > 0.0 {
+        Json::String("inf".into())
+    } else {
+        Json::String("-inf".into())
+    }
+}
+
+fn f64_or_inf_field(j: &Json, key: &str) -> Result<f64, JournalError> {
+    match j.get(key) {
+        Some(Json::Number(v)) => Ok(*v),
+        Some(Json::String(s)) if s == "inf" => Ok(f64::INFINITY),
+        Some(Json::String(s)) if s == "-inf" => Ok(f64::NEG_INFINITY),
+        _ => Err(JournalError::new(format!("missing float field '{key}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serde for the domain types (also exercised by the round-trip tests)
+// ---------------------------------------------------------------------------
+
+/// Serialise a fitness vector (objectives only; `MAXINT` penalties are
+/// large finite numbers and round-trip exactly).
+pub fn fitness_to_json(f: &Fitness) -> Json {
+    numbers(f.values())
+}
+
+/// Parse a fitness vector.
+pub fn fitness_from_json(j: &Json) -> Result<Fitness, JournalError> {
+    match j {
+        Json::Array(items) => {
+            let values: Result<Vec<f64>, _> = items
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| JournalError::new("non-numeric objective"))
+                })
+                .collect();
+            let values = values?;
+            if values.iter().any(|v| v.is_nan()) {
+                return Err(JournalError::new("NaN objective in journal"));
+            }
+            Ok(Fitness::new(values))
+        }
+        _ => Err(JournalError::new("fitness must be an array")),
+    }
+}
+
+/// Serialise an individual: identity, genome, evaluation state, and the
+/// sort metadata (rank / crowding distance) that selection derived.
+pub fn individual_to_json(ind: &Individual) -> Json {
+    Json::object(vec![
+        ("id", hex_u64(ind.id.raw())),
+        ("genome", numbers(&ind.genome)),
+        (
+            "fitness",
+            match &ind.fitness {
+                Some(f) => fitness_to_json(f),
+                None => Json::Null,
+            },
+        ),
+        (
+            "rank",
+            if ind.rank == usize::MAX { Json::Null } else { Json::Number(ind.rank as f64) },
+        ),
+        ("distance", json_of_f64_or_inf(ind.distance)),
+        ("minutes", ind.eval_minutes.map_or(Json::Null, Json::Number)),
+    ])
+}
+
+/// Parse an individual. The restored id is registered with
+/// [`Id::advance_past`] so freshly allocated ids never collide with it.
+pub fn individual_from_json(j: &Json) -> Result<Individual, JournalError> {
+    let raw = parse_hex_u64(j.get("id"), "id")?;
+    Id::advance_past(raw);
+    let fitness = match j.get("fitness") {
+        None | Some(Json::Null) => None,
+        Some(f) => Some(fitness_from_json(f)?),
+    };
+    let rank = match j.get("rank") {
+        None | Some(Json::Null) => usize::MAX,
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| JournalError::new("non-numeric 'rank'"))? as usize,
+    };
+    let eval_minutes = match j.get("minutes") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            Some(v.as_f64().ok_or_else(|| JournalError::new("non-numeric 'minutes'"))?)
+        }
+    };
+    Ok(Individual {
+        id: Id::from_raw(raw),
+        genome: f64_array(j, "genome")?,
+        fitness,
+        rank,
+        distance: f64_or_inf_field(j, "distance")?,
+        eval_minutes,
+    })
+}
+
+/// Serialise a xoshiro256++ state snapshot as four hex words.
+pub fn rng_state_to_json(state: [u64; 4]) -> Json {
+    Json::Array(state.iter().map(|&w| hex_u64(w)).collect())
+}
+
+/// Parse a [`rng_state_to_json`] snapshot.
+pub fn rng_state_from_json(j: &Json) -> Result<[u64; 4], JournalError> {
+    let items = match j {
+        Json::Array(items) if items.len() == 4 => items,
+        _ => return Err(JournalError::new("rng state must be a 4-element array")),
+    };
+    let mut state = [0u64; 4];
+    for (slot, item) in state.iter_mut().zip(items) {
+        *slot = parse_hex_u64(Some(item), "rng word")?;
+    }
+    if state.iter().all(|&w| w == 0) {
+        return Err(JournalError::new("all-zero rng state"));
+    }
+    Ok(state)
+}
+
+fn lcurve_row_to_json(r: &LcurveRow) -> Json {
+    numbers(&[r.step as f64, r.rmse_e_val, r.rmse_e_trn, r.rmse_f_val, r.rmse_f_trn, r.lr])
+}
+
+fn lcurve_row_from_json(j: &Json) -> Result<LcurveRow, JournalError> {
+    let v = match j {
+        Json::Array(items) if items.len() == 6 => items
+            .iter()
+            .map(|x| x.as_f64().ok_or_else(|| JournalError::new("non-numeric lcurve entry")))
+            .collect::<Result<Vec<f64>, _>>()?,
+        _ => return Err(JournalError::new("lcurve row must be a 6-element array")),
+    };
+    Ok(LcurveRow {
+        step: v[0] as usize,
+        rmse_e_val: v[1],
+        rmse_e_trn: v[2],
+        rmse_f_val: v[3],
+        rmse_f_trn: v[4],
+        lr: v[5],
+    })
+}
+
+fn report_to_json(r: &PoolReport) -> Json {
+    Json::object(vec![
+        ("makespan", Json::Number(r.makespan_minutes)),
+        ("per_worker", numbers(&r.per_worker_minutes)),
+        ("deaths", Json::Number(r.worker_deaths as f64)),
+        ("retried", Json::Number(r.retried_tasks as f64)),
+    ])
+}
+
+fn report_from_json(j: &Json) -> Result<PoolReport, JournalError> {
+    Ok(PoolReport {
+        makespan_minutes: f64_field(j, "makespan")?,
+        per_worker_minutes: f64_array(j, "per_worker")?,
+        worker_deaths: usize_field(j, "deaths")?,
+        retried_tasks: usize_field(j, "retried")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Journal records
+// ---------------------------------------------------------------------------
+
+/// How a journaled evaluation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Training completed and produced a finite fitness.
+    None,
+    /// Training diverged or the configuration was invalid (MAXINT).
+    Diverged,
+    /// The simulated runtime exceeded the per-task limit (MAXINT).
+    Timeout,
+    /// The hosting worker died and attempts were exhausted (MAXINT).
+    Worker,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::Diverged => "diverged",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Worker => "worker",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JournalError> {
+        match s {
+            "none" => Ok(FaultKind::None),
+            "diverged" => Ok(FaultKind::Diverged),
+            "timeout" => Ok(FaultKind::Timeout),
+            "worker" => Ok(FaultKind::Worker),
+            _ => Err(JournalError::new(format!("unknown fault kind '{s}'"))),
+        }
+    }
+}
+
+/// One completed evaluation, as journaled the moment the scheduler
+/// finalised it.
+#[derive(Clone, Debug)]
+pub struct EvalEntry {
+    /// Experiment run index.
+    pub run: usize,
+    /// Generation whose batch contained the task.
+    pub gen: usize,
+    /// Slot (task index) within the generation's batch.
+    pub slot: usize,
+    /// Derived training seed (informational; replay never retrains).
+    pub seed: u64,
+    /// The evaluated genome, bit-exact.
+    pub genome: Vec<f64>,
+    /// How the evaluation ended.
+    pub fault: FaultKind,
+    /// Objective values — present iff `fault == FaultKind::None`.
+    pub objectives: Option<Vec<f64>>,
+    /// Simulated minutes charged (timeouts charge the full limit).
+    pub minutes: f64,
+    /// Scheduler attempts consumed (1 = no retries).
+    pub attempts: u32,
+    /// Tail of the training curve (empty on failure).
+    pub lcurve_tail: Vec<LcurveRow>,
+}
+
+impl EvalEntry {
+    /// Build the journal entry for a finalised scheduler record.
+    pub fn from_task(
+        run: usize,
+        gen: usize,
+        slot: usize,
+        seed: u64,
+        genome: &[f64],
+        task: &TaskRecord<EvalRecord>,
+    ) -> Self {
+        let (fault, objectives, lcurve_tail) = match &task.value {
+            Ok(record) => (
+                FaultKind::None,
+                Some(record.fitness.values().to_vec()),
+                record.lcurve_tail.clone(),
+            ),
+            Err(TaskError::Failed(_)) => (FaultKind::Diverged, None, Vec::new()),
+            Err(TaskError::Timeout { .. }) => (FaultKind::Timeout, None, Vec::new()),
+            Err(TaskError::WorkerFailed) => (FaultKind::Worker, None, Vec::new()),
+        };
+        EvalEntry {
+            run,
+            gen,
+            slot,
+            seed,
+            genome: genome.to_vec(),
+            fault,
+            objectives,
+            minutes: task.minutes,
+            attempts: task.attempts,
+            lcurve_tail,
+        }
+    }
+
+    /// Reconstruct the pool-level outcome this entry recorded, so replay
+    /// can short-circuit training. Successful entries rebuild the full
+    /// [`EvalRecord`]; faulted entries return an evaluation error that the
+    /// evaluator maps to the same MAXINT penalty the original run saw.
+    pub fn to_outcome(&self) -> EvalOutcome<EvalRecord> {
+        match (&self.fault, &self.objectives) {
+            (FaultKind::None, Some(objectives)) => EvalOutcome {
+                value: Ok(EvalRecord {
+                    fitness: Fitness::new(objectives.clone()),
+                    minutes: self.minutes,
+                    failed: false,
+                    lcurve_tail: self.lcurve_tail.clone(),
+                }),
+                minutes: self.minutes,
+            },
+            _ => EvalOutcome {
+                value: Err(format!("replayed {} fault", self.fault.name())),
+                minutes: self.minutes,
+            },
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::String("eval".into())),
+            ("run", Json::Number(self.run as f64)),
+            ("gen", Json::Number(self.gen as f64)),
+            ("slot", Json::Number(self.slot as f64)),
+            ("seed", hex_u64(self.seed)),
+            ("genome", numbers(&self.genome)),
+            ("fault", Json::String(self.fault.name().into())),
+            (
+                "objectives",
+                match &self.objectives {
+                    Some(o) => numbers(o),
+                    None => Json::Null,
+                },
+            ),
+            ("minutes", Json::Number(self.minutes)),
+            ("attempts", Json::Number(self.attempts as f64)),
+            (
+                "lcurve_tail",
+                Json::Array(self.lcurve_tail.iter().map(lcurve_row_to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, JournalError> {
+        let fault = FaultKind::parse(
+            j.get("fault")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JournalError::new("missing 'fault'"))?,
+        )?;
+        let objectives = match j.get("objectives") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(f64_array(j, "objectives")?),
+        };
+        if fault == FaultKind::None && objectives.is_none() {
+            return Err(JournalError::new("successful eval entry without objectives"));
+        }
+        Ok(EvalEntry {
+            run: usize_field(j, "run")?,
+            gen: usize_field(j, "gen")?,
+            slot: usize_field(j, "slot")?,
+            seed: parse_hex_u64(j.get("seed"), "seed")?,
+            genome: f64_array(j, "genome")?,
+            fault,
+            objectives,
+            minutes: f64_field(j, "minutes")?,
+            attempts: usize_field(j, "attempts")? as u32,
+            lcurve_tail: array_field(j, "lcurve_tail")?
+                .iter()
+                .map(lcurve_row_from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// One generation boundary: everything needed to restore the EA mid-run.
+#[derive(Clone, Debug)]
+pub struct GenEntry {
+    /// Experiment run index.
+    pub run: usize,
+    /// The completed generation's record (population, failures).
+    pub record: GenerationRecord,
+    /// Mutation σ *after* this generation's annealing (the σ the next
+    /// generation will mutate with).
+    pub std: Vec<f64>,
+    /// Cumulative fitness evaluations in this run.
+    pub evaluations: usize,
+    /// EA stream state after this generation completed.
+    pub rng_state: [u64; 4],
+    /// Pareto-archive members at this boundary.
+    pub archive: Vec<Individual>,
+    /// Scheduler report for this generation's batch.
+    pub report: PoolReport,
+}
+
+impl GenEntry {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::String("generation".into())),
+            ("run", Json::Number(self.run as f64)),
+            ("gen", Json::Number(self.record.generation as f64)),
+            ("failures", Json::Number(self.record.failures as f64)),
+            ("evaluations", Json::Number(self.evaluations as f64)),
+            ("std", numbers(&self.std)),
+            ("rng", rng_state_to_json(self.rng_state)),
+            (
+                "population",
+                Json::Array(self.record.population.iter().map(individual_to_json).collect()),
+            ),
+            (
+                "archive",
+                Json::Array(self.archive.iter().map(individual_to_json).collect()),
+            ),
+            ("report", report_to_json(&self.report)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, JournalError> {
+        Ok(GenEntry {
+            run: usize_field(j, "run")?,
+            record: GenerationRecord {
+                generation: usize_field(j, "gen")?,
+                failures: usize_field(j, "failures")?,
+                population: array_field(j, "population")?
+                    .iter()
+                    .map(individual_from_json)
+                    .collect::<Result<_, _>>()?,
+            },
+            std: f64_array(j, "std")?,
+            evaluations: usize_field(j, "evaluations")?,
+            rng_state: rng_state_from_json(
+                j.get("rng").ok_or_else(|| JournalError::new("missing 'rng'"))?,
+            )?,
+            archive: array_field(j, "archive")?
+                .iter()
+                .map(individual_from_json)
+                .collect::<Result<_, _>>()?,
+            report: report_from_json(
+                j.get("report").ok_or_else(|| JournalError::new("missing 'report'"))?,
+            )?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration fingerprint (stale-journal rejection)
+// ---------------------------------------------------------------------------
+
+/// A stable fingerprint of everything that determines a campaign's result.
+/// Stored in the journal header; resume refuses a journal whose fingerprint
+/// differs from the configuration it is asked to continue.
+pub fn config_fingerprint(config: &ExperimentConfig) -> u64 {
+    let g = &config.gen_config;
+    Json::object(vec![
+        ("n_runs", Json::Number(config.n_runs as f64)),
+        ("pop_size", Json::Number(config.pop_size as f64)),
+        ("generations", Json::Number(config.generations as f64)),
+        ("train", hex_u64(config.base_train_config.config_hash())),
+        (
+            "gen",
+            Json::object(vec![
+                ("n_atoms", Json::Number(g.n_atoms as f64)),
+                ("box_len", Json::Number(g.box_len)),
+                ("temperature", Json::Number(g.temperature)),
+                ("dt_fs", Json::Number(g.dt_fs)),
+                ("friction", Json::Number(g.friction)),
+                ("equil_steps", Json::Number(g.equil_steps as f64)),
+                ("sample_every", Json::Number(g.sample_every as f64)),
+                ("n_frames", Json::Number(g.n_frames as f64)),
+            ]),
+        ),
+        ("noise", numbers(&[config.label_noise.0, config.label_noise.1])),
+        (
+            "pool",
+            Json::object(vec![
+                ("n_workers", Json::Number(config.pool.n_workers as f64)),
+                (
+                    "timeout",
+                    config.pool.timeout_minutes.map_or(Json::Null, Json::Number),
+                ),
+                ("nanny", Json::Bool(config.pool.nanny)),
+                ("max_attempts", Json::Number(config.pool.max_attempts as f64)),
+            ]),
+        ),
+        ("fault_probability", Json::Number(config.fault_probability)),
+        ("master_seed", hex_u64(config.master_seed)),
+    ])
+    .stable_hash()
+}
+
+fn header_json(config: &ExperimentConfig) -> Json {
+    Json::object(vec![
+        ("type", Json::String("header".into())),
+        ("version", Json::Number(JOURNAL_VERSION as f64)),
+        ("config", hex_u64(config_fingerprint(config))),
+        ("n_runs", Json::Number(config.n_runs as f64)),
+        ("pop_size", Json::Number(config.pop_size as f64)),
+        ("generations", Json::Number(config.generations as f64)),
+        ("master_seed", hex_u64(config.master_seed)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends journal records, flushing each line before returning — the
+/// "write-ahead" property: once a record is appended, a driver crash
+/// cannot lose it.
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Create a fresh journal at `path`, writing the header record.
+    pub fn create(path: &Path, config: &ExperimentConfig) -> Result<Self, JournalError> {
+        let file = File::create(path)
+            .map_err(|e| JournalError::new(format!("cannot create {}: {e}", path.display())))?;
+        let mut writer = JournalWriter { file };
+        writer.append(&header_json(config));
+        Ok(writer)
+    }
+
+    /// Reopen an existing journal for appending, first truncating it to
+    /// `valid_len` bytes — the valid prefix [`Journal::load`] measured —
+    /// so a torn final line from the crash is discarded.
+    pub fn open_append(path: &Path, valid_len: u64) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::new(format!("cannot open {}: {e}", path.display())))?;
+        file.set_len(valid_len)
+            .map_err(|e| JournalError::new(format!("cannot truncate journal: {e}")))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| JournalError::new(format!("cannot seek journal: {e}")))?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Append one record. Panics on I/O failure: a write-ahead journal
+    /// that silently drops records is worse than a crashed campaign.
+    fn append(&mut self, record: &Json) {
+        let mut line = record.to_compact();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .expect("journal append failed");
+    }
+
+    /// Append a completed-evaluation record.
+    pub fn append_eval(&mut self, entry: &EvalEntry) {
+        self.append(&entry.to_json());
+    }
+
+    /// Append a generation-boundary record.
+    pub fn append_generation(&mut self, entry: &GenEntry) {
+        self.append(&entry.to_json());
+    }
+}
+
+/// The journal handle an evaluator carries: where to append, which run it
+/// belongs to, and the replay map of already-journaled evaluations.
+#[derive(Clone)]
+pub struct JournalSink {
+    /// Run this sink journals for.
+    pub run: usize,
+    /// Shared append handle (the experiment loop also writes boundaries).
+    pub writer: Rc<RefCell<JournalWriter>>,
+    /// Journaled evaluations of this run, keyed `(generation, slot)`.
+    pub replay: Rc<HashMap<(usize, usize), EvalEntry>>,
+}
+
+impl JournalSink {
+    /// A sink with nothing to replay (fresh campaign).
+    pub fn fresh(run: usize, writer: Rc<RefCell<JournalWriter>>) -> Self {
+        JournalSink { run, writer, replay: Rc::new(HashMap::new()) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A parsed journal: header metadata plus every valid record, with the
+/// byte length of the valid prefix (a torn final line from a crash is
+/// tolerated and measured off).
+pub struct Journal {
+    /// Configuration fingerprint from the header.
+    pub config_fingerprint: u64,
+    /// Completed evaluations keyed `(run, generation, slot)`.
+    pub evals: HashMap<(usize, usize, usize), EvalEntry>,
+    /// Generation boundaries keyed `(run, generation)`.
+    pub generations: BTreeMap<(usize, usize), GenEntry>,
+    /// Byte length of the valid prefix (pass to [`JournalWriter::open_append`]).
+    pub valid_len: u64,
+}
+
+impl Journal {
+    /// Load and validate a journal file.
+    pub fn load(path: &Path) -> Result<Journal, JournalError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| JournalError::new(format!("cannot read {}: {e}", path.display())))?;
+        let mut journal = Journal {
+            config_fingerprint: 0,
+            evals: HashMap::new(),
+            generations: BTreeMap::new(),
+            valid_len: 0,
+        };
+        let mut offset = 0usize;
+        let mut saw_header = false;
+        let mut lines = text.split_inclusive('\n').peekable();
+        while let Some(line) = lines.next() {
+            let is_last = lines.peek().is_none();
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                offset += line.len();
+                continue;
+            }
+            // A record is durable only once its trailing newline reached the
+            // file: a torn write can end exactly at a parseable boundary, and
+            // appending after it would merge two records onto one line.
+            if is_last && !line.ends_with('\n') {
+                break;
+            }
+            let parsed: Result<(), JournalError> = Json::parse(trimmed)
+                .map_err(|e| JournalError::new(format!("bad JSON at byte {offset}: {e}")))
+                .and_then(|record| {
+                    match record.get("type").and_then(Json::as_str) {
+                        Some("header") => {
+                            journal.config_fingerprint =
+                                parse_hex_u64(record.get("config"), "config")?;
+                            let version = f64_field(&record, "version")? as u64;
+                            if version != JOURNAL_VERSION {
+                                return Err(JournalError::new(format!(
+                                    "journal version {version} != supported {JOURNAL_VERSION}"
+                                )));
+                            }
+                            saw_header = true;
+                        }
+                        Some("eval") => {
+                            let entry = EvalEntry::from_json(&record)?;
+                            journal.evals.insert((entry.run, entry.gen, entry.slot), entry);
+                        }
+                        Some("generation") => {
+                            let entry = GenEntry::from_json(&record)?;
+                            journal
+                                .generations
+                                .insert((entry.run, entry.record.generation), entry);
+                        }
+                        other => {
+                            return Err(JournalError::new(format!(
+                                "unknown record type {other:?} at byte {offset}"
+                            )))
+                        }
+                    }
+                    Ok(())
+                });
+            match parsed {
+                Ok(()) => {
+                    offset += line.len();
+                    journal.valid_len = offset as u64;
+                }
+                // A torn final line is the expected signature of a crash
+                // mid-append; anything earlier is real corruption.
+                Err(_) if is_last => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if !saw_header {
+            return Err(JournalError::new("journal has no header record"));
+        }
+        Ok(journal)
+    }
+
+    /// Reject the journal if it was written under a different campaign
+    /// configuration.
+    pub fn check_config(&self, config: &ExperimentConfig) -> Result<(), JournalError> {
+        let expected = config_fingerprint(config);
+        if self.config_fingerprint != expected {
+            return Err(JournalError::new(format!(
+                "stale journal: config fingerprint {:#018x} != expected {:#018x} \
+                 (the campaign configuration changed since the journal was written)",
+                self.config_fingerprint, expected
+            )));
+        }
+        Ok(())
+    }
+
+    /// The replay map for one run: journaled evaluations keyed
+    /// `(generation, slot)`.
+    pub fn replay_for(&self, run: usize) -> HashMap<(usize, usize), EvalEntry> {
+        self.evals
+            .values()
+            .filter(|e| e.run == run)
+            .map(|e| ((e.gen, e.slot), e.clone()))
+            .collect()
+    }
+
+    /// Generation boundaries of one run, ordered by generation. Errors if
+    /// the boundaries are not contiguous from 0 (a corrupt journal).
+    pub fn boundaries_for(&self, run: usize) -> Result<Vec<&GenEntry>, JournalError> {
+        let entries: Vec<&GenEntry> = self
+            .generations
+            .range((run, 0)..=(run, usize::MAX))
+            .map(|(_, e)| e)
+            .collect();
+        for (i, entry) in entries.iter().enumerate() {
+            if entry.record.generation != i {
+                return Err(JournalError::new(format!(
+                    "run {run}: generation boundaries not contiguous (found {} at index {i})",
+                    entry.record.generation
+                )));
+            }
+        }
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evaluated(genome: Vec<f64>, objectives: Vec<f64>) -> Individual {
+        let mut ind = Individual::new(genome);
+        ind.fitness = Some(Fitness::new(objectives));
+        ind.rank = 1;
+        ind.distance = f64::INFINITY;
+        ind.eval_minutes = Some(63.25);
+        ind
+    }
+
+    #[test]
+    fn individual_round_trips_including_infinite_distance() {
+        let ind = evaluated(vec![0.005, 1e-4, 7.0], vec![0.0016, 0.0357]);
+        let j = individual_to_json(&ind);
+        let back = individual_from_json(&j).unwrap();
+        assert_eq!(back.id, ind.id);
+        assert_eq!(back.genome, ind.genome);
+        assert_eq!(back.fitness, ind.fitness);
+        assert_eq!(back.rank, ind.rank);
+        assert_eq!(back.distance, f64::INFINITY);
+        assert_eq!(back.eval_minutes, ind.eval_minutes);
+        // Serialize → parse → serialize is a fixed point.
+        assert_eq!(individual_to_json(&back).to_compact(), j.to_compact());
+    }
+
+    #[test]
+    fn unevaluated_individual_round_trips() {
+        let ind = Individual::new(vec![1.5, -2.0]);
+        let back = individual_from_json(&individual_to_json(&ind)).unwrap();
+        assert!(back.fitness.is_none());
+        assert_eq!(back.rank, usize::MAX);
+        assert_eq!(back.eval_minutes, None);
+    }
+
+    #[test]
+    fn maxint_penalty_round_trips_exactly() {
+        let f = Fitness::penalty(2);
+        let back = fitness_from_json(&fitness_to_json(&f)).unwrap();
+        assert!(back.is_penalty());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn rng_state_round_trips_and_rejects_zero() {
+        let state = [0x1234_5678_9abc_def0u64, 42, u64::MAX, 7];
+        let back = rng_state_from_json(&rng_state_to_json(state)).unwrap();
+        assert_eq!(back, state);
+        assert!(rng_state_from_json(&rng_state_to_json([1, 2, 3, 4])).is_ok());
+        let zero = Json::Array((0..4).map(|_| hex_u64(0)).collect());
+        assert!(rng_state_from_json(&zero).is_err());
+    }
+
+    #[test]
+    fn eval_entry_round_trips_through_json() {
+        let entry = EvalEntry {
+            run: 1,
+            gen: 3,
+            slot: 7,
+            seed: 0xdead_beef_0000_0001,
+            genome: vec![0.005, 1e-4, 7.0, 2.5, 2.5, 4.5, 4.5],
+            fault: FaultKind::None,
+            objectives: Some(vec![0.0016, 0.0357]),
+            minutes: 63.25,
+            attempts: 2,
+            lcurve_tail: vec![LcurveRow {
+                step: 50,
+                rmse_e_val: 0.0016,
+                rmse_e_trn: 0.002,
+                rmse_f_val: 0.0357,
+                rmse_f_trn: 0.04,
+                lr: 1e-5,
+            }],
+        };
+        let j = entry.to_json();
+        let back = EvalEntry::from_json(&j).unwrap();
+        assert_eq!(back.genome, entry.genome);
+        assert_eq!(back.objectives, entry.objectives);
+        assert_eq!(back.seed, entry.seed);
+        assert_eq!(back.lcurve_tail, entry.lcurve_tail);
+        assert_eq!(back.to_json().to_compact(), j.to_compact());
+    }
+
+    #[test]
+    fn faulted_entry_without_objectives_is_valid_but_success_is_not() {
+        let mut entry = EvalEntry {
+            run: 0,
+            gen: 0,
+            slot: 0,
+            seed: 1,
+            genome: vec![1.0],
+            fault: FaultKind::Worker,
+            objectives: None,
+            minutes: 0.0,
+            attempts: 3,
+            lcurve_tail: Vec::new(),
+        };
+        assert!(EvalEntry::from_json(&entry.to_json()).is_ok());
+        entry.fault = FaultKind::None;
+        assert!(EvalEntry::from_json(&entry.to_json()).is_err());
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_measured_off() {
+        let config = ExperimentConfig::smoke();
+        let dir = std::env::temp_dir().join(format!("dphpo-journal-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("torn.jsonl");
+        {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            writer.append_eval(&EvalEntry {
+                run: 0,
+                gen: 0,
+                slot: 0,
+                seed: 9,
+                genome: vec![1.0, 2.0],
+                fault: FaultKind::Diverged,
+                objectives: None,
+                minutes: 0.1,
+                attempts: 1,
+                lcurve_tail: Vec::new(),
+            });
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: a torn, unparseable final line.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"type\":\"eval\",\"run\":0,\"gen\":0,\"sl").unwrap();
+        drop(f);
+
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.valid_len, full_len);
+        assert_eq!(journal.evals.len(), 1);
+        journal.check_config(&config).unwrap();
+
+        // A different configuration is rejected as stale.
+        let mut other = ExperimentConfig::smoke();
+        other.master_seed += 1;
+        assert!(journal.check_config(&other).is_err());
+
+        // Reopening for append truncates the torn tail.
+        drop(JournalWriter::open_append(&path, journal.valid_len).unwrap());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parseable_final_line_without_newline_is_dropped() {
+        let config = ExperimentConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-nonl-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("nonl.jsonl");
+        let entry = EvalEntry {
+            run: 0,
+            gen: 0,
+            slot: 0,
+            seed: 9,
+            genome: vec![1.0, 2.0],
+            fault: FaultKind::Diverged,
+            objectives: None,
+            minutes: 0.1,
+            attempts: 1,
+            lcurve_tail: Vec::new(),
+        };
+        drop(JournalWriter::create(&path, &config).unwrap());
+        let header_len = std::fs::metadata(&path).unwrap().len();
+        // A torn write can end exactly at a record boundary: the line parses,
+        // but without its newline it is not durable and must be dropped, or
+        // the next append would merge two records onto one line.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(entry.to_json().to_compact().as_bytes()).unwrap();
+        drop(f);
+
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.evals.len(), 0);
+        assert_eq!(journal.valid_len, header_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_before_the_final_line_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("dphpo-journal-mid-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("corrupt.jsonl");
+        let config = ExperimentConfig::smoke();
+        let header = header_json(&config).to_compact();
+        std::fs::write(&path, format!("{header}\nnot json at all\n{header}\n")).unwrap();
+        assert!(Journal::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_campaign_knob() {
+        let base = ExperimentConfig::smoke();
+        let f0 = config_fingerprint(&base);
+        let mut c = base.clone();
+        c.master_seed = 8;
+        assert_ne!(config_fingerprint(&c), f0);
+        let mut c = base.clone();
+        c.pop_size += 1;
+        assert_ne!(config_fingerprint(&c), f0);
+        let mut c = base.clone();
+        c.fault_probability = 0.5;
+        assert_ne!(config_fingerprint(&c), f0);
+        let mut c = base.clone();
+        c.base_train_config.num_steps += 1;
+        assert_ne!(config_fingerprint(&c), f0);
+        let mut c = base.clone();
+        c.gen_config.n_atoms += 10;
+        assert_ne!(config_fingerprint(&c), f0);
+        assert_eq!(config_fingerprint(&base.clone()), f0);
+    }
+}

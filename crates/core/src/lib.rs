@@ -5,7 +5,7 @@
 //! (simulated) Summit allocation.
 //!
 //! * [`representation`] — the seven-gene real-valued genome of Table 1.
-//! * [`decode`] — the `floor(gene) % n` categorical decoder of §2.2.2.
+//! * [`mod@decode`] — the `floor(gene) % n` categorical decoder of §2.2.2.
 //! * [`template`] — `string.Template`-style `input.json` substitution.
 //! * [`workflow`] — the §2.2.4 per-individual evaluation: decode → run dir
 //!   → input.json → train → read `lcurve.out` → two-element fitness, with
@@ -26,9 +26,12 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod decode;
 pub mod ea;
+pub mod journal;
 pub mod nas;
 pub mod experiment;
 pub mod representation;
@@ -39,6 +42,10 @@ pub use analysis::{analyze, analyze_with_thresholds, Analysis, SolutionRecord, C
 pub use decode::{decode, DecodedGenome};
 pub use nas::{decode_nas, DecodedNas, NasRepresentation};
 pub use ea::SummitEvaluator;
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use experiment::{
+    resume_experiment, run_experiment, run_experiment_journaled, ExperimentConfig,
+    ExperimentError, ExperimentResult,
+};
+pub use journal::{Journal, JournalError, JournalWriter};
 pub use representation::DeepMDRepresentation;
 pub use workflow::{evaluate_individual, EvalContext, EvalRecord};

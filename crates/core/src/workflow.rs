@@ -19,7 +19,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dphpo_dnnp::{train, Json, Lcurve, TrainConfig};
+use dphpo_dnnp::{train, Json, Lcurve, LcurveRow, TrainConfig};
 use dphpo_evo::{Fitness, Id};
 use dphpo_hpc::{paper_job, CostModel};
 use dphpo_md::Dataset;
@@ -54,7 +54,15 @@ pub struct EvalRecord {
     pub minutes: f64,
     /// True if training diverged or configuration was invalid.
     pub failed: bool,
+    /// The last rows of the training curve (up to [`LCURVE_TAIL_ROWS`]),
+    /// preserved in the experiment journal as convergence evidence so a
+    /// resumed campaign can report it without retraining. Empty when the
+    /// run failed before producing a curve.
+    pub lcurve_tail: Vec<LcurveRow>,
 }
+
+/// Number of trailing `lcurve.out` rows carried in each [`EvalRecord`].
+pub const LCURVE_TAIL_ROWS: usize = 3;
 
 /// Evaluate one genome. `seed` individualises weight init and runtime noise.
 pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> EvalRecord {
@@ -82,6 +90,7 @@ pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> Eval
         fitness: Fitness::penalty(2),
         minutes,
         failed: true,
+        lcurve_tail: Vec::new(),
     };
 
     let input_text = match substitute(INPUT_TEMPLATE, &vars) {
@@ -134,6 +143,7 @@ pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> Eval
             fitness: Fitness::new(vec![rmse_e, rmse_f]),
             minutes,
             failed: false,
+            lcurve_tail: parsed.tail(LCURVE_TAIL_ROWS).to_vec(),
         },
         _ => failure(minutes),
     }

@@ -1,0 +1,150 @@
+//! Chaos test for the write-ahead evaluation journal: kill the (simulated)
+//! driver after *every possible* task index, resume from the journal left
+//! behind, and assert the resumed campaign is bit-identical to an
+//! uninterrupted one — final populations, Pareto archives, and the
+//! analysis CSVs the paper's figures are built from.
+
+use std::path::PathBuf;
+
+use dphpo_core::analysis::{analyze, level_plot_csv};
+use dphpo_core::experiment::{
+    resume_experiment, run_experiment_journaled, run_experiment_journaled_with_kill,
+    ExperimentConfig, ExperimentError, ExperimentResult,
+};
+use dphpo_evo::Individual;
+
+/// Tiny campaign with faults and retries switched on, so replay covers
+/// successful, penalised, and retried evaluations: 2 runs × 3 individuals
+/// × 2 generations = 12 tasks.
+fn chaos_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::smoke();
+    config.pop_size = 3;
+    config.fault_probability = 0.2;
+    config.pool.nanny = true;
+    config.pool.max_attempts = 2;
+    config.master_seed = 41;
+    config
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dphpo-chaos-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+fn canon_individual(ind: &Individual) -> String {
+    // Ids are process-local allocation order and intentionally excluded:
+    // identity across a resume is positional, not nominal.
+    format!(
+        "genome={:?} fitness={:?} rank={} distance={:?} minutes={:?}",
+        ind.genome,
+        ind.fitness.as_ref().map(|f| f.values().to_vec()),
+        ind.rank,
+        ind.distance,
+        ind.eval_minutes,
+    )
+}
+
+/// Canonical text form of everything the campaign's result feeds into the
+/// paper's figures; `{:?}` on `f64` is shortest-round-trip, so equal
+/// strings mean bit-equal values.
+fn canon(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    for (run_idx, run) in result.runs.iter().enumerate() {
+        out.push_str(&format!("run {run_idx} evaluations={}\n", run.evaluations));
+        for record in &run.history {
+            out.push_str(&format!(
+                "  gen {} failures={}\n",
+                record.generation, record.failures
+            ));
+            for ind in &record.population {
+                out.push_str(&format!("    {}\n", canon_individual(ind)));
+            }
+        }
+    }
+    for (run_idx, archive) in result.archives.iter().enumerate() {
+        out.push_str(&format!("archive {run_idx}\n"));
+        for ind in archive.members() {
+            out.push_str(&format!("    {}\n", canon_individual(ind)));
+        }
+    }
+    out.push_str("--- parallel coordinates ---\n");
+    out.push_str(&analyze(result).parallel_coordinates_csv());
+    out.push_str("--- level plot ---\n");
+    out.push_str(&level_plot_csv(result));
+    out
+}
+
+#[test]
+fn resume_is_bit_identical_after_killing_the_driver_at_every_task() {
+    let config = chaos_config();
+    let total_tasks =
+        (config.n_runs * config.pop_size * (config.generations + 1)) as u64;
+
+    let reference_path = scratch("reference.jsonl");
+    let reference = run_experiment_journaled(&config, &reference_path, None)
+        .expect("uninterrupted campaign");
+    let reference_canon = canon(&reference);
+
+    // Sanity: the campaign really exercises the fault machinery, so replay
+    // covers penalty and retry records, not just clean successes.
+    assert!(
+        reference.pool_reports.iter().flatten().any(|r| r.worker_deaths > 0),
+        "chaos config should produce worker deaths"
+    );
+
+    for kill_after in 0..=total_tasks {
+        let path = scratch(&format!("kill-{kill_after}.jsonl"));
+        let outcome = run_experiment_journaled_with_kill(&config, &path, kill_after);
+        match outcome {
+            // `completed_tasks` is the dying run's local count; the kill
+            // budget spans runs, so only the error kind is asserted here.
+            Err(ExperimentError::Interrupted { completed_tasks }) => {
+                assert!(completed_tasks <= total_tasks);
+            }
+            Err(other) => panic!("kill_after={kill_after}: unexpected error {other}"),
+            Ok(_) => panic!("kill_after={kill_after} within {total_tasks} tasks must interrupt"),
+        }
+        let resumed = resume_experiment(&config, &path, None)
+            .unwrap_or_else(|e| panic!("resume after kill_after={kill_after}: {e}"));
+        assert_eq!(
+            canon(&resumed),
+            reference_canon,
+            "kill_after={kill_after}: resumed campaign diverged from uninterrupted run"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(reference_path.parent().unwrap());
+}
+
+#[test]
+fn resuming_a_completed_journal_reconstructs_without_retraining() {
+    let mut config = chaos_config();
+    config.master_seed = 43;
+    let path = scratch("complete-43.jsonl");
+    let reference = run_experiment_journaled(&config, &path, None).expect("campaign");
+    let before = std::fs::metadata(&path).expect("journal exists").len();
+    let resumed = resume_experiment(&config, &path, None).expect("resume of complete journal");
+    assert_eq!(canon(&resumed), canon(&reference));
+    // Nothing new to journal: the file is untouched.
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_configuration() {
+    let mut config = chaos_config();
+    config.master_seed = 44;
+    let path = scratch("stale-44.jsonl");
+    run_experiment_journaled(&config, &path, None).expect("campaign");
+    let mut changed = config.clone();
+    changed.base_train_config.num_steps += 1;
+    match resume_experiment(&changed, &path, None) {
+        Err(ExperimentError::Journal(e)) => {
+            assert!(e.message.contains("stale journal"), "unexpected message: {e}");
+        }
+        Err(other) => panic!("expected a stale-journal error, got {other}"),
+        Ok(_) => panic!("stale journal must be rejected"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -159,6 +159,14 @@ impl TrainConfig {
         Ok(())
     }
 
+    /// Stable 64-bit fingerprint of this configuration, via the canonical
+    /// `input.json` rendering. Two configs hash equal iff they would write
+    /// identical `input.json` artifacts; the experiment journal uses this
+    /// to reject resumption under a changed campaign configuration.
+    pub fn config_hash(&self) -> u64 {
+        self.to_input_json().stable_hash()
+    }
+
     /// Serialise to a DeePMD-shaped `input.json` document.
     pub fn to_input_json(&self) -> Json {
         let neurons = |ns: &[usize]| {

@@ -66,6 +66,69 @@ impl Json {
         Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// Render on a single line with no whitespace — the framing used for
+    /// JSONL artifacts such as the experiment journal, where one record
+    /// must occupy exactly one line.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            Json::String(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// A stable 64-bit content hash (FNV-1a over the canonical rendering).
+    ///
+    /// Object keys are sorted (`BTreeMap`) and numbers render via Rust's
+    /// shortest-round-trip formatting, so the hash depends only on the JSON
+    /// *value*, never on insertion order or the process that produced it.
+    /// The experiment journal stores this hash of the campaign
+    /// configuration in its header and refuses to resume under a different
+    /// configuration.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_string().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Parse a JSON document.
     pub fn parse(input: &str) -> Result<Json, JsonError> {
         let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
@@ -446,5 +509,28 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(Json::Number(40000.0).to_string(), "40000");
         assert_eq!(Json::Number(0.01).to_string(), "0.01");
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let v = Json::object(vec![
+            ("a", Json::Array(vec![Json::Number(1.0), Json::Null, Json::Bool(false)])),
+            ("s", Json::String("line\nbreak".into())),
+            ("n", Json::Number(0.0016)),
+        ]);
+        let compact = v.to_compact();
+        assert!(!compact.contains('\n'), "compact output must be one line: {compact}");
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn stable_hash_tracks_value_not_construction_order() {
+        let a = Json::object(vec![("x", Json::Number(1.0)), ("y", Json::Bool(true))]);
+        let b = Json::object(vec![("y", Json::Bool(true)), ("x", Json::Number(1.0))]);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        let c = Json::object(vec![("x", Json::Number(2.0)), ("y", Json::Bool(true))]);
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        // Survives a serialisation round trip.
+        assert_eq!(Json::parse(&a.to_string()).unwrap().stable_hash(), a.stable_hash());
     }
 }

@@ -56,6 +56,14 @@ impl Lcurve {
         self.last().map(|r| (r.rmse_e_val, r.rmse_f_val))
     }
 
+    /// The last `n` rows (all rows when fewer exist) — the "lcurve tail"
+    /// journaled per evaluation so a resumed campaign can reproduce the
+    /// convergence evidence without rerunning training.
+    pub fn tail(&self, n: usize) -> &[LcurveRow] {
+        let start = self.rows.len().saturating_sub(n);
+        &self.rows[start..]
+    }
+
     /// Render in DeePMD's `lcurve.out` layout.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -139,6 +147,15 @@ mod tests {
             assert!((a.rmse_f_val - b.rmse_f_val).abs() < 1e-12);
             assert!((a.lr - b.lr).abs() < 1e-18);
         }
+    }
+
+    #[test]
+    fn tail_clamps_to_available_rows() {
+        let c = sample();
+        assert_eq!(c.tail(1).len(), 1);
+        assert_eq!(c.tail(1)[0].step, 50);
+        assert_eq!(c.tail(10).len(), 2);
+        assert!(Lcurve::new().tail(3).is_empty());
     }
 
     #[test]

@@ -56,4 +56,6 @@ pub use mo::{
 };
 pub use archive::ParetoArchive;
 pub use metrics::{igd, spread_2d, zdt1_reference_front, zdt2_reference_front};
-pub use nsga2::{run_nsga2, BatchEvaluator, EvalResult, GenerationRecord, Nsga2Config, RunResult};
+pub use nsga2::{
+    run_nsga2, BatchEvaluator, EvalResult, GenerationRecord, Nsga2Config, Nsga2State, RunResult,
+};

@@ -121,6 +121,105 @@ fn evaluate_into(
     failures
 }
 
+/// Mid-run NSGA-II driver state: everything that must survive between
+/// generations for the run to continue — and everything a checkpoint must
+/// capture (together with the RNG stream state, which the caller owns) for
+/// a resumed run to be bit-identical to an uninterrupted one.
+///
+/// [`run_nsga2`] composes [`Nsga2State::start`] and [`Nsga2State::step`];
+/// callers that checkpoint between generations (the experiment journal in
+/// `dphpo-core`) drive the same two methods directly and rebuild the state
+/// with [`Nsga2State::restore`] after a crash.
+#[derive(Clone, Debug)]
+pub struct Nsga2State {
+    /// Last completed generation (0 right after [`Nsga2State::start`]).
+    pub generation: usize,
+    /// Current parent population: evaluated, rank/crowding assigned.
+    pub parents: Vec<Individual>,
+    /// Current per-gene mutation σ (already annealed for the *next* step).
+    pub std: Vec<f64>,
+    /// Total fitness evaluations performed so far.
+    pub evaluations: usize,
+    /// One record per completed generation.
+    pub history: Vec<GenerationRecord>,
+}
+
+impl Nsga2State {
+    /// Generation 0: draw and evaluate the random initial population.
+    pub fn start<R: Rng + ?Sized>(
+        config: &Nsga2Config,
+        evaluator: &mut dyn BatchEvaluator,
+        rng: &mut R,
+    ) -> Self {
+        config.validate();
+        let mut parents = random_population(config.pop_size, &config.init_ranges, rng);
+        let failures = evaluate_into(evaluator, &mut parents);
+        let evaluations = parents.len();
+        assign_rank_and_crowding(&mut parents);
+        let mut history = Vec::with_capacity(config.generations + 1);
+        history.push(GenerationRecord { generation: 0, population: parents.clone(), failures });
+        Nsga2State { generation: 0, parents, std: config.std.clone(), evaluations, history }
+    }
+
+    /// One EA generation: select → clone → mutate → evaluate → merged rank
+    /// sort → crowding → truncation, then anneal σ (paper §2.2.3).
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        config: &Nsga2Config,
+        evaluator: &mut dyn BatchEvaluator,
+        rng: &mut R,
+    ) {
+        let generation = self.generation + 1;
+        let mut offspring =
+            create_offspring(&self.parents, config.pop_size, &self.std, &config.bounds, rng);
+        let failures = evaluate_into(evaluator, &mut offspring);
+        self.evaluations += offspring.len();
+
+        // LEAP's rank_ordinal_sort(parents=parents) merges the parent
+        // population into the sorted pool before truncation.
+        let mut pool = std::mem::take(&mut self.parents);
+        pool.extend(offspring);
+        assign_rank_and_crowding(&mut pool);
+        self.parents = truncation_selection(pool, config.pop_size);
+
+        // Anneal σ after the offspring pipeline returns (paper §2.2.3).
+        anneal_std(&mut self.std, config.anneal_factor);
+
+        self.history.push(GenerationRecord {
+            generation,
+            population: self.parents.clone(),
+            failures,
+        });
+        self.generation = generation;
+    }
+
+    /// True once `config.generations` EA steps have completed.
+    pub fn is_complete(&self, config: &Nsga2Config) -> bool {
+        self.generation >= config.generations
+    }
+
+    /// Rebuild mid-run state from checkpointed history and σ. The last
+    /// history record's population becomes the current parents; the caller
+    /// is responsible for restoring the RNG stream alongside.
+    ///
+    /// Panics on an empty history (there is nothing to resume).
+    pub fn restore(history: Vec<GenerationRecord>, std: Vec<f64>, evaluations: usize) -> Self {
+        let last = history.last().expect("cannot restore from an empty history");
+        Nsga2State {
+            generation: last.generation,
+            parents: last.population.clone(),
+            std,
+            evaluations,
+            history,
+        }
+    }
+
+    /// Finish the run, consuming the state.
+    pub fn into_result(self) -> RunResult {
+        RunResult { history: self.history, evaluations: self.evaluations }
+    }
+}
+
 /// Run NSGA-II: random init → (select → clone → mutate → evaluate → merged
 /// rank sort → crowding → truncation) × generations, annealing σ each step.
 pub fn run_nsga2<R: Rng + ?Sized>(
@@ -128,43 +227,11 @@ pub fn run_nsga2<R: Rng + ?Sized>(
     evaluator: &mut dyn BatchEvaluator,
     rng: &mut R,
 ) -> RunResult {
-    config.validate();
-    let mut std = config.std.clone();
-    let mut evaluations = 0usize;
-
-    // Generation 0: random initial population.
-    let mut parents = random_population(config.pop_size, &config.init_ranges, rng);
-    let failures = evaluate_into(evaluator, &mut parents);
-    evaluations += parents.len();
-    assign_rank_and_crowding(&mut parents);
-
-    let mut history = Vec::with_capacity(config.generations + 1);
-    history.push(GenerationRecord { generation: 0, population: parents.clone(), failures });
-
-    for generation in 1..=config.generations {
-        let mut offspring =
-            create_offspring(&parents, config.pop_size, &std, &config.bounds, rng);
-        let failures = evaluate_into(evaluator, &mut offspring);
-        evaluations += offspring.len();
-
-        // LEAP's rank_ordinal_sort(parents=parents) merges the parent
-        // population into the sorted pool before truncation.
-        let mut pool = parents;
-        pool.extend(offspring);
-        assign_rank_and_crowding(&mut pool);
-        parents = truncation_selection(pool, config.pop_size);
-
-        // Anneal σ after the offspring pipeline returns (paper §2.2.3).
-        anneal_std(&mut std, config.anneal_factor);
-
-        history.push(GenerationRecord {
-            generation,
-            population: parents.clone(),
-            failures,
-        });
+    let mut state = Nsga2State::start(config, evaluator, rng);
+    while !state.is_complete(config) {
+        state.step(config, evaluator, rng);
     }
-
-    RunResult { history, evaluations }
+    state.into_result()
 }
 
 #[cfg(test)]
@@ -305,6 +372,41 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn restored_state_continues_bit_identically() {
+        // Drive three generations, snapshot (history, std, evaluations, RNG
+        // state), drop the driver, restore, and finish — the final
+        // population must equal the uninterrupted run's exactly.
+        let config = zdt1_config(12, 6);
+        let finish = |mut state: Nsga2State, mut rng: StdRng| {
+            let mut evaluator = zdt1_evaluator();
+            while !state.is_complete(&config) {
+                state.step(&config, &mut evaluator, &mut rng);
+            }
+            state
+                .into_result()
+                .final_population()
+                .iter()
+                .map(|i| i.fitness().values().to_vec())
+                .collect::<Vec<_>>()
+        };
+
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut evaluator = zdt1_evaluator();
+        let mut state = Nsga2State::start(&config, &mut evaluator, &mut rng);
+        for _ in 0..3 {
+            state.step(&config, &mut evaluator, &mut rng);
+        }
+        let checkpoint =
+            (state.history.clone(), state.std.clone(), state.evaluations, rng.state());
+
+        let uninterrupted = finish(state, rng);
+        let restored = Nsga2State::restore(checkpoint.0, checkpoint.1, checkpoint.2);
+        assert_eq!(restored.generation, 3);
+        let resumed = finish(restored, StdRng::from_state(checkpoint.3));
+        assert_eq!(uninterrupted, resumed);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod trace;
 pub use cluster::{Allocation, NodeSpec};
 pub use cost::{paper_job, CostModel, TrainingJob};
 pub use scheduler::{
-    run_batch, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskError, TaskRecord,
+    run_batch, run_batch_with_hooks, EvalOutcome, FaultInjector, PoolConfig, PoolReport,
+    TaskError, TaskRecord,
 };
 pub use trace::{Span, Timeline};

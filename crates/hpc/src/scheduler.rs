@@ -8,12 +8,9 @@
 //! the cost model, and the scheduler enforces the paper's 2-hour per-task
 //! timeout against that simulated clock.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam::channel;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Why a task produced no value.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,18 +69,42 @@ impl Default for PoolConfig {
     }
 }
 
-/// Stochastic worker-death injection. Each task execution kills its worker
-/// with probability `death_probability` (before completing the task).
+/// Worker-death injection, plus the chaos hooks used by crash-safety tests.
+///
+/// Each task execution kills its worker with probability
+/// `death_probability` (before completing the task). Decisions are **pure
+/// functions of `(seed, batch key, task index, attempt)`** — not draws from
+/// a shared stream — so fault placement is independent of the real-time
+/// order in which worker threads grab tasks. That determinism is what lets
+/// a resumed experiment replay a journal and land bit-identically on the
+/// uninterrupted run's result (see `dphpo-core`'s journal module).
+///
+/// The *driver-kill* chaos mode ([`FaultInjector::with_driver_kill`])
+/// simulates the failure the paper's Dask deployment cannot survive: the
+/// EA driver itself dying mid-campaign. After `k` completed-task
+/// notifications, [`FaultInjector::note_task_completion`] starts returning
+/// `false` ("this record was lost") and [`FaultInjector::driver_alive`]
+/// reports the driver as dead, which the journaling experiment loop turns
+/// into an orderly simulated crash.
 pub struct FaultInjector {
     death_probability: f64,
-    rng: Mutex<StdRng>,
+    seed: u64,
+    batch_key: AtomicU64,
+    kill_after: Option<u64>,
+    completed: AtomicU64,
 }
 
 impl FaultInjector {
     /// A fault plan; `death_probability` of 0 disables faults.
     pub fn new(death_probability: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&death_probability));
-        FaultInjector { death_probability, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        FaultInjector {
+            death_probability,
+            seed,
+            batch_key: AtomicU64::new(0),
+            kill_after: None,
+            completed: AtomicU64::new(0),
+        }
     }
 
     /// No faults.
@@ -91,12 +112,66 @@ impl FaultInjector {
         FaultInjector::new(0.0, 0)
     }
 
-    fn task_kills_worker(&self) -> bool {
+    /// Chaos mode: the *driver* (not a worker) dies after `after_tasks`
+    /// completed-task notifications. Deterministic by construction.
+    pub fn with_driver_kill(mut self, after_tasks: u64) -> Self {
+        self.kill_after = Some(after_tasks);
+        self
+    }
+
+    /// Set the key that namespaces this batch's fault decisions. Callers
+    /// running several batches through one injector (one per EA generation)
+    /// pass a batch identity that is stable across resume — the generation
+    /// number — so an interrupted and an uninterrupted campaign see the
+    /// same fault pattern.
+    pub fn set_batch_key(&self, key: u64) {
+        self.batch_key.store(key, Ordering::Relaxed);
+    }
+
+    /// Record one completed task. Returns `true` while the driver is still
+    /// alive (the completion "reached disk"), `false` once the configured
+    /// kill point has been passed.
+    pub fn note_task_completion(&self) -> bool {
+        let n = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.kill_after {
+            Some(k) => n <= k,
+            None => true,
+        }
+    }
+
+    /// Completed-task notifications seen so far (all batches).
+    pub fn completed_tasks(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// False once the driver-kill threshold has been crossed.
+    pub fn driver_alive(&self) -> bool {
+        match self.kill_after {
+            Some(k) => self.completed.load(Ordering::Relaxed) < k,
+            None => true,
+        }
+    }
+
+    fn task_kills_worker(&self, task: usize, attempt: u32) -> bool {
         if self.death_probability == 0.0 {
             return false;
         }
-        self.rng.lock().random_range(0.0..1.0) < self.death_probability
+        let mut z = splitmix64(
+            self.seed ^ 0x5eed_0f_da7a_u64.wrapping_mul(self.batch_key.load(Ordering::Relaxed)),
+        );
+        z = splitmix64(z ^ (task as u64));
+        z = splitmix64(z ^ ((attempt as u64) << 32));
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.death_probability
     }
+}
+
+/// SplitMix64 finalizer: the hash behind deterministic fault decisions.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Per-run statistics.
@@ -133,6 +208,30 @@ where
     T: Send,
     F: Fn(usize, &I) -> EvalOutcome<T> + Sync,
 {
+    run_batch_with_hooks(inputs, eval, config, faults, |_, _: &TaskRecord<T>| {})
+}
+
+/// As [`run_batch`], with a task-completion hook.
+///
+/// `on_complete(task, record)` fires on the scheduler (calling) thread the
+/// moment a task reaches its final record — success, evaluation failure,
+/// timeout, or exhausted retries — in completion order, before the batch
+/// returns. This is the write-ahead point for crash-safe journaling: a
+/// journal appended here has every finished evaluation on disk even if the
+/// driver dies before the batch (or the campaign) completes.
+pub fn run_batch_with_hooks<I, T, F, H>(
+    inputs: &[I],
+    eval: F,
+    config: &PoolConfig,
+    faults: &FaultInjector,
+    mut on_complete: H,
+) -> (Vec<TaskRecord<T>>, PoolReport)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> EvalOutcome<T> + Sync,
+    H: FnMut(usize, &TaskRecord<T>),
+{
     assert!(config.n_workers > 0, "pool needs at least one worker");
     assert!(config.max_attempts > 0, "max_attempts must be positive");
     let n = inputs.len();
@@ -141,10 +240,10 @@ where
         return (Vec::new(), PoolReport::default());
     }
 
-    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (task_tx, task_rx) = channel::unbounded::<(usize, u32)>();
     let (msg_tx, msg_rx) = channel::unbounded::<Message<T>>();
     for i in 0..n {
-        task_tx.send(i).expect("queue open");
+        task_tx.send((i, 1)).expect("queue open");
     }
 
     let mut attempts = vec![0u32; n];
@@ -161,8 +260,8 @@ where
             let timeout = config.timeout_minutes;
             let nanny = config.nanny;
             scope.spawn(move || {
-                while let Ok(task) = task_rx.recv() {
-                    if faults.task_kills_worker() {
+                while let Ok((task, attempt)) = task_rx.recv() {
+                    if faults.task_kills_worker(task, attempt) {
                         // The worker dies mid-task. With a nanny it is
                         // restarted (continue); without, the thread exits.
                         let _ = msg_tx.send(Message::Died { task, worker });
@@ -186,25 +285,31 @@ where
         drop(msg_tx);
 
         let mut completed = 0usize;
+        // Set once no worker can make further progress (every worker died,
+        // no nannies). Observed either through the alive counter or through
+        // the message channel disconnecting as the last worker exits; both
+        // paths drain already-sent messages before failing the remainder, so
+        // the records are identical whichever signal the driver sees first —
+        // a worker reports its final result/death *before* its exit is
+        // visible, and once `alive` reads zero no further send can happen.
+        let mut pool_dead = false;
         while completed < n {
-            // If every worker died with work outstanding, fail the rest.
-            if alive.load(Ordering::SeqCst) == 0 {
-                for (task, slot) in records.iter_mut().enumerate() {
-                    if slot.is_none() {
-                        *slot = Some(TaskRecord {
-                            value: Err(TaskError::WorkerFailed),
-                            minutes: 0.0,
-                            worker: usize::MAX,
-                            attempts: attempts[task],
-                        });
-                    }
+            let msg = if pool_dead {
+                match msg_rx.try_recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
                 }
-                break;
-            }
-            let msg = match msg_rx.recv_timeout(std::time::Duration::from_millis(50)) {
-                Ok(m) => m,
-                Err(channel::RecvTimeoutError::Timeout) => continue,
-                Err(channel::RecvTimeoutError::Disconnected) => break,
+            } else if alive.load(Ordering::SeqCst) == 0 {
+                pool_dead = true;
+                continue;
+            } else {
+                match msg_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                    Ok(m) => m,
+                    Err(channel::RecvTimeoutError::Timeout) => continue,
+                    // All senders dropped ⇒ all workers exited and the
+                    // buffer is already drained; fail the remainder below.
+                    Err(channel::RecvTimeoutError::Disconnected) => break,
+                }
             };
             match msg {
                 Message::Done { task, outcome, worker, minutes_charged } => {
@@ -223,15 +328,15 @@ where
                         worker,
                         attempts: attempts[task],
                     });
+                    on_complete(task, records[task].as_ref().expect("just stored"));
                     completed += 1;
                 }
                 Message::Died { task, worker } => {
                     report.worker_deaths += 1;
                     attempts[task] += 1;
-                    let _ = worker;
                     if attempts[task] < config.max_attempts {
                         report.retried_tasks += 1;
-                        let _ = task_tx.send(task);
+                        let _ = task_tx.send((task, attempts[task] + 1));
                     } else {
                         records[task] = Some(TaskRecord {
                             value: Err(TaskError::WorkerFailed),
@@ -239,8 +344,24 @@ where
                             worker,
                             attempts: attempts[task],
                         });
+                        on_complete(task, records[task].as_ref().expect("just stored"));
                         completed += 1;
                     }
+                }
+            }
+        }
+        // If every worker died with work outstanding, fail the rest (a
+        // retry re-queued onto a dead pool ends here too).
+        if completed < n {
+            for (task, slot) in records.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = Some(TaskRecord {
+                        value: Err(TaskError::WorkerFailed),
+                        minutes: 0.0,
+                        worker: usize::MAX,
+                        attempts: attempts[task],
+                    });
+                    on_complete(task, slot.as_ref().expect("just stored"));
                 }
             }
         }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md) plus the documentation gates:
+#
+#   1. cargo build --release       — the whole workspace compiles
+#   2. cargo test -q               — every test passes
+#   3. cargo doc --no-deps         — rustdoc builds with warnings DENIED
+#   4. doc-sync                    — every `--bin`/`--bench` named in
+#                                    EXPERIMENTS.md exists in the workspace
+#
+# Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> [1/4] cargo build --release"
+cargo build --release --workspace
+
+echo "==> [2/4] cargo test -q"
+cargo test -q --workspace
+
+echo "==> [3/4] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> [4/4] doc-sync: EXPERIMENTS.md targets exist"
+missing=0
+for bin in $(grep -o -- '--bin [a-z0-9_]*' EXPERIMENTS.md | awk '{print $2}' | sort -u); do
+    if [[ ! -f "crates/bench/src/bin/${bin}.rs" ]]; then
+        echo "    MISSING: EXPERIMENTS.md references --bin ${bin}" >&2
+        missing=1
+    else
+        echo "    ok: --bin ${bin}"
+    fi
+done
+for bench in $(grep -o -- '--bench [a-z0-9_]*' EXPERIMENTS.md | awk '{print $2}' | sort -u); do
+    if [[ ! -f "crates/bench/benches/${bench}.rs" ]]; then
+        echo "    MISSING: EXPERIMENTS.md references --bench ${bench}" >&2
+        missing=1
+    else
+        echo "    ok: --bench ${bench}"
+    fi
+done
+if [[ ${missing} -ne 0 ]]; then
+    echo "verify: FAILED (doc-sync)" >&2
+    exit 1
+fi
+
+echo "verify: OK"

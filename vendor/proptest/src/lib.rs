@@ -170,7 +170,7 @@ pub mod collection {
     use super::{Strategy, StdRng};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: an exact length or a half-open
+    /// Length specification for [`fn@vec`]: an exact length or a half-open
     /// range of lengths.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
