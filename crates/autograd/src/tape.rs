@@ -91,7 +91,7 @@ impl Unary {
             Unary::Sqrt => x.sqrt(),
             Unary::Recip => 1.0 / x,
             Unary::Square => x * x,
-            Unary::OneMinusSquare => (x * x) * (-1.0) + 1.0,
+            Unary::OneMinusSquare => -(x * x) + 1.0,
             Unary::Step => {
                 if x > 0.0 {
                     1.0
@@ -113,8 +113,8 @@ impl Unary {
             Unary::Tanh => {
                 const LOG2_E: f64 = std::f64::consts::LOG2_E;
                 // ln 2 split hi/lo so `t - k·ln2` stays exact in the hi part.
-                const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
-                const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+                const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+                const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
                 for o in out.iter_mut() {
                     // tanh(x) = (e^t - 1)/(e^t + 1) with t = 2x. Beyond
                     // |t| = 40 the quotient rounds to ±1 exactly, so the
@@ -217,8 +217,11 @@ pub struct Tape {
     /// keep their `Arc` wrapper, so reuse skips both the data and the
     /// refcount allocation; the handful of classes makes a linear scan
     /// cheaper than hashing.
-    pool: RefCell<Vec<(usize, Vec<Arc<Vec<f64>>>)>>,
+    pool: RefCell<Vec<SizeClass>>,
 }
+
+/// One recycling bucket: a power-of-two size class and its free buffers.
+type SizeClass = (usize, Vec<Arc<Vec<f64>>>);
 
 /// A uniquely-owned buffer leased from the tape's pool. Derefs to its
 /// element slice; finish with [`TapeBuf::into_tensor`] to wrap it without
@@ -853,8 +856,8 @@ impl Tape {
             let x = xv.data()[i];
             let y = yv.data()[i];
             let d = match k {
-                Unary::Tanh => (y * y) * (-1.0) + 1.0,
-                Unary::Sigmoid => y * ((y * (-1.0)) + 1.0),
+                Unary::Tanh => -(y * y) + 1.0,
+                Unary::Sigmoid => y * (-y + 1.0),
                 Unary::Softplus => Unary::Sigmoid.eval(x),
                 Unary::Relu => {
                     if x > 0.0 {
@@ -865,17 +868,17 @@ impl Tape {
                 }
                 Unary::Relu6 => {
                     let s1 = if x > 0.0 { 1.0 } else { 0.0 };
-                    let s2 = if (x * (-1.0)) + 6.0 > 0.0 { 1.0 } else { 0.0 };
+                    let s2 = if -x + 6.0 > 0.0 { 1.0 } else { 0.0 };
                     s1 * s2
                 }
                 Unary::Exp => y,
                 Unary::Sqrt => (1.0 / y) * 0.5,
-                Unary::Recip => (y * y) * (-1.0),
+                Unary::Recip => -(y * y),
                 Unary::Square => x * 2.0,
                 Unary::OneMinusSquare => x * (-2.0),
                 Unary::Clamp01 => {
                     let s1 = if x > 0.0 { 1.0 } else { 0.0 };
-                    let s2 = if (x * (-1.0)) + 1.0 > 0.0 { 1.0 } else { 0.0 };
+                    let s2 = if -x + 1.0 > 0.0 { 1.0 } else { 0.0 };
                     s1 * s2
                 }
                 Unary::Step => unreachable!(),
@@ -892,8 +895,8 @@ impl Tape {
         for (i, o) in out.iter_mut().enumerate() {
             let y = yv.data()[i];
             let d = match k {
-                Unary::Tanh => (y * y) * (-1.0) + 1.0,
-                Unary::Sigmoid => y * ((y * (-1.0)) + 1.0),
+                Unary::Tanh => -(y * y) + 1.0,
+                Unary::Sigmoid => y * (-y + 1.0),
                 Unary::Softplus => (-((-y).exp())) + 1.0,
                 Unary::Relu => {
                     if y > 0.0 {
@@ -904,7 +907,7 @@ impl Tape {
                 }
                 Unary::Relu6 => {
                     let s1 = if y > 0.0 { 1.0 } else { 0.0 };
-                    let s2 = if (y * (-1.0)) + 6.0 > 0.0 { 1.0 } else { 0.0 };
+                    let s2 = if -y + 6.0 > 0.0 { 1.0 } else { 0.0 };
                     s1 * s2
                 }
                 _ => panic!("affine fusion only supports MLP activations, got {k:?}"),

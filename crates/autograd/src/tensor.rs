@@ -480,8 +480,8 @@ impl Tensor {
         };
         let mut out = vec![0.0; c];
         for i in 0..r {
-            for j in 0..c {
-                out[j] += self.data[i * c + j];
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.data[i * c + j];
             }
         }
         Tensor { shape: Shape::D1(c), data: Arc::new(out) }
@@ -561,12 +561,12 @@ impl Tensor {
             Shape::D1(n) => (n, 1),
         };
         let mut out = vec![0.0; r];
-        for i in 0..r {
+        for (i, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for j in 0..c {
                 acc += self.data[i * c + j] * other.data[i * c + j];
             }
-            out[i] = acc;
+            *o = acc;
         }
         Tensor { shape: Shape::D1(r), data: Arc::new(out) }
     }

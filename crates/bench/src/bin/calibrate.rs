@@ -14,7 +14,7 @@ use rand::SeedableRng;
 
 fn main() {
     let config = ExperimentConfig::reduced();
-    let mut rng = StdRng::seed_from_u64(config.master_seed ^ 0xda7a_5e7);
+    let mut rng = StdRng::seed_from_u64(config.master_seed ^ 0x0da7_a5e7);
     let t0 = Instant::now();
     let mut dataset = generate_dataset(&config.gen_config, &mut rng);
     dataset.add_label_noise(config.label_noise.0, config.label_noise.1, &mut rng);

@@ -18,7 +18,7 @@ use dphpo_bench::harness::{
     experiment_scale, journal_path, resume_and_report, run_journaled_and_report,
     save_experiment, write_artifact,
 };
-use dphpo_core::analysis::{ascii_level_plot, level_plot_csv};
+use dphpo_core::analysis::{ascii_level_plot, failure_breakdown_table, level_plot_csv};
 
 /// The journal to resume from, when `--resume <path>` was passed.
 fn resume_arg() -> Option<PathBuf> {
@@ -103,6 +103,12 @@ fn main() {
         failures.iter().sum::<usize>(),
         failures.last().copied().unwrap_or(0)
     ));
+
+    // Supervision breakdown: why evaluations failed (divergence sentinel,
+    // deadline, exhausted retries, cancellation) and what the faults cost
+    // the scheduler, per generation across all runs.
+    report.push_str("\nfailure breakdown (scheduler supervision, all runs):\n");
+    report.push_str(&failure_breakdown_table(&result));
 
     print!("{report}");
     write_artifact("fig1_report.txt", &report);

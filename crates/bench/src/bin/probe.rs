@@ -18,7 +18,7 @@ fn main() {
     let num_steps: usize = args.get(2).map_or(1200, |s| s.parse().unwrap());
     let start_lr: f64 = args.get(3).map_or(5e-3, |s| s.parse().unwrap());
 
-    let mut rng = StdRng::seed_from_u64(0xda7a_5e7);
+    let mut rng = StdRng::seed_from_u64(0x0da7_a5e7);
     let gen = GenConfig { n_atoms, box_len: 17.84, n_frames: 120, ..GenConfig::reduced() };
     let mut dataset = generate_dataset(&gen, &mut rng);
     dataset.add_label_noise(0.0005, 0.03, &mut rng);

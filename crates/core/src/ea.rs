@@ -13,12 +13,18 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dphpo_dnnp::AbortReason;
 use dphpo_evo::nsga2::{BatchEvaluator, EvalResult};
 use dphpo_evo::Fitness;
-use dphpo_hpc::{run_batch_with_hooks, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskRecord};
+use dphpo_hpc::{
+    run_batch_supervised, EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskCtx,
+    TaskRecord,
+};
 
 use crate::journal::{EvalEntry, JournalSink};
-use crate::workflow::{derive_seed, evaluate_individual, EvalContext, EvalRecord};
+use crate::workflow::{
+    derive_seed, estimated_minutes, evaluate_individual_supervised, EvalContext, EvalRecord,
+};
 
 /// A batch evaluator that fans genomes out across the simulated Summit
 /// allocation. Any task-level error — timeout, worker death, divergence —
@@ -110,9 +116,11 @@ impl BatchEvaluator for SummitEvaluator {
             journal.map(|sink| &*sink.replay);
         let gen_idx = gen as usize;
         let seeds_ref = &seeds;
-        let (records, report) = run_batch_with_hooks(
+        let estimate_ctx = Arc::clone(&self.ctx);
+        let (records, report) = run_batch_supervised(
             genomes,
-            |i, genome: &Vec<f64>| {
+            |tc: &TaskCtx<'_>, genome: &Vec<f64>| {
+                let i = tc.task;
                 // Replay: a journaled outcome for this (generation, slot)
                 // with a bit-exact genome match short-circuits training.
                 if let Some(entry) = replay.and_then(|map| map.get(&(gen_idx, i))) {
@@ -120,17 +128,24 @@ impl BatchEvaluator for SummitEvaluator {
                         return entry.to_outcome();
                     }
                 }
-                let record = evaluate_individual(&ctx, genome, seeds_ref[i]);
+                let (record, abort) =
+                    evaluate_individual_supervised(&ctx, genome, seeds_ref[i], tc);
                 if record.failed {
-                    EvalOutcome {
-                        value: Err("training failed".to_string()),
-                        minutes: record.minutes,
-                    }
+                    let fault = match abort {
+                        Some(AbortReason::Diverged { step, loss }) => {
+                            EvalFault::Diverged { step, loss }
+                        }
+                        Some(AbortReason::Deadline { .. }) => EvalFault::Deadline,
+                        Some(AbortReason::Cancelled { .. }) => EvalFault::Cancelled,
+                        None => EvalFault::Failed("training failed".to_string()),
+                    };
+                    EvalOutcome { value: Err(fault), minutes: record.minutes }
                 } else {
                     let minutes = record.minutes;
                     EvalOutcome { value: Ok(record), minutes }
                 }
             },
+            |_, genome: &Vec<f64>| estimated_minutes(&estimate_ctx, genome),
             &self.pool,
             faults,
             |slot, task: &TaskRecord<EvalRecord>| {

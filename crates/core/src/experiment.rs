@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use dphpo_dnnp::TrainConfig;
 use dphpo_evo::nsga2::{Nsga2Config, Nsga2State, RunResult};
 use dphpo_evo::{Individual, ParetoArchive};
-use dphpo_hpc::{CostModel, FaultInjector, PoolConfig, PoolReport};
+use dphpo_hpc::{CostModel, FaultInjector, PoolConfig, PoolReport, SupervisorConfig};
 use dphpo_md::generate::{generate_dataset, GenConfig};
 use dphpo_md::Dataset;
 
@@ -71,6 +71,7 @@ impl ExperimentConfig {
                 timeout_minutes: Some(120.0),
                 nanny: false,
                 max_attempts: 3,
+                supervisor: SupervisorConfig::default(),
             },
             fault_probability: 0.002,
             master_seed: 2023,
@@ -98,6 +99,7 @@ impl ExperimentConfig {
                 timeout_minutes: Some(120.0),
                 nanny: false,
                 max_attempts: 3,
+                supervisor: SupervisorConfig::default(),
             },
             fault_probability: 0.002,
             master_seed: 2023,
@@ -134,6 +136,7 @@ impl ExperimentConfig {
                 timeout_minutes: Some(120.0),
                 nanny: false,
                 max_attempts: 3,
+                supervisor: SupervisorConfig::default(),
             },
             fault_probability: 0.0,
             master_seed: 7,
@@ -209,7 +212,7 @@ impl From<JournalError> for ExperimentError {
 /// Generate the shared dataset (the "CP2K trajectory"), with label noise
 /// and the paper's 75/25 split.
 pub fn build_dataset(config: &ExperimentConfig) -> (Arc<Dataset>, Arc<Dataset>) {
-    let mut rng = StdRng::seed_from_u64(config.master_seed ^ 0xda7a_5e7);
+    let mut rng = StdRng::seed_from_u64(config.master_seed ^ 0x0da7_a5e7);
     let mut dataset = generate_dataset(&config.gen_config, &mut rng);
     dataset.add_label_noise(config.label_noise.0, config.label_noise.1, &mut rng);
     let (train, val) = dataset.split(0.25, &mut rng);

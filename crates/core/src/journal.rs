@@ -45,7 +45,7 @@ use std::rc::Rc;
 use dphpo_dnnp::{Json, LcurveRow};
 use dphpo_evo::nsga2::GenerationRecord;
 use dphpo_evo::{Fitness, Id, Individual};
-use dphpo_hpc::{EvalOutcome, PoolReport, TaskError, TaskRecord};
+use dphpo_hpc::{EvalFault, EvalOutcome, PoolReport, TaskError, TaskRecord};
 
 use crate::experiment::ExperimentConfig;
 use crate::workflow::EvalRecord;
@@ -125,11 +125,14 @@ fn f64_array(j: &Json, key: &str) -> Result<Vec<f64>, JournalError> {
         .collect()
 }
 
-/// Crowding distances on front boundaries are `+inf`, which JSON cannot
-/// express as a number literal — encode non-finite values as strings.
+/// Crowding distances on front boundaries are `+inf` (and a diverged loss
+/// may be `NaN`), which JSON cannot express as number literals — encode
+/// non-finite values as strings.
 fn json_of_f64_or_inf(v: f64) -> Json {
     if v.is_finite() {
         Json::Number(v)
+    } else if v.is_nan() {
+        Json::String("nan".into())
     } else if v > 0.0 {
         Json::String("inf".into())
     } else {
@@ -142,6 +145,7 @@ fn f64_or_inf_field(j: &Json, key: &str) -> Result<f64, JournalError> {
         Some(Json::Number(v)) => Ok(*v),
         Some(Json::String(s)) if s == "inf" => Ok(f64::INFINITY),
         Some(Json::String(s)) if s == "-inf" => Ok(f64::NEG_INFINITY),
+        Some(Json::String(s)) if s == "nan" => Ok(f64::NAN),
         _ => Err(JournalError::new(format!("missing float field '{key}'"))),
     }
 }
@@ -272,13 +276,35 @@ fn lcurve_row_from_json(j: &Json) -> Result<LcurveRow, JournalError> {
     })
 }
 
+/// Serialise the *deterministic* fields of a pool report. The two fields
+/// that depend on physical thread races — `quarantined_workers`, and
+/// `heartbeats` under speculation — are intentionally not journaled, so a
+/// resumed campaign's reports stay bit-identical to an uninterrupted run's.
 fn report_to_json(r: &PoolReport) -> Json {
     Json::object(vec![
         ("makespan", Json::Number(r.makespan_minutes)),
         ("per_worker", numbers(&r.per_worker_minutes)),
         ("deaths", Json::Number(r.worker_deaths as f64)),
         ("retried", Json::Number(r.retried_tasks as f64)),
+        ("diverged", Json::Number(r.diverged_tasks as f64)),
+        ("timeout", Json::Number(r.timeout_tasks as f64)),
+        ("cancelled", Json::Number(r.cancelled_tasks as f64)),
+        ("exhausted", Json::Number(r.exhausted_tasks as f64)),
+        ("speculated", Json::Number(r.speculated_tasks as f64)),
+        ("spec_deaths", Json::Number(r.speculative_deaths as f64)),
+        ("lost_minutes", Json::Number(r.lost_minutes)),
+        ("backoff_minutes", Json::Number(r.backoff_minutes)),
     ])
+}
+
+/// Optional numeric field (absent in journals written before the
+/// supervision runtime existed): missing means zero.
+fn opt_usize_field(j: &Json, key: &str) -> usize {
+    j.get(key).and_then(Json::as_f64).map_or(0, |v| v as usize)
+}
+
+fn opt_f64_field(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
 }
 
 fn report_from_json(j: &Json) -> Result<PoolReport, JournalError> {
@@ -287,6 +313,15 @@ fn report_from_json(j: &Json) -> Result<PoolReport, JournalError> {
         per_worker_minutes: f64_array(j, "per_worker")?,
         worker_deaths: usize_field(j, "deaths")?,
         retried_tasks: usize_field(j, "retried")?,
+        diverged_tasks: opt_usize_field(j, "diverged"),
+        timeout_tasks: opt_usize_field(j, "timeout"),
+        cancelled_tasks: opt_usize_field(j, "cancelled"),
+        exhausted_tasks: opt_usize_field(j, "exhausted"),
+        speculated_tasks: opt_usize_field(j, "speculated"),
+        speculative_deaths: opt_usize_field(j, "spec_deaths"),
+        lost_minutes: opt_f64_field(j, "lost_minutes"),
+        backoff_minutes: opt_f64_field(j, "backoff_minutes"),
+        ..PoolReport::default()
     })
 }
 
@@ -305,6 +340,8 @@ pub enum FaultKind {
     Timeout,
     /// The hosting worker died and attempts were exhausted (MAXINT).
     Worker,
+    /// The evaluation was externally cancelled (MAXINT).
+    Cancelled,
 }
 
 impl FaultKind {
@@ -314,6 +351,7 @@ impl FaultKind {
             FaultKind::Diverged => "diverged",
             FaultKind::Timeout => "timeout",
             FaultKind::Worker => "worker",
+            FaultKind::Cancelled => "cancelled",
         }
     }
 
@@ -323,6 +361,7 @@ impl FaultKind {
             "diverged" => Ok(FaultKind::Diverged),
             "timeout" => Ok(FaultKind::Timeout),
             "worker" => Ok(FaultKind::Worker),
+            "cancelled" => Ok(FaultKind::Cancelled),
             _ => Err(JournalError::new(format!("unknown fault kind '{s}'"))),
         }
     }
@@ -344,6 +383,12 @@ pub struct EvalEntry {
     pub genome: Vec<f64>,
     /// How the evaluation ended.
     pub fault: FaultKind,
+    /// For [`FaultKind::Diverged`] with a structured sentinel abort: the
+    /// training step at which divergence was detected.
+    pub fault_step: Option<usize>,
+    /// For [`FaultKind::Diverged`] with a structured sentinel abort: the
+    /// offending loss (may be non-finite).
+    pub fault_loss: Option<f64>,
     /// Objective values — present iff `fault == FaultKind::None`.
     pub objectives: Option<Vec<f64>>,
     /// Simulated minutes charged (timeouts charge the full limit).
@@ -364,6 +409,8 @@ impl EvalEntry {
         genome: &[f64],
         task: &TaskRecord<EvalRecord>,
     ) -> Self {
+        let mut fault_step = None;
+        let mut fault_loss = None;
         let (fault, objectives, lcurve_tail) = match &task.value {
             Ok(record) => (
                 FaultKind::None,
@@ -371,8 +418,19 @@ impl EvalEntry {
                 record.lcurve_tail.clone(),
             ),
             Err(TaskError::Failed(_)) => (FaultKind::Diverged, None, Vec::new()),
+            Err(TaskError::Diverged { step, loss }) => {
+                fault_step = Some(*step);
+                fault_loss = Some(*loss);
+                (FaultKind::Diverged, None, Vec::new())
+            }
             Err(TaskError::Timeout { .. }) => (FaultKind::Timeout, None, Vec::new()),
             Err(TaskError::WorkerFailed) => (FaultKind::Worker, None, Vec::new()),
+            // Cancelled terminals are rare (a task whose only result was an
+            // externally cancelled attempt); Speculated is never terminal
+            // but gets a defensive mapping rather than a panic.
+            Err(TaskError::Cancelled) | Err(TaskError::Speculated) => {
+                (FaultKind::Cancelled, None, Vec::new())
+            }
         };
         EvalEntry {
             run,
@@ -381,6 +439,8 @@ impl EvalEntry {
             seed,
             genome: genome.to_vec(),
             fault,
+            fault_step,
+            fault_loss,
             objectives,
             minutes: task.minutes,
             attempts: task.attempts,
@@ -393,21 +453,30 @@ impl EvalEntry {
     /// [`EvalRecord`]; faulted entries return an evaluation error that the
     /// evaluator maps to the same MAXINT penalty the original run saw.
     pub fn to_outcome(&self) -> EvalOutcome<EvalRecord> {
-        match (&self.fault, &self.objectives) {
-            (FaultKind::None, Some(objectives)) => EvalOutcome {
-                value: Ok(EvalRecord {
-                    fitness: Fitness::new(objectives.clone()),
+        let fault = match (&self.fault, &self.objectives) {
+            (FaultKind::None, Some(objectives)) => {
+                return EvalOutcome {
+                    value: Ok(EvalRecord {
+                        fitness: Fitness::new(objectives.clone()),
+                        minutes: self.minutes,
+                        failed: false,
+                        lcurve_tail: self.lcurve_tail.clone(),
+                    }),
                     minutes: self.minutes,
-                    failed: false,
-                    lcurve_tail: self.lcurve_tail.clone(),
-                }),
-                minutes: self.minutes,
+                }
+            }
+            (FaultKind::Diverged, _) => match (self.fault_step, self.fault_loss) {
+                (Some(step), Some(loss)) => EvalFault::Diverged { step, loss },
+                _ => EvalFault::Failed(format!("replayed {} fault", self.fault.name())),
             },
-            _ => EvalOutcome {
-                value: Err(format!("replayed {} fault", self.fault.name())),
-                minutes: self.minutes,
-            },
-        }
+            // A replayed timeout carries minutes equal to the limit, so the
+            // scheduler's post-hoc `minutes > limit` check cannot re-fire;
+            // the structured Deadline fault restores the Timeout error.
+            (FaultKind::Timeout, _) => EvalFault::Deadline,
+            (FaultKind::Cancelled, _) => EvalFault::Cancelled,
+            _ => EvalFault::Failed(format!("replayed {} fault", self.fault.name())),
+        };
+        EvalOutcome { value: Err(fault), minutes: self.minutes }
     }
 
     fn to_json(&self) -> Json {
@@ -419,6 +488,14 @@ impl EvalEntry {
             ("seed", hex_u64(self.seed)),
             ("genome", numbers(&self.genome)),
             ("fault", Json::String(self.fault.name().into())),
+            (
+                "fault_step",
+                self.fault_step.map_or(Json::Null, |s| Json::Number(s as f64)),
+            ),
+            (
+                "fault_loss",
+                self.fault_loss.map_or(Json::Null, json_of_f64_or_inf),
+            ),
             (
                 "objectives",
                 match &self.objectives {
@@ -448,6 +525,14 @@ impl EvalEntry {
         if fault == FaultKind::None && objectives.is_none() {
             return Err(JournalError::new("successful eval entry without objectives"));
         }
+        let fault_step = match j.get("fault_step") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(usize_field(j, "fault_step")?),
+        };
+        let fault_loss = match j.get("fault_loss") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(f64_or_inf_field(j, "fault_loss")?),
+        };
         Ok(EvalEntry {
             run: usize_field(j, "run")?,
             gen: usize_field(j, "gen")?,
@@ -455,6 +540,8 @@ impl EvalEntry {
             seed: parse_hex_u64(j.get("seed"), "seed")?,
             genome: f64_array(j, "genome")?,
             fault,
+            fault_step,
+            fault_loss,
             objectives,
             minutes: f64_field(j, "minutes")?,
             attempts: usize_field(j, "attempts")? as u32,
@@ -573,6 +660,24 @@ pub fn config_fingerprint(config: &ExperimentConfig) -> u64 {
                 ),
                 ("nanny", Json::Bool(config.pool.nanny)),
                 ("max_attempts", Json::Number(config.pool.max_attempts as f64)),
+                ("speculate", Json::Bool(config.pool.supervisor.speculate)),
+                (
+                    "straggler_quantile",
+                    Json::Number(config.pool.supervisor.straggler_quantile),
+                ),
+                (
+                    "straggler_factor",
+                    Json::Number(config.pool.supervisor.straggler_factor),
+                ),
+                (
+                    "backoff_base",
+                    Json::Number(config.pool.supervisor.backoff_base_minutes),
+                ),
+                ("backoff_factor", Json::Number(config.pool.supervisor.backoff_factor)),
+                (
+                    "quarantine_deaths",
+                    Json::Number(config.pool.supervisor.quarantine_deaths as f64),
+                ),
             ]),
         ),
         ("fault_probability", Json::Number(config.fault_probability)),
@@ -873,6 +978,8 @@ mod tests {
             seed: 0xdead_beef_0000_0001,
             genome: vec![0.005, 1e-4, 7.0, 2.5, 2.5, 4.5, 4.5],
             fault: FaultKind::None,
+            fault_step: None,
+            fault_loss: None,
             objectives: Some(vec![0.0016, 0.0357]),
             minutes: 63.25,
             attempts: 2,
@@ -903,6 +1010,8 @@ mod tests {
             seed: 1,
             genome: vec![1.0],
             fault: FaultKind::Worker,
+            fault_step: None,
+            fault_loss: None,
             objectives: None,
             minutes: 0.0,
             attempts: 3,
@@ -928,6 +1037,8 @@ mod tests {
                 seed: 9,
                 genome: vec![1.0, 2.0],
                 fault: FaultKind::Diverged,
+                fault_step: None,
+                fault_loss: None,
                 objectives: None,
                 minutes: 0.1,
                 attempts: 1,
@@ -971,6 +1082,8 @@ mod tests {
             seed: 9,
             genome: vec![1.0, 2.0],
             fault: FaultKind::Diverged,
+            fault_step: None,
+            fault_loss: None,
             objectives: None,
             minutes: 0.1,
             attempts: 1,

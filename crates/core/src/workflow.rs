@@ -19,9 +19,11 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dphpo_dnnp::{train, Json, Lcurve, LcurveRow, TrainConfig};
+use dphpo_dnnp::{
+    train_supervised, AbortReason, Json, Lcurve, LcurveRow, Sentinel, Supervision, TrainConfig,
+};
 use dphpo_evo::{Fitness, Id};
-use dphpo_hpc::{paper_job, CostModel};
+use dphpo_hpc::{paper_job, CostModel, TaskCtx};
 use dphpo_md::Dataset;
 
 use crate::decode::decode;
@@ -66,6 +68,53 @@ pub const LCURVE_TAIL_ROWS: usize = 3;
 
 /// Evaluate one genome. `seed` individualises weight init and runtime noise.
 pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> EvalRecord {
+    evaluate_inner(ctx, genome, seed, &Supervision::none()).0
+}
+
+/// Deterministic simulated-minutes estimate for a genome's training (the
+/// cost-model *mean* for its cutoff radius — no rng draw), used by the
+/// scheduler for straggler detection and dead-attempt accounting.
+pub fn estimated_minutes(ctx: &EvalContext, genome: &[f64]) -> f64 {
+    ctx.cost_model.gpu_minutes_mean(&paper_job(decode(genome).rcut))
+}
+
+/// As [`evaluate_individual`], under scheduler supervision: the training
+/// polls the task's [`CancelToken`](dphpo_hpc::CancelToken) and simulated
+/// deadline at step boundaries, emits progress heartbeats, and runs the
+/// strict [`Sentinel::supervised`] divergence sentinel — so a sick run
+/// aborts within one check interval instead of burning its full budget.
+///
+/// Returns the record plus the structured [`AbortReason`] when the run was
+/// terminated early. The supervision probes consume no randomness, so a run
+/// that completes produces bit-identical weights to the unsupervised path.
+pub fn evaluate_individual_supervised(
+    ctx: &EvalContext,
+    genome: &[f64],
+    seed: u64,
+    task: &TaskCtx<'_>,
+) -> (EvalRecord, Option<AbortReason>) {
+    let mean_minutes = estimated_minutes(ctx, genome);
+    let num_steps = ctx.base_config.num_steps.max(1);
+    let cancelled = || task.is_cancelled();
+    let beat = |done: f64, projected: f64| task.heartbeat(done, projected);
+    let sup = Supervision {
+        cancelled: Some(&cancelled),
+        deadline_minutes: task.deadline_minutes,
+        minutes_per_step: mean_minutes / num_steps as f64,
+        heartbeat: Some(&beat),
+        heartbeat_every: (num_steps / 8).max(1),
+        check_every: 1,
+        sentinel: Sentinel::supervised(),
+    };
+    evaluate_inner(ctx, genome, seed, &sup)
+}
+
+fn evaluate_inner(
+    ctx: &EvalContext,
+    genome: &[f64],
+    seed: u64,
+    sup: &Supervision<'_>,
+) -> (EvalRecord, Option<AbortReason>) {
     let decoded = decode(genome);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -95,7 +144,7 @@ pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> Eval
 
     let input_text = match substitute(INPUT_TEMPLATE, &vars) {
         Ok(t) => t,
-        Err(_) => return failure(0.1),
+        Err(_) => return (failure(0.1), None),
     };
     if let Some(dir) = &run_dir {
         // Artifact writing is best-effort: losing the artifact must not
@@ -109,13 +158,13 @@ pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> Eval
         Ok(c)
     }) {
         Ok(c) => c,
-        Err(_) => return failure(0.1),
+        Err(_) => return (failure(0.1), None),
     };
 
-    // Step 4: train.
-    let report = match train(&config, &ctx.train, &ctx.val, &mut rng) {
+    // Step 4: train (under whatever supervision the caller attached).
+    let report = match train_supervised(&config, &ctx.train, &ctx.val, &mut rng, sup) {
         Ok(r) => r,
-        Err(_) => return failure(0.1),
+        Err(_) => return (failure(0.1), None),
     };
 
     // Simulated runtime at paper scale, pro-rated for early divergence
@@ -128,17 +177,34 @@ pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> Eval
     if let Some(dir) = &run_dir {
         let _ = std::fs::write(dir.join("lcurve.out"), &lcurve_text);
     }
+    match report.abort {
+        // The deadline killed the job at the wall: charge the full limit,
+        // as the real allocation would have.
+        Some(abort @ AbortReason::Deadline { .. }) => {
+            let charged = sup.deadline_minutes.unwrap_or(minutes);
+            return (failure(charged), Some(abort));
+        }
+        // A cancelled attempt's record is discarded by the scheduler (its
+        // twin already won); the pro-rated minutes only label the waste.
+        Some(abort @ AbortReason::Cancelled { .. }) => {
+            return (failure(minutes), Some(abort));
+        }
+        Some(abort @ AbortReason::Diverged { .. }) => {
+            return (failure(minutes), Some(abort));
+        }
+        None => {}
+    }
     if report.diverged {
-        return failure(minutes);
+        return (failure(minutes), None);
     }
 
     // Read the losses back through the artifact, as the paper's workflow
     // reads lcurve.out from disk.
     let parsed = match Lcurve::parse(&lcurve_text) {
         Ok(l) => l,
-        Err(_) => return failure(minutes),
+        Err(_) => return (failure(minutes), None),
     };
-    match parsed.final_losses() {
+    let record = match parsed.final_losses() {
         Some((rmse_e, rmse_f)) if rmse_e.is_finite() && rmse_f.is_finite() => EvalRecord {
             fitness: Fitness::new(vec![rmse_e, rmse_f]),
             minutes,
@@ -146,7 +212,8 @@ pub fn evaluate_individual(ctx: &EvalContext, genome: &[f64], seed: u64) -> Eval
             lcurve_tail: parsed.tail(LCURVE_TAIL_ROWS).to_vec(),
         },
         _ => failure(minutes),
-    }
+    };
+    (record, None)
 }
 
 /// Deterministic per-individual seed derivation (splitmix64 over a counter).
@@ -271,6 +338,49 @@ mod tests {
         assert_eq!(a.minutes, b.minutes);
         let c = evaluate_individual(&ctx, &good_genome(), 43);
         assert_ne!(a.fitness, c.fitness);
+    }
+
+    #[test]
+    fn supervised_divergence_aborts_within_one_sentinel_interval() {
+        let ctx = tiny_ctx(None);
+        let mut genome = good_genome();
+        genome[0] = 1e100;
+        genome[1] = 1e99;
+        let (record, abort) =
+            evaluate_individual_supervised(&ctx, &genome, 4, &TaskCtx::detached(0));
+        assert!(record.failed && record.fitness.is_penalty());
+        let Some(AbortReason::Diverged { step, .. }) = abort else {
+            panic!("expected a structured divergence abort, got {abort:?}");
+        };
+        assert!(step <= 2, "sentinel took {step} steps to fire");
+        // Pro-rated runtime shows the early abort: a couple of steps of a
+        // 20-step run, nowhere near the full training cost.
+        assert!(record.minutes < 10.0, "aborted run charged {} min", record.minutes);
+    }
+
+    #[test]
+    fn supervised_path_matches_unsupervised_on_healthy_genomes() {
+        let ctx = tiny_ctx(None);
+        let plain = evaluate_individual(&ctx, &good_genome(), 42);
+        let (supervised, abort) =
+            evaluate_individual_supervised(&ctx, &good_genome(), 42, &TaskCtx::detached(0));
+        assert!(abort.is_none());
+        assert_eq!(plain.fitness, supervised.fitness);
+        assert_eq!(plain.minutes, supervised.minutes);
+    }
+
+    #[test]
+    fn estimated_minutes_is_deterministic_and_grows_with_cutoff() {
+        let ctx = tiny_ctx(None);
+        let mut near = good_genome();
+        near[2] = 6.0;
+        let mut far = good_genome();
+        far[2] = 11.0;
+        assert_eq!(estimated_minutes(&ctx, &near), estimated_minutes(&ctx, &near));
+        assert!(
+            estimated_minutes(&ctx, &far) > estimated_minutes(&ctx, &near),
+            "larger cutoff means denser neighborhoods and longer training"
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl DeployedState {
 }
 
 /// One NVE velocity-Verlet step under the learned potential (`dt` in fs).
+#[allow(clippy::needless_range_loop)] // `i` walks four parallel per-atom arrays
 pub fn model_nve_step(
     model: &DnnpModel,
     cell: &Cell,
@@ -93,6 +94,7 @@ pub fn model_nve_step(
 /// trajectory started from identical initial conditions: RMS per-atom
 /// displacement (Å) after `steps` NVE steps — the paper's "force errors
 /// compound as the time series progresses" made measurable.
+#[allow(clippy::too_many_arguments)]
 pub fn trajectory_divergence(
     model: &DnnpModel,
     reference: &MeltPotential,
@@ -198,8 +200,8 @@ mod tests {
         );
         // And every position stayed wrapped and finite.
         for p in &state.positions {
-            for k in 0..3 {
-                assert!(p[k].is_finite() && (0.0..ds.cell.length()).contains(&p[k]));
+            for c in p.iter() {
+                assert!(c.is_finite() && (0.0..ds.cell.length()).contains(c));
             }
         }
     }

@@ -106,6 +106,7 @@ impl FramePairs {
         for (p, pair) in pairs.iter().enumerate() {
             centers.push(pair.i);
             neighbors.push(pair.j);
+            #[allow(clippy::needless_range_loop)] // three parallel coordinate arrays
             for k in 0..3 {
                 // disp = (x_j − x_i) + shift  ⇒  shift = disp − (x_j − x_i).
                 shifts.push(pair.disp[k] - (positions[pair.j][k] - positions[pair.i][k]));
@@ -216,6 +217,11 @@ pub struct CachedSpecies {
 }
 
 /// All cached descriptor data for one frame at one (rcut, rcut_smth).
+/// Per-species accumulation bucket while building a [`FrameCache`]:
+/// `(switching values, switching derivs, displacement jacobian, centers,
+/// neighbors)` for every pair whose neighbor has that species.
+type SpeciesBucket = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<usize>, Vec<usize>);
+
 #[derive(Clone, Debug)]
 pub struct FrameCache {
     /// Per-neighbor-species caches.
@@ -236,8 +242,7 @@ impl FrameCache {
         n_species: usize,
     ) -> Self {
         let pairs = pairs_brute_force(cell, positions, rcut);
-        let mut buckets: Vec<(Vec<f64>, Vec<f64>, Vec<f64>, Vec<usize>, Vec<usize>)> =
-            (0..n_species).map(|_| Default::default()).collect();
+        let mut buckets: Vec<SpeciesBucket> = (0..n_species).map(|_| Default::default()).collect();
         for pair in &pairs {
             let t = species_idx[pair.j];
             let s = switching_scalar(pair.r, rcut_smth, rcut);

@@ -30,6 +30,7 @@ pub mod lcurve;
 pub mod loss;
 pub mod lr;
 pub mod model;
+pub mod supervise;
 pub mod trainer;
 
 pub use activation::Activation;
@@ -40,4 +41,5 @@ pub use lcurve::{Lcurve, LcurveRow};
 pub use model::{forward_cached, forward_frame, DnnpModel, FrameRef};
 pub use checkpoint::{load_model, save_model};
 pub use deploy::{model_nve_step, trajectory_divergence, DeployedState};
-pub use trainer::{train, Adam, TrainReport};
+pub use supervise::{AbortReason, Sentinel, Supervision};
+pub use trainer::{train, train_supervised, Adam, TrainReport, DIVERGENCE_LOSS_LIMIT};

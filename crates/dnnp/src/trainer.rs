@@ -17,6 +17,7 @@ use crate::lcurve::{Lcurve, LcurveRow};
 use crate::loss::PrefactorSchedule;
 use crate::lr::LrSchedule;
 use crate::model::{forward_cached, DnnpModel, ModelParams};
+use crate::supervise::{AbortReason, Supervision};
 
 /// Adam optimiser state (DeePMD's optimiser; β₁ 0.9, β₂ 0.999, ε 1e-8).
 pub struct Adam {
@@ -107,7 +108,7 @@ impl PreparedBatch {
         let frame_ids: Rc<[usize]> = indices
             .iter()
             .enumerate()
-            .flat_map(|(b, _)| std::iter::repeat(b).take(n_atoms))
+            .flat_map(|(b, _)| std::iter::repeat_n(b, n_atoms))
             .collect::<Vec<usize>>()
             .into();
         PreparedBatch {
@@ -176,10 +177,15 @@ pub struct TrainReport {
     pub diverged: bool,
     /// Steps actually completed.
     pub steps_completed: usize,
+    /// Structured early-termination reason, when supervision aborted the
+    /// run before `num_steps` (divergence sentinel, deadline budget, or
+    /// external cancellation). `None` for a run that finished its steps.
+    pub abort: Option<AbortReason>,
 }
 
-/// Loss values considered irrecoverable even when still finite.
-const DIVERGENCE_LOSS_LIMIT: f64 = 1e12;
+/// Loss values considered irrecoverable even when still finite (the
+/// absolute ceiling of [`crate::supervise::Sentinel`]).
+pub const DIVERGENCE_LOSS_LIMIT: f64 = 1e12;
 
 /// Maximum number of distinct batch compositions whose merged caches are
 /// kept. Small training sets repeat compositions constantly (the merge is
@@ -192,6 +198,20 @@ pub fn train<R: Rng + ?Sized>(
     train_ds: &Dataset,
     val_ds: &Dataset,
     rng: &mut R,
+) -> Result<TrainReport, String> {
+    train_supervised(config, train_ds, val_ds, rng, &Supervision::none())
+}
+
+/// As [`train`], under supervision: cancellation, deadline, and sentinel
+/// checks run at step boundaries (see [`crate::supervise`]). The checks
+/// consume no randomness, so the weights of a completed run are
+/// bit-identical with or without supervision.
+pub fn train_supervised<R: Rng + ?Sized>(
+    config: &TrainConfig,
+    train_ds: &Dataset,
+    val_ds: &Dataset,
+    rng: &mut R,
+    sup: &Supervision<'_>,
 ) -> Result<TrainReport, String> {
     config.validate()?;
     if val_ds.frames.is_empty() {
@@ -223,10 +243,13 @@ pub fn train<R: Rng + ?Sized>(
     let mut lcurve = Lcurve::new();
     let mut diverged = false;
     let mut steps_completed = 0usize;
+    let mut abort: Option<AbortReason> = None;
+    let mut initial_loss: Option<f64> = None;
+    let check_every = sup.check_every.max(1);
     let batch_total = config.n_workers * config.batch_per_worker;
     let onehot_batch = tile_onehot(&model.onehot, batch_total);
     let frame_ids: Rc<[usize]> = (0..batch_total)
-        .flat_map(|b| std::iter::repeat(b).take(n_atoms))
+        .flat_map(|b| std::iter::repeat_n(b, n_atoms))
         .collect::<Vec<usize>>()
         .into();
 
@@ -270,6 +293,28 @@ pub fn train<R: Rng + ?Sized>(
     // steady state runs allocation-free.
     let tape = Tape::new();
     for (step, indices) in step_indices.iter().enumerate() {
+        // Step-boundary supervision: cancellation and the simulated-clock
+        // deadline are polled *before* the step's work is paid for, so an
+        // aborted run stops at the wall instead of crossing it. None of
+        // these probes touch the rng stream.
+        if step % check_every == 0 {
+            if sup.is_cancelled() {
+                abort = Some(AbortReason::Cancelled { step });
+                break;
+            }
+            if sup.deadline_fires(step) {
+                abort = Some(AbortReason::Deadline {
+                    step,
+                    sim_minutes: sup.sim_minutes(step),
+                });
+                break;
+            }
+        }
+        if sup.heartbeat_every > 0 && step % sup.heartbeat_every == 0 {
+            if let Some(beat) = sup.heartbeat {
+                beat(sup.sim_minutes(step), sup.sim_minutes(config.num_steps));
+            }
+        }
         let pref = prefactors.at(schedule.decay_ratio(step));
 
         // One tape evaluates the whole data-parallel batch (the B frames a
@@ -311,9 +356,13 @@ pub fn train<R: Rng + ?Sized>(
         let loss = tape.add(le, lf);
 
         let loss_value = tape.item(loss);
-        if !loss_value.is_finite() || loss_value > DIVERGENCE_LOSS_LIMIT {
+        if sup.sentinel.fires(loss_value, initial_loss) {
             diverged = true;
+            abort = Some(AbortReason::Diverged { step, loss: loss_value });
             break;
+        }
+        if initial_loss.is_none() {
+            initial_loss = Some(loss_value);
         }
 
         // Training-batch RMSE bookkeeping (free: values already live).
@@ -334,12 +383,14 @@ pub fn train<R: Rng + ?Sized>(
         tape.reset();
         if grad_values.iter().any(|g| g.has_non_finite()) {
             diverged = true;
+            abort = Some(AbortReason::Diverged { step, loss: loss_value });
             break;
         }
 
         adam.step(&mut model.params, &grad_values, schedule.lr(step));
         if model.params.has_non_finite() {
             diverged = true;
+            abort = Some(AbortReason::Diverged { step, loss: loss_value });
             break;
         }
         steps_completed = step + 1;
@@ -348,6 +399,7 @@ pub fn train<R: Rng + ?Sized>(
             let (rmse_e_val, rmse_f_val) = val_batch.rmse(&model);
             if !rmse_e_val.is_finite() || !rmse_f_val.is_finite() {
                 diverged = true;
+                abort = Some(AbortReason::Diverged { step, loss: loss_value });
                 break;
             }
             lcurve.push(LcurveRow {
@@ -361,8 +413,10 @@ pub fn train<R: Rng + ?Sized>(
         }
     }
 
-    // Always attempt a final validation row for completed training.
-    if !diverged {
+    // Always attempt a final validation row for completed training (skipped
+    // when supervision aborted the run early: the model is half-trained and
+    // the caller only wants the structured reason).
+    if !diverged && abort.is_none() {
         let (rmse_e_val, rmse_f_val) = val_batch.rmse(&model);
         if rmse_e_val.is_finite() && rmse_f_val.is_finite() {
             let last = lcurve.last().copied();
@@ -379,12 +433,13 @@ pub fn train<R: Rng + ?Sized>(
         }
     }
 
-    Ok(TrainReport { model, lcurve, diverged, steps_completed })
+    Ok(TrainReport { model, lcurve, diverged, steps_completed, abort })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervise::Sentinel;
     use dphpo_md::generate::{generate_dataset, GenConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -456,6 +511,138 @@ mod tests {
         let report = train(&config, &train_ds, &val_ds, &mut rng).unwrap();
         assert!(report.diverged, "1e100 learning rate should diverge");
         assert!(report.steps_completed < config.num_steps);
+        assert!(
+            matches!(report.abort, Some(AbortReason::Diverged { .. })),
+            "divergence must carry a structured reason: {:?}",
+            report.abort
+        );
+    }
+
+    #[test]
+    fn sentinel_aborts_diverging_run_within_one_interval() {
+        // The acceptance check for the supervision layer: an absurd
+        // learning rate must stop within one sentinel interval (the checks
+        // run every step, so within a couple of steps of the blow-up) —
+        // not run all `num_steps` and only then report failure.
+        let (train_ds, val_ds) = tiny_data(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = TrainConfig {
+            start_lr: 1e100,
+            stop_lr: 1e99,
+            num_steps: 400,
+            ..tiny_config()
+        };
+        let sup = Supervision { sentinel: Sentinel::supervised(), ..Supervision::none() };
+        let report = train_supervised(&config, &train_ds, &val_ds, &mut rng, &sup).unwrap();
+        let Some(AbortReason::Diverged { step, loss }) = report.abort else {
+            panic!("expected a divergence abort, got {:?}", report.abort);
+        };
+        assert!(step <= 2, "sentinel took {step} steps to fire");
+        assert!(
+            report.steps_completed <= 2,
+            "executed {} of {} steps; the sentinel should abort almost immediately",
+            report.steps_completed,
+            config.num_steps
+        );
+        assert!(!loss.is_finite() || loss > 1e12, "reported loss {loss} is not divergent");
+    }
+
+    #[test]
+    fn explosion_sentinel_fires_before_the_absolute_ceiling() {
+        // A loss that explodes relative to its starting value but has not
+        // yet crossed 1e12 is caught only by the supervised sentinel.
+        let healthy = Sentinel::default();
+        let strict = Sentinel::supervised();
+        let initial = Some(1e-2);
+        let exploded = 1e5; // 1e7x the initial loss, far below 1e12
+        assert!(!healthy.fires(exploded, initial));
+        assert!(strict.fires(exploded, initial));
+    }
+
+    #[test]
+    fn cancellation_aborts_at_a_step_boundary() {
+        let (train_ds, val_ds) = tiny_data(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cancelled = || true;
+        let sup = Supervision { cancelled: Some(&cancelled), ..Supervision::none() };
+        let report =
+            train_supervised(&tiny_config(), &train_ds, &val_ds, &mut rng, &sup).unwrap();
+        assert_eq!(report.abort, Some(AbortReason::Cancelled { step: 0 }));
+        assert_eq!(report.steps_completed, 0);
+        assert!(!report.diverged, "cancellation is not divergence");
+    }
+
+    #[test]
+    fn deadline_budget_stops_training_at_the_wall() {
+        let (train_ds, val_ds) = tiny_data(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        // 1 simulated minute per step, 10-minute budget, 60-step config:
+        // exactly 10 steps fit inside the wall.
+        let sup = Supervision {
+            deadline_minutes: Some(10.0),
+            minutes_per_step: 1.0,
+            ..Supervision::none()
+        };
+        let report =
+            train_supervised(&tiny_config(), &train_ds, &val_ds, &mut rng, &sup).unwrap();
+        assert_eq!(
+            report.abort,
+            Some(AbortReason::Deadline { step: 10, sim_minutes: 10.0 })
+        );
+        assert_eq!(report.steps_completed, 10);
+    }
+
+    #[test]
+    fn heartbeats_report_monotone_simulated_progress() {
+        use std::cell::RefCell;
+        let (train_ds, val_ds) = tiny_data(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let beats: RefCell<Vec<(f64, f64)>> = RefCell::new(Vec::new());
+        let beat = |done: f64, projected: f64| beats.borrow_mut().push((done, projected));
+        let sup = Supervision {
+            heartbeat: Some(&beat),
+            heartbeat_every: 20,
+            minutes_per_step: 0.5,
+            ..Supervision::none()
+        };
+        let report =
+            train_supervised(&tiny_config(), &train_ds, &val_ds, &mut rng, &sup).unwrap();
+        assert!(report.abort.is_none());
+        let beats = beats.into_inner();
+        // 60 steps / 20 = beats at steps 0, 20, 40.
+        assert_eq!(beats.len(), 3);
+        assert_eq!(beats[1], (10.0, 30.0));
+        assert!(beats.windows(2).all(|w| w[0].0 < w[1].0), "progress must be monotone");
+    }
+
+    #[test]
+    fn supervision_probes_do_not_change_trained_weights() {
+        // The determinism cornerstone: attaching inert supervision must not
+        // alter the rng stream or the resulting model.
+        let (train_ds, val_ds) = tiny_data(9);
+        let run = |supervised: bool| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut config = tiny_config();
+            config.num_steps = 20;
+            let report = if supervised {
+                let cancelled = || false;
+                let beat = |_: f64, _: f64| {};
+                let sup = Supervision {
+                    cancelled: Some(&cancelled),
+                    deadline_minutes: Some(1e9),
+                    minutes_per_step: 0.001,
+                    heartbeat: Some(&beat),
+                    heartbeat_every: 5,
+                    check_every: 1,
+                    sentinel: Sentinel::supervised(),
+                };
+                train_supervised(&config, &train_ds, &val_ds, &mut rng, &sup).unwrap()
+            } else {
+                train(&config, &train_ds, &val_ds, &mut rng).unwrap()
+            };
+            report.lcurve.final_losses().unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -145,11 +145,9 @@ mod tests {
 
     #[test]
     fn objective_vectors_skip_penalties() {
-        let fits = vec![
-            Fitness::new(vec![0.1, 0.2]),
+        let fits = [Fitness::new(vec![0.1, 0.2]),
             Fitness::penalty(2),
-            Fitness::new(vec![0.3, 0.4]),
-        ];
+            Fitness::new(vec![0.3, 0.4])];
         let refs: Vec<&Fitness> = fits.iter().collect();
         let vecs = objective_vectors(&refs);
         assert_eq!(vecs.len(), 2);

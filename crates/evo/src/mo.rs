@@ -99,6 +99,7 @@ pub fn fast_nondominated_sort(fitnesses: &[&Fitness]) -> Fronts {
 
 /// Dense per-objective ordinal ranks: equal objective values get equal
 /// ranks, so dominance on ranks is exactly dominance on values.
+#[allow(clippy::needless_range_loop)] // `obj` addresses a column across rows
 fn ordinal_ranks(fitnesses: &[&Fitness]) -> Vec<Vec<u32>> {
     let n = fitnesses.len();
     if n == 0 {
@@ -145,11 +146,11 @@ pub fn rank_ordinal_sort(fitnesses: &[&Fitness]) -> Fronts {
     // Integer-rank dominance (a dominates b).
     let dominates = |a: usize, b: usize| -> bool {
         let mut strictly = false;
-        for obj in 0..m {
-            if ranks[a][obj] > ranks[b][obj] {
+        for (ra, rb) in ranks[a].iter().zip(&ranks[b]) {
+            if ra > rb {
                 return false;
             }
-            if ranks[a][obj] < ranks[b][obj] {
+            if ra < rb {
                 strictly = true;
             }
         }

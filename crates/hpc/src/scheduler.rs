@@ -1,4 +1,5 @@
-//! A Dask-like client/scheduler/worker evaluation pool.
+//! A Dask-like client/scheduler/worker evaluation pool with a supervision
+//! runtime.
 //!
 //! Mirrors the paper's §2.2.5 deployment: a scheduler fans evaluation tasks
 //! out to one worker per compute node, workers may die mid-task (hardware
@@ -7,10 +8,45 @@
 //! surviving worker. Tasks also carry a *simulated* runtime (minutes) from
 //! the cost model, and the scheduler enforces the paper's 2-hour per-task
 //! timeout against that simulated clock.
+//!
+//! On top of the plain pool, [`run_batch_supervised`] adds the supervision
+//! loop the ROADMAP's production-scale north star asks for:
+//!
+//! * every attempt gets a [`TaskCtx`] carrying a cooperative [`CancelToken`]
+//!   and the deadline budget, so a supervised evaluation can stop *at* the
+//!   wall (and a superseded attempt stops within one check interval)
+//!   instead of being discovered dead afterwards;
+//! * **straggler detection**: tasks whose cost-model estimate exceeds a
+//!   quantile rule over the batch get a **speculative twin** enqueued on the
+//!   spare capacity — first result wins, the loser's token is cancelled;
+//! * **retry with deterministic exponential backoff** and per-slot worker
+//!   health scoring that **quarantines** a slot after repeated deaths
+//!   (never the last surviving slot);
+//! * dead attempts charge their **partial simulated minutes** (a
+//!   deterministic fraction of the task's estimate), so
+//!   [`PoolReport::makespan_minutes`] reflects lost node time the way the
+//!   real Summit allocation would.
+//!
+//! Every supervision decision — fault placement, death fractions, straggler
+//! sets, backoff amounts — is a pure function of
+//! `(seed, batch key, task, attempt)` and the deterministic estimates, never
+//! of real-time thread interleavings, so the crash/resume journal contract
+//! (see `dphpo-core`) keeps holding with supervision enabled. The only
+//! report fields that may vary with physical scheduling are
+//! [`PoolReport::quarantined_workers`] and [`PoolReport::heartbeats`] under
+//! speculation, which is why the journal does not serialize them.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crossbeam::channel;
+
+/// The synthetic attempt number used for a task's speculative twin in fault
+/// decisions, chosen far outside the primary range `1..=max_attempts` so a
+/// twin's death roll never collides with a primary attempt's.
+pub const SPECULATIVE_ATTEMPT: u32 = 1 << 16;
 
 /// Why a task produced no value.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,16 +60,124 @@ pub enum TaskError {
     /// The worker hosting the task died (hardware fault); attempts were
     /// exhausted or no workers survived.
     WorkerFailed,
-    /// The evaluation itself failed (e.g. diverged training).
+    /// The evaluation itself failed for an unstructured reason.
     Failed(String),
+    /// The divergence sentinel aborted the training early.
+    Diverged {
+        /// Training step at which divergence was detected.
+        step: usize,
+        /// The offending loss value (may be non-finite).
+        loss: f64,
+    },
+    /// The evaluation observed its [`CancelToken`] and stopped. Only a
+    /// task whose *sole* attempt was externally cancelled ends this way.
+    Cancelled,
+    /// The attempt's result was superseded by its speculative twin (or the
+    /// twin by its primary). Never a task's *terminal* error — the winning
+    /// result is the record; this variant classifies the discarded loser.
+    /// Its batch-level footprint is [`PoolReport::speculated_tasks`].
+    Speculated,
+}
+
+/// Structured failure reported by a supervised evaluation function.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalFault {
+    /// Unstructured failure (legacy string reason).
+    Failed(String),
+    /// The divergence sentinel fired inside the training loop.
+    Diverged {
+        /// Step at which divergence was detected.
+        step: usize,
+        /// The offending loss value.
+        loss: f64,
+    },
+    /// The simulated-clock deadline budget ran out mid-evaluation; the
+    /// scheduler charges the timeout limit, as the wall would have.
+    Deadline,
+    /// The evaluation observed its [`CancelToken`] and aborted.
+    Cancelled,
 }
 
 /// Outcome produced by the user's evaluation function.
 pub struct EvalOutcome<T> {
-    /// The evaluation result, or a failure description.
-    pub value: Result<T, String>,
+    /// The evaluation result, or a structured failure.
+    pub value: Result<T, EvalFault>,
     /// Simulated runtime in minutes.
     pub minutes: f64,
+}
+
+/// Cooperative cancellation flag shared between the scheduler and one
+/// attempt's evaluation. Cancelling is a one-way latch; the evaluation
+/// polls [`CancelToken::is_cancelled`] at step boundaries and aborts with
+/// [`EvalFault::Cancelled`] when it flips.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Latch the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-attempt context handed to a supervised evaluation function.
+///
+/// Carries the attempt's identity (for replay short-circuits and logging),
+/// the cooperative cancellation token, the deadline budget, and a progress
+/// heartbeat the scheduler's supervision loop consumes.
+pub struct TaskCtx<'a> {
+    /// Task index within the batch.
+    pub task: usize,
+    /// Attempt number (1 = first try; [`SPECULATIVE_ATTEMPT`] for a twin).
+    pub attempt: u32,
+    /// True for a speculative twin of a straggler task.
+    pub speculative: bool,
+    /// Simulated-minutes budget for this attempt (the pool's per-task
+    /// timeout), for the evaluation to enforce cooperatively.
+    pub deadline_minutes: Option<f64>,
+    cancel: Option<&'a CancelToken>,
+    beat: Option<&'a (dyn Fn(f64, f64) + 'a)>,
+}
+
+impl TaskCtx<'static> {
+    /// A context with no scheduler attached — for calling a supervised
+    /// evaluation function directly (tests, single-shot tools).
+    pub fn detached(task: usize) -> Self {
+        TaskCtx {
+            task,
+            attempt: 1,
+            speculative: false,
+            deadline_minutes: None,
+            cancel: None,
+            beat: None,
+        }
+    }
+}
+
+impl<'a> TaskCtx<'a> {
+    /// True once the scheduler has cancelled this attempt (e.g. its twin
+    /// already produced the task's result).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Report simulated progress: `done` minutes consumed of a `projected`
+    /// total. A no-op without a scheduler attached.
+    pub fn heartbeat(&self, done: f64, projected: f64) {
+        if let Some(beat) = self.beat {
+            beat(done, projected);
+        }
+    }
 }
 
 /// Final per-task record returned by [`run_batch`].
@@ -42,12 +186,49 @@ pub struct TaskRecord<T> {
     /// Value or the error that ended the task.
     pub value: Result<T, TaskError>,
     /// Simulated minutes charged for the final attempt (timeouts charge the
-    /// full limit, as the real job would have been killed there).
+    /// full limit, as the real job would have been killed there; exhausted
+    /// retries charge the partial minutes their dead attempts burned).
     pub minutes: f64,
     /// Worker that produced the final outcome.
     pub worker: usize,
     /// Number of attempts (1 = no retries).
     pub attempts: u32,
+}
+
+/// Supervision-loop knobs: straggler rule, speculation, backoff, and worker
+/// health scoring. All decisions derived from these are deterministic.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Launch speculative twins for straggler tasks (needs ≥ 2 workers).
+    pub speculate: bool,
+    /// Quantile of the batch's estimated minutes used as the straggler
+    /// baseline (nearest-rank over the sorted estimates).
+    pub straggler_quantile: f64,
+    /// A task is a straggler when its estimate exceeds
+    /// `straggler_factor ×` the quantile baseline.
+    pub straggler_factor: f64,
+    /// Simulated minutes of backoff before the first retry of a task.
+    pub backoff_base_minutes: f64,
+    /// Multiplier applied to the backoff for each further retry
+    /// (`base × factor^(retry-1)`).
+    pub backoff_factor: f64,
+    /// With nannies, quarantine (permanently retire) a worker slot after
+    /// this many deaths — unless it is the last surviving slot. 0 disables
+    /// quarantining.
+    pub quarantine_deaths: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            speculate: false,
+            straggler_quantile: 0.75,
+            straggler_factor: 1.5,
+            backoff_base_minutes: 1.0,
+            backoff_factor: 2.0,
+            quarantine_deaths: 3,
+        }
+    }
 }
 
 /// Pool configuration.
@@ -61,11 +242,19 @@ pub struct PoolConfig {
     pub nanny: bool,
     /// Maximum attempts per task before giving up.
     pub max_attempts: u32,
+    /// Supervision-loop knobs (speculation off by default).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        PoolConfig { n_workers: 4, timeout_minutes: Some(120.0), nanny: false, max_attempts: 3 }
+        PoolConfig {
+            n_workers: 4,
+            timeout_minutes: Some(120.0),
+            nanny: false,
+            max_attempts: 3,
+            supervisor: SupervisorConfig::default(),
+        }
     }
 }
 
@@ -157,12 +346,25 @@ impl FaultInjector {
             return false;
         }
         let mut z = splitmix64(
-            self.seed ^ 0x5eed_0f_da7a_u64.wrapping_mul(self.batch_key.load(Ordering::Relaxed)),
+            self.seed ^ 0x005e_ed0f_da7a_u64.wrapping_mul(self.batch_key.load(Ordering::Relaxed)),
         );
         z = splitmix64(z ^ (task as u64));
         z = splitmix64(z ^ ((attempt as u64) << 32));
         let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         unit < self.death_probability
+    }
+
+    /// How far through its estimated runtime an attempt got before its
+    /// worker died, as a deterministic fraction in `[0, 1)` — a pure hash of
+    /// `(seed, batch key, task, attempt)` under a different salt than the
+    /// death decision itself, so the two are independent.
+    fn death_fraction(&self, task: usize, attempt: u32) -> f64 {
+        let mut z = splitmix64(
+            self.seed ^ 0xdead_c057_u64.wrapping_mul(self.batch_key.load(Ordering::Relaxed)),
+        );
+        z = splitmix64(z ^ (task as u64));
+        z = splitmix64(z ^ ((attempt as u64) << 32));
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -174,23 +376,87 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Nearest-rank quantile over an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = (((sorted.len() - 1) as f64) * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
 /// Per-run statistics.
+///
+/// Every field except [`PoolReport::quarantined_workers`] and (under
+/// speculation) [`PoolReport::heartbeats`] is a deterministic function of
+/// the batch inputs, the fault plan, and the pool configuration — those two
+/// depend on which physical thread won a race and are therefore excluded
+/// from the crash/resume journal.
 #[derive(Clone, Debug, Default)]
 pub struct PoolReport {
     /// Simulated makespan: the longest per-worker busy time in minutes
-    /// (what the batch job's wall clock would have shown).
+    /// (what the batch job's wall clock would have shown), including the
+    /// partial minutes dead and speculative attempts burned.
     pub makespan_minutes: f64,
     /// Simulated busy minutes per worker slot.
     pub per_worker_minutes: Vec<f64>,
-    /// Worker deaths observed.
+    /// Worker deaths observed on primary attempts (speculative twins are
+    /// accounted analytically in [`PoolReport::speculative_deaths`]).
     pub worker_deaths: usize,
     /// Tasks that were retried at least once.
     pub retried_tasks: usize,
+    /// Tasks whose terminal record is [`TaskError::Failed`] or
+    /// [`TaskError::Diverged`] (a sick training, not a sick node).
+    pub diverged_tasks: usize,
+    /// Tasks whose terminal record is [`TaskError::Timeout`].
+    pub timeout_tasks: usize,
+    /// Tasks whose terminal record is [`TaskError::Cancelled`].
+    pub cancelled_tasks: usize,
+    /// Tasks whose terminal record is [`TaskError::WorkerFailed`]
+    /// (exhausted retries or pool death).
+    pub exhausted_tasks: usize,
+    /// Straggler tasks that were granted a speculative twin.
+    pub speculated_tasks: usize,
+    /// Speculative twins whose fault roll killed their worker (accounted at
+    /// launch from the fault plan, so the count is deterministic even when
+    /// a twin is skipped because its primary finished first).
+    pub speculative_deaths: usize,
+    /// Simulated minutes burned by attempts that produced no result: dead
+    /// primaries' partial minutes plus dying twins' partial minutes.
+    pub lost_minutes: f64,
+    /// Total simulated backoff delay inserted before retries
+    /// (`base × factor^(retry-1)` per retry). Idle waiting, not busy time —
+    /// reported separately from the makespan.
+    pub backoff_minutes: f64,
+    /// Worker slots permanently retired by health scoring. Depends on which
+    /// physical thread absorbed the deaths — excluded from the journal.
+    pub quarantined_workers: usize,
+    /// Progress heartbeats received. Deterministic without speculation;
+    /// under speculation a skipped twin emits none — excluded from the
+    /// journal.
+    pub heartbeats: usize,
+}
+
+#[derive(Debug)]
+struct Job {
+    task: usize,
+    attempt: u32,
+    speculative: bool,
+    cancel: CancelToken,
 }
 
 enum Message<T> {
-    Done { task: usize, outcome: EvalOutcome<T>, worker: usize, minutes_charged: f64 },
-    Died { task: usize, worker: usize },
+    Done {
+        task: usize,
+        speculative: bool,
+        outcome: EvalOutcome<T>,
+        worker: usize,
+        minutes_charged: f64,
+    },
+    Died {
+        task: usize,
+        attempt: u32,
+        worker: usize,
+        panicked: bool,
+    },
+    Beat,
 }
 
 /// Evaluate every input in parallel on a simulated worker pool.
@@ -224,7 +490,7 @@ pub fn run_batch_with_hooks<I, T, F, H>(
     eval: F,
     config: &PoolConfig,
     faults: &FaultInjector,
-    mut on_complete: H,
+    on_complete: H,
 ) -> (Vec<TaskRecord<T>>, PoolReport)
 where
     I: Sync,
@@ -232,23 +498,110 @@ where
     F: Fn(usize, &I) -> EvalOutcome<T> + Sync,
     H: FnMut(usize, &TaskRecord<T>),
 {
+    // Without a supervised evaluation there is no per-task cost estimate;
+    // use the timeout limit (the most a live attempt could burn) so dead
+    // attempts still charge nonzero partial minutes.
+    let flat = config.timeout_minutes.unwrap_or(0.0);
+    run_batch_supervised(
+        inputs,
+        |ctx: &TaskCtx<'_>, input: &I| eval(ctx.task, input),
+        |_, _| flat,
+        config,
+        faults,
+        on_complete,
+    )
+}
+
+/// As [`run_batch_with_hooks`], with supervised evaluations and a per-task
+/// cost estimate.
+///
+/// `eval` receives a [`TaskCtx`] (cancel token, deadline budget, heartbeat)
+/// and should poll [`TaskCtx::is_cancelled`] at step boundaries.
+/// `estimate(task, &input)` returns the task's deterministic simulated-
+/// minutes estimate, which drives straggler detection and the partial
+/// minutes charged for dead attempts. Panics inside `eval` are caught and
+/// treated as worker deaths.
+pub fn run_batch_supervised<I, T, F, E, H>(
+    inputs: &[I],
+    eval: F,
+    estimate: E,
+    config: &PoolConfig,
+    faults: &FaultInjector,
+    mut on_complete: H,
+) -> (Vec<TaskRecord<T>>, PoolReport)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&TaskCtx<'_>, &I) -> EvalOutcome<T> + Sync,
+    E: Fn(usize, &I) -> f64,
+    H: FnMut(usize, &TaskRecord<T>),
+{
     assert!(config.n_workers > 0, "pool needs at least one worker");
     assert!(config.max_attempts > 0, "max_attempts must be positive");
+    let sup = config.supervisor;
     let n = inputs.len();
     let mut records: Vec<Option<TaskRecord<T>>> = (0..n).map(|_| None).collect();
     if n == 0 {
         return (Vec::new(), PoolReport::default());
     }
 
-    let (task_tx, task_rx) = channel::unbounded::<(usize, u32)>();
+    let estimates: Vec<f64> = (0..n).map(|i| estimate(i, &inputs[i]).max(0.0)).collect();
+
+    let (task_tx, task_rx) = channel::unbounded::<Job>();
     let (msg_tx, msg_rx) = channel::unbounded::<Message<T>>();
-    for i in 0..n {
-        task_tx.send((i, 1)).expect("queue open");
+
+    let primary_tokens: Vec<CancelToken> = (0..n).map(|_| CancelToken::new()).collect();
+    let mut twin_tokens: HashMap<usize, CancelToken> = HashMap::new();
+    let mut report = PoolReport::default();
+
+    for (task, token) in primary_tokens.iter().enumerate() {
+        let job = Job { task, attempt: 1, speculative: false, cancel: token.clone() };
+        task_tx.send(job).expect("queue open");
+    }
+
+    // Straggler detection is structural: the set is computed once from the
+    // deterministic estimates (quantile baseline × factor), never from racy
+    // heartbeat timing. Twins go to the back of the queue — primaries are
+    // never starved — and are capped at the spare slot count. A twin's
+    // death is accounted *here*, from the fault plan, because whether the
+    // twin physically runs depends on whether its primary finished first.
+    if sup.speculate && n > 1 && config.n_workers > 1 {
+        let mut sorted = estimates.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        let threshold = quantile(&sorted, sup.straggler_quantile) * sup.straggler_factor;
+        let mut budget = config.n_workers - 1;
+        for (task, &est) in estimates.iter().enumerate() {
+            if budget == 0 {
+                break;
+            }
+            if est > threshold {
+                budget -= 1;
+                report.speculated_tasks += 1;
+                if faults.task_kills_worker(task, SPECULATIVE_ATTEMPT) {
+                    report.speculative_deaths += 1;
+                    report.lost_minutes +=
+                        faults.death_fraction(task, SPECULATIVE_ATTEMPT) * estimates[task];
+                }
+                let cancel = CancelToken::new();
+                twin_tokens.insert(task, cancel.clone());
+                let job =
+                    Job { task, attempt: SPECULATIVE_ATTEMPT, speculative: true, cancel };
+                task_tx.send(job).expect("queue open");
+            }
+        }
     }
 
     let mut attempts = vec![0u32; n];
+    let mut finalized = vec![false; n];
+    let mut retried = vec![false; n];
+    let mut lost_per_task = vec![0.0f64; n];
+    // A task's primary retry chain stays open until a primary attempt
+    // completes (superseded or not) or its retries are exhausted. Draining
+    // every chain — not just every record — is what keeps death counts and
+    // lost-minute charges independent of which twin won a race.
+    let mut open_chains = n;
     let alive = AtomicUsize::new(config.n_workers);
-    let mut report = PoolReport::default();
+    let quarantined = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for worker in 0..config.n_workers {
@@ -257,34 +610,135 @@ where
             let eval = &eval;
             let faults = &faults;
             let alive = &alive;
+            let quarantined = &quarantined;
             let timeout = config.timeout_minutes;
             let nanny = config.nanny;
+            let quarantine_deaths = sup.quarantine_deaths;
             scope.spawn(move || {
-                while let Ok((task, attempt)) = task_rx.recv() {
-                    if faults.task_kills_worker(task, attempt) {
+                let mut deaths_here = 0u32;
+                while let Ok(job) = task_rx.recv() {
+                    let Job { task, attempt, speculative, cancel } = job;
+                    if speculative {
+                        // Twins are sandboxed: already-superseded twins are
+                        // skipped, a dying twin never takes the slot down
+                        // (its loss is accounted at launch), and its result
+                        // only matters if it beats the primary.
+                        if cancel.is_cancelled() {
+                            continue;
+                        }
+                        if faults.task_kills_worker(task, attempt) {
+                            continue;
+                        }
+                    } else if faults.task_kills_worker(task, attempt) {
                         // The worker dies mid-task. With a nanny it is
-                        // restarted (continue); without, the thread exits.
-                        let _ = msg_tx.send(Message::Died { task, worker });
+                        // restarted (continue) until health scoring
+                        // quarantines the slot; without, the thread exits.
+                        let _ = msg_tx.send(Message::Died {
+                            task,
+                            attempt,
+                            worker,
+                            panicked: false,
+                        });
+                        deaths_here += 1;
                         if nanny {
+                            if quarantine_deaths > 0
+                                && deaths_here >= quarantine_deaths
+                                && try_retire(alive)
+                            {
+                                quarantined.fetch_add(1, Ordering::SeqCst);
+                                return;
+                            }
                             continue;
                         }
                         alive.fetch_sub(1, Ordering::SeqCst);
                         return;
                     }
-                    let outcome = eval(task, &inputs[task]);
-                    // Timeouts charge the limit: the real job would have
-                    // been killed at the wall.
-                    let minutes_charged = match timeout {
-                        Some(limit) if outcome.minutes > limit => limit,
-                        _ => outcome.minutes,
+                    let beat = |_done: f64, _projected: f64| {
+                        let _ = msg_tx.send(Message::Beat);
                     };
-                    let _ = msg_tx.send(Message::Done { task, outcome, worker, minutes_charged });
+                    let ctx = TaskCtx {
+                        task,
+                        attempt,
+                        speculative,
+                        deadline_minutes: timeout,
+                        cancel: Some(&cancel),
+                        beat: Some(&beat),
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| eval(&ctx, &inputs[task]))) {
+                        Ok(outcome) => {
+                            // Timeouts charge the limit: the real job would
+                            // have been killed at the wall.
+                            let minutes_charged = match timeout {
+                                Some(limit) if outcome.minutes > limit => limit,
+                                _ => outcome.minutes,
+                            };
+                            let _ = msg_tx.send(Message::Done {
+                                task,
+                                speculative,
+                                outcome,
+                                worker,
+                                minutes_charged,
+                            });
+                        }
+                        Err(_) => {
+                            // A panicking evaluation is a worker death (the
+                            // documented contract) — not a silent hang.
+                            if speculative {
+                                continue;
+                            }
+                            let _ = msg_tx.send(Message::Died {
+                                task,
+                                attempt,
+                                worker,
+                                panicked: true,
+                            });
+                            deaths_here += 1;
+                            if nanny {
+                                if quarantine_deaths > 0
+                                    && deaths_here >= quarantine_deaths
+                                    && try_retire(alive)
+                                {
+                                    quarantined.fetch_add(1, Ordering::SeqCst);
+                                    return;
+                                }
+                                continue;
+                            }
+                            alive.fetch_sub(1, Ordering::SeqCst);
+                            return;
+                        }
+                    }
                 }
             });
         }
         drop(msg_tx);
 
-        let mut completed = 0usize;
+        let mut finalize = |task: usize,
+                            value: Result<T, TaskError>,
+                            minutes: f64,
+                            worker: usize,
+                            attempt_count: u32,
+                            records: &mut [Option<TaskRecord<T>>],
+                            report: &mut PoolReport,
+                            finalized: &mut [bool]| {
+            match &value {
+                Err(TaskError::Failed(_)) | Err(TaskError::Diverged { .. }) => {
+                    report.diverged_tasks += 1;
+                }
+                Err(TaskError::Timeout { .. }) => report.timeout_tasks += 1,
+                Err(TaskError::Cancelled) => report.cancelled_tasks += 1,
+                Err(TaskError::WorkerFailed) => report.exhausted_tasks += 1,
+                Err(TaskError::Speculated) | Ok(_) => {}
+            }
+            records[task] =
+                Some(TaskRecord { value, minutes, worker, attempts: attempt_count });
+            finalized[task] = true;
+            primary_tokens[task].cancel();
+            if let Some(tok) = twin_tokens.get(&task) {
+                tok.cancel();
+            }
+            on_complete(task, records[task].as_ref().expect("just stored"));
+        };
+
         // Set once no worker can make further progress (every worker died,
         // no nannies). Observed either through the alive counter or through
         // the message channel disconnecting as the last worker exits; both
@@ -293,7 +747,7 @@ where
         // a worker reports its final result/death *before* its exit is
         // visible, and once `alive` reads zero no further send can happen.
         let mut pool_dead = false;
-        while completed < n {
+        while open_chains > 0 {
             let msg = if pool_dead {
                 match msg_rx.try_recv() {
                     Ok(m) => m,
@@ -312,61 +766,116 @@ where
                 }
             };
             match msg {
-                Message::Done { task, outcome, worker, minutes_charged } => {
-                    attempts[task] += 1;
-                    let timed_out = matches!(config.timeout_minutes, Some(limit) if outcome.minutes > limit);
+                Message::Done { task, speculative, outcome, worker, minutes_charged } => {
+                    if !speculative {
+                        open_chains -= 1;
+                        attempts[task] += 1;
+                    }
+                    if finalized[task] {
+                        // The counterpart already produced this task's
+                        // record; the classification for this discarded
+                        // result is `TaskError::Speculated`.
+                        continue;
+                    }
+                    let eval_minutes = outcome.minutes;
+                    let timed_out = matches!(
+                        config.timeout_minutes, Some(limit) if eval_minutes > limit
+                    );
                     let value = if timed_out {
                         Err(TaskError::Timeout {
                             limit_minutes: config.timeout_minutes.unwrap(),
                         })
                     } else {
-                        outcome.value.map_err(TaskError::Failed)
+                        outcome.value.map_err(|fault| match fault {
+                            EvalFault::Failed(reason) => TaskError::Failed(reason),
+                            EvalFault::Diverged { step, loss } => {
+                                TaskError::Diverged { step, loss }
+                            }
+                            EvalFault::Deadline => TaskError::Timeout {
+                                limit_minutes: config.timeout_minutes.unwrap_or(eval_minutes),
+                            },
+                            EvalFault::Cancelled => TaskError::Cancelled,
+                        })
                     };
-                    records[task] = Some(TaskRecord {
+                    finalize(
+                        task,
                         value,
-                        minutes: minutes_charged,
+                        minutes_charged,
                         worker,
-                        attempts: attempts[task],
-                    });
-                    on_complete(task, records[task].as_ref().expect("just stored"));
-                    completed += 1;
+                        attempts[task].max(1),
+                        &mut records,
+                        &mut report,
+                        &mut finalized,
+                    );
                 }
-                Message::Died { task, worker } => {
+                Message::Died { task, attempt, worker, panicked } => {
                     report.worker_deaths += 1;
                     attempts[task] += 1;
-                    if attempts[task] < config.max_attempts {
-                        report.retried_tasks += 1;
-                        let _ = task_tx.send((task, attempts[task] + 1));
+                    // A fault-injected death burned a deterministic fraction
+                    // of the task's estimate; a panic gives no progress
+                    // information, so the full estimate is written off.
+                    let lost = if panicked {
+                        estimates[task]
                     } else {
-                        records[task] = Some(TaskRecord {
-                            value: Err(TaskError::WorkerFailed),
-                            minutes: 0.0,
-                            worker,
-                            attempts: attempts[task],
-                        });
-                        on_complete(task, records[task].as_ref().expect("just stored"));
-                        completed += 1;
+                        faults.death_fraction(task, attempt) * estimates[task]
+                    };
+                    report.lost_minutes += lost;
+                    lost_per_task[task] += lost;
+                    if attempts[task] < config.max_attempts {
+                        if !retried[task] {
+                            retried[task] = true;
+                            report.retried_tasks += 1;
+                        }
+                        report.backoff_minutes += sup.backoff_base_minutes
+                            * sup.backoff_factor.powi(attempts[task] as i32 - 1);
+                        // Requeue even when a twin already finalized the
+                        // task: the retry chain must replay identically in
+                        // every interleaving (the cancelled token makes the
+                        // superseded attempt abort within one check
+                        // interval, so the extra work is negligible).
+                        let job = Job {
+                            task,
+                            attempt: attempts[task] + 1,
+                            speculative: false,
+                            cancel: primary_tokens[task].clone(),
+                        };
+                        let _ = task_tx.send(job);
+                    } else {
+                        open_chains -= 1;
+                        if !finalized[task] {
+                            finalize(
+                                task,
+                                Err(TaskError::WorkerFailed),
+                                lost_per_task[task],
+                                worker,
+                                attempts[task],
+                                &mut records,
+                                &mut report,
+                                &mut finalized,
+                            );
+                        }
                     }
                 }
+                Message::Beat => report.heartbeats += 1,
             }
         }
         // If every worker died with work outstanding, fail the rest (a
         // retry re-queued onto a dead pool ends here too).
-        if completed < n {
-            for (task, slot) in records.iter_mut().enumerate() {
-                if slot.is_none() {
-                    *slot = Some(TaskRecord {
-                        value: Err(TaskError::WorkerFailed),
-                        minutes: 0.0,
-                        worker: usize::MAX,
-                        attempts: attempts[task],
-                    });
-                    on_complete(task, slot.as_ref().expect("just stored"));
-                }
+        for (task, slot) in records.iter_mut().enumerate() {
+            if slot.is_none() {
+                report.exhausted_tasks += 1;
+                *slot = Some(TaskRecord {
+                    value: Err(TaskError::WorkerFailed),
+                    minutes: lost_per_task[task],
+                    worker: usize::MAX,
+                    attempts: attempts[task],
+                });
+                on_complete(task, slot.as_ref().expect("just stored"));
             }
         }
         drop(task_tx); // release workers blocked on recv
     });
+    report.quarantined_workers = quarantined.load(Ordering::SeqCst);
 
     let results: Vec<TaskRecord<T>> = records
         .into_iter()
@@ -375,21 +884,55 @@ where
 
     // Physical threads race for tasks in real time (they finish almost
     // instantly), so the *simulated* wall clock is reconstructed by list-
-    // scheduling the charged minutes onto the worker slots: each task goes
+    // scheduling the charged minutes onto the worker slots: each charge goes
     // to the simulated-least-loaded worker, exactly how a Dask worker pool
-    // with one task per node drains a queue.
+    // with one task per node drains a queue. Charges are applied in a fixed
+    // order (final records, then per-task retry losses, then dying twins)
+    // so the makespan is deterministic. Backoff is idle time, not busy
+    // time, and is reported separately.
     let mut per_worker = vec![0.0f64; config.n_workers];
-    for record in &results {
+    let mut assign = |minutes: f64| {
         let (slot, _) = per_worker
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("busy minutes are finite"))
             .expect("at least one worker");
-        per_worker[slot] += record.minutes;
+        per_worker[slot] += minutes;
+    };
+    for record in &results {
+        assign(record.minutes);
+    }
+    for (task, record) in results.iter().enumerate() {
+        // Exhausted tasks already carry their lost minutes as the record.
+        let already_charged = matches!(record.value, Err(TaskError::WorkerFailed));
+        if !already_charged && lost_per_task[task] > 0.0 {
+            assign(lost_per_task[task]);
+        }
+    }
+    if sup.speculate {
+        for (task, &est) in estimates.iter().enumerate() {
+            if twin_tokens.contains_key(&task) && faults.task_kills_worker(task, SPECULATIVE_ATTEMPT)
+            {
+                assign(faults.death_fraction(task, SPECULATIVE_ATTEMPT) * est);
+            }
+        }
     }
     report.makespan_minutes = per_worker.iter().copied().fold(0.0, f64::max);
     report.per_worker_minutes = per_worker;
     (results, report)
+}
+
+/// Retire one worker slot, unless it is the last alive — the pool must
+/// never quarantine itself to death.
+fn try_retire(alive: &AtomicUsize) -> bool {
+    let mut current = alive.load(Ordering::SeqCst);
+    while current > 1 {
+        match alive.compare_exchange(current, current - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -412,6 +955,8 @@ mod tests {
             assert_eq!(r.minutes, 10.0);
         }
         assert_eq!(report.worker_deaths, 0);
+        assert_eq!(report.lost_minutes, 0.0);
+        assert_eq!(report.speculated_tasks, 0);
         // 20 ten-minute tasks over 4 workers → 50 simulated minutes.
         assert!((report.makespan_minutes - 50.0).abs() < 1e-9);
     }
@@ -424,7 +969,7 @@ mod tests {
             minutes: if task == 1 { 150.0 } else { 60.0 },
         };
         let config = PoolConfig { n_workers: 2, timeout_minutes: Some(120.0), ..PoolConfig::default() };
-        let (records, _) = run_batch(&inputs, eval, &config, &FaultInjector::none());
+        let (records, report) = run_batch(&inputs, eval, &config, &FaultInjector::none());
         assert!(records[0].value.is_ok());
         assert_eq!(
             records[1].value,
@@ -433,19 +978,75 @@ mod tests {
         // The killed job is charged the full limit, not its would-be time.
         assert_eq!(records[1].minutes, 120.0);
         assert!(records[2].value.is_ok());
+        assert_eq!(report.timeout_tasks, 1);
     }
 
     #[test]
     fn evaluation_failures_are_reported() {
         let inputs = vec![0u64, 1];
         let eval = |task: usize, _: &u64| EvalOutcome {
-            value: if task == 0 { Err("diverged".to_string()) } else { Ok(7u64) },
+            value: if task == 0 {
+                Err(EvalFault::Failed("diverged".to_string()))
+            } else {
+                Ok(7u64)
+            },
             minutes: 5.0,
         };
-        let (records, _) =
+        let (records, report) =
             run_batch(&inputs, eval, &PoolConfig::default(), &FaultInjector::none());
         assert_eq!(records[0].value, Err(TaskError::Failed("diverged".into())));
         assert_eq!(*records[1].value.as_ref().unwrap(), 7);
+        assert_eq!(report.diverged_tasks, 1);
+    }
+
+    #[test]
+    fn structured_divergence_and_cancellation_flow_through() {
+        let inputs = vec![0u64, 1, 2];
+        let eval = |ctx: &TaskCtx<'_>, _: &u64| EvalOutcome {
+            value: match ctx.task {
+                0 => Err(EvalFault::Diverged { step: 7, loss: f64::INFINITY }),
+                1 => Err(EvalFault::Cancelled),
+                _ => Ok(1u64),
+            },
+            minutes: 3.0,
+        };
+        let (records, report) = run_batch_supervised(
+            &inputs,
+            eval,
+            |_, _| 3.0,
+            &PoolConfig::default(),
+            &FaultInjector::none(),
+            |_, _| {},
+        );
+        assert_eq!(
+            records[0].value,
+            Err(TaskError::Diverged { step: 7, loss: f64::INFINITY })
+        );
+        assert_eq!(records[1].value, Err(TaskError::Cancelled));
+        assert!(records[2].value.is_ok());
+        assert_eq!(report.diverged_tasks, 1);
+        assert_eq!(report.cancelled_tasks, 1);
+    }
+
+    #[test]
+    fn deadline_fault_maps_to_timeout() {
+        let inputs = vec![0u64];
+        let eval = |_: &TaskCtx<'_>, _: &u64| EvalOutcome::<u64> {
+            value: Err(EvalFault::Deadline),
+            minutes: 120.0,
+        };
+        let config = PoolConfig { timeout_minutes: Some(120.0), ..PoolConfig::default() };
+        let (records, report) = run_batch_supervised(
+            &inputs,
+            eval,
+            |_, _| 120.0,
+            &config,
+            &FaultInjector::none(),
+            |_, _| {},
+        );
+        assert_eq!(records[0].value, Err(TaskError::Timeout { limit_minutes: 120.0 }));
+        assert_eq!(records[0].minutes, 120.0);
+        assert_eq!(report.timeout_tasks, 1);
     }
 
     #[test]
@@ -457,6 +1058,8 @@ mod tests {
         // With 10 % per-task deaths over 30 tasks, some deaths are certain
         // under this seed.
         assert!(report.worker_deaths > 0, "seed produced no deaths");
+        // Lost node time from those deaths is now charged, not dropped.
+        assert!(report.lost_minutes > 0.0, "deaths must charge partial minutes");
         // Every task still completes as long as a worker survives.
         let survivors = 8 - report.worker_deaths.min(7);
         if survivors > 0 {
@@ -477,15 +1080,200 @@ mod tests {
     }
 
     #[test]
-    fn exhausted_attempts_fail_the_task() {
+    fn exhausted_attempts_fail_the_task_and_charge_lost_minutes() {
         let inputs = vec![0u64];
-        let config = PoolConfig { n_workers: 1, nanny: true, max_attempts: 2, ..PoolConfig::default() };
+        let config = PoolConfig {
+            n_workers: 1,
+            nanny: true,
+            max_attempts: 2,
+            supervisor: SupervisorConfig { quarantine_deaths: 0, ..SupervisorConfig::default() },
+            ..PoolConfig::default()
+        };
         // Certain-death injector: the task can never complete.
         let faults = FaultInjector::new(0.999, 3);
         let (records, report) = run_batch(&inputs, quick_eval(1.0), &config, &faults);
         assert_eq!(records[0].value, Err(TaskError::WorkerFailed));
         assert_eq!(records[0].attempts, 2);
         assert_eq!(report.worker_deaths, 2);
+        assert_eq!(report.exhausted_tasks, 1);
+        // The two dead attempts burned partial minutes of the 120-minute
+        // estimate — the record and the makespan must reflect that loss.
+        assert!(records[0].minutes > 0.0, "dead attempts must charge partial minutes");
+        assert!((records[0].minutes - report.lost_minutes).abs() < 1e-12);
+        assert!((report.makespan_minutes - report.lost_minutes).abs() < 1e-12);
+        // Two death rolls → one retried task, one retry at base backoff.
+        assert_eq!(report.retried_tasks, 1);
+        assert!((report.backoff_minutes - 1.0).abs() < 1e-12, "one retry at base backoff");
+    }
+
+    #[test]
+    fn panicking_eval_is_a_worker_death_not_a_hang() {
+        // Regression: without catch_unwind the panicked task never reported
+        // back and the driver spun on recv_timeout forever.
+        let inputs = vec![0u64, 1, 2];
+        let eval = |task: usize, &x: &u64| {
+            if task == 1 {
+                panic!("evaluation blew up");
+            }
+            EvalOutcome { value: Ok::<u64, EvalFault>(x * 2), minutes: 5.0 }
+        };
+        let config = PoolConfig { n_workers: 2, nanny: true, max_attempts: 2, ..PoolConfig::default() };
+        let (records, report) = run_batch(&inputs, eval, &config, &FaultInjector::none());
+        assert!(records[0].value.is_ok());
+        assert!(records[2].value.is_ok());
+        // The panicking task dies on every attempt and exhausts retries.
+        assert_eq!(records[1].value, Err(TaskError::WorkerFailed));
+        assert_eq!(report.worker_deaths, 2);
+        // A panic gives no progress information: full estimate written off.
+        assert_eq!(records[1].minutes, 240.0);
+    }
+
+    #[test]
+    fn panicking_eval_without_nanny_still_terminates() {
+        let inputs = vec![0u64];
+        let eval = |_: usize, _: &u64| -> EvalOutcome<u64> { panic!("boom") };
+        let config = PoolConfig { n_workers: 1, nanny: false, max_attempts: 3, ..PoolConfig::default() };
+        let (records, report) = run_batch(&inputs, eval, &config, &FaultInjector::none());
+        assert_eq!(records[0].value, Err(TaskError::WorkerFailed));
+        assert_eq!(report.worker_deaths, 1);
+    }
+
+    #[test]
+    fn repeated_deaths_quarantine_a_worker_slot() {
+        let inputs = vec![0u64];
+        let config = PoolConfig {
+            n_workers: 2,
+            nanny: true,
+            max_attempts: 3,
+            supervisor: SupervisorConfig { quarantine_deaths: 1, ..SupervisorConfig::default() },
+            ..PoolConfig::default()
+        };
+        let faults = FaultInjector::new(0.999, 3);
+        let (records, report) = run_batch(&inputs, quick_eval(1.0), &config, &faults);
+        assert_eq!(records[0].value, Err(TaskError::WorkerFailed));
+        assert_eq!(report.worker_deaths, 3);
+        // Exactly one slot retires: whichever worker absorbed the first
+        // death quarantines, and the survivor is never retired (it is the
+        // last slot alive).
+        assert_eq!(report.quarantined_workers, 1);
+    }
+
+    #[test]
+    fn stragglers_get_speculative_twins() {
+        // One 100-minute straggler among 10-minute tasks: the 0.75-quantile
+        // baseline is 10, threshold 15, so only task 0 is speculated.
+        let estimates = [100.0, 10.0, 10.0, 10.0, 10.0];
+        let inputs: Vec<u64> = (0..5).collect();
+        let eval = move |ctx: &TaskCtx<'_>, &x: &u64| EvalOutcome {
+            value: Ok::<u64, EvalFault>(x * 2),
+            minutes: estimates[ctx.task],
+        };
+        let config = PoolConfig {
+            n_workers: 4,
+            supervisor: SupervisorConfig { speculate: true, ..SupervisorConfig::default() },
+            ..PoolConfig::default()
+        };
+        let (records, report) = run_batch_supervised(
+            &inputs,
+            eval,
+            |task, _| estimates[task],
+            &config,
+            &FaultInjector::none(),
+            |_, _| {},
+        );
+        assert_eq!(report.speculated_tasks, 1);
+        assert_eq!(report.speculative_deaths, 0);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(*r.value.as_ref().unwrap(), (i as u64) * 2, "twin and primary agree");
+        }
+        // Whichever copy won, exactly one result per task is charged.
+        let charged: f64 = records.iter().map(|r| r.minutes).sum();
+        assert!((charged - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speculation_decisions_are_deterministic_under_faults() {
+        // Same batch twice: the deterministic report fields must agree
+        // bit-for-bit even with faults, twins, retries, and backoff live.
+        // Sorted estimates put the 0.75-quantile baseline at 12 (threshold
+        // 18), so the 80- and 95-minute tasks are the stragglers.
+        let estimates = [80.0, 10.0, 12.0, 9.0, 11.0, 95.0, 10.0, 9.0];
+        let inputs: Vec<u64> = (0..8).collect();
+        let run = || {
+            let eval = move |ctx: &TaskCtx<'_>, &x: &u64| EvalOutcome {
+                value: Ok::<u64, EvalFault>(x + 1),
+                minutes: estimates[ctx.task],
+            };
+            let config = PoolConfig {
+                n_workers: 3,
+                nanny: true,
+                max_attempts: 3,
+                supervisor: SupervisorConfig {
+                    speculate: true,
+                    quarantine_deaths: 0,
+                    ..SupervisorConfig::default()
+                },
+                ..PoolConfig::default()
+            };
+            let faults = FaultInjector::new(0.3, 1234);
+            faults.set_batch_key(5);
+            run_batch_supervised(
+                &inputs,
+                eval,
+                |task, _| estimates[task],
+                &config,
+                &faults,
+                |_, _| {},
+            )
+        };
+        let (rec_a, rep_a) = run();
+        let (rec_b, rep_b) = run();
+        for (a, b) in rec_a.iter().zip(&rec_b) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.minutes, b.minutes);
+        }
+        assert_eq!(rep_a.worker_deaths, rep_b.worker_deaths);
+        assert_eq!(rep_a.retried_tasks, rep_b.retried_tasks);
+        assert_eq!(rep_a.speculated_tasks, rep_b.speculated_tasks);
+        assert_eq!(rep_a.speculative_deaths, rep_b.speculative_deaths);
+        assert_eq!(rep_a.lost_minutes, rep_b.lost_minutes);
+        assert_eq!(rep_a.backoff_minutes, rep_b.backoff_minutes);
+        assert_eq!(rep_a.makespan_minutes, rep_b.makespan_minutes);
+    }
+
+    #[test]
+    fn heartbeats_reach_the_supervision_loop() {
+        let inputs: Vec<u64> = (0..4).collect();
+        let eval = |ctx: &TaskCtx<'_>, &x: &u64| {
+            ctx.heartbeat(1.0, 10.0);
+            ctx.heartbeat(5.0, 10.0);
+            EvalOutcome { value: Ok::<u64, EvalFault>(x), minutes: 10.0 }
+        };
+        let (_, report) = run_batch_supervised(
+            &inputs,
+            eval,
+            |_, _| 10.0,
+            &PoolConfig::default(),
+            &FaultInjector::none(),
+            |_, _| {},
+        );
+        // No speculation: every task beats exactly twice, and per-producer
+        // channel FIFO guarantees each beat precedes its task's Done.
+        assert_eq!(report.heartbeats, 8);
+    }
+
+    #[test]
+    fn cancel_token_latches_for_every_clone() {
+        let token = CancelToken::new();
+        let twin = token.clone();
+        assert!(!twin.is_cancelled());
+        token.cancel();
+        assert!(twin.is_cancelled());
+        // A detached context has no token and is never cancelled.
+        let ctx = TaskCtx::detached(3);
+        assert!(!ctx.is_cancelled());
+        assert_eq!(ctx.task, 3);
+        ctx.heartbeat(1.0, 2.0); // no-op without a scheduler
     }
 
     #[test]

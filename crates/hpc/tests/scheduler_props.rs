@@ -1,0 +1,163 @@
+//! Property tests over the supervised scheduler's fault interleavings:
+//! for any pool shape, death probability, retry budget, nanny mode, and
+//! speculation setting, the batch must terminate with exactly one terminal
+//! record per task, fire the completion hook exactly once per task, and
+//! never exceed the retry budget — even when the whole pool dies.
+
+use dphpo_hpc::{
+    run_batch_supervised, EvalFault, EvalOutcome, FaultInjector, PoolConfig, SupervisorConfig,
+    TaskCtx, TaskError,
+};
+use proptest::prelude::*;
+
+/// A deterministic evaluation: most tasks succeed, every fifth task fails
+/// structurally (divergence), and minutes grow with the task index so the
+/// makespan exercises the list-scheduling reconstruction.
+fn eval(_ctx: &TaskCtx<'_>, &input: &u64) -> EvalOutcome<u64> {
+    if input % 5 == 4 {
+        EvalOutcome {
+            value: Err(EvalFault::Diverged { step: input as usize, loss: 1e9 }),
+            minutes: 1.0,
+        }
+    } else {
+        EvalOutcome { value: Ok(input * input), minutes: 10.0 + input as f64 }
+    }
+}
+
+/// Cost estimates with a deliberate heavy tail, so the straggler rule has
+/// something to speculate on in most generated batches.
+fn estimate(task: usize, _: &u64) -> f64 {
+    if task.is_multiple_of(7) {
+        90.0
+    } else {
+        10.0 + task as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_fault_interleavings_terminate_with_exactly_one_record_per_task(
+        n_workers in 1usize..6,
+        n_tasks in 0usize..13,
+        death_permille in 0usize..1000,
+        max_attempts_raw in 1usize..5,
+        nanny_bit in 0usize..2,
+        speculate_bit in 0usize..2,
+        fault_seed in 0i64..64,
+    ) {
+        let max_attempts = max_attempts_raw as u32;
+        let (nanny, speculate) = (nanny_bit == 1, speculate_bit == 1);
+        let inputs: Vec<u64> = (0..n_tasks as u64).collect();
+        let config = PoolConfig {
+            n_workers,
+            timeout_minutes: Some(120.0),
+            nanny,
+            max_attempts,
+            supervisor: SupervisorConfig { speculate, ..SupervisorConfig::default() },
+        };
+        let faults = FaultInjector::new(death_permille as f64 / 1000.0, fault_seed as u64);
+
+        let mut completions = vec![0usize; n_tasks];
+        let (records, report) = run_batch_supervised(
+            &inputs,
+            eval,
+            estimate,
+            &config,
+            &faults,
+            |task, _record| completions[task] += 1,
+        );
+
+        // Exactly one terminal record per task, in task order.
+        prop_assert_eq!(records.len(), n_tasks);
+        // The completion hook fired exactly `inputs.len()` times — once per
+        // task, never zero (a hang) and never twice (a double-finalise).
+        for (task, &count) in completions.iter().enumerate() {
+            prop_assert_eq!(count, 1, "task {} finalised {} times", task, count);
+        }
+
+        let mut errors = 0usize;
+        for (task, record) in records.iter().enumerate() {
+            // The retry budget bounds every task's attempt count. Only a
+            // task orphaned by whole-pool death (worker == usize::MAX) may
+            // record zero attempts — it never started.
+            prop_assert!(
+                record.attempts <= max_attempts,
+                "task {} took {} attempts with budget {}",
+                task, record.attempts, max_attempts
+            );
+            prop_assert!(
+                record.attempts >= 1 || record.worker == usize::MAX,
+                "task {} has no attempts but was not orphaned", task
+            );
+            match &record.value {
+                Ok(v) => {
+                    prop_assert_eq!(*v, inputs[task] * inputs[task]);
+                    prop_assert!(record.minutes > 0.0);
+                }
+                Err(TaskError::Speculated) => {
+                    prop_assert!(false, "Speculated is never a terminal record");
+                }
+                Err(_) => errors += 1,
+            }
+        }
+
+        // The report's failure taxonomy partitions the error records.
+        prop_assert_eq!(
+            report.diverged_tasks
+                + report.timeout_tasks
+                + report.cancelled_tasks
+                + report.exhausted_tasks,
+            errors
+        );
+        prop_assert!(report.makespan_minutes >= 0.0);
+        prop_assert!(report.lost_minutes >= 0.0);
+        prop_assert!(report.backoff_minutes >= 0.0);
+        if !speculate {
+            prop_assert_eq!(report.speculated_tasks, 0);
+            prop_assert_eq!(report.speculative_deaths, 0);
+        }
+        if death_permille == 0 {
+            prop_assert_eq!(report.worker_deaths, 0);
+            prop_assert_eq!(report.exhausted_tasks, 0);
+            prop_assert_eq!(report.backoff_minutes, 0.0);
+        }
+    }
+
+    #[test]
+    fn fault_interleavings_are_reproducible(
+        n_workers in 1usize..5,
+        death_permille in 0usize..900,
+        max_attempts_raw in 1usize..4,
+        fault_seed in 0i64..32,
+    ) {
+        let max_attempts = max_attempts_raw as u32;
+        let inputs: Vec<u64> = (0..9).collect();
+        let config = PoolConfig {
+            n_workers,
+            timeout_minutes: Some(120.0),
+            nanny: true,
+            max_attempts,
+            supervisor: SupervisorConfig { speculate: true, ..SupervisorConfig::default() },
+        };
+        let run = || {
+            let faults = FaultInjector::new(death_permille as f64 / 1000.0, fault_seed as u64);
+            run_batch_supervised(&inputs, eval, estimate, &config, &faults, |_, _| {})
+        };
+        let (a_records, a_report) = run();
+        let (b_records, b_report) = run();
+        for (a, b) in a_records.iter().zip(&b_records) {
+            prop_assert_eq!(&a.value, &b.value);
+            prop_assert_eq!(a.minutes, b.minutes);
+            prop_assert_eq!(a.attempts, b.attempts);
+        }
+        prop_assert_eq!(a_report.makespan_minutes, b_report.makespan_minutes);
+        prop_assert_eq!(a_report.worker_deaths, b_report.worker_deaths);
+        prop_assert_eq!(a_report.retried_tasks, b_report.retried_tasks);
+        prop_assert_eq!(a_report.speculated_tasks, b_report.speculated_tasks);
+        prop_assert_eq!(a_report.speculative_deaths, b_report.speculative_deaths);
+        prop_assert_eq!(a_report.lost_minutes, b_report.lost_minutes);
+        prop_assert_eq!(a_report.backoff_minutes, b_report.backoff_minutes);
+    }
+}

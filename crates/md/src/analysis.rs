@@ -121,9 +121,7 @@ pub fn mean_squared_displacement(dataset: &Dataset, max_lag: usize) -> Vec<f64> 
             let mut sq = 0.0;
             let mut count = 0usize;
             for start in 0..(n_frames - lag) {
-                for i in 0..n_atoms {
-                    let a = unwrapped[start][i];
-                    let b = unwrapped[start + lag][i];
+                for (a, b) in unwrapped[start].iter().zip(&unwrapped[start + lag]) {
                     sq += (b[0] - a[0]).powi(2) + (b[1] - a[1]).powi(2) + (b[2] - a[2]).powi(2);
                     count += 1;
                 }

@@ -65,8 +65,8 @@ impl Dataset {
         for frame in &mut self.frames {
             frame.energy += sigma_e_per_atom * n.sqrt() * gaussian(rng);
             for f in &mut frame.forces {
-                for k in 0..3 {
-                    f[k] += sigma_f * gaussian(rng);
+                for fk in f.iter_mut() {
+                    *fk += sigma_f * gaussian(rng);
                 }
             }
         }
@@ -268,8 +268,8 @@ mod tests {
         let pos = lattice_positions(&cell, 27, 0.05, &mut rng);
         assert_eq!(pos.len(), 27);
         for p in &pos {
-            for k in 0..3 {
-                assert!((0.0..10.0).contains(&p[k]));
+            for c in p.iter() {
+                assert!((0.0..10.0).contains(c));
             }
         }
     }

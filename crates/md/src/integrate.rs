@@ -104,6 +104,7 @@ pub fn maxwell_boltzmann<R: Rng + ?Sized>(
 }
 
 /// One velocity-Verlet step (NVE), `dt` in fs. Recomputes forces.
+#[allow(clippy::needless_range_loop)] // `i` walks four parallel per-atom arrays
 pub fn nve_step(
     cell: &Cell,
     potential: &MeltPotential,
@@ -134,6 +135,7 @@ pub fn nve_step(
 /// One BAOAB Langevin step (NVT): half-kick, half-drift, Ornstein–Uhlenbeck
 /// velocity refresh, half-drift, force recompute, half-kick.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // `i` walks four parallel per-atom arrays
 pub fn langevin_step<R: Rng + ?Sized>(
     cell: &Cell,
     potential: &MeltPotential,
@@ -273,8 +275,8 @@ mod tests {
             langevin_step(&cell, &potential, &species, &mut state, 1.0, 498.0, 0.02, &mut rng);
         }
         for p in &state.positions {
-            for k in 0..3 {
-                assert!((0.0..cell.length()).contains(&p[k]));
+            for c in p.iter() {
+                assert!((0.0..cell.length()).contains(c));
             }
         }
     }

@@ -101,14 +101,14 @@ pub fn pairs_cell_list(cell: &Cell, positions: &[[f64; 3]], rcut: f64) -> Vec<Pa
     }
     // With periodic wrap-around and m == 3 the same neighbor cell can be
     // visited from more than one offset; deduplicate.
-    pairs.sort_unstable_by(|a, b| (a.i, a.j).cmp(&(b.i, b.j)));
+    pairs.sort_unstable_by_key(|a| (a.i, a.j));
     pairs.dedup_by(|a, b| a.i == b.i && a.j == b.j);
     pairs
 }
 
 /// Sorted copy of a pair list for order-insensitive comparisons.
 pub fn sorted_pairs(mut pairs: Vec<Pair>) -> Vec<Pair> {
-    pairs.sort_unstable_by(|a, b| (a.i, a.j).cmp(&(b.i, b.j)));
+    pairs.sort_unstable_by_key(|a| (a.i, a.j));
     pairs
 }
 

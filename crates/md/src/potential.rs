@@ -104,15 +104,15 @@ pub fn shuffled_composition<R: rand::Rng + ?Sized>(n: usize, rng: &mut R) -> Vec
 /// 32 Al³⁺, 16 K⁺, 112 Cl⁻ (charge neutral). This returns that species list
 /// scaled to `n` atoms (n must be a multiple of 10).
 pub fn melt_composition(n: usize) -> Vec<Species> {
-    assert!(n >= 10 && n % 10 == 0, "composition requires a multiple of 10 atoms, got {n}");
+    assert!(n >= 10 && n.is_multiple_of(10), "composition requires a multiple of 10 atoms, got {n}");
     let y = n / 10; // KCl formula units; AlCl3 units = 2y
     let n_al = 2 * y;
     let n_k = y;
     let n_cl = 7 * y;
     let mut species = Vec::with_capacity(n);
-    species.extend(std::iter::repeat(Species::Al).take(n_al));
-    species.extend(std::iter::repeat(Species::K).take(n_k));
-    species.extend(std::iter::repeat(Species::Cl).take(n_cl));
+    species.extend(std::iter::repeat_n(Species::Al, n_al));
+    species.extend(std::iter::repeat_n(Species::K, n_k));
+    species.extend(std::iter::repeat_n(Species::Cl, n_cl));
     species
 }
 

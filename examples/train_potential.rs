@@ -53,11 +53,11 @@ fn main() {
         frame.energy
     );
     println!("first three atoms, predicted vs reference force (eV/Å):");
-    for i in 0..3 {
+    for (i, (f, r)) in forces.iter().zip(&frame.forces).enumerate().take(3) {
         println!(
             "  atom {i}: ({:+.3}, {:+.3}, {:+.3})  vs  ({:+.3}, {:+.3}, {:+.3})",
-            forces[i][0], forces[i][1], forces[i][2],
-            frame.forces[i][0], frame.forces[i][1], frame.forces[i][2]
+            f[0], f[1], f[2],
+            r[0], r[1], r[2]
         );
     }
 }

@@ -1,26 +1,33 @@
 #!/usr/bin/env bash
-# Tier-1 verification (ROADMAP.md) plus the documentation gates:
+# Tier-1 verification (ROADMAP.md) plus the documentation and lint gates:
 #
 #   1. cargo build --release       — the whole workspace compiles
 #   2. cargo test -q               — every test passes
-#   3. cargo doc --no-deps         — rustdoc builds with warnings DENIED
-#   4. doc-sync                    — every `--bin`/`--bench` named in
+#   3. cargo clippy                — lints clean with warnings DENIED
+#   4. cargo doc --no-deps         — rustdoc builds with warnings DENIED
+#   5. doc-sync                    — every `--bin`/`--bench` named in
 #                                    EXPERIMENTS.md exists in the workspace
+#   6. chaos stress                — the journal crash/resume chaos suite,
+#                                    looped CHAOS_STRESS times (default 3) to
+#                                    shake out racy supervision interleavings
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/4] cargo build --release"
+echo "==> [1/6] cargo build --release"
 cargo build --release --workspace
 
-echo "==> [2/4] cargo test -q"
+echo "==> [2/6] cargo test -q"
 cargo test -q --workspace
 
-echo "==> [3/4] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [3/6] cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> [4/6] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [4/4] doc-sync: EXPERIMENTS.md targets exist"
+echo "==> [5/6] doc-sync: EXPERIMENTS.md targets exist"
 missing=0
 for bin in $(grep -o -- '--bin [a-z0-9_]*' EXPERIMENTS.md | awk '{print $2}' | sort -u); do
     if [[ ! -f "crates/bench/src/bin/${bin}.rs" ]]; then
@@ -42,5 +49,12 @@ if [[ ${missing} -ne 0 ]]; then
     echo "verify: FAILED (doc-sync)" >&2
     exit 1
 fi
+
+CHAOS_STRESS="${CHAOS_STRESS:-3}"
+echo "==> [6/6] chaos stress: ${CHAOS_STRESS}x journal crash/resume suite"
+for i in $(seq 1 "${CHAOS_STRESS}"); do
+    echo "    chaos iteration ${i}/${CHAOS_STRESS}"
+    cargo test -q -p dphpo-core --test journal_chaos
+done
 
 echo "verify: OK"
