@@ -11,28 +11,58 @@
 //! (write-ahead, one JSONL record per completed evaluation or generation).
 //! If the run is killed, pass `--resume <journal>` to replay the journaled
 //! work and continue to a bit-identical result instead of retraining.
+//!
+//! Telemetry (off by default, strictly observational):
+//!
+//! * `--trace out.json` — Chrome `trace_event` JSON (open in Perfetto or
+//!   `chrome://tracing`): one process per EA run, one lane per worker,
+//!   `eval` spans with nested training-step spans.
+//! * `--metrics out.jsonl` — deterministic event/metric log, plus the
+//!   wall-clock side channel next to it at `out.side.jsonl`.
+//!
+//! Either flag also appends a per-generation rollup table to the fig1
+//! report. Campaign artifacts (journal, snapshot, figures) are
+//! byte-identical with or without telemetry.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use dphpo_bench::harness::{
-    experiment_scale, journal_path, resume_and_report, run_journaled_and_report,
-    save_experiment, write_artifact,
+    experiment_scale, journal_path, resume_and_report, resume_observed_and_report,
+    run_journaled_and_report, run_journaled_observed_and_report, save_experiment, write_artifact,
 };
 use dphpo_core::analysis::{ascii_level_plot, failure_breakdown_table, level_plot_csv};
+use dphpo_obs::{chrome, export, rollup, MemoryRecorder};
 
-/// The journal to resume from, when `--resume <path>` was passed.
-fn resume_arg() -> Option<PathBuf> {
+/// The path following `flag`, when present.
+fn path_arg(flag: &str) -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == "--resume").map(|i| {
+    args.iter().position(|a| a == flag).map(|i| {
         PathBuf::from(
             args.get(i + 1)
-                .unwrap_or_else(|| panic!("--resume requires a journal path")),
+                .unwrap_or_else(|| panic!("{flag} requires a path argument")),
         )
     })
 }
 
+/// The journal to resume from, when `--resume <path>` was passed.
+fn resume_arg() -> Option<PathBuf> {
+    path_arg("--resume")
+}
+
+fn write_file(path: &PathBuf, content: &str) {
+    match std::fs::write(path, content) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let config = experiment_scale();
+    let trace_path = path_arg("--trace");
+    let metrics_path = path_arg("--metrics");
+    let recorder = (trace_path.is_some() || metrics_path.is_some())
+        .then(|| Arc::new(MemoryRecorder::with_wall_clock()));
     let total = config.n_runs * config.pop_size * (config.generations + 1);
     println!(
         "Figure 1: {} runs x pop {} x {} generations (0-{}) = {} DNNP trainings",
@@ -42,9 +72,15 @@ fn main() {
         config.generations,
         total
     );
-    let result = match resume_arg() {
-        Some(journal) => resume_and_report(&config, &journal),
-        None => run_journaled_and_report(&config, &journal_path()),
+    let result = match (resume_arg(), &recorder) {
+        (Some(journal), Some(rec)) => {
+            resume_observed_and_report(&config, &journal, Arc::clone(rec) as _)
+        }
+        (Some(journal), None) => resume_and_report(&config, &journal),
+        (None, Some(rec)) => {
+            run_journaled_observed_and_report(&config, &journal_path(), Arc::clone(rec) as _)
+        }
+        (None, None) => run_journaled_and_report(&config, &journal_path()),
     };
     save_experiment(&result);
 
@@ -109,6 +145,25 @@ fn main() {
     // the scheduler, per generation across all runs.
     report.push_str("\nfailure breakdown (scheduler supervision, all runs):\n");
     report.push_str(&failure_breakdown_table(&result));
+
+    // Telemetry exports (only when --trace/--metrics was passed): the
+    // deterministic snapshot feeds the Chrome trace, the event log, and a
+    // per-generation rollup appended to this report. Wall-clock stamps go
+    // to a separate side-channel file so the deterministic exports stay
+    // bit-identical across runs.
+    if let Some(rec) = &recorder {
+        let snap = rec.snapshot();
+        if let Some(path) = &trace_path {
+            write_file(path, &chrome::trace_json(&snap));
+        }
+        if let Some(path) = &metrics_path {
+            write_file(path, &export::events_jsonl(&snap));
+            let side = path.with_extension("side.jsonl");
+            write_file(&side, &export::side_channel_jsonl(&snap));
+        }
+        report.push_str("\ntelemetry rollup (per generation, all runs):\n");
+        report.push_str(&rollup::generation_rollup(&snap));
+    }
 
     print!("{report}");
     write_artifact("fig1_report.txt", &report);

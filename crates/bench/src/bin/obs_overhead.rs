@@ -1,0 +1,224 @@
+//! Telemetry overhead guard: what the recorder hook costs a training step.
+//!
+//! The contract the numbers guard: the **disabled** path (no-op recorder,
+//! one `enabled()` branch per instrumentation site) must cost less than
+//! 2% of a training step. The live in-memory recorder is reported for
+//! information — it buys per-step spans and metrics, so a measurable cost
+//! is expected and acceptable.
+//!
+//! Two estimators, because they fail differently:
+//!
+//! * **micro** — the trainer's per-step instrumentation block timed in
+//!   isolation, no-op vs live. Nanosecond-stable; `derived_*_overhead_pct`
+//!   (block cost over the measured step cost) is the guarded number.
+//! * **macro** — steady-state ns/step of whole training runs by
+//!   subtraction, unobserved vs no-op vs live. Honest end-to-end, but on a
+//!   shared machine its run-to-run jitter (several percent) swamps a
+//!   sub-2% effect; it is recorded to catch gross regressions only.
+//!
+//! Writes `BENCH_obs.json` into the current directory — run from the repo
+//! root to refresh the checked-in baseline. `--quick` trades stability for
+//! runtime (CI-friendly).
+
+use std::time::Instant;
+
+use dphpo_dnnp::json::Json;
+use dphpo_dnnp::supervise::Supervision;
+use dphpo_dnnp::{train_supervised, TrainConfig};
+use dphpo_md::generate::{generate_dataset, GenConfig};
+use dphpo_md::Dataset;
+use dphpo_obs::{cats, names, Event, MemoryRecorder, Recorder, SpanCtx, When, NOOP};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Best-of-`samples` wall time for each thunk, in seconds, sampled in
+/// interleaved rounds (variant 0, 1, 2, variant 0, 1, 2, ...) so slow
+/// machine drift lands on every variant equally instead of biasing
+/// whichever was timed last. One warm-up call each first.
+fn time_best_interleaved(samples: usize, fns: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    for f in fns.iter_mut() {
+        f();
+    }
+    let mut best = vec![f64::MAX; fns.len()];
+    for _ in 0..samples {
+        for (i, f) in fns.iter_mut().enumerate() {
+            let t = Instant::now();
+            f();
+            best[i] = best[i].min(t.elapsed().as_secs_f64());
+        }
+    }
+    best
+}
+
+fn data() -> (Dataset, Dataset) {
+    // Same reference system as the hotpath baseline.
+    let mut rng = StdRng::seed_from_u64(6);
+    let gen = GenConfig { n_frames: 24, ..GenConfig::reduced() };
+    let mut ds = generate_dataset(&gen, &mut rng);
+    ds.add_label_noise(0.0005, 0.03, &mut rng);
+    ds.split(0.25, &mut rng)
+}
+
+/// Reference config matching `hotpath`'s dense regime (~17 pairs/atom).
+fn config(steps: usize) -> TrainConfig {
+    TrainConfig {
+        rcut: 11.0,
+        rcut_smth: 2.2,
+        start_lr: 0.008,
+        stop_lr: 1e-4,
+        num_steps: steps,
+        disp_freq: steps,
+        val_max_frames: 2,
+        ..TrainConfig::default()
+    }
+}
+
+fn run_training(steps: usize, train_ds: &Dataset, val_ds: &Dataset, recorder: Option<&dyn Recorder>) {
+    let sup = Supervision { recorder, span: SpanCtx::root(7, 0), ..Supervision::none() };
+    let mut rng = StdRng::seed_from_u64(7);
+    let _ = train_supervised(&config(steps), train_ds, val_ds, &mut rng, &sup).unwrap();
+}
+
+/// Nanoseconds per call for a micro block, timed in batches of `reps`
+/// (best of `samples`, one warm-up batch first).
+fn ns_per_op(samples: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut run = || {
+        for _ in 0..reps {
+            f();
+        }
+    };
+    run();
+    let mut best = f64::MAX;
+    for _ in 0..samples {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best * 1e9 / reps as f64
+}
+
+/// The trainer's per-step instrumentation block, shape-for-shape: the
+/// `obs()` resolution, the gated metric calls, and the `train.step` span.
+/// With the no-op recorder the whole block folds to the `enabled()`
+/// branches — that is the disabled path whose cost the 2% target bounds.
+fn step_block(sup: &Supervision<'_>, step: usize, loss: f64) {
+    let t0 = sup.obs().map(|_| Instant::now());
+    if let Some(rec) = sup.obs() {
+        rec.counter_add(names::C_STEPS, 1);
+        rec.observe(names::H_LOSS, loss);
+        rec.observe(names::H_LR, 0.001);
+        rec.observe(names::H_GRAD_NORM, 3.2);
+        rec.gauge_set(names::G_TAPE_NODES, 1000.0);
+        rec.gauge_set(names::G_TAPE_POOLED, 12.0);
+        if let Some(t0) = t0 {
+            rec.observe(names::H_STEP_WALL_NS, t0.elapsed().as_nanos() as f64);
+        }
+        rec.record(Event {
+            name: names::TRAIN_STEP,
+            cat: cats::TRAIN,
+            ctx: sup.span,
+            step: Some(step as u64),
+            when: When::InTask(loss),
+            dur_min: 0.1,
+            worker: None,
+            args: vec![("loss", loss), ("lr", 0.001), ("grad_norm", 3.2)],
+        });
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The subtraction estimator amplifies jitter (it differences two ~K-step
+    // wall times), so the full run uses more samples and a longer window
+    // than the hotpath baseline does, on top of the interleaved sampling.
+    let (samples, k_steps) = if quick { (2, 20) } else { (7, 200) };
+    let (train_ds, val_ds) = data();
+    let (train_ds, val_ds) = (&train_ds, &val_ds);
+    let memory = MemoryRecorder::new();
+    let recorders: [Option<&dyn Recorder>; 3] = [None, Some(&NOOP), Some(&memory)];
+
+    // Steady-state ns/step by subtraction: t(2K) − t(K) spans exactly K
+    // warm steps, cancelling model setup and descriptor-cache building.
+    println!("timing {k_steps}-step runs (unobserved / no-op / MemoryRecorder)...");
+    let mut shorts: Vec<Box<dyn FnMut()>> = recorders
+        .iter()
+        .map(|&rec| {
+            Box::new(move || run_training(k_steps, train_ds, val_ds, rec)) as Box<dyn FnMut()>
+        })
+        .collect();
+    let mut refs: Vec<&mut dyn FnMut()> = shorts.iter_mut().map(|b| b.as_mut() as _).collect();
+    let t_short = time_best_interleaved(samples, &mut refs);
+    drop(shorts);
+
+    println!("timing {}-step runs...", 2 * k_steps);
+    let mut longs: Vec<Box<dyn FnMut()>> = recorders
+        .iter()
+        .map(|&rec| {
+            Box::new(move || run_training(2 * k_steps, train_ds, val_ds, rec)) as Box<dyn FnMut()>
+        })
+        .collect();
+    let mut refs: Vec<&mut dyn FnMut()> = longs.iter_mut().map(|b| b.as_mut() as _).collect();
+    let t_long = time_best_interleaved(samples, &mut refs);
+    drop(longs);
+
+    let per_step = |i: usize| ((t_long[i] - t_short[i]).max(0.0) / k_steps as f64) * 1e9;
+    let (baseline_ns, noop_ns, memory_ns) = (per_step(0), per_step(1), per_step(2));
+
+    println!("timing the per-step instrumentation block in isolation...");
+    let (micro_samples, micro_reps) = if quick { (3, 10_000) } else { (7, 200_000) };
+    let sup_noop = Supervision { recorder: Some(&NOOP), span: SpanCtx::root(7, 0), ..Supervision::none() };
+    let micro_recorder = MemoryRecorder::new();
+    let sup_live = Supervision {
+        recorder: Some(&micro_recorder),
+        span: SpanCtx::root(7, 0),
+        ..Supervision::none()
+    };
+    let mut step = 0usize;
+    let noop_block_ns = ns_per_op(micro_samples, micro_reps, || {
+        step = step.wrapping_add(1);
+        step_block(std::hint::black_box(&sup_noop), step, std::hint::black_box(0.37));
+    });
+    // Bound the live recorder's buffer: time against a recorder that is
+    // drained (recreated) per batch would hide reallocation, so instead the
+    // block appends to one recorder and the batch is sized to keep memory
+    // modest while still amortizing warm-up.
+    let live_reps = micro_reps.min(50_000);
+    let memory_block_ns = ns_per_op(micro_samples, live_reps, || {
+        step = step.wrapping_add(1);
+        step_block(std::hint::black_box(&sup_live), step, std::hint::black_box(0.37));
+    });
+
+    let macro_pct = |ns: f64| (ns - baseline_ns) / baseline_ns * 100.0;
+    let derived_pct = |block_ns: f64| block_ns / baseline_ns * 100.0;
+    let derived_noop_pct = derived_pct(noop_block_ns);
+    let derived_memory_pct = derived_pct(memory_block_ns);
+
+    let doc = Json::object(vec![
+        ("schema", Json::String("dphpo-obs-v1".into())),
+        ("quick", Json::Bool(quick)),
+        ("steps_measured", Json::Number(k_steps as f64)),
+        ("baseline_ns_per_step", Json::Number(baseline_ns)),
+        ("macro_noop_ns_per_step", Json::Number(noop_ns)),
+        ("macro_memory_ns_per_step", Json::Number(memory_ns)),
+        ("macro_noop_overhead_pct", Json::Number(macro_pct(noop_ns))),
+        ("macro_memory_overhead_pct", Json::Number(macro_pct(memory_ns))),
+        ("noop_block_ns_per_step", Json::Number(noop_block_ns)),
+        ("memory_block_ns_per_step", Json::Number(memory_block_ns)),
+        ("derived_noop_overhead_pct", Json::Number(derived_noop_pct)),
+        ("derived_memory_overhead_pct", Json::Number(derived_memory_pct)),
+        ("target_noop_overhead_pct", Json::Number(2.0)),
+    ]);
+    let path = "BENCH_obs.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write baseline");
+    println!("wrote {path}");
+    println!("macro (subtraction; jitter-prone, gross-regression guard only):");
+    println!("  unobserved:     {:.1} µs/step", baseline_ns / 1e3);
+    println!("  no-op recorder: {:.1} µs/step ({:+.2}%)", noop_ns / 1e3, macro_pct(noop_ns));
+    println!("  MemoryRecorder: {:.1} µs/step ({:+.2}%)", memory_ns / 1e3, macro_pct(memory_ns));
+    println!("micro (per-step instrumentation block; the guarded number):");
+    println!("  no-op block:    {noop_block_ns:.1} ns/step = {derived_noop_pct:.4}% of a step");
+    println!("  live block:     {memory_block_ns:.1} ns/step = {derived_memory_pct:.4}% of a step");
+    if derived_noop_pct >= 2.0 {
+        println!("WARNING: disabled-telemetry overhead {derived_noop_pct:.3}% exceeds the 2% target");
+    }
+}

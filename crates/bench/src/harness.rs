@@ -4,11 +4,13 @@
 //! snapshot; `fig2_table2`, `fig3`, and `table3` reuse it).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use dphpo_core::experiment::{ExperimentConfig, ExperimentResult};
 use dphpo_dnnp::json::Json;
 use dphpo_evo::nsga2::{GenerationRecord, RunResult};
 use dphpo_evo::{Fitness, Individual};
+use dphpo_obs::Recorder;
 
 /// Output directory for regenerated artifacts (`results/` at the repo
 /// root, overridable with `DPHPO_RESULTS_DIR`).
@@ -323,6 +325,25 @@ pub fn run_journaled_and_report(
     config: &ExperimentConfig,
     journal: &std::path::Path,
 ) -> ExperimentResult {
+    journaled_inner(config, journal, None)
+}
+
+/// As [`run_journaled_and_report`], with a telemetry recorder attached to
+/// every run's evaluator (see `dphpo_obs`); recording never changes the
+/// campaign's artifacts.
+pub fn run_journaled_observed_and_report(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    recorder: Arc<dyn Recorder>,
+) -> ExperimentResult {
+    journaled_inner(config, journal, Some(recorder))
+}
+
+fn journaled_inner(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> ExperimentResult {
     let t0 = std::time::Instant::now();
     let mut progress = |run: usize, generation: usize| {
         eprintln!(
@@ -331,7 +352,18 @@ pub fn run_journaled_and_report(
         );
     };
     println!("journaling to {} (resume with --resume)", journal.display());
-    match dphpo_core::experiment::run_experiment_journaled(config, journal, Some(&mut progress)) {
+    let outcome = match recorder {
+        Some(rec) => dphpo_core::experiment::run_experiment_journaled_observed(
+            config,
+            journal,
+            Some(&mut progress),
+            rec,
+        ),
+        None => {
+            dphpo_core::experiment::run_experiment_journaled(config, journal, Some(&mut progress))
+        }
+    };
+    match outcome {
         Ok(result) => result,
         Err(e) => {
             eprintln!("experiment interrupted: {e}");
@@ -349,6 +381,25 @@ pub fn resume_and_report(
     config: &ExperimentConfig,
     journal: &std::path::Path,
 ) -> ExperimentResult {
+    resume_inner(config, journal, None)
+}
+
+/// As [`resume_and_report`], with a telemetry recorder. Replayed
+/// evaluations emit no training-step events; their `eval` spans are
+/// reconstructed from journaled minutes.
+pub fn resume_observed_and_report(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    recorder: Arc<dyn Recorder>,
+) -> ExperimentResult {
+    resume_inner(config, journal, Some(recorder))
+}
+
+fn resume_inner(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> ExperimentResult {
     let t0 = std::time::Instant::now();
     let mut progress = |run: usize, generation: usize| {
         eprintln!(
@@ -357,7 +408,16 @@ pub fn resume_and_report(
         );
     };
     println!("resuming from {}", journal.display());
-    match dphpo_core::experiment::resume_experiment(config, journal, Some(&mut progress)) {
+    let outcome = match recorder {
+        Some(rec) => dphpo_core::experiment::resume_experiment_observed(
+            config,
+            journal,
+            Some(&mut progress),
+            rec,
+        ),
+        None => dphpo_core::experiment::resume_experiment(config, journal, Some(&mut progress)),
+    };
+    match outcome {
         Ok(result) => result,
         Err(e) => {
             eprintln!("resume failed: {e}");

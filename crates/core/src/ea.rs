@@ -17,13 +17,14 @@ use dphpo_dnnp::AbortReason;
 use dphpo_evo::nsga2::{BatchEvaluator, EvalResult};
 use dphpo_evo::Fitness;
 use dphpo_hpc::{
-    run_batch_supervised, EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskCtx,
-    TaskRecord,
+    run_batch_observed, EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskCtx,
+    TaskRecord, Timeline,
 };
+use dphpo_obs::{cats, names, Event, Recorder, SpanCtx, When, NOOP};
 
 use crate::journal::{EvalEntry, JournalSink};
 use crate::workflow::{
-    derive_seed, estimated_minutes, evaluate_individual_supervised, EvalContext, EvalRecord,
+    derive_seed, estimated_minutes, evaluate_individual_observed, EvalContext, EvalRecord,
 };
 
 /// A batch evaluator that fans genomes out across the simulated Summit
@@ -41,6 +42,9 @@ pub struct SummitEvaluator {
     generation: u64,
     reports: Vec<PoolReport>,
     journal: Option<JournalSink>,
+    /// Telemetry sink plus the EA run index it labels spans with. `None`
+    /// keeps every instrumentation site on its single-branch disabled path.
+    obs: Option<(Arc<dyn Recorder>, u32)>,
 }
 
 impl SummitEvaluator {
@@ -59,6 +63,7 @@ impl SummitEvaluator {
             generation: 0,
             reports: Vec::new(),
             journal: None,
+            obs: None,
         }
     }
 
@@ -66,6 +71,18 @@ impl SummitEvaluator {
     /// journaled tasks are replayed instead of retrained.
     pub fn attach_journal(&mut self, sink: JournalSink) {
         self.journal = Some(sink);
+    }
+
+    /// Attach a telemetry recorder; `run` is the EA run index events are
+    /// labelled with (one Chrome-trace process per run). Recording never
+    /// perturbs the campaign: every emitted value is something the driver
+    /// or trainer already computed, and span timestamps live on the same
+    /// simulated clock the scheduler charges makespan in. Replayed
+    /// (journaled) evaluations short-circuit training, so they emit no
+    /// per-step events — their `eval` spans still appear, reconstructed
+    /// from the charged minutes.
+    pub fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>, run: u32) {
+        self.obs = Some((recorder, run));
     }
 
     /// Set the generation index the next `evaluate` call belongs to (used
@@ -117,7 +134,17 @@ impl BatchEvaluator for SummitEvaluator {
         let gen_idx = gen as usize;
         let seeds_ref = &seeds;
         let estimate_ctx = Arc::clone(&self.ctx);
-        let (records, report) = run_batch_supervised(
+        // Span timestamps are absolute on the campaign's simulated clock:
+        // this batch starts where the previous batches' makespans end.
+        let sim_offset: f64 = self.reports.iter().map(|r| r.makespan_minutes).sum();
+        let (obs, base_span): (&dyn Recorder, SpanCtx) = match &self.obs {
+            Some((rec, run)) => {
+                (rec.as_ref(), SpanCtx::root(self.base_seed, *run).with_gen(gen as u32))
+            }
+            None => (&NOOP, SpanCtx::default()),
+        };
+        let obs_on = obs.enabled();
+        let (records, report) = run_batch_observed(
             genomes,
             |tc: &TaskCtx<'_>, genome: &Vec<f64>| {
                 let i = tc.task;
@@ -128,8 +155,14 @@ impl BatchEvaluator for SummitEvaluator {
                         return entry.to_outcome();
                     }
                 }
-                let (record, abort) =
-                    evaluate_individual_supervised(&ctx, genome, seeds_ref[i], tc);
+                let (record, abort) = evaluate_individual_observed(
+                    &ctx,
+                    genome,
+                    seeds_ref[i],
+                    tc,
+                    obs,
+                    base_span.with_task(i as u32, tc.attempt),
+                );
                 if record.failed {
                     let fault = match abort {
                         Some(AbortReason::Diverged { step, loss }) => {
@@ -167,11 +200,73 @@ impl BatchEvaluator for SummitEvaluator {
                             &genomes[slot],
                             task,
                         );
-                        sink.writer.borrow_mut().append_eval(&entry);
+                        let offset = sink.writer.borrow_mut().append_eval(&entry);
+                        // Cross-reference the telemetry stream to the
+                        // journal: the event names the byte offset the
+                        // record landed at (runs on the driver thread, so
+                        // ordering is deterministic).
+                        if obs_on {
+                            obs.counter_add(names::C_JOURNAL_APPENDS, 1);
+                            let mut ev = Event::instant(
+                                names::JOURNAL_APPEND,
+                                cats::JOURNAL,
+                                base_span.with_task(slot as u32, task.attempts),
+                            );
+                            ev.args = vec![
+                                ("offset", offset as f64),
+                                ("ok", if task.value.is_ok() { 1.0 } else { 0.0 }),
+                            ];
+                            obs.record(ev);
+                        }
                     }
                 }
             },
+            obs,
+            base_span,
         );
+        if obs_on {
+            obs.counter_add(names::C_GENERATIONS, 1);
+            // Worker-lane placement: the same list-scheduling reconstruction
+            // the Gantt chart uses, charged from the records' minutes —
+            // fault-free it reproduces the scheduler's makespan exactly.
+            let timeline = Timeline::reconstruct(&records, self.pool.n_workers);
+            for (w, spans) in timeline.timelines.iter().enumerate() {
+                for s in spans {
+                    let rec = &records[s.task];
+                    obs.observe(names::H_EVAL_MINUTES, rec.minutes);
+                    obs.record(Event {
+                        name: names::EVAL,
+                        cat: cats::SCHED,
+                        ctx: base_span.with_task(s.task as u32, rec.attempts),
+                        step: None,
+                        when: When::Sim(sim_offset + s.start),
+                        dur_min: s.end - s.start,
+                        worker: Some(w as u32),
+                        args: vec![
+                            ("ok", if s.ok { 1.0 } else { 0.0 }),
+                            ("minutes", rec.minutes),
+                            ("attempts", rec.attempts as f64),
+                        ],
+                    });
+                }
+            }
+            obs.record(Event {
+                name: names::GENERATION,
+                cat: cats::EA,
+                ctx: base_span,
+                step: None,
+                when: When::Sim(sim_offset),
+                dur_min: report.makespan_minutes,
+                worker: None,
+                args: vec![
+                    ("n_tasks", genomes.len() as f64),
+                    ("deaths", report.worker_deaths as f64),
+                    ("retried", report.retried_tasks as f64),
+                    ("speculated", report.speculated_tasks as f64),
+                    ("lost_min", report.lost_minutes),
+                ],
+            });
+        }
         self.reports.push(report);
         records
             .into_iter()
@@ -263,6 +358,59 @@ mod tests {
         let penalties = results.iter().filter(|r| r.fitness.is_penalty()).count();
         assert!(penalties > 0, "expected at least one fault-penalty");
         assert!(penalties < 12, "expected at least one survivor");
+    }
+
+    #[test]
+    fn telemetry_spans_cover_every_evaluation_without_changing_results() {
+        use dphpo_obs::MemoryRecorder;
+        let genomes: Vec<Vec<f64>> = vec![
+            vec![0.005, 1e-4, 7.0, 2.5, 2.5, 4.5, 4.5],
+            vec![0.002, 5e-5, 9.0, 3.0, 1.5, 2.5, 4.5],
+            vec![0.008, 1e-4, 6.5, 2.2, 0.5, 3.5, 2.5],
+        ];
+        let pool = PoolConfig { n_workers: 2, ..PoolConfig::default() };
+        let mut plain = SummitEvaluator::new(tiny_ctx(), pool, FaultInjector::none(), 9);
+        let want = plain.evaluate(&genomes);
+
+        let rec = Arc::new(MemoryRecorder::new());
+        let mut observed = SummitEvaluator::new(tiny_ctx(), pool, FaultInjector::none(), 9);
+        observed.attach_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, 3);
+        let got = observed.evaluate(&genomes);
+        let _ = observed.evaluate(&genomes); // second generation, for offsets
+
+        // Telemetry must not change the optimisation.
+        let values = |rs: &[EvalResult]| {
+            rs.iter().map(|r| r.fitness.values().to_vec()).collect::<Vec<_>>()
+        };
+        assert_eq!(values(&want), values(&got));
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(names::C_GENERATIONS), 2);
+        // One eval span per genome per generation, all on worker lanes and
+        // labelled with the attached run index.
+        let evals: Vec<_> = snap.events.iter().filter(|e| e.name == names::EVAL).collect();
+        assert_eq!(evals.len(), 2 * genomes.len());
+        assert!(evals.iter().all(|e| e.worker.is_some() && e.ctx.run == 3));
+
+        // The generation spans sit end-to-end on the simulated clock: the
+        // second starts exactly where the first's makespan ended.
+        let gens: Vec<_> =
+            snap.events.iter().filter(|e| e.name == names::GENERATION).collect();
+        assert_eq!(gens.len(), 2);
+        let (When::Sim(t0), When::Sim(t1)) = (gens[0].when, gens[1].when) else {
+            panic!("generation spans must carry absolute sim times");
+        };
+        assert_eq!(t0, 0.0);
+        assert!((t1 - observed.reports()[0].makespan_minutes).abs() < 1e-12);
+        assert!((gens[0].dur_min - observed.reports()[0].makespan_minutes).abs() < 1e-12);
+
+        // Trainer events flowed through the same recorder and are nested
+        // task-relative; per-step instrumentation covered every training.
+        assert!(snap.counter(names::C_STEPS) >= 2 * genomes.len() as u64 * 15);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.name == names::TRAIN_STEP && matches!(e.when, When::InTask(_))));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use dphpo_dnnp::TrainConfig;
 use dphpo_evo::nsga2::{Nsga2Config, Nsga2State, RunResult};
 use dphpo_evo::{Individual, ParetoArchive};
 use dphpo_hpc::{CostModel, FaultInjector, PoolConfig, PoolReport, SupervisorConfig};
+use dphpo_obs::Recorder;
 use dphpo_md::generate::{generate_dataset, GenConfig};
 use dphpo_md::Dataset;
 
@@ -242,7 +243,20 @@ pub fn run_experiment_with(
     config: &ExperimentConfig,
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> ExperimentResult {
-    run_experiment_inner(config, progress, None, None, None)
+    run_experiment_inner(config, progress, None, None, None, None)
+        .expect("an unjournaled campaign cannot be interrupted")
+}
+
+/// As [`run_experiment`], with a telemetry recorder attached to every run's
+/// evaluator (run `r` becomes Chrome-trace process `r`). Recording is
+/// strictly observational: the campaign's populations, archives, and
+/// reports are bit-identical with or without it.
+pub fn run_experiment_observed(
+    config: &ExperimentConfig,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
+    recorder: Arc<dyn Recorder>,
+) -> ExperimentResult {
+    run_experiment_inner(config, progress, None, None, None, Some(recorder))
         .expect("an unjournaled campaign cannot be interrupted")
 }
 
@@ -255,7 +269,26 @@ pub fn run_experiment_journaled(
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> Result<ExperimentResult, ExperimentError> {
     let writer = JournalWriter::create(journal_path, config)?;
-    run_experiment_inner(config, progress, Some(Rc::new(RefCell::new(writer))), None, None)
+    run_experiment_inner(config, progress, Some(Rc::new(RefCell::new(writer))), None, None, None)
+}
+
+/// As [`run_experiment_journaled`], with a telemetry recorder: journal
+/// appends are cross-referenced into the event stream by byte offset.
+pub fn run_experiment_journaled_observed(
+    config: &ExperimentConfig,
+    journal_path: &Path,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
+    recorder: Arc<dyn Recorder>,
+) -> Result<ExperimentResult, ExperimentError> {
+    let writer = JournalWriter::create(journal_path, config)?;
+    run_experiment_inner(
+        config,
+        progress,
+        Some(Rc::new(RefCell::new(writer))),
+        None,
+        None,
+        Some(recorder),
+    )
 }
 
 /// Chaos mode: as [`run_experiment_journaled`], but the (simulated) driver
@@ -274,6 +307,7 @@ pub fn run_experiment_journaled_with_kill(
         Some(Rc::new(RefCell::new(writer))),
         Some(kill_after_tasks),
         None,
+        None,
     )
 }
 
@@ -287,6 +321,27 @@ pub fn resume_experiment(
     journal_path: &Path,
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> Result<ExperimentResult, ExperimentError> {
+    resume_experiment_inner(config, journal_path, progress, None)
+}
+
+/// As [`resume_experiment`], with a telemetry recorder. Replayed
+/// evaluations emit no per-step training events (they never retrain); their
+/// `eval` spans are still reconstructed from the journaled minutes.
+pub fn resume_experiment_observed(
+    config: &ExperimentConfig,
+    journal_path: &Path,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
+    recorder: Arc<dyn Recorder>,
+) -> Result<ExperimentResult, ExperimentError> {
+    resume_experiment_inner(config, journal_path, progress, Some(recorder))
+}
+
+fn resume_experiment_inner(
+    config: &ExperimentConfig,
+    journal_path: &Path,
+    progress: Option<&mut dyn FnMut(usize, usize)>,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> Result<ExperimentResult, ExperimentError> {
     let journal = Journal::load(journal_path)?;
     journal.check_config(config)?;
     let writer = JournalWriter::open_append(journal_path, journal.valid_len)?;
@@ -296,6 +351,7 @@ pub fn resume_experiment(
         Some(Rc::new(RefCell::new(writer))),
         None,
         Some(&journal),
+        recorder,
     )
 }
 
@@ -377,6 +433,7 @@ fn drive_run(
     journal: Option<JournalSink>,
     restored: Option<RestorePoint>,
     progress: &mut Option<&mut dyn FnMut(usize, usize)>,
+    recorder: Option<&Arc<dyn Recorder>>,
 ) -> Result<(RunResult, Vec<PoolReport>, ParetoArchive, u64), ExperimentError> {
     let seed = config.master_seed + run_idx as u64;
     let ctx = Arc::new(EvalContext {
@@ -389,6 +446,9 @@ fn drive_run(
     let mut evaluator = SummitEvaluator::new(ctx, config.pool, faults, seed);
     if let Some(sink) = &journal {
         evaluator.attach_journal(sink.clone());
+    }
+    if let Some(rec) = recorder {
+        evaluator.attach_recorder(Arc::clone(rec), run_idx as u32);
     }
     let (state, mut rng, mut archive) = match restored {
         Some(point) => {
@@ -427,6 +487,7 @@ fn run_experiment_inner(
     journal_writer: Option<Rc<RefCell<JournalWriter>>>,
     mut kill_budget: Option<u64>,
     resume_from: Option<&Journal>,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> Result<ExperimentResult, ExperimentError> {
     let (train, val) = build_dataset(config);
     let nsga2 = nsga2_config_for(config);
@@ -459,7 +520,16 @@ fn run_experiment_inner(
             replay: Rc::new(resume_from.map_or_else(HashMap::new, |j| j.replay_for(run_idx))),
         });
         let (result, reports, archive, completed) = drive_run(
-            config, &nsga2, &train, &val, run_idx, faults, sink, restored, &mut progress,
+            config,
+            &nsga2,
+            &train,
+            &val,
+            run_idx,
+            faults,
+            sink,
+            restored,
+            &mut progress,
+            recorder.as_ref(),
         )?;
         // The kill budget spans the whole campaign: tasks this run consumed
         // bring the next run's driver that much closer to its death.

@@ -707,6 +707,10 @@ fn header_json(config: &ExperimentConfig) -> Json {
 /// cannot lose it.
 pub struct JournalWriter {
     file: File,
+    /// Byte offset the next record will be written at. Append methods
+    /// return the offset of the record they wrote, so telemetry events can
+    /// cross-reference journal entries by position.
+    offset: u64,
 }
 
 impl JournalWriter {
@@ -714,7 +718,7 @@ impl JournalWriter {
     pub fn create(path: &Path, config: &ExperimentConfig) -> Result<Self, JournalError> {
         let file = File::create(path)
             .map_err(|e| JournalError::new(format!("cannot create {}: {e}", path.display())))?;
-        let mut writer = JournalWriter { file };
+        let mut writer = JournalWriter { file, offset: 0 };
         writer.append(&header_json(config));
         Ok(writer)
     }
@@ -731,28 +735,32 @@ impl JournalWriter {
             .map_err(|e| JournalError::new(format!("cannot truncate journal: {e}")))?;
         file.seek(SeekFrom::End(0))
             .map_err(|e| JournalError::new(format!("cannot seek journal: {e}")))?;
-        Ok(JournalWriter { file })
+        Ok(JournalWriter { file, offset: valid_len })
     }
 
-    /// Append one record. Panics on I/O failure: a write-ahead journal
-    /// that silently drops records is worse than a crashed campaign.
-    fn append(&mut self, record: &Json) {
+    /// Append one record, returning the byte offset it was written at.
+    /// Panics on I/O failure: a write-ahead journal that silently drops
+    /// records is worse than a crashed campaign.
+    fn append(&mut self, record: &Json) -> u64 {
         let mut line = record.to_compact();
         line.push('\n');
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
             .expect("journal append failed");
+        let at = self.offset;
+        self.offset += line.len() as u64;
+        at
     }
 
-    /// Append a completed-evaluation record.
-    pub fn append_eval(&mut self, entry: &EvalEntry) {
-        self.append(&entry.to_json());
+    /// Append a completed-evaluation record; returns its byte offset.
+    pub fn append_eval(&mut self, entry: &EvalEntry) -> u64 {
+        self.append(&entry.to_json())
     }
 
-    /// Append a generation-boundary record.
-    pub fn append_generation(&mut self, entry: &GenEntry) {
-        self.append(&entry.to_json());
+    /// Append a generation-boundary record; returns its byte offset.
+    pub fn append_generation(&mut self, entry: &GenEntry) -> u64 {
+        self.append(&entry.to_json())
     }
 }
 
@@ -1102,6 +1110,51 @@ mod tests {
         let journal = Journal::load(&path).unwrap();
         assert_eq!(journal.evals.len(), 0);
         assert_eq!(journal.valid_len, header_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_returns_the_records_byte_offset() {
+        let config = ExperimentConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-off-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("offsets.jsonl");
+        let entry = EvalEntry {
+            run: 0,
+            gen: 0,
+            slot: 0,
+            seed: 9,
+            genome: vec![1.0, 2.0],
+            fault: FaultKind::Diverged,
+            fault_step: None,
+            fault_loss: None,
+            objectives: None,
+            minutes: 0.1,
+            attempts: 1,
+            lcurve_tail: Vec::new(),
+        };
+        let (first, second) = {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            (writer.append_eval(&entry), writer.append_eval(&entry))
+        };
+        // The first record starts right after the header; the second right
+        // after the first — and both match what is actually on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header_len = text.lines().next().unwrap().len() as u64 + 1;
+        assert_eq!(first, header_len);
+        assert_eq!(second, header_len + (second - first));
+        // The slice at the returned offset is exactly the record's line.
+        let line_at_first = text[first as usize..].lines().next().unwrap();
+        assert_eq!(line_at_first, entry.to_json().to_compact());
+        assert_eq!(second + (second - first), text.len() as u64);
+
+        // Reopening for append continues from the valid length.
+        let journal = Journal::load(&path).unwrap();
+        let third = JournalWriter::open_append(&path, journal.valid_len)
+            .unwrap()
+            .append_eval(&entry);
+        assert_eq!(third, text.len() as u64);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

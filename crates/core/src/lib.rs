@@ -43,9 +43,12 @@ pub use decode::{decode, DecodedGenome};
 pub use nas::{decode_nas, DecodedNas, NasRepresentation};
 pub use ea::SummitEvaluator;
 pub use experiment::{
-    resume_experiment, run_experiment, run_experiment_journaled, ExperimentConfig,
+    resume_experiment, resume_experiment_observed, run_experiment, run_experiment_journaled,
+    run_experiment_journaled_observed, run_experiment_observed, ExperimentConfig,
     ExperimentError, ExperimentResult,
 };
 pub use journal::{Journal, JournalError, JournalWriter};
 pub use representation::DeepMDRepresentation;
-pub use workflow::{evaluate_individual, EvalContext, EvalRecord};
+pub use workflow::{
+    evaluate_individual, evaluate_individual_observed, EvalContext, EvalRecord,
+};

@@ -22,6 +22,7 @@ use rand::{Rng, SeedableRng};
 use dphpo_dnnp::{
     train_supervised, AbortReason, Json, Lcurve, LcurveRow, Sentinel, Supervision, TrainConfig,
 };
+use dphpo_obs::{Recorder, SpanCtx, NOOP};
 use dphpo_evo::{Fitness, Id};
 use dphpo_hpc::{paper_job, CostModel, TaskCtx};
 use dphpo_md::Dataset;
@@ -93,6 +94,21 @@ pub fn evaluate_individual_supervised(
     seed: u64,
     task: &TaskCtx<'_>,
 ) -> (EvalRecord, Option<AbortReason>) {
+    evaluate_individual_observed(ctx, genome, seed, task, &NOOP, SpanCtx::default())
+}
+
+/// As [`evaluate_individual_supervised`], with a telemetry recorder and the
+/// span identity `(seed, run, gen, task, attempt)` the trainer should emit
+/// events under. The no-op recorder reproduces the unobserved path exactly
+/// (recording consumes no randomness and branches once per step).
+pub fn evaluate_individual_observed(
+    ctx: &EvalContext,
+    genome: &[f64],
+    seed: u64,
+    task: &TaskCtx<'_>,
+    obs: &dyn Recorder,
+    span: SpanCtx,
+) -> (EvalRecord, Option<AbortReason>) {
     let mean_minutes = estimated_minutes(ctx, genome);
     let num_steps = ctx.base_config.num_steps.max(1);
     let cancelled = || task.is_cancelled();
@@ -105,6 +121,8 @@ pub fn evaluate_individual_supervised(
         heartbeat_every: (num_steps / 8).max(1),
         check_every: 1,
         sentinel: Sentinel::supervised(),
+        recorder: Some(obs),
+        span,
     };
     evaluate_inner(ctx, genome, seed, &sup)
 }

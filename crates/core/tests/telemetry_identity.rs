@@ -1,0 +1,200 @@
+//! Bit-identity test for the telemetry subsystem: a campaign run with a
+//! live recorder attached must produce byte-identical artifacts — journal,
+//! populations, archives, analysis CSVs — to the same campaign run with
+//! telemetry disabled. (Weight-level bit-identity is asserted one layer
+//! down, in `dphpo-dnnp`'s `telemetry_recorder_does_not_change_trained_weights`;
+//! here the populations' fitness values are pure functions of those
+//! weights.) Two observed runs must additionally agree on every
+//! deterministic telemetry export.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dphpo_core::analysis::{analyze, level_plot_csv};
+use dphpo_core::experiment::{
+    run_experiment_journaled, run_experiment_journaled_observed, ExperimentConfig,
+    ExperimentResult,
+};
+use dphpo_evo::Individual;
+use dphpo_obs::{chrome, export, names, rollup, MemoryRecorder, Recorder};
+
+/// Small campaign with faults, retries, and speculation on, so telemetry
+/// rides along every scheduler path (deaths, backoff, twins) that could
+/// conceivably perturb the run.
+fn config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::smoke();
+    config.pop_size = 3;
+    config.fault_probability = 0.2;
+    config.pool.nanny = true;
+    config.pool.max_attempts = 2;
+    config.pool.supervisor.speculate = true;
+    config.master_seed = 43;
+    config
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dphpo-telemetry-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+fn canon_individual(ind: &Individual) -> String {
+    format!(
+        "genome={:?} fitness={:?} rank={} distance={:?} minutes={:?}",
+        ind.genome,
+        ind.fitness.as_ref().map(|f| f.values().to_vec()),
+        ind.rank,
+        ind.distance,
+        ind.eval_minutes,
+    )
+}
+
+/// Canonical text form of everything downstream analysis consumes; `{:?}`
+/// on `f64` is shortest-round-trip, so equal strings mean bit-equal values.
+fn canon(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    for (run_idx, run) in result.runs.iter().enumerate() {
+        out.push_str(&format!("run {run_idx} evaluations={}\n", run.evaluations));
+        for record in &run.history {
+            out.push_str(&format!("  gen {} failures={}\n", record.generation, record.failures));
+            for ind in &record.population {
+                out.push_str(&format!("    {}\n", canon_individual(ind)));
+            }
+        }
+    }
+    for (run_idx, archive) in result.archives.iter().enumerate() {
+        out.push_str(&format!("archive {run_idx}\n"));
+        for ind in archive.members() {
+            out.push_str(&format!("    {}\n", canon_individual(ind)));
+        }
+    }
+    out.push_str(&analyze(result).parallel_coordinates_csv());
+    out.push_str(&level_plot_csv(result));
+    out
+}
+
+/// Individual ids (`"id":"0x…"`) are allocated from a process-global
+/// counter, so two campaigns in one test process disagree on them by
+/// construction — identity in the journal is positional, not nominal.
+/// Mask the 16 hex digits so the rest of the journal can be compared
+/// byte-for-byte.
+fn mask_ids(journal: &str) -> String {
+    let mut out = String::with_capacity(journal.len());
+    let mut rest = journal;
+    while let Some(at) = rest.find("\"id\":\"0x") {
+        let end = at + "\"id\":\"0x".len();
+        out.push_str(&rest[..end]);
+        let digits = &rest[end..end + 16];
+        assert!(
+            digits.chars().all(|c| c.is_ascii_hexdigit()),
+            "id field not followed by 16 hex digits: {digits:?}"
+        );
+        out.push_str("????????????????");
+        rest = &rest[end + 16..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn observed_campaign_is_bit_identical_to_unobserved() {
+    let config = config();
+
+    let plain_journal = scratch("plain.jsonl");
+    let plain = run_experiment_journaled(&config, &plain_journal, None).expect("plain run");
+
+    let observed_journal = scratch("observed.jsonl");
+    let recorder = Arc::new(MemoryRecorder::with_wall_clock());
+    let observed = run_experiment_journaled_observed(
+        &config,
+        &observed_journal,
+        None,
+        Arc::clone(&recorder) as Arc<dyn Recorder>,
+    )
+    .expect("observed run");
+
+    // Everything the figures are built from is bit-identical.
+    assert_eq!(canon(&plain), canon(&observed));
+
+    // The write-ahead journals hold byte-identical records once
+    // process-local individual ids are masked. Records are appended in
+    // completion-*arrival* order — a worker-thread race the journal's
+    // replay is explicitly order-tolerant of — so the comparison sorts
+    // lines; every record's bytes, including the deterministic header
+    // (first line), must match exactly.
+    let plain_bytes = std::fs::read_to_string(&plain_journal).unwrap();
+    let observed_bytes = std::fs::read_to_string(&observed_journal).unwrap();
+    assert_eq!(
+        plain_bytes.lines().next().unwrap(),
+        observed_bytes.lines().next().unwrap(),
+        "journal headers must match byte-for-byte"
+    );
+    let sorted = |s: &str| {
+        let mut lines: Vec<String> = mask_ids(s).lines().map(str::to_owned).collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(sorted(&plain_bytes), sorted(&observed_bytes));
+
+    // The recorder actually saw the campaign: a generation span per batch,
+    // an eval span per training, per-step events, and journal
+    // cross-references with in-bounds byte offsets.
+    let snap = recorder.snapshot();
+    let n_batches = (config.n_runs * (config.generations + 1)) as u64;
+    assert_eq!(snap.counter(names::C_GENERATIONS), n_batches);
+    let evals = snap.events.iter().filter(|e| e.name == names::EVAL).count();
+    assert_eq!(evals, config.n_runs * config.pop_size * (config.generations + 1));
+    assert!(snap.counter(names::C_STEPS) > 0);
+    let appends: Vec<f64> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == names::JOURNAL_APPEND)
+        .map(|e| e.args.iter().find(|(k, _)| *k == "offset").expect("offset arg").1)
+        .collect();
+    assert_eq!(appends.len() as u64, snap.counter(names::C_JOURNAL_APPENDS));
+    assert!(!appends.is_empty());
+    for offset in &appends {
+        assert!(*offset > 0.0 && *offset < observed_bytes.len() as f64);
+        // The offset lands exactly at the start of an eval record line.
+        assert_eq!(observed_bytes.as_bytes()[*offset as usize - 1], b'\n');
+        assert!(observed_bytes[*offset as usize..].starts_with('{'));
+    }
+
+    let _ = std::fs::remove_file(&plain_journal);
+    let _ = std::fs::remove_file(&observed_journal);
+}
+
+#[test]
+fn deterministic_exports_are_identical_across_observed_runs() {
+    let config = config();
+    let export_of = |tag: &str| {
+        let journal = scratch(&format!("exports-{tag}.jsonl"));
+        let recorder = Arc::new(MemoryRecorder::with_wall_clock());
+        run_experiment_journaled_observed(
+            &config,
+            &journal,
+            None,
+            Arc::clone(&recorder) as Arc<dyn Recorder>,
+        )
+        .expect("observed run");
+        let _ = std::fs::remove_file(&journal);
+        let snap = recorder.snapshot();
+        (export::events_jsonl(&snap), chrome::trace_json(&snap), rollup::generation_rollup(&snap))
+    };
+    let (events_a, trace_a, rollup_a) = export_of("a");
+    let (events_b, trace_b, rollup_b) = export_of("b");
+    // Span ids are derived from (seed, run, gen, task, attempt, step) and
+    // timestamps from the simulated clock, so the deterministic exports are
+    // byte-identical run to run — only the wall-clock side channel differs.
+    for (i, (a, b)) in events_a.lines().zip(events_b.lines()).enumerate() {
+        assert_eq!(a, b, "events_jsonl line {i} differs");
+    }
+    assert_eq!(events_a, events_b);
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(rollup_a, rollup_b);
+    // The trace is Perfetto-shaped: worker lanes named, eval spans present.
+    assert!(trace_a.starts_with("{\"displayTimeUnit\""));
+    assert!(trace_a.contains("thread_name"));
+    assert!(trace_a.contains("\"name\":\"eval\""));
+    assert!(trace_a.contains("\"name\":\"train.step\""));
+}

@@ -81,7 +81,8 @@ impl Lcurve {
     }
 
     /// Parse text produced by [`Lcurve::to_text`] (or a DeePMD file with
-    /// the same column order). Ignores comment lines.
+    /// the same column order). Ignores comment lines; any malformed row is
+    /// an error (see [`Lcurve::parse_tolerant`] for crash-tail tolerance).
     pub fn parse(text: &str) -> Result<Lcurve, String> {
         let mut rows = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -89,26 +90,53 @@ impl Lcurve {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let fields: Vec<&str> = line.split_whitespace().collect();
-            if fields.len() != 6 {
-                return Err(format!("line {}: expected 6 columns, got {}", lineno + 1, fields.len()));
-            }
-            let parse_f = |s: &str| -> Result<f64, String> {
-                s.parse::<f64>().map_err(|_| format!("line {}: bad number '{s}'", lineno + 1))
-            };
-            rows.push(LcurveRow {
-                step: fields[0]
-                    .parse::<usize>()
-                    .map_err(|_| format!("line {}: bad step '{}'", lineno + 1, fields[0]))?,
-                rmse_e_val: parse_f(fields[1])?,
-                rmse_e_trn: parse_f(fields[2])?,
-                rmse_f_val: parse_f(fields[3])?,
-                rmse_f_trn: parse_f(fields[4])?,
-                lr: parse_f(fields[5])?,
-            });
+            rows.push(parse_row(lineno, line)?);
         }
         Ok(Lcurve { rows })
     }
+
+    /// As [`Lcurve::parse`], but tolerant of a torn tail: parsing stops at
+    /// the first malformed row and returns everything before it. This is
+    /// the journal's durability rule applied to `lcurve.out` — a process
+    /// killed mid-`write` leaves a truncated final line, which must not
+    /// invalidate the completed rows above it. An empty or header-only file
+    /// parses to an empty curve.
+    pub fn parse_tolerant(text: &str) -> Lcurve {
+        let mut rows = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_row(lineno, line) {
+                Ok(row) => rows.push(row),
+                Err(_) => break,
+            }
+        }
+        Lcurve { rows }
+    }
+}
+
+/// Parse one non-comment `lcurve.out` row (exactly 6 whitespace-separated
+/// columns).
+fn parse_row(lineno: usize, line: &str) -> Result<LcurveRow, String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 6 {
+        return Err(format!("line {}: expected 6 columns, got {}", lineno + 1, fields.len()));
+    }
+    let parse_f = |s: &str| -> Result<f64, String> {
+        s.parse::<f64>().map_err(|_| format!("line {}: bad number '{s}'", lineno + 1))
+    };
+    Ok(LcurveRow {
+        step: fields[0]
+            .parse::<usize>()
+            .map_err(|_| format!("line {}: bad step '{}'", lineno + 1, fields[0]))?,
+        rmse_e_val: parse_f(fields[1])?,
+        rmse_e_trn: parse_f(fields[2])?,
+        rmse_f_val: parse_f(fields[3])?,
+        rmse_f_trn: parse_f(fields[4])?,
+        lr: parse_f(fields[5])?,
+    })
 }
 
 #[cfg(test)]
@@ -165,5 +193,32 @@ mod tests {
         assert!(Lcurve::parse("1 2 3 4 5 hello").is_err());
         // Comments and blank lines are fine.
         assert_eq!(Lcurve::parse("# header\n\n").unwrap().rows().len(), 0);
+    }
+
+    #[test]
+    fn tolerant_parse_of_empty_file() {
+        assert!(Lcurve::parse_tolerant("").rows().is_empty());
+        assert!(Lcurve::parse_tolerant("\n\n").rows().is_empty());
+    }
+
+    #[test]
+    fn tolerant_parse_of_header_only_file() {
+        let header = "#  step      rmse_e_val    rmse_e_trn    rmse_f_val    rmse_f_trn            lr\n";
+        assert!(Lcurve::parse_tolerant(header).rows().is_empty());
+        // The strict parser agrees: a header is not an error.
+        assert!(Lcurve::parse(header).unwrap().rows().is_empty());
+    }
+
+    #[test]
+    fn tolerant_parse_recovers_rows_before_a_torn_last_line() {
+        let full = sample().to_text();
+        // Simulate a crash mid-write: cut the file inside the last row.
+        let torn = &full[..full.len() - 20];
+        assert!(Lcurve::parse(torn).is_err(), "strict parser must reject the torn tail");
+        let recovered = Lcurve::parse_tolerant(torn);
+        assert_eq!(recovered.rows().len(), 1);
+        assert_eq!(recovered.rows()[0].step, 0);
+        // An intact file parses identically under both parsers.
+        assert_eq!(Lcurve::parse_tolerant(&full), Lcurve::parse(&full).unwrap());
     }
 }

@@ -26,6 +26,7 @@
 //! is untouched by supervision).
 
 use crate::trainer::DIVERGENCE_LOSS_LIMIT;
+use dphpo_obs::{Recorder, SpanCtx};
 
 /// Why a supervised training run stopped before completing its steps.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -119,6 +120,16 @@ pub struct Supervision<'a> {
     /// Divergence thresholds (checked every step regardless of
     /// `check_every` — a non-finite loss poisons everything after it).
     pub sentinel: Sentinel,
+    /// Telemetry sink. `None` (the default) keeps the training loop's
+    /// disabled path at a single branch; when set and
+    /// [`Recorder::enabled`], the trainer emits per-step spans, loss/LR/
+    /// gradient-norm histograms, tape arena gauges, and streamed
+    /// learning-curve rows. Recording consumes no randomness, so weights
+    /// stay bit-identical with telemetry on or off.
+    pub recorder: Option<&'a dyn Recorder>,
+    /// Span identity `(seed, run, gen, task, attempt)` for emitted events;
+    /// ignored when `recorder` is `None`.
+    pub span: SpanCtx,
 }
 
 impl Supervision<'static> {
@@ -132,6 +143,8 @@ impl Supervision<'static> {
             heartbeat_every: 0,
             check_every: 1,
             sentinel: Sentinel::default(),
+            recorder: None,
+            span: SpanCtx::default(),
         }
     }
 }
@@ -140,6 +153,12 @@ impl<'a> Supervision<'a> {
     /// True if the external probe says this run is cancelled.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.is_some_and(|probe| probe())
+    }
+
+    /// The recorder when attached *and* enabled — the single branch the
+    /// trainer's hot path pays when telemetry is off.
+    pub fn obs(&self) -> Option<&'a dyn Recorder> {
+        self.recorder.filter(|r| r.enabled())
     }
 
     /// Simulated minutes consumed after `steps` completed steps.

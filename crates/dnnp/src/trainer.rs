@@ -18,6 +18,7 @@ use crate::loss::PrefactorSchedule;
 use crate::lr::LrSchedule;
 use crate::model::{forward_cached, DnnpModel, ModelParams};
 use crate::supervise::{AbortReason, Supervision};
+use dphpo_obs::{cats, names, Event, When};
 
 /// Adam optimiser state (DeePMD's optimiser; β₁ 0.9, β₂ 0.999, ε 1e-8).
 pub struct Adam {
@@ -246,6 +247,11 @@ pub fn train_supervised<R: Rng + ?Sized>(
     let mut abort: Option<AbortReason> = None;
     let mut initial_loss: Option<f64> = None;
     let check_every = sup.check_every.max(1);
+    // Resolved once: `None` when telemetry is off, so the hot loop pays a
+    // single branch per instrumentation site. Everything recorded below is
+    // computed from values the step already produced — no extra rng draws,
+    // no reordered float ops — so weights are bit-identical either way.
+    let obs = sup.obs();
     let batch_total = config.n_workers * config.batch_per_worker;
     let onehot_batch = tile_onehot(&model.onehot, batch_total);
     let frame_ids: Rc<[usize]> = (0..batch_total)
@@ -315,6 +321,7 @@ pub fn train_supervised<R: Rng + ?Sized>(
                 beat(sup.sim_minutes(step), sup.sim_minutes(config.num_steps));
             }
         }
+        let step_t0 = obs.map(|_| std::time::Instant::now());
         let pref = prefactors.at(schedule.decay_ratio(step));
 
         // One tape evaluates the whole data-parallel batch (the B frames a
@@ -376,6 +383,9 @@ pub fn train_supervised<R: Rng + ?Sized>(
         // Value-level backward: the optimiser only needs gradient numbers,
         // so nothing new is recorded on the tape.
         let grad_values: Vec<Tensor> = tape.grad_values(loss, &taped.flat);
+        // Arena high-water mark, read before the reset empties the node
+        // list (only when telemetry is live).
+        let tape_nodes = if obs.is_some() { tape.len() } else { 0 };
         // Reset BEFORE the optimiser update: recycling the graph releases
         // the tape's handles on the parameter tensors, so Adam's in-place
         // write doesn't trigger copy-on-write. The extracted gradients keep
@@ -395,6 +405,34 @@ pub fn train_supervised<R: Rng + ?Sized>(
         }
         steps_completed = step + 1;
 
+        if let Some(rec) = obs {
+            let lr = schedule.lr(step);
+            let grad_norm = grad_values
+                .iter()
+                .map(|g| g.data().iter().map(|v| v * v).sum::<f64>())
+                .sum::<f64>()
+                .sqrt();
+            rec.counter_add(names::C_STEPS, 1);
+            rec.observe(names::H_LOSS, loss_value);
+            rec.observe(names::H_LR, lr);
+            rec.observe(names::H_GRAD_NORM, grad_norm);
+            rec.gauge_set(names::G_TAPE_NODES, tape_nodes as f64);
+            rec.gauge_set(names::G_TAPE_POOLED, tape.pooled_buffers() as f64);
+            if let Some(t0) = step_t0 {
+                rec.observe(names::H_STEP_WALL_NS, t0.elapsed().as_nanos() as f64);
+            }
+            rec.record(Event {
+                name: names::TRAIN_STEP,
+                cat: cats::TRAIN,
+                ctx: sup.span,
+                step: Some(step as u64),
+                when: When::InTask(sup.sim_minutes(step)),
+                dur_min: sup.minutes_per_step,
+                worker: None,
+                args: vec![("loss", loss_value), ("lr", lr), ("grad_norm", grad_norm)],
+            });
+        }
+
         if step % config.disp_freq == 0 {
             let (rmse_e_val, rmse_f_val) = val_batch.rmse(&model);
             if !rmse_e_val.is_finite() || !rmse_f_val.is_finite() {
@@ -410,6 +448,26 @@ pub fn train_supervised<R: Rng + ?Sized>(
                 rmse_f_trn: trn_f_sq.sqrt(),
                 lr: schedule.lr(step),
             });
+            if let Some(rec) = obs {
+                // Stream the display row as an event: telemetry consumers
+                // see every interval, not just the journaled tail.
+                rec.record(Event {
+                    name: names::LCURVE_ROW,
+                    cat: cats::LCURVE,
+                    ctx: sup.span,
+                    step: Some(step as u64),
+                    when: When::InTask(sup.sim_minutes(step)),
+                    dur_min: 0.0,
+                    worker: None,
+                    args: vec![
+                        ("rmse_e_val", rmse_e_val),
+                        ("rmse_e_trn", trn_e_sq.sqrt()),
+                        ("rmse_f_val", rmse_f_val),
+                        ("rmse_f_trn", trn_f_sq.sqrt()),
+                        ("lr", schedule.lr(step)),
+                    ],
+                });
+            }
         }
     }
 
@@ -428,9 +486,48 @@ pub fn train_supervised<R: Rng + ?Sized>(
                 rmse_f_trn: last.map_or(rmse_f_val, |r| r.rmse_f_trn),
                 lr: schedule.lr(config.num_steps),
             });
+            if let Some(rec) = obs {
+                let row = lcurve.last().copied().expect("just pushed");
+                rec.record(Event {
+                    name: names::LCURVE_ROW,
+                    cat: cats::LCURVE,
+                    ctx: sup.span,
+                    step: Some(row.step as u64),
+                    when: When::InTask(sup.sim_minutes(row.step)),
+                    dur_min: 0.0,
+                    worker: None,
+                    args: vec![
+                        ("rmse_e_val", row.rmse_e_val),
+                        ("rmse_e_trn", row.rmse_e_trn),
+                        ("rmse_f_val", row.rmse_f_val),
+                        ("rmse_f_trn", row.rmse_f_trn),
+                        ("lr", row.lr),
+                    ],
+                });
+            }
         } else {
             diverged = true;
         }
+    }
+
+    if let (Some(rec), Some(reason)) = (obs, &abort) {
+        rec.counter_add(names::C_ABORTS, 1);
+        // `kind`: 0 = diverged, 1 = deadline, 2 = cancelled.
+        let (kind, at_step, loss) = match *reason {
+            AbortReason::Diverged { step, loss } => (0.0, step, loss),
+            AbortReason::Deadline { step, .. } => (1.0, step, f64::NAN),
+            AbortReason::Cancelled { step } => (2.0, step, f64::NAN),
+        };
+        rec.record(Event {
+            name: names::TRAIN_ABORT,
+            cat: cats::TRAIN,
+            ctx: sup.span,
+            step: Some(at_step as u64),
+            when: When::InTask(sup.sim_minutes(at_step)),
+            dur_min: 0.0,
+            worker: None,
+            args: vec![("kind", kind), ("loss", loss)],
+        });
     }
 
     Ok(TrainReport { model, lcurve, diverged, steps_completed, abort })
@@ -635,6 +732,7 @@ mod tests {
                     heartbeat_every: 5,
                     check_every: 1,
                     sentinel: Sentinel::supervised(),
+                    ..Supervision::none()
                 };
                 train_supervised(&config, &train_ds, &val_ds, &mut rng, &sup).unwrap()
             } else {
@@ -643,6 +741,46 @@ mod tests {
             report.lcurve.final_losses().unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn telemetry_recorder_does_not_change_trained_weights() {
+        // The PR's acceptance bar at the trainer level: a live recorder
+        // must not alter the rng stream, the float op order, or therefore a
+        // single weight bit — telemetry reads values the step already made.
+        use dphpo_obs::{MemoryRecorder, Recorder, SpanCtx};
+        let (train_ds, val_ds) = tiny_data(9);
+        let run = |rec: Option<&MemoryRecorder>| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut config = tiny_config();
+            config.num_steps = 20;
+            let sup = Supervision {
+                recorder: rec.map(|r| r as &dyn Recorder),
+                span: SpanCtx::root(21, 0),
+                minutes_per_step: 0.01,
+                ..Supervision::none()
+            };
+            let report = train_supervised(&config, &train_ds, &val_ds, &mut rng, &sup).unwrap();
+            let weight_bits: Vec<u64> = report
+                .model
+                .params
+                .flat()
+                .iter()
+                .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+                .collect();
+            (weight_bits, report.lcurve.final_losses().unwrap())
+        };
+        let plain = run(None);
+        let rec = MemoryRecorder::new();
+        let observed = run(Some(&rec));
+        assert_eq!(plain, observed, "telemetry changed the trained weights");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(dphpo_obs::names::C_STEPS), 20);
+        assert!(
+            snap.events.iter().filter(|e| e.name == dphpo_obs::names::TRAIN_STEP).count() == 20
+        );
+        assert!(snap.events.iter().any(|e| e.name == dphpo_obs::names::LCURVE_ROW));
+        assert!(snap.gauges.iter().any(|(n, g)| n == dphpo_obs::names::G_TAPE_NODES && g.max > 0.0));
     }
 
     #[test]

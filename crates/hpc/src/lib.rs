@@ -34,8 +34,8 @@ pub mod trace;
 pub use cluster::{Allocation, NodeSpec};
 pub use cost::{paper_job, CostModel, TrainingJob};
 pub use scheduler::{
-    run_batch, run_batch_supervised, run_batch_with_hooks, CancelToken, EvalFault, EvalOutcome,
-    FaultInjector, PoolConfig, PoolReport, SupervisorConfig, TaskCtx, TaskError, TaskRecord,
-    SPECULATIVE_ATTEMPT,
+    run_batch, run_batch_observed, run_batch_supervised, run_batch_with_hooks, CancelToken,
+    EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, SupervisorConfig, TaskCtx,
+    TaskError, TaskRecord, SPECULATIVE_ATTEMPT,
 };
 pub use trace::{Span, Timeline};

@@ -42,6 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel;
+use dphpo_obs::{cats, names, Event, Recorder, SpanCtx, NOOP};
 
 /// The synthetic attempt number used for a task's speculative twin in fault
 /// decisions, chosen far outside the primary range `1..=max_attempts` so a
@@ -527,7 +528,38 @@ pub fn run_batch_supervised<I, T, F, E, H>(
     estimate: E,
     config: &PoolConfig,
     faults: &FaultInjector,
+    on_complete: H,
+) -> (Vec<TaskRecord<T>>, PoolReport)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&TaskCtx<'_>, &I) -> EvalOutcome<T> + Sync,
+    E: Fn(usize, &I) -> f64,
+    H: FnMut(usize, &TaskRecord<T>),
+{
+    run_batch_observed(inputs, eval, estimate, config, faults, on_complete, &NOOP, SpanCtx::default())
+}
+
+/// As [`run_batch_supervised`], with a telemetry [`Recorder`].
+///
+/// The driver emits supervision events (batch submission, twin launches,
+/// worker deaths, backoff) and counters under `span` — the caller's
+/// `(seed, run, gen)` context; per-task subspans derive from it. With the
+/// default [`NoopRecorder`](dphpo_obs::NoopRecorder) every instrumentation
+/// site is a single `enabled()` branch, and nothing about scheduling changes:
+/// telemetry is observed from the driver thread, which already serializes
+/// every decision, so the records, the report, and the fault replay contract
+/// are bit-identical with telemetry on or off.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batch_observed<I, T, F, E, H>(
+    inputs: &[I],
+    eval: F,
+    estimate: E,
+    config: &PoolConfig,
+    faults: &FaultInjector,
     mut on_complete: H,
+    obs: &dyn Recorder,
+    span: SpanCtx,
 ) -> (Vec<TaskRecord<T>>, PoolReport)
 where
     I: Sync,
@@ -546,6 +578,17 @@ where
     }
 
     let estimates: Vec<f64> = (0..n).map(|i| estimate(i, &inputs[i]).max(0.0)).collect();
+
+    // Telemetry is driver-side only: the driver thread already serializes
+    // every supervision decision, so recording from it cannot perturb the
+    // worker race, and the disabled path is this one branch per site.
+    let obs_on = obs.enabled();
+    if obs_on {
+        obs.gauge_set(names::G_QUEUE_DEPTH, n as f64);
+        let mut ev = Event::instant(names::SCHED_SUBMIT, cats::SCHED, span);
+        ev.args = vec![("n_tasks", n as f64), ("n_workers", config.n_workers as f64)];
+        obs.record(ev);
+    }
 
     let (task_tx, task_rx) = channel::unbounded::<Job>();
     let (msg_tx, msg_rx) = channel::unbounded::<Message<T>>();
@@ -577,6 +620,16 @@ where
             if est > threshold {
                 budget -= 1;
                 report.speculated_tasks += 1;
+                if obs_on {
+                    obs.counter_add(names::C_SPECULATED, 1);
+                    let mut ev = Event::instant(
+                        names::SCHED_TWIN,
+                        cats::SCHED,
+                        span.with_task(task as u32, SPECULATIVE_ATTEMPT),
+                    );
+                    ev.args = vec![("estimate_min", est)];
+                    obs.record(ev);
+                }
                 if faults.task_kills_worker(task, SPECULATIVE_ATTEMPT) {
                     report.speculative_deaths += 1;
                     report.lost_minutes +=
@@ -821,13 +874,36 @@ where
                     };
                     report.lost_minutes += lost;
                     lost_per_task[task] += lost;
+                    if obs_on {
+                        obs.counter_add(names::C_DEATHS, 1);
+                        let mut ev = Event::instant(
+                            names::SCHED_DEATH,
+                            cats::SCHED,
+                            span.with_task(task as u32, attempt),
+                        );
+                        ev.args =
+                            vec![("lost_min", lost), ("panicked", if panicked { 1.0 } else { 0.0 })];
+                        obs.record(ev);
+                    }
                     if attempts[task] < config.max_attempts {
                         if !retried[task] {
                             retried[task] = true;
                             report.retried_tasks += 1;
                         }
-                        report.backoff_minutes += sup.backoff_base_minutes
+                        let backoff = sup.backoff_base_minutes
                             * sup.backoff_factor.powi(attempts[task] as i32 - 1);
+                        report.backoff_minutes += backoff;
+                        if obs_on {
+                            obs.counter_add(names::C_RETRIES, 1);
+                            obs.observe(names::H_BACKOFF_MIN, backoff);
+                            let mut ev = Event::instant(
+                                names::SCHED_BACKOFF,
+                                cats::SCHED,
+                                span.with_task(task as u32, attempts[task] + 1),
+                            );
+                            ev.args = vec![("backoff_min", backoff)];
+                            obs.record(ev);
+                        }
                         // Requeue even when a twin already finalized the
                         // task: the retry chain must replay identically in
                         // every interleaving (the cancelled token makes the
@@ -856,7 +932,12 @@ where
                         }
                     }
                 }
-                Message::Beat => report.heartbeats += 1,
+                Message::Beat => {
+                    report.heartbeats += 1;
+                    if obs_on {
+                        obs.counter_add(names::C_HEARTBEATS, 1);
+                    }
+                }
             }
         }
         // If every worker died with work outstanding, fail the rest (a
@@ -876,6 +957,11 @@ where
         drop(task_tx); // release workers blocked on recv
     });
     report.quarantined_workers = quarantined.load(Ordering::SeqCst);
+    if obs_on {
+        // Racy by design (depends on which physical thread absorbed the
+        // deaths) — the `side.` prefix keeps it out of deterministic exports.
+        obs.gauge_set(names::G_QUARANTINED, report.quarantined_workers as f64);
+    }
 
     let results: Vec<TaskRecord<T>> = records
         .into_iter()

@@ -1,0 +1,212 @@
+//! JSONL export: one line per event, followed by one line per metric.
+
+use crate::json::{escape, fmt_num};
+use crate::names::SIDE_PREFIX;
+use crate::recorder::{Event, TelemetrySnapshot, When, NO_TASK};
+
+fn event_line(e: &Event) -> String {
+    let mut s = String::with_capacity(160);
+    s.push_str(&format!(
+        "{{\"type\":\"event\",\"name\":\"{}\",\"cat\":\"{}\",\"id\":\"{:#018x}\",\"run\":{},\"gen\":{}",
+        escape(e.name),
+        escape(e.cat),
+        e.span_id(),
+        e.ctx.run,
+        e.ctx.gen
+    ));
+    if e.ctx.task != NO_TASK {
+        s.push_str(&format!(",\"task\":{},\"attempt\":{}", e.ctx.task, e.ctx.attempt));
+    }
+    if let Some(step) = e.step {
+        s.push_str(&format!(",\"step\":{step}"));
+    }
+    match e.when {
+        When::Sim(t) => s.push_str(&format!(",\"when\":\"sim\",\"t_min\":{}", fmt_num(t))),
+        When::InTask(t) => s.push_str(&format!(",\"when\":\"in_task\",\"t_min\":{}", fmt_num(t))),
+        When::Unplaced => s.push_str(",\"when\":\"unplaced\""),
+    }
+    if e.dur_min > 0.0 {
+        s.push_str(&format!(",\"dur_min\":{}", fmt_num(e.dur_min)));
+    }
+    if let Some(w) = e.worker {
+        s.push_str(&format!(",\"worker\":{w}"));
+    }
+    if !e.args.is_empty() {
+        s.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", escape(k), fmt_num(*v)));
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+/// Deterministic JSONL export of a snapshot: event lines in snapshot order,
+/// then `counter`/`gauge`/`hist` lines sorted by name. Events and metrics
+/// whose name starts with `side.` — wall-clock readings, journal byte
+/// offsets, racy scheduler state — are **excluded**; use
+/// [`side_channel_jsonl`] for those.
+pub fn events_jsonl(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.events {
+        if e.name.starts_with(SIDE_PREFIX) {
+            continue;
+        }
+        out.push_str(&event_line(e));
+        out.push('\n');
+    }
+    for (name, v) in &snap.counters {
+        if name.starts_with(SIDE_PREFIX) {
+            continue;
+        }
+        out.push_str(&format!("{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n", escape(name)));
+    }
+    for (name, g) in &snap.gauges {
+        if name.starts_with(SIDE_PREFIX) {
+            continue;
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"last\":{},\"max\":{}}}\n",
+            escape(name),
+            fmt_num(g.last),
+            fmt_num(g.max)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        if name.starts_with(SIDE_PREFIX) {
+            continue;
+        }
+        out.push_str(&hist_line(name, h));
+    }
+    out
+}
+
+fn hist_line(name: &str, h: &crate::metrics::HistogramSnapshot) -> String {
+    let buckets: Vec<String> =
+        h.buckets.iter().map(|(lo, c)| format!("[{},{c}]", fmt_num(*lo))).collect();
+    format!(
+        "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+        escape(name),
+        h.count,
+        fmt_num(h.sum),
+        fmt_num(h.min),
+        fmt_num(h.max),
+        buckets.join(",")
+    )
+}
+
+/// Non-deterministic side channel: `side.*` events (e.g. journal byte
+/// offsets), wall-clock stamps per event (when the recorder captured them),
+/// and `side.*` metrics. Kept out of [`events_jsonl`] so the deterministic
+/// export stays bit-identical across runs.
+pub fn side_channel_jsonl(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.events {
+        if e.name.starts_with(SIDE_PREFIX) {
+            out.push_str(&event_line(e));
+            out.push('\n');
+        }
+    }
+    for (e, wall) in snap.events.iter().zip(&snap.wall_us) {
+        if let Some(us) = wall {
+            out.push_str(&format!(
+                "{{\"type\":\"wall\",\"id\":\"{:#018x}\",\"name\":\"{}\",\"wall_us\":{us}}}\n",
+                e.span_id(),
+                escape(e.name)
+            ));
+        }
+    }
+    for (name, v) in &snap.counters {
+        if name.starts_with(SIDE_PREFIX) {
+            out.push_str(&format!("{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n", escape(name)));
+        }
+    }
+    for (name, g) in &snap.gauges {
+        if name.starts_with(SIDE_PREFIX) {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"last\":{},\"max\":{}}}\n",
+                escape(name),
+                fmt_num(g.last),
+                fmt_num(g.max)
+            ));
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if name.starts_with(SIDE_PREFIX) {
+            out.push_str(&hist_line(name, h));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{MemoryRecorder, Recorder, SpanCtx};
+    use crate::{cats, names};
+
+    #[test]
+    fn event_lines_are_one_json_object_per_line() {
+        let r = MemoryRecorder::new();
+        r.record(Event {
+            name: names::EVAL,
+            cat: cats::SCHED,
+            ctx: SpanCtx::root(9, 1).with_gen(2).with_task(3, 1),
+            step: None,
+            when: When::Sim(4.5),
+            dur_min: 2.0,
+            worker: Some(0),
+            args: vec![("ok", 1.0), ("minutes", 2.0)],
+        });
+        r.counter_add(names::C_STEPS, 10);
+        r.observe(names::H_LOSS, 0.5);
+        let out = events_jsonl(&r.snapshot());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"event\""));
+        assert!(lines[0].contains("\"run\":1,\"gen\":2,\"task\":3,\"attempt\":1"));
+        assert!(lines[0].contains("\"when\":\"sim\",\"t_min\":4.5"));
+        assert!(lines[0].contains("\"args\":{\"ok\":1,\"minutes\":2}"));
+        assert!(lines[1].contains("\"type\":\"counter\""));
+        assert!(lines[2].contains("\"type\":\"hist\""));
+        assert!(lines[2].contains("\"buckets\":[[0.5,1]]"));
+        for l in &lines {
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn side_metrics_are_segregated() {
+        let r = MemoryRecorder::new();
+        r.observe(names::H_STEP_WALL_NS, 123.0);
+        r.observe(names::H_LOSS, 0.5);
+        r.gauge_set(names::G_QUARANTINED, 1.0);
+        let mut append =
+            Event::instant(names::JOURNAL_APPEND, cats::JOURNAL, SpanCtx::root(7, 0));
+        append.args = vec![("offset", 512.0)];
+        r.record(append);
+        let snap = r.snapshot();
+        let det = events_jsonl(&snap);
+        assert!(!det.contains("side."));
+        assert!(det.contains(names::H_LOSS));
+        let side = side_channel_jsonl(&snap);
+        assert!(side.contains(names::H_STEP_WALL_NS));
+        assert!(side.contains(names::G_QUARANTINED));
+        assert!(side.contains(names::JOURNAL_APPEND));
+        assert!(side.contains("\"offset\":512"));
+        assert!(!side.contains("\"train.loss\""));
+    }
+
+    #[test]
+    fn wall_stamps_only_in_side_channel() {
+        let r = MemoryRecorder::with_wall_clock();
+        r.record(Event::instant("x", "t", SpanCtx::default()));
+        let snap = r.snapshot();
+        assert!(!events_jsonl(&snap).contains("wall_us"));
+        assert!(side_channel_jsonl(&snap).contains("wall_us"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal JSON emission helpers.
+//!
+//! `dphpo-obs` is a leaf crate, so it cannot reuse the `dphpo-dnnp` Json
+//! codec; these helpers replicate its number formatting rule (integral
+//! values below 1e15 print without a fractional part) so telemetry files
+//! look like the rest of the repo's JSON artifacts.
+
+/// Format a number the way the in-repo Json codec does. Non-finite values
+/// have no JSON literal, so they are emitted as quoted strings.
+pub(crate) fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_values_print_without_fraction() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(-7.0), "-7");
+        assert_eq!(fmt_num(0.5), "0.5");
+        assert_eq!(fmt_num(1e16), "10000000000000000");
+    }
+
+    #[test]
+    fn non_finite_values_become_strings() {
+        assert_eq!(fmt_num(f64::NAN), "\"NaN\"");
+        assert_eq!(fmt_num(f64::INFINITY), "\"inf\"");
+        assert_eq!(fmt_num(f64::NEG_INFINITY), "\"-inf\"");
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic telemetry for the DP-HPO reproduction.
+//!
+//! This crate is a leaf: it depends on nothing and every other layer
+//! (`dphpo-dnnp`, `dphpo-hpc`, `dphpo-core`, `dphpo-bench`) can depend on it.
+//! Its job is to let the trainer, scheduler, EA loop, and journal emit spans,
+//! events, and metrics **without perturbing any campaign artifact**:
+//!
+//! * Span ids are pure functions of `(seed, gen, task, attempt, step)` —
+//!   see [`SpanCtx::span_id`] — so two runs of the same campaign emit the
+//!   same ids regardless of thread interleaving.
+//! * Timestamps live on the *simulated* clock (cost-model minutes), the same
+//!   clock the scheduler charges makespan in. Wall-clock readings are an
+//!   optional side channel ([`MemoryRecorder::with_wall_clock`]) that never
+//!   enters the deterministic exports.
+//! * The default recorder is [`NoopRecorder`]: `enabled()` is `false` and
+//!   every hook is an empty default method, so the disabled hot path costs
+//!   one branch.
+//!
+//! Exporters: [`chrome::from_snapshot`] + [`chrome::render`] produce Chrome
+//! `trace_event` JSON loadable in Perfetto, [`export::events_jsonl`] a line
+//! oriented event/metric log, and [`rollup::generation_rollup`] a text table
+//! appended to the fig1 report.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod rollup;
+
+mod json;
+
+pub use metrics::{GaugeValue, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use recorder::{
+    Event, MemoryRecorder, NoopRecorder, Recorder, SpanCtx, TelemetrySnapshot, When, NOOP, NO_TASK,
+};
+
+/// Canonical event, counter, gauge, and histogram names.
+///
+/// Instrumentation sites across the workspace use these constants so the
+/// exporters and the rollup never drift out of sync with the producers.
+/// Names prefixed `side.` are **non-deterministic side channels** (wall
+/// clock readings, racy scheduler state) and are excluded from the
+/// deterministic exports; see `DESIGN.md` §9.
+pub mod names {
+    /// Span covering one EA generation (emitted by the evaluator driver).
+    pub const GENERATION: &str = "generation";
+    /// Span covering one evaluation task on its worker lane.
+    pub const EVAL: &str = "eval";
+    /// Span covering one optimiser step inside an evaluation.
+    pub const TRAIN_STEP: &str = "train.step";
+    /// Instant: training aborted (diverged / deadline / cancelled).
+    pub const TRAIN_ABORT: &str = "train.abort";
+    /// Instant: one learning-curve row (streamed at display frequency).
+    pub const LCURVE_ROW: &str = "lcurve.row";
+    /// Instant (side channel): a record was appended to the write-ahead
+    /// journal, with its byte offset. The offset is a physical file
+    /// position decided by completion *arrival* order — a thread race the
+    /// journal is explicitly tolerant of — so like wall time it rides the
+    /// side channel and stays out of the deterministic exports.
+    pub const JOURNAL_APPEND: &str = "side.journal.append";
+    /// Instant: a batch of tasks was submitted to the worker pool.
+    pub const SCHED_SUBMIT: &str = "sched.submit";
+    /// Instant: a simulated worker death consumed an attempt.
+    pub const SCHED_DEATH: &str = "sched.death";
+    /// Instant: retry backoff charged before re-queueing a task.
+    pub const SCHED_BACKOFF: &str = "sched.backoff";
+    /// Instant: a speculative twin was launched for a straggler.
+    pub const SCHED_TWIN: &str = "sched.twin";
+
+    /// Counter: optimiser steps completed.
+    pub const C_STEPS: &str = "train.steps";
+    /// Counter: training aborts.
+    pub const C_ABORTS: &str = "train.aborts";
+    /// Counter: simulated worker deaths.
+    pub const C_DEATHS: &str = "sched.deaths";
+    /// Counter: task retries after a death.
+    pub const C_RETRIES: &str = "sched.retries";
+    /// Counter: speculative twins launched.
+    pub const C_SPECULATED: &str = "sched.speculated";
+    /// Counter: heartbeats received by the pool driver.
+    pub const C_HEARTBEATS: &str = "sched.heartbeats";
+    /// Counter: EA generations evaluated.
+    pub const C_GENERATIONS: &str = "ea.generations";
+    /// Counter: journal records appended.
+    pub const C_JOURNAL_APPENDS: &str = "journal.appends";
+
+    /// Gauge: tasks queued at batch submission (last + high-water).
+    pub const G_QUEUE_DEPTH: &str = "sched.queue_depth";
+    /// Gauge: `Tape` arena node count per step (high-water tracks peak).
+    pub const G_TAPE_NODES: &str = "tape.nodes";
+    /// Gauge: `Tape` pooled buffer count after reset (high-water tracks peak).
+    pub const G_TAPE_POOLED: &str = "tape.pooled_buffers";
+    /// Gauge (side channel): workers quarantined — racy under speculation.
+    pub const G_QUARANTINED: &str = "side.quarantined_workers";
+
+    /// Histogram: training loss per step.
+    pub const H_LOSS: &str = "train.loss";
+    /// Histogram: learning rate per step.
+    pub const H_LR: &str = "train.lr";
+    /// Histogram: global gradient L2 norm per step.
+    pub const H_GRAD_NORM: &str = "train.grad_norm";
+    /// Histogram: charged minutes per evaluation.
+    pub const H_EVAL_MINUTES: &str = "eval.minutes";
+    /// Histogram: backoff minutes charged per retry.
+    pub const H_BACKOFF_MIN: &str = "sched.backoff_min";
+    /// Histogram (side channel): wall nanoseconds per optimiser step.
+    pub const H_STEP_WALL_NS: &str = "side.step_wall_ns";
+
+    /// Prefix marking a metric or event as a non-deterministic side channel.
+    pub const SIDE_PREFIX: &str = "side.";
+}
+
+/// Event categories used by the in-tree instrumentation.
+pub mod cats {
+    /// Evolutionary-algorithm driver events.
+    pub const EA: &str = "ea";
+    /// Worker-pool scheduler events.
+    pub const SCHED: &str = "sched";
+    /// Training-loop events.
+    pub const TRAIN: &str = "train";
+    /// Learning-curve streaming events.
+    pub const LCURVE: &str = "lcurve";
+    /// Write-ahead journal events.
+    pub const JOURNAL: &str = "journal";
+}

@@ -1,0 +1,152 @@
+//! Per-generation text rollup appended to the fig1 report.
+
+use crate::recorder::{TelemetrySnapshot, NO_TASK};
+use crate::names;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct GenRow {
+    evals_ok: u64,
+    evals_failed: u64,
+    steps: u64,
+    makespan_min: f64,
+    minutes: f64,
+    deaths: u64,
+    retries: u64,
+    speculated: u64,
+    lost_min: f64,
+}
+
+fn arg(e: &crate::recorder::Event, key: &str) -> Option<f64> {
+    e.args.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+/// Render the telemetry rollup: one row per `(run, generation)` aggregated
+/// from the deterministic event stream, followed by counter totals and
+/// histogram summaries. All quantities are on the simulated clock.
+pub fn generation_rollup(snap: &TelemetrySnapshot) -> String {
+    let mut rows: BTreeMap<(u32, u32), GenRow> = BTreeMap::new();
+    for e in &snap.events {
+        let row = rows.entry((e.ctx.run, e.ctx.gen)).or_default();
+        match e.name {
+            n if n == names::EVAL && e.ctx.task != NO_TASK => {
+                if arg(e, "ok").unwrap_or(0.0) > 0.5 {
+                    row.evals_ok += 1;
+                } else {
+                    row.evals_failed += 1;
+                }
+                row.minutes += arg(e, "minutes").unwrap_or(e.dur_min);
+            }
+            n if n == names::TRAIN_STEP => row.steps += 1,
+            n if n == names::GENERATION => {
+                row.makespan_min = e.dur_min;
+                row.deaths = arg(e, "deaths").unwrap_or(0.0) as u64;
+                row.retries = arg(e, "retried").unwrap_or(0.0) as u64;
+                row.speculated = arg(e, "speculated").unwrap_or(0.0) as u64;
+                row.lost_min = arg(e, "lost_min").unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("telemetry rollup (simulated clock)\n");
+    out.push_str(
+        "run gen   ok fail    steps  makespan_min  busy_min  deaths retries spec  lost_min\n",
+    );
+    for ((run, g), r) in &rows {
+        out.push_str(&format!(
+            "{:>3} {:>3} {:>4} {:>4} {:>8}      {:>8.1}  {:>8.1}  {:>6} {:>7} {:>4}  {:>8.1}\n",
+            run,
+            g,
+            r.evals_ok,
+            r.evals_failed,
+            r.steps,
+            r.makespan_min,
+            r.minutes,
+            r.deaths,
+            r.retries,
+            r.speculated,
+            r.lost_min
+        ));
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:");
+        for (name, v) in &snap.counters {
+            if !name.starts_with(names::SIDE_PREFIX) {
+                out.push_str(&format!(" {name}={v}"));
+            }
+        }
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        if name.starts_with(names::SIDE_PREFIX) || h.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "hist {name}: n={} min={:.3e} mean={:.3e} max={:.3e}\n",
+            h.count,
+            h.min,
+            h.mean(),
+            h.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Event, MemoryRecorder, Recorder, SpanCtx, When};
+    use crate::{cats, names};
+
+    #[test]
+    fn rollup_aggregates_per_generation() {
+        let r = MemoryRecorder::new();
+        let base = SpanCtx::root(7, 0).with_gen(0);
+        r.record(Event {
+            name: names::GENERATION,
+            cat: cats::EA,
+            ctx: base,
+            step: None,
+            when: When::Sim(0.0),
+            dur_min: 100.0,
+            worker: None,
+            args: vec![("deaths", 1.0), ("retried", 1.0), ("speculated", 0.0), ("lost_min", 12.5)],
+        });
+        for (task, ok) in [(0u32, 1.0), (1, 0.0)] {
+            r.record(Event {
+                name: names::EVAL,
+                cat: cats::SCHED,
+                ctx: base.with_task(task, 1),
+                step: None,
+                when: When::Sim(0.0),
+                dur_min: 50.0,
+                worker: Some(task),
+                args: vec![("ok", ok), ("minutes", 50.0)],
+            });
+        }
+        for step in 0..3u64 {
+            r.record(Event {
+                name: names::TRAIN_STEP,
+                cat: cats::TRAIN,
+                ctx: base.with_task(0, 1),
+                step: Some(step),
+                when: When::InTask(step as f64),
+                dur_min: 1.0,
+                worker: None,
+                args: vec![],
+            });
+        }
+        r.counter_add(names::C_STEPS, 3);
+        r.observe(names::H_LOSS, 0.5);
+        let text = generation_rollup(&r.snapshot());
+        assert!(text.contains("telemetry rollup"));
+        let row = text.lines().nth(2).unwrap();
+        assert!(row.contains("  0   0    1    1        3"), "row: {row:?}");
+        assert!(row.contains("100.0"));
+        assert!(row.contains("12.5"));
+        assert!(text.contains("counters: train.steps=3"));
+        assert!(text.contains("hist train.loss: n=1"));
+    }
+}

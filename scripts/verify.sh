@@ -10,24 +10,28 @@
 #   6. chaos stress                — the journal crash/resume chaos suite,
 #                                    looped CHAOS_STRESS times (default 3) to
 #                                    shake out racy supervision interleavings
+#   7. telemetry identity          — a faulty campaign run with a live
+#                                    recorder must produce byte-identical
+#                                    artifacts to one run without, and
+#                                    deterministic exports across re-runs
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/6] cargo build --release"
+echo "==> [1/7] cargo build --release"
 cargo build --release --workspace
 
-echo "==> [2/6] cargo test -q"
+echo "==> [2/7] cargo test -q"
 cargo test -q --workspace
 
-echo "==> [3/6] cargo clippy (-D warnings)"
+echo "==> [3/7] cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "==> [4/6] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [4/7] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [5/6] doc-sync: EXPERIMENTS.md targets exist"
+echo "==> [5/7] doc-sync: EXPERIMENTS.md targets exist"
 missing=0
 for bin in $(grep -o -- '--bin [a-z0-9_]*' EXPERIMENTS.md | awk '{print $2}' | sort -u); do
     if [[ ! -f "crates/bench/src/bin/${bin}.rs" ]]; then
@@ -51,10 +55,13 @@ if [[ ${missing} -ne 0 ]]; then
 fi
 
 CHAOS_STRESS="${CHAOS_STRESS:-3}"
-echo "==> [6/6] chaos stress: ${CHAOS_STRESS}x journal crash/resume suite"
+echo "==> [6/7] chaos stress: ${CHAOS_STRESS}x journal crash/resume suite"
 for i in $(seq 1 "${CHAOS_STRESS}"); do
     echo "    chaos iteration ${i}/${CHAOS_STRESS}"
     cargo test -q -p dphpo-core --test journal_chaos
 done
+
+echo "==> [7/7] telemetry bit-identity (observed == unobserved artifacts)"
+cargo test -q -p dphpo-core --test telemetry_identity
 
 echo "verify: OK"
