@@ -25,6 +25,7 @@
 //! assert_eq!(t.value(g).data(), &[2.0, 4.0]);
 //! ```
 
+pub(crate) mod simd;
 pub mod tape;
 pub mod tensor;
 

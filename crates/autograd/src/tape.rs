@@ -115,7 +115,16 @@ impl Unary {
                 // ln 2 split hi/lo so `t - k·ln2` stays exact in the hi part.
                 const LN2_HI: f64 = 6.931_471_803_691_238e-1;
                 const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
-                for o in out.iter_mut() {
+                // Full lane blocks go through the interleaved kernel, which
+                // runs several independent Horner chains at once instead of
+                // serialising on one chain's multiply–add latency. Identical
+                // per-element arithmetic; the scalar tail below matches it
+                // bit for bit.
+                let mut blocks = out.chunks_exact_mut(crate::simd::TANH_LANES);
+                for block in &mut blocks {
+                    crate::simd::tanh_block(block.try_into().unwrap());
+                }
+                for o in blocks.into_remainder() {
                     // tanh(x) = (e^t - 1)/(e^t + 1) with t = 2x. Beyond
                     // |t| = 40 the quotient rounds to ±1 exactly, so the
                     // clamp matches the unclamped result (and lets the
@@ -198,6 +207,14 @@ enum Op {
     MulColVec(Var, Var),
     RowwiseDot(Var, Var),
     Reshape(Var, Shape),
+    /// Contiguous column slice `(input, start, width)`.
+    SliceCols(Var, usize, usize),
+    /// Column embedding into a wider zero matrix `(input, start, total)`.
+    PadCols(Var, usize, usize),
+    /// Fused activation backward `g ∘ act'(y)`, with the derivative taken
+    /// from the saved layer *output* `y`. One node replaces the
+    /// derivative-chain / multiply nodes the affine backward used to emit.
+    ActBack { g: Var, y: Var, act: Unary },
 }
 
 struct Node {
@@ -463,13 +480,7 @@ impl Tape {
             let (r, c) = (x.shape().rows(), x.shape().cols());
             assert_eq!(b.len(), c, "bias length {} vs cols {c}", b.len());
             let mut out = self.alloc(r * c);
-            for i in 0..r {
-                let xrow = &x.data()[i * c..i * c + c];
-                let orow = &mut out[i * c..i * c + c];
-                for ((o, &xv), &bv) in orow.iter_mut().zip(xrow).zip(b.data()) {
-                    *o = xv + bv;
-                }
-            }
+            crate::simd::add_bias(x.data(), c, b.data(), &mut out);
             out.into_tensor(x.shape())
         };
         self.push(value, Op::AddBias(m, bias))
@@ -536,18 +547,77 @@ impl Tape {
             assert_eq!(bv.len(), n, "affine bias length {} vs cols {n}", bv.len());
             let mut out = self.alloc_zeroed(m * n);
             xv.matmul_into(wv, &mut out);
-            for i in 0..m {
-                let orow = &mut out[i * n..i * n + n];
-                for (o, &bvj) in orow.iter_mut().zip(bv.data()) {
-                    *o += bvj;
-                }
-            }
+            crate::simd::add_bias_inplace(&mut out, n, bv.data());
             if let Some(k) = act {
                 k.eval_slice(&mut out);
             }
             out.into_tensor(Shape::D2(m, n))
         };
         self.push(value, Op::Affine { x, w, b, act })
+    }
+
+    /// Fused population sweep over one shared `[m, 1]` input: `G` affine
+    /// layers `act(x·wᵍ + bᵍ)` computed in a single kernel pass.
+    ///
+    /// Semantically this IS `G` calls to [`Tape::affine`] — each returned
+    /// node is an ordinary `Op::Affine` carrying that genome's own
+    /// operands, so gradients and double-backward follow the per-genome
+    /// path unchanged. Only the forward values come from one fused sweep:
+    /// the shared input element is loaded once per row and every genome's
+    /// `[m, nᵍ]` block is written directly. All weights must have one row
+    /// (`k = 1`, the descriptor first layer), where each output element is
+    /// the single product `act((0 + x·w) + b)` — spelled exactly like the
+    /// zero-initialised accumulator of the general kernel, so the fused
+    /// values are bit-identical to the per-genome ones.
+    pub fn affine_population(
+        &self,
+        x: Var,
+        layers: &[(Var, Var)],
+        act: Option<Unary>,
+    ) -> Vec<Var> {
+        // Cheap Arc clones so no node borrow is held across `alloc`/`push`.
+        let xv = self.nodes.borrow()[x.idx].value.clone();
+        assert_eq!(xv.shape().cols(), 1, "affine_population input must be [m, 1]");
+        let m = xv.shape().rows();
+        let wb: Vec<(Tensor, Tensor)> = {
+            let nodes = self.nodes.borrow();
+            layers
+                .iter()
+                .map(|&(w, b)| (nodes[w.idx].value.clone(), nodes[b.idx].value.clone()))
+                .collect()
+        };
+        for (w, b) in &wb {
+            assert_eq!(w.shape().rows(), 1, "affine_population weights must be [1, n]");
+            assert_eq!(b.len(), w.shape().cols(), "affine_population bias length");
+        }
+        let xd = xv.data();
+        let mut bufs: Vec<_> = wb.iter().map(|(w, _)| self.alloc(m * w.shape().cols())).collect();
+        for (p, &xp) in xd.iter().enumerate() {
+            for ((w, b), buf) in wb.iter().zip(bufs.iter_mut()) {
+                let n = w.shape().cols();
+                let (wd, bd) = (w.data(), b.data());
+                let orow = &mut buf[p * n..(p + 1) * n];
+                for j in 0..n {
+                    // `0.0 + x·w` mirrors the general kernel's accumulator
+                    // exactly (it differs from plain `x·w` when the product
+                    // is a negative zero).
+                    orow[j] = (0.0 + xp * wd[j]) + bd[j];
+                }
+            }
+        }
+        if let Some(k) = act {
+            for buf in &mut bufs {
+                k.eval_slice(buf);
+            }
+        }
+        wb.iter()
+            .zip(bufs)
+            .zip(layers)
+            .map(|(((w, _), buf), &(wv, bv))| {
+                let n = w.shape().cols();
+                self.push(buf.into_tensor(Shape::D2(m, n)), Op::Affine { x, w: wv, b: bv, act })
+            })
+            .collect()
     }
 
     /// Apply an elementwise nonlinearity.
@@ -636,14 +706,9 @@ impl Tape {
         let value = {
             let nodes = self.nodes.borrow();
             let x = &nodes[a.idx].value;
-            let (r, c) = (x.shape().rows(), x.shape().cols());
+            let c = x.shape().cols();
             let mut out = self.alloc_zeroed(c);
-            for i in 0..r {
-                let xrow = &x.data()[i * c..i * c + c];
-                for (o, &xv) in out.iter_mut().zip(xrow) {
-                    *o += xv;
-                }
-            }
+            crate::simd::sum_rows(x.data(), c, &mut out);
             out.into_tensor(Shape::D1(c))
         };
         self.push(value, Op::SumRows(a))
@@ -675,24 +740,83 @@ impl Tape {
         self.push(value, Op::BroadcastScalar(a, shape))
     }
 
-    /// Gather rows by index.
+    /// Gather rows by index. Out-of-range indices panic via the kernel's
+    /// slice bounds checks.
     pub fn gather_rows(&self, a: Var, idx: Rc<[usize]>) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            nodes[a.idx].value.gather_rows(&idx)
+            let x = &nodes[a.idx].value;
+            let c = x.shape().cols();
+            let mut out = self.alloc(idx.len() * c);
+            crate::simd::gather_rows(x.data(), c, &idx, &mut out);
+            let shape = match x.shape() {
+                Shape::D1(_) => Shape::D1(idx.len()),
+                Shape::D2(..) => Shape::D2(idx.len(), c),
+            };
+            out.into_tensor(shape)
         };
         let id = self.intern_indices(idx);
         self.push(value, Op::GatherRows(a, id))
     }
 
-    /// Scatter-add rows into a zeroed tensor with `n` rows.
+    /// Scatter-add rows into a zeroed tensor with `n` rows. Out-of-range
+    /// indices panic via the kernel's slice bounds checks.
     pub fn scatter_add_rows(&self, a: Var, idx: Rc<[usize]>, n: usize) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            nodes[a.idx].value.scatter_add_rows(&idx, n)
+            let x = &nodes[a.idx].value;
+            let c = x.shape().cols();
+            assert_eq!(x.shape().rows(), idx.len(), "scatter_add_rows index count");
+            let mut out = self.alloc_zeroed(n * c);
+            crate::simd::scatter_add_rows(x.data(), c, &idx, &mut out);
+            let shape = match x.shape() {
+                Shape::D1(_) => Shape::D1(n),
+                Shape::D2(..) => Shape::D2(n, c),
+            };
+            out.into_tensor(shape)
         };
         let id = self.intern_indices(idx);
         self.push(value, Op::ScatterAddRows(a, id, n))
+    }
+
+    /// Copy the contiguous column range `[start, start+width)` of a matrix
+    /// into a new `[r, width]` tensor. With [`Tape::pad_cols`] this closes
+    /// column-blocked computations (e.g. a population of networks fused
+    /// into one wide layer) under double backward.
+    pub fn slice_cols(&self, a: Var, start: usize, width: usize) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let x = &nodes[a.idx].value;
+            let (r, c) = (x.shape().rows(), x.shape().cols());
+            assert!(start + width <= c, "column slice {start}+{width} exceeds width {c}");
+            let mut out = self.alloc(r * width);
+            for (orow, xrow) in
+                out.chunks_exact_mut(width.max(1)).zip(x.data().chunks_exact(c.max(1)))
+            {
+                orow.copy_from_slice(&xrow[start..start + width]);
+            }
+            out.into_tensor(Shape::D2(r, width))
+        };
+        self.push(value, Op::SliceCols(a, start, width))
+    }
+
+    /// Embed a matrix's columns into a wider zero matrix starting at column
+    /// `start` — the adjoint of [`Tape::slice_cols`].
+    pub fn pad_cols(&self, a: Var, start: usize, total: usize) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let x = &nodes[a.idx].value;
+            let (r, w) = (x.shape().rows(), x.shape().cols());
+            assert!(start + w <= total, "column pad {start}+{w} exceeds width {total}");
+            let mut out = self.alloc_zeroed(r * total);
+            for (orow, xrow) in
+                out.chunks_exact_mut(total.max(1)).zip(x.data().chunks_exact(w.max(1)))
+            {
+                orow[start..start + w].copy_from_slice(xrow);
+            }
+            out.into_tensor(Shape::D2(r, total))
+        };
+        self.push(value, Op::PadCols(a, start, total))
     }
 
     /// Scale row `i` of `m` by `v[i]`.
@@ -703,14 +827,7 @@ impl Tape {
             let (r, c) = (x.shape().rows(), x.shape().cols());
             assert_eq!(s.len(), r, "mul_col_vec length mismatch");
             let mut out = self.alloc(r * c);
-            for i in 0..r {
-                let sv = s.data()[i];
-                let xrow = &x.data()[i * c..i * c + c];
-                let orow = &mut out[i * c..i * c + c];
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o = xv * sv;
-                }
-            }
+            crate::simd::row_scale(x.data(), c, s.data(), &mut out);
             out.into_tensor(x.shape())
         };
         self.push(value, Op::MulColVec(m, v))
@@ -775,6 +892,19 @@ impl Tape {
     /// Every supported activation admits such a form:
     /// tanh' = 1-y², σ' = y(1-y), softplus' = 1-e^{-y} (= σ of the input),
     /// relu' = step(y), relu6' = step(y)·step(6-y).
+    /// Fused `g ∘ act'(y)` from a saved activation output: the taped
+    /// counterpart of [`Tape::val_affine_gm`], evaluated in one pass and
+    /// recorded as a single [`Op::ActBack`] node. Bit-identical to the
+    /// decomposed `mul(g, activation_derivative_from_output(...))` chain —
+    /// every per-element rounding happens in the same order.
+    fn act_back(&self, g: Var, y: Var, act: Unary) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            self.val_affine_gm(act, &nodes[g.idx].value, &nodes[y.idx].value)
+        };
+        self.push(value, Op::ActBack { g, y, act })
+    }
+
     fn activation_derivative_from_output(&self, k: Unary, y: Var) -> Var {
         match k {
             Unary::Tanh => self.unary(Unary::OneMinusSquare, y),
@@ -818,14 +948,9 @@ impl Tape {
 
     /// Column sums into a pooled buffer (value-level, no node).
     fn val_sum_rows(&self, x: &Tensor) -> Tensor {
-        let (r, c) = (x.shape().rows(), x.shape().cols());
+        let c = x.shape().cols();
         let mut out = self.alloc_zeroed(c);
-        for i in 0..r {
-            let xrow = &x.data()[i * c..i * c + c];
-            for (o, &xv) in out.iter_mut().zip(xrow) {
-                *o += xv;
-            }
-        }
+        crate::simd::sum_rows(x.data(), c, &mut out);
         out.into_tensor(Shape::D1(c))
     }
 
@@ -834,14 +959,7 @@ impl Tape {
         let (r, c) = (x.shape().rows(), x.shape().cols());
         debug_assert_eq!(s.len(), r);
         let mut out = self.alloc(r * c);
-        for i in 0..r {
-            let sv = s.data()[i];
-            let xrow = &x.data()[i * c..i * c + c];
-            let orow = &mut out[i * c..i * c + c];
-            for (o, &xv) in orow.iter_mut().zip(xrow) {
-                *o = xv * sv;
-            }
-        }
+        crate::simd::row_scale(x.data(), c, s.data(), &mut out);
         out.into_tensor(x.shape())
     }
 
@@ -852,38 +970,40 @@ impl Tape {
             return None; // derivative is identically zero
         }
         let mut out = self.alloc(xv.len());
-        for (i, o) in out.iter_mut().enumerate() {
-            let x = xv.data()[i];
-            let y = yv.data()[i];
-            let d = match k {
-                Unary::Tanh => -(y * y) + 1.0,
-                Unary::Sigmoid => y * (-y + 1.0),
-                Unary::Softplus => Unary::Sigmoid.eval(x),
-                Unary::Relu => {
-                    if x > 0.0 {
-                        1.0
-                    } else {
-                        0.0
-                    }
+        // One fused pass per variant: the activation match is hoisted out
+        // of the element loop so each arm is a straight-line loop the
+        // autovectorizer handles. Arithmetic per element is unchanged.
+        macro_rules! sweep {
+            (|$x:ident, $y:ident| $d:expr) => {{
+                for (((o, &gv), &$x, ), &$y) in
+                    out.iter_mut().zip(g.data()).zip(xv.data()).zip(yv.data())
+                {
+                    let d = $d;
+                    *o = gv * d;
                 }
-                Unary::Relu6 => {
-                    let s1 = if x > 0.0 { 1.0 } else { 0.0 };
-                    let s2 = if -x + 6.0 > 0.0 { 1.0 } else { 0.0 };
-                    s1 * s2
-                }
-                Unary::Exp => y,
-                Unary::Sqrt => (1.0 / y) * 0.5,
-                Unary::Recip => -(y * y),
-                Unary::Square => x * 2.0,
-                Unary::OneMinusSquare => x * (-2.0),
-                Unary::Clamp01 => {
-                    let s1 = if x > 0.0 { 1.0 } else { 0.0 };
-                    let s2 = if -x + 1.0 > 0.0 { 1.0 } else { 0.0 };
-                    s1 * s2
-                }
-                Unary::Step => unreachable!(),
-            };
-            *o = g.data()[i] * d;
+            }};
+        }
+        match k {
+            Unary::Tanh => sweep!(|_x, y| -(y * y) + 1.0),
+            Unary::Sigmoid => sweep!(|_x, y| y * (-y + 1.0)),
+            Unary::Softplus => sweep!(|x, _y| Unary::Sigmoid.eval(x)),
+            Unary::Relu => sweep!(|x, _y| if x > 0.0 { 1.0 } else { 0.0 }),
+            Unary::Relu6 => sweep!(|x, _y| {
+                let s1 = if x > 0.0 { 1.0 } else { 0.0 };
+                let s2 = if -x + 6.0 > 0.0 { 1.0 } else { 0.0 };
+                s1 * s2
+            }),
+            Unary::Exp => sweep!(|_x, y| y),
+            Unary::Sqrt => sweep!(|_x, y| (1.0 / y) * 0.5),
+            Unary::Recip => sweep!(|_x, y| -(y * y)),
+            Unary::Square => sweep!(|x, _y| x * 2.0),
+            Unary::OneMinusSquare => sweep!(|x, _y| x * (-2.0)),
+            Unary::Clamp01 => sweep!(|x, _y| {
+                let s1 = if x > 0.0 { 1.0 } else { 0.0 };
+                let s2 = if -x + 1.0 > 0.0 { 1.0 } else { 0.0 };
+                s1 * s2
+            }),
+            Unary::Step => unreachable!(),
         }
         Some(out.into_tensor(xv.shape()))
     }
@@ -892,29 +1012,65 @@ impl Tape {
     /// mirroring [`Tape::activation_derivative_from_output`] exactly.
     fn val_affine_gm(&self, k: Unary, g: &Tensor, yv: &Tensor) -> Tensor {
         let mut out = self.alloc(yv.len());
-        for (i, o) in out.iter_mut().enumerate() {
-            let y = yv.data()[i];
-            let d = match k {
-                Unary::Tanh => -(y * y) + 1.0,
-                Unary::Sigmoid => y * (-y + 1.0),
-                Unary::Softplus => (-((-y).exp())) + 1.0,
-                Unary::Relu => {
-                    if y > 0.0 {
-                        1.0
-                    } else {
-                        0.0
-                    }
+        // Variant match hoisted out of the element loop (see
+        // `val_unary_backward`); per-element arithmetic unchanged.
+        macro_rules! sweep {
+            (|$y:ident| $d:expr) => {{
+                for ((o, &gv), &$y) in out.iter_mut().zip(g.data()).zip(yv.data()) {
+                    let d = $d;
+                    *o = gv * d;
                 }
-                Unary::Relu6 => {
-                    let s1 = if y > 0.0 { 1.0 } else { 0.0 };
-                    let s2 = if -y + 6.0 > 0.0 { 1.0 } else { 0.0 };
-                    s1 * s2
-                }
-                _ => panic!("affine fusion only supports MLP activations, got {k:?}"),
-            };
-            *o = g.data()[i] * d;
+            }};
+        }
+        match k {
+            Unary::Tanh => sweep!(|y| -(y * y) + 1.0),
+            Unary::Sigmoid => sweep!(|y| y * (-y + 1.0)),
+            Unary::Softplus => sweep!(|y| (-((-y).exp())) + 1.0),
+            Unary::Relu => sweep!(|y| if y > 0.0 { 1.0 } else { 0.0 }),
+            Unary::Relu6 => sweep!(|y| {
+                let s1 = if y > 0.0 { 1.0 } else { 0.0 };
+                let s2 = if -y + 6.0 > 0.0 { 1.0 } else { 0.0 };
+                s1 * s2
+            }),
+            _ => panic!("affine fusion only supports MLP activations, got {k:?}"),
         }
         out.into_tensor(yv.shape())
+    }
+
+    /// y-adjoint of [`Op::ActBack`]: `(G ∘ g) ∘ d(act')/dy` evaluated from
+    /// the saved output, with every intermediate rounded in exactly the
+    /// order the decomposed derivative chain rounded it (see the taped
+    /// `ActBack` arm in [`Tape::grad`]). Returns `None` for step-derivative
+    /// activations, whose second derivative is zero almost everywhere —
+    /// matching the decomposed chain, which contributed nothing.
+    fn val_act_back_y(
+        &self,
+        k: Unary,
+        g: &Tensor,
+        ggv: &Tensor,
+        yv: &Tensor,
+    ) -> Option<Tensor> {
+        if matches!(k, Unary::Relu | Unary::Relu6) {
+            return None;
+        }
+        let mut out = self.alloc(yv.len());
+        macro_rules! sweep {
+            (|$t:ident, $y:ident| $e:expr) => {{
+                for (((o, &gv), &hv), &$y) in
+                    out.iter_mut().zip(g.data()).zip(ggv.data()).zip(yv.data())
+                {
+                    let $t = gv * hv;
+                    *o = $e;
+                }
+            }};
+        }
+        match k {
+            Unary::Tanh => sweep!(|t, y| t * (y * -2.0)),
+            Unary::Sigmoid => sweep!(|t, y| (t * ((-y) + 1.0)) + (-(t * y))),
+            Unary::Softplus => sweep!(|t, y| -((-t) * (-y).exp())),
+            _ => panic!("affine fusion only supports MLP activations, got {k:?}"),
+        }
+        Some(out.into_tensor(yv.shape()))
     }
 
     /// Nodes from which at least one `wrt` target is reachable by walking
@@ -949,6 +1105,7 @@ impl Tape {
                 Op::Affine { x, w, b, .. } => {
                     useful[x.idx] || useful[w.idx] || useful[b.idx]
                 }
+                Op::ActBack { g, y, .. } => useful[g.idx] || useful[y.idx],
                 Op::Neg(a)
                 | Op::Scale(a, _)
                 | Op::AddScalar(a, _)
@@ -960,7 +1117,9 @@ impl Tape {
                 | Op::BroadcastScalar(a, _)
                 | Op::GatherRows(a, _)
                 | Op::ScatterAddRows(a, _, _)
-                | Op::Reshape(a, _) => useful[a.idx],
+                | Op::Reshape(a, _)
+                | Op::SliceCols(a, _, _)
+                | Op::PadCols(a, _, _) => useful[a.idx],
             };
         }
         useful
@@ -1137,6 +1296,46 @@ impl Tape {
                         self.recycle(gm);
                     }
                 }
+                Op::ActBack { g: gg, y, act } => {
+                    let yv = &nodes[y.idx].value;
+                    if useful[gg.idx] {
+                        let c = self.val_affine_gm(act, &g, yv);
+                        acc(gg, c, &mut adjoint);
+                    }
+                    if useful[y.idx] {
+                        let ggv = &nodes[gg.idx].value;
+                        if let Some(c) = self.val_act_back_y(act, &g, ggv, yv) {
+                            acc(y, c, &mut adjoint);
+                        }
+                    }
+                }
+                Op::SliceCols(a, start, _) => {
+                    if useful[a.idx] {
+                        let ashape = nodes[a.idx].value.shape();
+                        let (r, c) = (ashape.rows(), ashape.cols());
+                        let w = g.shape().cols();
+                        let mut out = self.alloc_zeroed(r * c);
+                        for (orow, grow) in
+                            out.chunks_exact_mut(c.max(1)).zip(g.data().chunks_exact(w.max(1)))
+                        {
+                            orow[start..start + w].copy_from_slice(grow);
+                        }
+                        acc(a, out.into_tensor(Shape::D2(r, c)), &mut adjoint);
+                    }
+                }
+                Op::PadCols(a, start, total) => {
+                    if useful[a.idx] {
+                        let ashape = nodes[a.idx].value.shape();
+                        let (r, w) = (ashape.rows(), ashape.cols());
+                        let mut out = self.alloc(r * w);
+                        for (orow, grow) in
+                            out.chunks_exact_mut(w.max(1)).zip(g.data().chunks_exact(total.max(1)))
+                        {
+                            orow.copy_from_slice(&grow[start..start + w]);
+                        }
+                        acc(a, out.into_tensor(Shape::D2(r, w)), &mut adjoint);
+                    }
+                }
                 Op::SumAll(a) => {
                     if useful[a.idx] {
                         let shape = nodes[a.idx].value.shape();
@@ -1175,13 +1374,7 @@ impl Tape {
                         let c = ashape.cols();
                         let idx = self.indices(id);
                         let mut out = self.alloc_zeroed(ashape.len());
-                        for (row, &t) in idx.iter().enumerate() {
-                            let src = &g.data()[row * c..row * c + c];
-                            let dst = &mut out[t * c..t * c + c];
-                            for (o, &v) in dst.iter_mut().zip(src) {
-                                *o += v;
-                            }
-                        }
+                        crate::simd::scatter_add_rows(g.data(), c, &idx, &mut out);
                         acc(a, out.into_tensor(ashape), &mut adjoint);
                     }
                 }
@@ -1191,10 +1384,7 @@ impl Tape {
                         let c = ashape.cols();
                         let idx = self.indices(id);
                         let mut out = self.alloc(ashape.len());
-                        for (row, &t) in idx.iter().enumerate() {
-                            out[row * c..row * c + c]
-                                .copy_from_slice(&g.data()[t * c..t * c + c]);
-                        }
+                        crate::simd::gather_rows(g.data(), c, &idx, &mut out);
                         acc(a, out.into_tensor(ashape), &mut adjoint);
                     }
                 }
@@ -1207,13 +1397,7 @@ impl Tape {
                         let mv = &nodes[m.idx].value;
                         let (r, c) = (mv.shape().rows(), mv.shape().cols());
                         let mut gv = self.alloc(r);
-                        for i in 0..r {
-                            let mut dot = 0.0;
-                            for j in 0..c {
-                                dot += g.data()[i * c + j] * mv.data()[i * c + j];
-                            }
-                            gv[i] = dot;
-                        }
+                        crate::simd::rowwise_dot(g.data(), mv.data(), c, &mut gv);
                         acc(v, gv.into_tensor(Shape::D1(r)), &mut adjoint);
                     }
                 }
@@ -1392,10 +1576,7 @@ impl Tape {
                     // then the two matmul adjoints via transposed kernels.
                     if useful[x.idx] || useful[w.idx] || useful[b.idx] {
                         let gm = match act {
-                            Some(k) => {
-                                let d = self.activation_derivative_from_output(k, Var { idx: i });
-                                self.mul(g, d)
-                            }
+                            Some(k) => self.act_back(g, Var { idx: i }, k),
                             None => g,
                         };
                         if useful[x.idx] {
@@ -1410,6 +1591,62 @@ impl Tape {
                             let gb = self.sum_rows(gm);
                             accumulate(b, gb, &mut adjoint);
                         }
+                    }
+                }
+                Op::ActBack { g: gg, y, act } => {
+                    // out = gg ∘ act'(y). The gg-adjoint recreates the
+                    // derivative chain; the y-adjoint mirrors, node for
+                    // node, the chain the decomposed backward would have
+                    // differentiated, so roundings are unchanged.
+                    if useful[gg.idx] {
+                        let d = self.activation_derivative_from_output(act, y);
+                        let c = self.mul(g, d);
+                        accumulate(gg, c, &mut adjoint);
+                    }
+                    if useful[y.idx] {
+                        let gd = self.mul(g, gg);
+                        match act {
+                            // act'(y) = 1 - y² ⇒ d/dy = -2y.
+                            Unary::Tanh => {
+                                let c = self.mul(gd, self.scale(y, -2.0));
+                                accumulate(y, c, &mut adjoint);
+                            }
+                            // act'(y) = y(1-y) ⇒ the product-rule pair.
+                            Unary::Sigmoid => {
+                                let t = self.add_scalar(self.scale(y, -1.0), 1.0);
+                                let c = self.add(
+                                    self.mul(gd, t),
+                                    self.scale(self.mul(gd, y), -1.0),
+                                );
+                                accumulate(y, c, &mut adjoint);
+                            }
+                            // act'(y) = 1 - e⁻ʸ ⇒ d/dy = e⁻ʸ, chained
+                            // through the same neg/exp/neg node shapes.
+                            Unary::Softplus => {
+                                let e = self.exp(self.neg(y));
+                                let c = self.neg(self.mul(self.neg(gd), e));
+                                accumulate(y, c, &mut adjoint);
+                            }
+                            // Step-function factors: second derivative is
+                            // zero almost everywhere, matching the None
+                            // contribution of the decomposed step nodes.
+                            Unary::Relu | Unary::Relu6 => {}
+                            _ => panic!("affine fusion only supports MLP activations, got {act:?}"),
+                        }
+                    }
+                }
+                Op::SliceCols(a, start, _) => {
+                    if useful[a.idx] {
+                        let total = self.shape(a).cols();
+                        let gp = self.pad_cols(g, start, total);
+                        accumulate(a, gp, &mut adjoint);
+                    }
+                }
+                Op::PadCols(a, start, _) => {
+                    if useful[a.idx] {
+                        let w = self.shape(a).cols();
+                        let gs = self.slice_cols(g, start, w);
+                        accumulate(a, gs, &mut adjoint);
                     }
                 }
                 Op::SumAll(a) => {
@@ -1489,6 +1726,7 @@ impl Tape {
             .collect()
     }
 }
+
 
 #[cfg(test)]
 mod tests {
@@ -1775,6 +2013,133 @@ mod tests {
         let y = t.sum_all(t.square(g1));
         let g = t.grad(y, &[x]);
         assert_eq!(t.value(g[0]).data(), &[8.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn affine_population_matches_per_genome_affine_bitwise() {
+        // Three genomes with different first-layer widths over one shared
+        // [m,1] input, including negative zeros produced by sign flips and
+        // biases that are themselves ±0.0 — the fused sweep must reproduce
+        // every per-genome bit, and gradients must flow as if each affine
+        // had been recorded individually.
+        let t = Tape::new();
+        let x = t.constant(Tensor::matrix(5, 1, vec![0.3, -1.2, 0.0, -0.0, 7.5]));
+        let specs: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![0.5, -0.25, 3.0], vec![0.1, -0.2, 0.3]),
+            (vec![-0.0, 2.0], vec![-0.0, 0.0]),
+            (vec![1.0, 0.0, -1.0, 0.5, 4.0], vec![0.0, -0.0, 1.0, -1.0, 0.25]),
+        ];
+        let layers: Vec<(Var, Var)> = specs
+            .iter()
+            .map(|(w, b)| {
+                (t.constant(Tensor::matrix(1, w.len(), w.clone())), t.constant(Tensor::vector(b)))
+            })
+            .collect();
+        for act in [None, Some(Unary::Tanh)] {
+            let fused = t.affine_population(x, &layers, act);
+            for (&(w, b), f) in layers.iter().zip(&fused) {
+                let solo = t.affine(x, w, b, act);
+                let (fv, sv) = (t.value(*f), t.value(solo));
+                assert_eq!(fv.shape(), sv.shape());
+                for (a, r) in fv.data().iter().zip(sv.data()) {
+                    assert_eq!(a.to_bits(), r.to_bits(), "fused {a} vs solo {r}");
+                }
+                // The fused node is an ordinary affine: same gradients.
+                let gf = t.grad(t.sum_all(*f), &[x, w, b]);
+                let gs = t.grad(t.sum_all(solo), &[x, w, b]);
+                for (a, b) in gf.iter().zip(&gs) {
+                    assert_eq!(t.value(*a).data(), t.value(*b).data());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_and_pad_cols_values_and_gradients() {
+        let t = Tape::new();
+        let x = t.constant(Tensor::matrix(2, 4, (0..8).map(|v| v as f64 + 1.0).collect()));
+        // slice_cols picks a contiguous column window.
+        let mid = t.slice_cols(x, 1, 2);
+        assert_eq!(t.value(mid).shape(), Shape::D2(2, 2));
+        assert_eq!(t.value(mid).data(), &[2.0, 3.0, 6.0, 7.0]);
+        // pad_cols embeds it back at an offset, zero elsewhere.
+        let padded = t.pad_cols(mid, 2, 5);
+        assert_eq!(t.value(padded).shape(), Shape::D2(2, 5));
+        assert_eq!(t.value(padded).data(), &[0.0, 0.0, 2.0, 3.0, 0.0, 0.0, 0.0, 6.0, 7.0, 0.0]);
+        // Gradient of sum(slice²) touches only the sliced columns of x.
+        let y = t.sum_all(t.square(mid));
+        let g = t.grad(y, &[x]);
+        assert_eq!(t.value(g[0]).data(), &[0.0, 4.0, 6.0, 0.0, 0.0, 12.0, 14.0, 0.0]);
+        // Gradient through the pad is the slice of the padded adjoint.
+        let y2 = t.sum_all(t.square(padded));
+        let g2 = t.grad(y2, &[x]);
+        assert_eq!(t.value(g2[0]).data(), t.value(g[0]).data());
+    }
+
+    #[test]
+    fn pad_cols_concat_round_trips_and_is_closed_under_double_backward() {
+        // The population-fusion pattern: embed per-genome weight rows into a
+        // wide matrix via pad_cols + add, run one shared-input layer, slice
+        // each lane back out, and keep every loss per-genome. With a width-1
+        // input the matmul is a single product per element and the other
+        // lanes contribute exact ±0.0 terms to each reduction, so values,
+        // per-genome inner (force-style) gradients, and second-order weight
+        // gradients all match the unfused per-genome graphs to the last ulp
+        // (`==`; signed zeros compare equal). Summing *across* lanes instead
+        // would reorder the shared-input reduction — that is exactly what
+        // population mode never does.
+        let run = |fused: bool| -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+            let t = Tape::new();
+            let x = t.constant(Tensor::matrix(3, 1, vec![0.4, -1.2, 2.5]));
+            let wa = t.constant(Tensor::matrix(1, 2, vec![0.3, -0.2]));
+            let wb = t.constant(Tensor::matrix(1, 2, vec![0.5, 0.7]));
+            let (ha, hb) = if fused {
+                let wide = t.add(t.pad_cols(wa, 0, 4), t.pad_cols(wb, 2, 4));
+                let h = t.tanh(t.matmul(x, wide));
+                (t.slice_cols(h, 0, 2), t.slice_cols(h, 2, 2))
+            } else {
+                (t.tanh(t.matmul(x, wa)), t.tanh(t.matmul(x, wb)))
+            };
+            // Per-genome energies, inner (force-style) gradients, and
+            // second-order weight gradients — no cross-genome reduction.
+            let ea = t.sum_all(ha);
+            let eb = t.sum_all(hb);
+            let fa = t.grad(ea, &[x])[0];
+            let fb = t.grad(eb, &[x])[0];
+            let ga = t.grad(t.sum_all(t.square(fa)), &[wa])[0];
+            let gb = t.grad(t.sum_all(t.square(fb)), &[wb])[0];
+            (
+                t.value(fa).into_data(),
+                t.value(fb).into_data(),
+                t.value(ga).into_data(),
+                t.value(gb).into_data(),
+            )
+        };
+        let (fa_f, fb_f, ga_f, gb_f) = run(true);
+        let (fa_u, fb_u, ga_u, gb_u) = run(false);
+        assert_eq!(fa_f, fa_u);
+        assert_eq!(fb_f, fb_u);
+        assert_eq!(ga_f, ga_u);
+        assert_eq!(gb_f, gb_u);
+    }
+
+    #[test]
+    fn grad_values_matches_taped_grad_for_slice_and_pad() {
+        let t = Tape::new();
+        let x = t.constant(Tensor::matrix(3, 2, vec![0.4, -1.2, 2.5, 0.3, -0.7, 1.1]));
+        let w = t.constant(Tensor::matrix(2, 3, (0..6).map(|i| 0.3 - 0.11 * i as f64).collect()));
+        let h = t.tanh(t.matmul(x, w));
+        let left = t.slice_cols(h, 0, 2);
+        let right = t.slice_cols(h, 2, 1);
+        let back = t.add(t.pad_cols(left, 1, 3), t.pad_cols(right, 0, 3));
+        let loss = t.sum_all(t.square(back));
+        let wrt = [x, w];
+        let taped: Vec<Tensor> = t.grad(loss, &wrt).iter().map(|&g| t.value(g)).collect();
+        let values = t.grad_values(loss, &wrt);
+        for (a, b) in values.iter().zip(taped.iter()) {
+            assert_eq!(a.shape(), b.shape());
+            assert_eq!(a.data(), b.data());
+        }
     }
 
     #[test]

@@ -67,12 +67,6 @@ impl fmt::Display for Shape {
     }
 }
 
-/// Column-panel width for the blocked matmul kernels: a `k × 256` panel of
-/// the right operand (256 × 8 B = 2 KiB per row) stays resident in L1/L2
-/// while the left operand streams past it. Per-element accumulation order
-/// is unchanged from the naive kernel, so results are bit-identical.
-const MATMUL_JBLOCK: usize = 256;
-
 /// A dense, row-major, `f64` tensor of rank 1 or 2 with shared storage.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
@@ -308,12 +302,9 @@ impl Tensor {
             Shape::D1(n) => (1, n),
         };
         assert_eq!(bias.shape.len(), c, "bias length {} vs cols {c}", bias.shape.len());
-        let mut data = (*self.data).clone();
-        for i in 0..r {
-            for j in 0..c {
-                data[i * c + j] += bias.data[j];
-            }
-        }
+        let _ = r;
+        let mut data = vec![0.0; self.data.len()];
+        crate::simd::add_bias(&self.data, c, &bias.data, &mut data);
         Tensor { shape: self.shape, data: Arc::new(data) }
     }
 
@@ -338,35 +329,18 @@ impl Tensor {
         Tensor { shape: Shape::D2(m, n), data: Arc::new(out) }
     }
 
-    /// Matrix product into a caller-provided zeroed buffer of length `m·n`.
+    /// Matrix product accumulated into a caller-provided zeroed buffer of
+    /// length `m·n`.
     ///
-    /// Column-blocked ikj kernel: within each column panel the inner loop
-    /// is contiguous in both `other` and `out`, and the panel of `other`
-    /// (`k × JB`) stays cache-resident across all rows of `self`. Zero
-    /// entries of `self` skip their panel row, which makes one-hot matmuls
-    /// cost only their non-zeros.
+    /// Delegates to the register-tiled wide kernel in `crate::simd`:
+    /// const-width column tiles with 4-row register accumulators. Each
+    /// output element still accumulates in ascending-`k` order, so results
+    /// are bit-identical to the naive triple loop for finite operands (see
+    /// the module docs of `simd` for the exact FP contract).
     pub fn matmul_into(&self, other: &Tensor, out: &mut [f64]) {
         let (m, k, n) = self.matmul_dims(other);
         assert_eq!(out.len(), m * n, "matmul_into output length");
-        for i in 0..m {
-            let arow = &self.data[i * k..i * k + k];
-            let orow = &mut out[i * n..i * n + n];
-            let mut jb = 0;
-            while jb < n {
-                let je = (jb + MATMUL_JBLOCK).min(n);
-                for (kk, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let bseg = &other.data[kk * n + jb..kk * n + je];
-                    let oseg = &mut orow[jb..je];
-                    for (o, &bv) in oseg.iter_mut().zip(bseg) {
-                        *o += a * bv;
-                    }
-                }
-                jb = je;
-            }
-        }
+        crate::simd::mm(&self.data, m, k, &other.data, n, out);
     }
 
     /// `self @ otherᵀ` without materialising the transpose: `[m,k] x [p,k]
@@ -391,34 +365,11 @@ impl Tensor {
         assert_eq!(k, k2, "matmul_nt inner-dim mismatch {} x {}ᵀ", self.shape, other.shape);
         assert_eq!(out.len(), m * p, "matmul_nt_into output length");
         // Each output element is a length-k dot product — a serial FP
-        // reduction the compiler may not reorder. Running 8 independent
-        // dots at once hides the FMA latency while keeping every dot's
+        // reduction the compiler may not reorder. The wide kernel packs
+        // `otherᵀ` into a k-major panel once, turning the strided row walk
+        // into contiguous vector FMAs while keeping every dot's
         // accumulation order (and thus the result bits) unchanged.
-        for i in 0..m {
-            let arow = &self.data[i * k..i * k + k];
-            let orow = &mut out[i * p..i * p + p];
-            let mut j = 0;
-            while j + 8 <= p {
-                let mut acc = [0.0f64; 8];
-                let rows: [&[f64]; 8] =
-                    std::array::from_fn(|u| &other.data[(j + u) * k..(j + u) * k + k]);
-                for (kk, &a) in arow.iter().enumerate() {
-                    for (s, row) in acc.iter_mut().zip(rows) {
-                        *s += a * row[kk];
-                    }
-                }
-                orow[j..j + 8].copy_from_slice(&acc);
-                j += 8;
-            }
-            for (jj, o) in orow.iter_mut().enumerate().skip(j) {
-                let brow = &other.data[jj * k..jj * k + k];
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        crate::simd::mm_nt(&self.data, m, k, &other.data, p, out);
     }
 
     /// `selfᵀ @ other` without materialising the transpose: `[k,m] x [k,n]
@@ -442,19 +393,7 @@ impl Tensor {
         };
         assert_eq!(k, k2, "matmul_tn inner-dim mismatch {}ᵀ x {}", self.shape, other.shape);
         assert_eq!(out.len(), m * n, "matmul_tn_into output length");
-        for kk in 0..k {
-            let arow = &self.data[kk * m..kk * m + m];
-            let brow = &other.data[kk * n..kk * n + n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..i * n + n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += a * bv;
-                }
-            }
-        }
+        crate::simd::mm_tn(&self.data, k, m, &other.data, n, out);
     }
 
     /// Matrix transpose; vectors become `[1, n]` row matrices transposed to `[n, 1]`.
@@ -474,16 +413,12 @@ impl Tensor {
 
     /// Column-sum: `[n,k] -> [k]`.
     pub fn sum_rows(&self) -> Tensor {
-        let (r, c) = match self.shape {
-            Shape::D2(r, c) => (r, c),
-            Shape::D1(n) => (1, n),
+        let c = match self.shape {
+            Shape::D2(_, c) => c,
+            Shape::D1(n) => n,
         };
         let mut out = vec![0.0; c];
-        for i in 0..r {
-            for (j, o) in out.iter_mut().enumerate() {
-                *o += self.data[i * c + j];
-            }
-        }
+        crate::simd::sum_rows(&self.data, c, &mut out);
         Tensor { shape: Shape::D1(c), data: Arc::new(out) }
     }
 
@@ -505,11 +440,11 @@ impl Tensor {
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
         let c = self.shape.cols();
         let r = self.shape.rows();
-        let mut data = Vec::with_capacity(idx.len() * c);
         for &i in idx {
             assert!(i < r, "gather_rows index {i} out of range {r}");
-            data.extend_from_slice(&self.data[i * c..i * c + c]);
         }
+        let mut data = vec![0.0; idx.len() * c];
+        crate::simd::gather_rows(&self.data, c, idx, &mut data);
         let shape = match self.shape {
             Shape::D1(_) => Shape::D1(idx.len()),
             Shape::D2(..) => Shape::D2(idx.len(), c),
@@ -522,13 +457,11 @@ impl Tensor {
     pub fn scatter_add_rows(&self, idx: &[usize], n: usize) -> Tensor {
         let c = self.shape.cols();
         assert_eq!(self.shape.rows(), idx.len(), "scatter_add_rows index count");
-        let mut data = vec![0.0; n * c];
-        for (row, &i) in idx.iter().enumerate() {
+        for &i in idx {
             assert!(i < n, "scatter_add_rows index {i} out of range {n}");
-            for j in 0..c {
-                data[i * c + j] += self.data[row * c + j];
-            }
         }
+        let mut data = vec![0.0; n * c];
+        crate::simd::scatter_add_rows(&self.data, c, idx, &mut data);
         let shape = match self.shape {
             Shape::D1(_) => Shape::D1(n),
             Shape::D2(..) => Shape::D2(n, c),
@@ -543,13 +476,8 @@ impl Tensor {
             Shape::D1(n) => (n, 1),
         };
         assert_eq!(v.shape.len(), r, "mul_col_vec length mismatch");
-        let mut data = (*self.data).clone();
-        for i in 0..r {
-            let s = v.data[i];
-            for j in 0..c {
-                data[i * c + j] *= s;
-            }
-        }
+        let mut data = vec![0.0; r * c];
+        crate::simd::row_scale(&self.data, c, &v.data, &mut data);
         Tensor { shape: self.shape, data: Arc::new(data) }
     }
 
@@ -561,13 +489,7 @@ impl Tensor {
             Shape::D1(n) => (n, 1),
         };
         let mut out = vec![0.0; r];
-        for (i, o) in out.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for j in 0..c {
-                acc += self.data[i * c + j] * other.data[i * c + j];
-            }
-            *o = acc;
-        }
+        crate::simd::rowwise_dot(&self.data, &other.data, c, &mut out);
         Tensor { shape: Shape::D1(r), data: Arc::new(out) }
     }
 }
@@ -664,13 +586,14 @@ mod tests {
 
     #[test]
     fn matmul_blocked_matches_naive_on_wide_output() {
-        // Output wider than one column panel exercises the blocking loop.
-        let n = MATMUL_JBLOCK + 37;
+        // Output wider than one 16-column tile exercises the tiling loop,
+        // with an odd remainder width and a row-block remainder.
+        let n = 16 * 3 + 5;
         let a = Tensor::matrix(3, 5, (0..15).map(|v| v as f64 * 0.37 - 2.0).collect());
         let b = Tensor::matrix(5, n, (0..5 * n).map(|v| (v % 97) as f64 * 0.11 - 4.0).collect());
         let c = a.matmul(&b);
         for i in 0..3 {
-            for j in [0, 1, MATMUL_JBLOCK - 1, MATMUL_JBLOCK, n - 1] {
+            for j in [0, 1, 15, 16, 47, 48, n - 1] {
                 let expect: f64 = (0..5).map(|kk| a.at(i, kk) * b.at(kk, j)).sum();
                 assert!((c.at(i, j) - expect).abs() < 1e-12, "({i},{j})");
             }

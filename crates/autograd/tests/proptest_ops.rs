@@ -225,6 +225,181 @@ proptest! {
     }
 
     #[test]
+    fn matmul_family_matches_naive_scalar_reference_bitwise(
+        dims in (0usize..14, 0usize..14, 0usize..14),
+        pool in prop::collection::vec(-2.0f64..2.0, 2 * 13 * 13)
+    ) {
+        // The tiled/packed SIMD kernels promise the *exact* bits of a naive
+        // triple loop that accumulates each output element independently in
+        // ascending k order (DESIGN.md §10): no mul_add, no zero-skip, no
+        // reduction-axis blocking. Odd sizes exercise every remainder-lane
+        // path of the const-width column tiles; zero dims are the empty
+        // batch. Compare through to_bits so a −0.0/+0.0 swap would fail.
+        let (m, k, n) = dims;
+        let a_data = &pool[..m * k];
+        let b_data = &pool[13 * 13..13 * 13 + k * n];
+        let reference = |a: &[f64], b: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        acc += a[i * k + kk] * b[kk * n + j];
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+            out
+        };
+        let expect = reference(a_data, b_data);
+        let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+        let t = Tape::new();
+        // Plain matmul: A[m,k] @ B[k,n].
+        let a = t.constant(Tensor::matrix(m, k, a_data.to_vec()));
+        let b = t.constant(Tensor::matrix(k, n, b_data.to_vec()));
+        prop_assert_eq!(bits(t.value(t.matmul(a, b)).data()), bits(&expect));
+        // NT: A[m,k] @ (Bᵀ[n,k])ᵀ reads B transposed but must keep the same
+        // ascending-k accumulation (the pack is a layout change only).
+        let mut b_t = vec![0.0; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                b_t[j * k + kk] = b_data[kk * n + j];
+            }
+        }
+        let bt = t.constant(Tensor::matrix(n, k, b_t));
+        prop_assert_eq!(bits(t.value(t.matmul_nt(a, bt)).data()), bits(&expect));
+        // TN: (Aᵀ[k,m])ᵀ @ B[k,n].
+        let mut a_t = vec![0.0; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a_t[kk * m + i] = a_data[i * k + kk];
+            }
+        }
+        let at = t.constant(Tensor::matrix(k, m, a_t));
+        prop_assert_eq!(bits(t.value(t.matmul_tn(at, b)).data()), bits(&expect));
+    }
+
+    #[test]
+    fn bulk_unary_matches_singleton_evaluation_bitwise(
+        data in prop::collection::vec(-4.0f64..4.0, 1..40)
+    ) {
+        // The bulk activation kernels process fixed-width lane blocks with a
+        // scalar tail; every element must come out bit-identical to
+        // evaluating that element alone (a length-1 tensor only ever takes
+        // the remainder path). Random lengths 1..40 cover full blocks,
+        // partial tails, and the degenerate single-lane case.
+        let t = Tape::new();
+        for kind in [Unary::Tanh, Unary::Sigmoid, Unary::Softplus, Unary::Relu, Unary::Relu6] {
+            let v = t.constant(Tensor::vector(&data));
+            let bulk = t.value(t.unary(kind, v));
+            for (i, &x) in data.iter().enumerate() {
+                let s = t.constant(Tensor::vector(&[x]));
+                let solo = t.value(t.unary(kind, s));
+                prop_assert_eq!(
+                    bulk.data()[i].to_bits(),
+                    solo.data()[0].to_bits(),
+                    "{:?} lane {} of {}", kind, i, data.len()
+                );
+            }
+            t.reset();
+        }
+    }
+
+    #[test]
+    fn affine_population_matches_per_genome_affine(
+        x_data in prop::collection::vec(-1.5f64..1.5, 1..9),
+        genome_pools in prop::collection::vec(
+            prop::collection::vec(-1.5f64..1.5, 2..13), 0..5)
+    ) {
+        // The population-fused first layer must be bitwise indistinguishable
+        // from running each genome's affine alone — values, gradients, and
+        // the empty-population batch. Each genome's pool splits in half into
+        // (w, b), so widths 1..6 vary per genome (ragged batch).
+        let m = x_data.len();
+        let genomes: Vec<(Vec<f64>, Vec<f64>)> = genome_pools
+            .iter()
+            .map(|p| {
+                let n = p.len() / 2;
+                (p[..n].to_vec(), p[n..2 * n].to_vec())
+            })
+            .collect();
+        for act in [None, Some(Unary::Tanh)] {
+            let t = Tape::new();
+            let x = t.constant(Tensor::matrix(m, 1, x_data.clone()));
+            let layers: Vec<_> = genomes
+                .iter()
+                .map(|(w, b)| {
+                    (t.constant(Tensor::matrix(1, w.len(), w.clone())),
+                     t.constant(Tensor::vector(b)))
+                })
+                .collect();
+            let fused = t.affine_population(x, &layers, act);
+            prop_assert_eq!(fused.len(), genomes.len());
+            for (g, &(w, b)) in layers.iter().enumerate() {
+                let solo = t.affine(x, w, b, act);
+                let fv = t.value(fused[g]);
+                let sv = t.value(solo);
+                prop_assert_eq!(fv.shape(), sv.shape());
+                for (a, c) in fv.data().iter().zip(sv.data()) {
+                    prop_assert_eq!(a.to_bits(), c.to_bits(), "genome {} value", g);
+                }
+                let gf = t.grad(t.sum_all(t.square(fused[g])), &[x, w, b]);
+                let gs = t.grad(t.sum_all(t.square(solo)), &[x, w, b]);
+                for (vf, vs) in gf.iter().zip(gs.iter()) {
+                    for (a, c) in t.value(*vf).data().iter().zip(t.value(*vs).data()) {
+                        prop_assert_eq!(a.to_bits(), c.to_bits(), "genome {} grad", g);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_values_matches_taped_grad_on_population_path(
+        x_data in prop::collection::vec(-1.5f64..1.5, 1..7),
+        genome_pools in prop::collection::vec(
+            prop::collection::vec(-1.5f64..1.5, 2..11), 1..5)
+    ) {
+        // Extends the grad_values-vs-taped-grad bit-identity contract to
+        // graphs containing population-fused affine nodes, including an
+        // inner taped gradient (the force path) so the value-level backward
+        // has to traverse adjoint nodes rooted at the fused layer.
+        let m = x_data.len();
+        let t = Tape::new();
+        let x = t.constant(Tensor::matrix(m, 1, x_data));
+        let layers: Vec<_> = genome_pools
+            .iter()
+            .map(|p| {
+                let n = p.len() / 2;
+                (t.constant(Tensor::matrix(1, n, p[..n].to_vec())),
+                 t.constant(Tensor::vector(&p[n..2 * n])))
+            })
+            .collect();
+        let fused = t.affine_population(x, &layers, Some(Unary::Tanh));
+        let mut e = t.sum_all(fused[0]);
+        for &h in &fused[1..] {
+            e = t.add(e, t.sum_all(h));
+        }
+        let fx = t.grad(e, &[x])[0];
+        let loss = t.add(t.sum_all(t.square(fx)), e);
+        let mut wrt = vec![x];
+        for &(w, b) in &layers {
+            wrt.push(w);
+            wrt.push(b);
+        }
+        let taped: Vec<Tensor> = t.grad(loss, &wrt).iter().map(|&g| t.value(g)).collect();
+        let before = t.len();
+        let values = t.grad_values(loss, &wrt);
+        prop_assert_eq!(t.len(), before, "grad_values must not record nodes");
+        for (a, b) in values.iter().zip(taped.iter()) {
+            prop_assert_eq!(a.shape(), b.shape());
+            for (va, vb) in a.data().iter().zip(b.data()) {
+                prop_assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn add_bias_and_sum_rows_are_adjoint(
         m in prop::collection::vec(-2.0f64..2.0, 6),
         bias in prop::collection::vec(-2.0f64..2.0, 3)

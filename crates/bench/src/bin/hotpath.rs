@@ -1,16 +1,23 @@
 //! Machine-readable baseline of the training hot path: steady-state
-//! training step cost plus the tensor/tape kernels it is built from
-//! (blocked matmul, transposed-operand matmuls, fused affine layer).
+//! training step cost, the tensor/tape kernels it is built from (blocked
+//! matmul, transposed-operand matmuls, bulk tanh, fused affine layer),
+//! the batched-vs-scalar descriptor pass, and the population-level fused
+//! validation sweep.
 //!
-//! Writes `BENCH_hotpath.json` into the current directory — run from the
-//! repo root (or via `scripts/bench_baseline.sh`) to refresh the checked-in
-//! baseline. `--quick` trades stability for runtime (CI-friendly).
+//! Writes `BENCH_hotpath.json` (schema `dphpo-hotpath-v2`) into the
+//! current directory — run from the repo root (or via
+//! `scripts/bench_baseline.sh`) to refresh the checked-in baseline.
+//! `--quick` trades stability for runtime (CI-friendly).
 
 use std::time::Instant;
 
 use dphpo_autograd::{Tape, Tensor, Unary};
 use dphpo_dnnp::json::Json;
-use dphpo_dnnp::{train, TrainConfig};
+use dphpo_dnnp::model::forward_population;
+use dphpo_dnnp::descriptor::merge_frame_caches;
+use dphpo_dnnp::{
+    forward_cached, train, train_population, DnnpModel, FrameCache, Supervision, TrainConfig,
+};
 use dphpo_md::generate::{generate_dataset, GenConfig};
 use dphpo_md::Dataset;
 use rand::rngs::StdRng;
@@ -73,10 +80,28 @@ fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
     Tensor::matrix(rows, cols, (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect())
 }
 
+/// Tile a one-frame one-hot matrix `[n, S]` into `[B·n, S]`.
+fn tile_onehot(onehot: &Tensor, batch: usize) -> Tensor {
+    let rows = onehot.shape().rows();
+    let cols = onehot.shape().cols();
+    let mut out = Vec::with_capacity(batch * rows * cols);
+    for _ in 0..batch {
+        out.extend_from_slice(onehot.data());
+    }
+    Tensor::matrix(batch * rows, cols, out)
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (samples, k_steps, mm_reps, aff_reps) =
-        if quick { (1, 20, 300, 60) } else { (3, 100, 3000, 400) };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let (samples, k_steps, mm_reps, aff_reps, act_reps) =
+        if quick { (3, 20, 300, 60, 100) } else { (3, 100, 3000, 400, 1000) };
     let (train_ds, val_ds) = data();
 
     // Steady-state step cost by subtraction: t(2K) − t(K) spans exactly K
@@ -109,6 +134,14 @@ fn main() {
     let matmul_tn_ns = ns_per_op(samples, mm_reps, || {
         let _ = std::hint::black_box(&a).matmul_tn(std::hint::black_box(&b));
     });
+    // Bulk tanh through the tape's vectorized unary kernel.
+    let t0 = random_matrix(64, 64, &mut rng);
+    let ttape = Tape::new();
+    let tanh_ns = ns_per_op(samples, act_reps, || {
+        ttape.reset();
+        let x = ttape.constant(t0.clone());
+        let _ = std::hint::black_box(ttape.item(ttape.sum_all(ttape.tanh(x))));
+    });
 
     // Fused affine layer, forward + weight gradient, on an arena tape —
     // the per-layer unit of work inside every training step.
@@ -132,8 +165,116 @@ fn main() {
     let affine_fused_ns = ns_per_op(samples, aff_reps, || affine_cycle(true));
     let affine_unfused_ns = ns_per_op(samples, aff_reps, || affine_cycle(false));
 
+    // Batched descriptor pass: the forward+forces graph over B frames as
+    // one merged SoA cache versus B per-frame graphs. This is exactly the
+    // transformation the trainer applies to its data-parallel batch.
+    println!("timing batched vs scalar descriptor pass...");
+    let batch_frames = 8.min(train_ds.frames.len());
+    let bcfg = config(REFERENCE_RCUT, 1);
+    let mut mrng = StdRng::seed_from_u64(9);
+    let model = DnnpModel::new(bcfg.clone(), &train_ds, &mut mrng).expect("bench model");
+    let frame_caches: Vec<FrameCache> = train_ds.frames[..batch_frames]
+        .iter()
+        .map(|f| model.build_cache(&f.positions))
+        .collect();
+    let cache_refs: Vec<&FrameCache> = frame_caches.iter().collect();
+    let merged = merge_frame_caches(&cache_refs);
+    let onehot_batch = tile_onehot(&model.onehot, batch_frames);
+    let btape = Tape::new();
+    let batch_reps = if quick { 20 } else { 200 };
+    let scalar_pass_ns = ns_per_op(samples, batch_reps, || {
+        for cache in &frame_caches {
+            btape.reset();
+            let taped = model.params.register(&btape);
+            let graph =
+                forward_cached(&btape, &taped, &bcfg, &model.stats, cache, &model.onehot, true);
+            let _ = std::hint::black_box(
+                btape.item(btape.sum_all(graph.forces.expect("forces"))),
+            );
+        }
+    });
+    let batched_pass_ns = ns_per_op(samples, batch_reps, || {
+        btape.reset();
+        let taped = model.params.register(&btape);
+        let graph =
+            forward_cached(&btape, &taped, &bcfg, &model.stats, &merged, &onehot_batch, true);
+        let _ =
+            std::hint::black_box(btape.item(btape.sum_all(graph.forces.expect("forces"))));
+    });
+
+    // Population-level evaluation: G genomes sharing the rcut bucket.
+    // (a) the fused first-layer validation sweep versus G sequential
+    // sweeps on the same merged batch; (b) end-to-end `train_population`
+    // versus a sequential loop of `train` over the same jobs.
+    println!("timing population-level evaluation...");
+    let genomes = 4usize;
+    let pop_steps = if quick { 10 } else { 40 };
+    let pop_jobs: Vec<(TrainConfig, u64)> = (0..genomes)
+        .map(|g| {
+            let mut c = config(REFERENCE_RCUT, pop_steps);
+            c.disp_freq = pop_steps / 2;
+            c.fitting_neurons = vec![8 + g, 8];
+            (c, 100 + g as u64)
+        })
+        .collect();
+    let pop_models: Vec<DnnpModel> = pop_jobs
+        .iter()
+        .map(|(c, seed)| {
+            let mut r = StdRng::seed_from_u64(*seed);
+            DnnpModel::with_stats(c.clone(), &train_ds, model.stats.clone(), &mut r)
+                .expect("bench model")
+        })
+        .collect();
+    let sweep_reps = if quick { 10 } else { 100 };
+    let sweep_sequential_ns = ns_per_op(samples, sweep_reps, || {
+        for m in &pop_models {
+            btape.reset();
+            let taped = m.params.register(&btape);
+            let graph = forward_cached(
+                &btape,
+                &taped,
+                &m.config,
+                &m.stats,
+                &merged,
+                &onehot_batch,
+                true,
+            );
+            let _ = std::hint::black_box(
+                btape.item(btape.sum_all(graph.forces.expect("forces"))),
+            );
+        }
+    });
+    let sweep_fused_ns = ns_per_op(samples, sweep_reps, || {
+        btape.reset();
+        let tapeds: Vec<_> = pop_models.iter().map(|m| m.params.register(&btape)).collect();
+        let configs: Vec<&TrainConfig> = pop_models.iter().map(|m| &m.config).collect();
+        let graphs = forward_population(
+            &btape,
+            &tapeds,
+            &configs,
+            &model.stats,
+            &merged,
+            &onehot_batch,
+            true,
+        );
+        for graph in graphs {
+            let _ = std::hint::black_box(
+                btape.item(btape.sum_all(graph.forces.expect("forces"))),
+            );
+        }
+    });
+    let train_sequential_ns = time_best(samples, || {
+        for (c, seed) in &pop_jobs {
+            let mut r = StdRng::seed_from_u64(*seed);
+            let _ = train(c, &train_ds, &val_ds, &mut r).unwrap();
+        }
+    }) * 1e9;
+    let train_population_ns = time_best(samples, || {
+        let _ = train_population(&pop_jobs, &train_ds, &val_ds, &Supervision::none()).unwrap();
+    }) * 1e9;
+
     let doc = Json::object(vec![
-        ("schema", Json::String("dphpo-hotpath-v1".into())),
+        ("schema", Json::String("dphpo-hotpath-v2".into())),
         ("quick", Json::Bool(quick)),
         ("reference_rcut", Json::Number(REFERENCE_RCUT)),
         (
@@ -157,23 +298,68 @@ fn main() {
                 ("matmul_64x64_ns", Json::Number(matmul_ns)),
                 ("matmul_nt_64x64_ns", Json::Number(matmul_nt_ns)),
                 ("matmul_tn_64x64_ns", Json::Number(matmul_tn_ns)),
+                ("tanh_64x64_ns", Json::Number(tanh_ns)),
                 ("affine_fused_fwd_grad_256x32_ns", Json::Number(affine_fused_ns)),
                 ("affine_unfused_fwd_grad_256x32_ns", Json::Number(affine_unfused_ns)),
             ]),
         ),
+        (
+            "batched",
+            Json::object(vec![
+                ("frames", Json::Number(batch_frames as f64)),
+                ("scalar_fwd_forces_ns", Json::Number(scalar_pass_ns)),
+                ("batched_fwd_forces_ns", Json::Number(batched_pass_ns)),
+                ("speedup", Json::Number(scalar_pass_ns / batched_pass_ns)),
+            ]),
+        ),
+        (
+            "population",
+            Json::object(vec![
+                ("genomes", Json::Number(genomes as f64)),
+                ("val_sweep_sequential_ns", Json::Number(sweep_sequential_ns)),
+                ("val_sweep_fused_ns", Json::Number(sweep_fused_ns)),
+                ("val_sweep_speedup", Json::Number(sweep_sequential_ns / sweep_fused_ns)),
+                ("train_steps", Json::Number(pop_steps as f64)),
+                ("train_sequential_ns", Json::Number(train_sequential_ns)),
+                ("train_population_ns", Json::Number(train_population_ns)),
+                (
+                    "train_speedup",
+                    Json::Number(train_sequential_ns / train_population_ns),
+                ),
+            ]),
+        ),
     ]);
-    let path = "BENCH_hotpath.json";
-    std::fs::write(path, format!("{doc}\n")).expect("write baseline");
-    println!("wrote {path}");
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write baseline");
+    println!("wrote {out_path}");
     for &(rcut, ns) in &training {
         println!("  training rcut {rcut}: {:.1} µs/step", ns / 1e3);
     }
     println!(
-        "  matmul 64x64: {matmul_ns:.0} ns  (nt {matmul_nt_ns:.0} ns, tn {matmul_tn_ns:.0} ns)"
+        "  matmul 64x64: {matmul_ns:.0} ns  (nt {matmul_nt_ns:.0} ns, tn {matmul_tn_ns:.0} ns, nt/mm {:.2})",
+        matmul_nt_ns / matmul_ns
     );
+    println!("  tanh 64x64: {tanh_ns:.0} ns");
     println!(
         "  affine 256x32 fwd+grad: fused {:.1} µs vs unfused {:.1} µs",
         affine_fused_ns / 1e3,
         affine_unfused_ns / 1e3
+    );
+    println!(
+        "  batched descriptor pass ({batch_frames} frames): {:.1} µs vs scalar {:.1} µs ({:.2}x)",
+        batched_pass_ns / 1e3,
+        scalar_pass_ns / 1e3,
+        scalar_pass_ns / batched_pass_ns
+    );
+    println!(
+        "  population val sweep ({genomes} genomes): fused {:.1} µs vs sequential {:.1} µs ({:.2}x)",
+        sweep_fused_ns / 1e3,
+        sweep_sequential_ns / 1e3,
+        sweep_sequential_ns / sweep_fused_ns
+    );
+    println!(
+        "  population training ({genomes} genomes x {pop_steps} steps): {:.1} ms vs sequential {:.1} ms ({:.2}x)",
+        train_population_ns / 1e6,
+        train_sequential_ns / 1e6,
+        train_sequential_ns / train_population_ns
     );
 }

@@ -1,0 +1,356 @@
+//! Population-level evaluation: train several genomes in lock-step,
+//! sharing every weight-independent artifact their hyperparameters allow.
+//!
+//! The NSGA-II outer loop evaluates dozens of genomes per generation, and
+//! many of them agree on the geometry-determining hyperparameters (`rcut`,
+//! `rcut_smth`) while differing only in network shape or learning-rate
+//! schedule. Training such genomes independently recomputes identical
+//! descriptor statistics, per-frame neighbor caches, and validation
+//! batches once per genome. [`train_population`] buckets jobs by a
+//! geometry key, builds those artifacts once per bucket, interleaves the
+//! members' training steps on one shared tape arena, and evaluates every
+//! due validation row through a single fused first-layer sweep
+//! ([`crate::model::forward_population`]).
+//!
+//! # Bit-identity contract
+//!
+//! `train_population(jobs, ...)` produces, for every job, a
+//! [`TrainReport`] whose learning curve, trained weights, step counts, and
+//! abort reason are **bit-identical** to running
+//! [`crate::trainer::train_supervised`] on that job alone with
+//! `StdRng::seed_from_u64(seed)`. This holds because:
+//!
+//! - every genome keeps its own rng stream, Adam state, batch
+//!   compositions, and loss graph — training steps share only the tape
+//!   *arena*, never values;
+//! - the fused validation sweep batches genomes along the width of the
+//!   first embedding layer, where the `[P,1]×[1,G·h₁]` matmul is a `k=1`
+//!   product per element — no reduction is widened, so forward values
+//!   match exactly;
+//! - nothing is ever summed *across* genome lanes (that would reorder
+//!   reductions; see `DESIGN.md` §10 for the signed-zero caveat on force
+//!   adjoints, which RMSE squaring erases).
+//!
+//! The identity is enforced by this module's tests.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dphpo_autograd::Tape;
+use dphpo_md::Dataset;
+
+use crate::activation::Activation;
+use crate::config::TrainConfig;
+use crate::descriptor::FrameCache;
+use crate::model::DnnpModel;
+use crate::supervise::Supervision;
+use crate::trainer::{PreparedBatch, TrainReport, TrainRun};
+
+/// Hyperparameters that must match for two genomes to share a bucket.
+///
+/// `rcut`/`rcut_smth` are compared by bit pattern: they determine the
+/// neighbor lists, descriptor statistics, and cached switching values, so
+/// any difference means nothing is shareable. `h1` (first embedding
+/// width) and the descriptor activation gate the fused first-layer sweep;
+/// `num_steps`/`disp_freq`/`val_max_frames` keep the members' validation
+/// schedules aligned so every due row lands in the same fused sweep.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct BucketKey {
+    rcut_bits: u64,
+    rcut_smth_bits: u64,
+    h1: usize,
+    desc_activation: Activation,
+    num_steps: usize,
+    disp_freq: usize,
+    val_max_frames: usize,
+}
+
+impl BucketKey {
+    fn of(config: &TrainConfig) -> BucketKey {
+        BucketKey {
+            rcut_bits: config.rcut.to_bits(),
+            rcut_smth_bits: config.rcut_smth.to_bits(),
+            h1: config.embedding_neurons.first().copied().unwrap_or(0),
+            desc_activation: config.desc_activation,
+            num_steps: config.num_steps,
+            disp_freq: config.disp_freq,
+            val_max_frames: config.val_max_frames,
+        }
+    }
+}
+
+/// Train every `(config, seed)` job, sharing descriptor caches, the
+/// validation batch, the tape arena, and fused validation sweeps within
+/// each geometry bucket. Reports come back in input order.
+///
+/// All jobs run under the one `sup`: cancellation stops the whole
+/// population, and the deadline/sentinel probes fire per-run exactly as
+/// they would sequentially.
+pub fn train_population(
+    jobs: &[(TrainConfig, u64)],
+    train_ds: &Dataset,
+    val_ds: &Dataset,
+    sup: &Supervision<'_>,
+) -> Result<Vec<TrainReport>, String> {
+    for (config, _) in jobs {
+        config.validate()?;
+    }
+    if val_ds.frames.is_empty() {
+        return Err("empty validation dataset".into());
+    }
+    // Group job indices by bucket, preserving first-seen bucket order and
+    // input order within each bucket.
+    let mut order: Vec<BucketKey> = Vec::new();
+    let mut buckets: HashMap<BucketKey, Vec<usize>> = HashMap::new();
+    for (i, (config, _)) in jobs.iter().enumerate() {
+        let key = BucketKey::of(config);
+        let members = buckets.entry(key.clone()).or_default();
+        if members.is_empty() {
+            order.push(key);
+        }
+        members.push(i);
+    }
+    let mut reports: Vec<Option<TrainReport>> = (0..jobs.len()).map(|_| None).collect();
+    for key in &order {
+        let members = &buckets[key];
+        for (&i, report) in members.iter().zip(run_bucket(jobs, members, train_ds, val_ds, sup)?)
+        {
+            reports[i] = Some(report);
+        }
+    }
+    Ok(reports.into_iter().map(|r| r.expect("every job belongs to one bucket")).collect())
+}
+
+/// Train one bucket's members in lock-step on shared artifacts.
+fn run_bucket<'a>(
+    jobs: &'a [(TrainConfig, u64)],
+    members: &[usize],
+    train_ds: &'a Dataset,
+    val_ds: &Dataset,
+    sup: &'a Supervision<'a>,
+) -> Result<Vec<TrainReport>, String> {
+    // The first member builds everything weight-independent; the bucket
+    // key guarantees the result is what every other member would have
+    // computed for itself.
+    let (config0, seed0) = &jobs[members[0]];
+    let mut rng0 = StdRng::seed_from_u64(*seed0);
+    let model0 = DnnpModel::new(config0.clone(), train_ds, &mut rng0)?;
+    let stats = model0.stats.clone();
+    let train_caches: Rc<Vec<FrameCache>> =
+        Rc::new(train_ds.frames.iter().map(|f| model0.build_cache(&f.positions)).collect());
+    let n_val = config0.val_max_frames.max(1).min(val_ds.frames.len());
+    let val_indices: Vec<usize> = (0..n_val).collect();
+    let val_caches: Vec<FrameCache> =
+        val_ds.frames[..n_val].iter().map(|f| model0.build_cache(&f.positions)).collect();
+    let val_batch = Rc::new(PreparedBatch::assemble(&model0, val_ds, &val_indices, val_caches));
+    let tape = Rc::new(Tape::new());
+
+    // `rng0` has advanced exactly past model init, so handing it to
+    // `with_parts` continues the stream at the batch-index draws — the
+    // same position a solo `TrainRun::new` would be at.
+    let mut runs: Vec<TrainRun<'a>> = Vec::with_capacity(members.len());
+    runs.push(TrainRun::with_parts(
+        config0,
+        train_ds,
+        &mut rng0,
+        sup,
+        model0,
+        Rc::clone(&train_caches),
+        Rc::clone(&val_batch),
+        Rc::clone(&tape),
+    )?);
+    for &i in &members[1..] {
+        let (config, seed) = &jobs[i];
+        let mut rng = StdRng::seed_from_u64(*seed);
+        let model = DnnpModel::with_stats(config.clone(), train_ds, stats.clone(), &mut rng)?;
+        runs.push(TrainRun::with_parts(
+            config,
+            train_ds,
+            &mut rng,
+            sup,
+            model,
+            Rc::clone(&train_caches),
+            Rc::clone(&val_batch),
+            Rc::clone(&tape),
+        )?);
+    }
+
+    // Lock-step training: each iteration runs one step of every member
+    // still active, then evaluates all the validation rows that came due
+    // through one fused population sweep.
+    loop {
+        let stepped: Vec<usize> = (0..runs.len()).filter(|&gi| runs[gi].is_active()).collect();
+        if stepped.is_empty() {
+            break;
+        }
+        let mut due: Vec<usize> = Vec::new();
+        for &gi in &stepped {
+            if runs[gi].step_core() {
+                due.push(gi);
+            }
+        }
+        if !due.is_empty() {
+            let rmses = {
+                let models: Vec<&DnnpModel> = due.iter().map(|&gi| runs[gi].model()).collect();
+                val_batch.rmse_population(&models)
+            };
+            for (&gi, (rmse_e, rmse_f)) in due.iter().zip(rmses) {
+                runs[gi].apply_val(rmse_e, rmse_f);
+            }
+        }
+        for &gi in &stepped {
+            runs[gi].advance();
+        }
+    }
+
+    // Final validation rows for every member that completed its steps,
+    // again through one fused sweep.
+    let finals: Vec<usize> = (0..runs.len()).filter(|&gi| runs[gi].needs_final_row()).collect();
+    let mut final_rmse: Vec<Option<(f64, f64)>> = vec![None; runs.len()];
+    if !finals.is_empty() {
+        let models: Vec<&DnnpModel> = finals.iter().map(|&gi| runs[gi].model()).collect();
+        for (&gi, rf) in finals.iter().zip(val_batch.rmse_population(&models)) {
+            final_rmse[gi] = Some(rf);
+        }
+    }
+    Ok(runs.into_iter().zip(final_rmse).map(|(run, rf)| run.finish_with(rf)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train_supervised;
+    use dphpo_md::generate::{generate_dataset, GenConfig};
+
+    fn tiny_data(seed: u64) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = GenConfig::tiny();
+        gen.n_frames = 10;
+        let ds = generate_dataset(&gen, &mut rng);
+        ds.split(0.25, &mut rng)
+    }
+
+    fn tiny_config() -> TrainConfig {
+        TrainConfig {
+            start_lr: 0.005,
+            stop_lr: 1e-4,
+            rcut: 5.0,
+            rcut_smth: 2.0,
+            embedding_neurons: vec![6, 4],
+            fitting_neurons: vec![8, 8],
+            num_steps: 60,
+            batch_per_worker: 1,
+            n_workers: 2,
+            disp_freq: 20,
+            val_max_frames: 2,
+            ..TrainConfig::default()
+        }
+    }
+
+    fn assert_reports_identical(solo: &TrainReport, pop: &TrainReport, label: &str) {
+        assert_eq!(solo.steps_completed, pop.steps_completed, "{label}: steps_completed");
+        assert_eq!(solo.diverged, pop.diverged, "{label}: diverged");
+        // Debug formatting compares abort variants including NaN losses.
+        assert_eq!(
+            format!("{:?}", solo.abort),
+            format!("{:?}", pop.abort),
+            "{label}: abort reason"
+        );
+        assert_eq!(solo.lcurve.rows().len(), pop.lcurve.rows().len(), "{label}: lcurve length");
+        for (s, p) in solo.lcurve.rows().iter().zip(pop.lcurve.rows()) {
+            assert_eq!(s.step, p.step, "{label}: lcurve step");
+            for (name, a, b) in [
+                ("rmse_e_val", s.rmse_e_val, p.rmse_e_val),
+                ("rmse_e_trn", s.rmse_e_trn, p.rmse_e_trn),
+                ("rmse_f_val", s.rmse_f_val, p.rmse_f_val),
+                ("rmse_f_trn", s.rmse_f_trn, p.rmse_f_trn),
+                ("lr", s.lr, p.lr),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{label}: lcurve step {} field {name}: {a} vs {b}",
+                    s.step
+                );
+            }
+        }
+        for (i, (ws, wp)) in
+            solo.model.params.flat().iter().zip(pop.model.params.flat()).enumerate()
+        {
+            assert_eq!(ws.shape(), wp.shape(), "{label}: param {i} shape");
+            for (a, b) in ws.data().iter().zip(wp.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label}: param {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The headline contract: a population run — two genomes fused in one
+    /// bucket (different deeper layers and learning rates), one genome in
+    /// its own bucket, and one diverging member — is bit-identical to the
+    /// same jobs trained one at a time.
+    #[test]
+    fn population_training_is_bit_identical_to_sequential() {
+        let (train_ds, val_ds) = tiny_data(3);
+        let jobs: Vec<(TrainConfig, u64)> = vec![
+            (tiny_config(), 11),
+            // Same bucket as job 0: geometry and first embedding layer
+            // match; everything downstream differs.
+            (
+                TrainConfig {
+                    embedding_neurons: vec![6, 3],
+                    fitting_neurons: vec![5, 7],
+                    start_lr: 0.003,
+                    ..tiny_config()
+                },
+                22,
+            ),
+            // Different rcut: its own bucket.
+            (TrainConfig { rcut: 6.0, ..tiny_config() }, 33),
+            // Same bucket as jobs 0/1, but diverges and aborts early.
+            (TrainConfig { start_lr: 1e100, stop_lr: 1e99, ..tiny_config() }, 44),
+        ];
+
+        let solo: Vec<TrainReport> = jobs
+            .iter()
+            .map(|(config, seed)| {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                train_supervised(config, &train_ds, &val_ds, &mut rng, &Supervision::none())
+                    .unwrap()
+            })
+            .collect();
+        let pop =
+            train_population(&jobs, &train_ds, &val_ds, &Supervision::none()).unwrap();
+
+        assert_eq!(pop.len(), jobs.len());
+        for (i, (s, p)) in solo.iter().zip(&pop).enumerate() {
+            assert_reports_identical(s, p, &format!("job {i}"));
+        }
+        assert!(pop[3].diverged, "the 1e100-lr member must diverge in population mode too");
+        assert!(!pop[0].diverged && !pop[1].diverged && !pop[2].diverged);
+    }
+
+    /// A single-genome population goes through the same fused sweep code
+    /// path and must match its solo run exactly.
+    #[test]
+    fn population_of_one_matches_solo_training() {
+        let (train_ds, val_ds) = tiny_data(7);
+        let jobs = vec![(tiny_config(), 5)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let solo =
+            train_supervised(&jobs[0].0, &train_ds, &val_ds, &mut rng, &Supervision::none())
+                .unwrap();
+        let pop = train_population(&jobs, &train_ds, &val_ds, &Supervision::none()).unwrap();
+        assert_reports_identical(&solo, &pop[0], "solo bucket");
+    }
+
+    #[test]
+    fn invalid_member_config_rejects_the_whole_population() {
+        let (train_ds, val_ds) = tiny_data(9);
+        let jobs =
+            vec![(tiny_config(), 1), (TrainConfig { rcut: -1.0, ..tiny_config() }, 2)];
+        assert!(train_population(&jobs, &train_ds, &val_ds, &Supervision::none()).is_err());
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::config::TrainConfig;
-use crate::descriptor::{merge_frame_caches, FrameCache};
+use crate::descriptor::{merge_frame_caches, BatchCache, FrameCache};
 use crate::lcurve::{Lcurve, LcurveRow};
 use crate::loss::PrefactorSchedule;
 use crate::lr::LrSchedule;
@@ -83,7 +83,7 @@ fn tile_onehot(onehot: &Tensor, batch: usize) -> Tensor {
 /// A fixed set of frames assembled into one merged batch graph input, used
 /// for the validation RMSE rows (one tape per evaluation instead of one
 /// per frame).
-struct PreparedBatch {
+pub(crate) struct PreparedBatch {
     merged: FrameCache,
     onehot: Tensor,
     frame_ids: Rc<[usize]>,
@@ -97,7 +97,7 @@ struct PreparedBatch {
 }
 
 impl PreparedBatch {
-    fn assemble(
+    pub(crate) fn assemble(
         model: &DnnpModel,
         dataset: &Dataset,
         indices: &[usize],
@@ -128,7 +128,7 @@ impl PreparedBatch {
     }
 
     /// `(energy RMSE per atom, force RMSE)` of the model on this batch.
-    fn rmse(&self, model: &DnnpModel) -> (f64, f64) {
+    pub(crate) fn rmse(&self, model: &DnnpModel) -> (f64, f64) {
         let tape = &self.tape;
         let taped = model.params.register(tape);
         let graph = forward_cached(
@@ -140,6 +140,40 @@ impl PreparedBatch {
             &self.onehot,
             true,
         );
+        let out = self.graph_rmse(&graph);
+        // Recycle the graph now: this also releases the tape's handles on
+        // the model parameters, keeping the optimiser's in-place update
+        // copy-free.
+        tape.reset();
+        out
+    }
+
+    /// As [`PreparedBatch::rmse`] for a whole population sharing this
+    /// batch's geometry bucket: one fused first-layer sweep evaluates every
+    /// genome (see [`crate::model::forward_population`]). Per-genome RMSEs
+    /// are bit-identical to sequential [`PreparedBatch::rmse`] calls.
+    pub(crate) fn rmse_population(&self, models: &[&DnnpModel]) -> Vec<(f64, f64)> {
+        let tape = &self.tape;
+        let tapeds: Vec<_> = models.iter().map(|m| m.params.register(tape)).collect();
+        let configs: Vec<&TrainConfig> = models.iter().map(|m| &m.config).collect();
+        let graphs = crate::model::forward_population(
+            tape,
+            &tapeds,
+            &configs,
+            &models[0].stats,
+            &self.merged,
+            &self.onehot,
+            true,
+        );
+        let out = graphs.iter().map(|graph| self.graph_rmse(graph)).collect();
+        tape.reset();
+        out
+    }
+
+    /// RMSE reduction over one genome's evaluated graph (shared by the
+    /// sequential and fused paths so the summation order is identical).
+    fn graph_rmse(&self, graph: &crate::model::FrameGraph) -> (f64, f64) {
+        let tape = &self.tape;
         let energies =
             tape.scatter_add_rows(graph.atomic, Rc::clone(&self.frame_ids), self.n_frames);
         let n = self.n_atoms as f64;
@@ -159,10 +193,6 @@ impl PreparedBatch {
                 .map(|(p, r)| (p - r) * (p - r))
                 .sum::<f64>()
         }) / self.forces_flat.len() as f64;
-        // Recycle the graph now: this also releases the tape's handles on
-        // the model parameters, keeping the optimiser's in-place update
-        // copy-free.
-        tape.reset();
         (e_sq.sqrt(), f_sq.sqrt())
     }
 }
@@ -214,169 +244,327 @@ pub fn train_supervised<R: Rng + ?Sized>(
     rng: &mut R,
     sup: &Supervision<'_>,
 ) -> Result<TrainReport, String> {
-    config.validate()?;
-    if val_ds.frames.is_empty() {
-        return Err("empty validation dataset".into());
-    }
-    let mut model = DnnpModel::new(config.clone(), train_ds, rng)?;
-    let schedule = LrSchedule::from_config(config);
-    let prefactors = PrefactorSchedule::from_config(config);
-    let n_atoms = train_ds.n_atoms();
-    let n = n_atoms as f64;
+    let mut run = TrainRun::new(config, train_ds, val_ds, rng, sup)?;
+    while run.step() {}
+    Ok(run.finish())
+}
 
-    // Descriptor values are weight-independent: cache them per frame once
-    // (training and validation), which removes the geometry subgraph from
-    // every step.
-    let train_caches: Vec<FrameCache> =
-        train_ds.frames.iter().map(|f| model.build_cache(&f.positions)).collect();
-    let n_val = config.val_max_frames.max(1).min(val_ds.frames.len());
-    let val_indices: Vec<usize> = (0..n_val).collect();
-    let val_batch = PreparedBatch::assemble(&model, val_ds, &val_indices, {
-        let caches: Vec<FrameCache> = val_ds.frames[..n_val]
-            .iter()
-            .map(|f| model.build_cache(&f.positions))
-            .collect();
-        caches
-    });
-
-    let shapes: Vec<Shape> = model.params.flat().iter().map(|t| t.shape()).collect();
-    let mut adam = Adam::new(&shapes);
-    let mut lcurve = Lcurve::new();
-    let mut diverged = false;
-    let mut steps_completed = 0usize;
-    let mut abort: Option<AbortReason> = None;
-    let mut initial_loss: Option<f64> = None;
-    let check_every = sup.check_every.max(1);
-    // Resolved once: `None` when telemetry is off, so the hot loop pays a
-    // single branch per instrumentation site. Everything recorded below is
-    // computed from values the step already produced — no extra rng draws,
-    // no reordered float ops — so weights are bit-identical either way.
-    let obs = sup.obs();
-    let batch_total = config.n_workers * config.batch_per_worker;
-    let onehot_batch = tile_onehot(&model.onehot, batch_total);
-    let frame_ids: Rc<[usize]> = (0..batch_total)
-        .flat_map(|b| std::iter::repeat_n(b, n_atoms))
-        .collect::<Vec<usize>>()
-        .into();
-
-    // Draw every step's batch indices up front (same nested order, so the
-    // rng stream matches a per-step draw). This lets identical batch
-    // compositions share one merged cache instead of re-merging per step.
-    let step_indices: Vec<Vec<usize>> = (0..config.num_steps)
-        .map(|_| {
-            (0..batch_total)
-                .map(|_| rng.random_range(0..train_ds.frames.len()))
-                .collect()
-        })
+/// Reference labels for a batch composition, as ready-made tensors; the
+/// step loop hands the tape cheap Arc clones instead of re-collecting.
+fn batch_labels(
+    train_ds: &Dataset,
+    indices: &[usize],
+    batch_total: usize,
+    n_atoms: usize,
+) -> (Tensor, Tensor) {
+    let e: Vec<f64> = indices.iter().map(|&i| train_ds.frames[i].energy).collect();
+    let f: Vec<f64> = indices
+        .iter()
+        .flat_map(|&i| train_ds.frames[i].forces.iter().flatten().copied())
         .collect();
-    // Reference labels for a batch composition, as ready-made tensors; the
-    // step loop hands the tape cheap Arc clones instead of re-collecting.
-    let batch_labels = |indices: &[usize]| -> (Tensor, Tensor) {
-        let e: Vec<f64> = indices.iter().map(|&i| train_ds.frames[i].energy).collect();
-        let f: Vec<f64> = indices
-            .iter()
-            .flat_map(|&i| train_ds.frames[i].forces.iter().flatten().copied())
-            .collect();
-        (
-            Tensor::matrix(batch_total, 1, e),
-            Tensor::matrix(batch_total * n_atoms, 3, f),
-        )
-    };
-    let mut merged_memo: HashMap<&[usize], (FrameCache, Tensor, Tensor)> = HashMap::new();
-    for indices in &step_indices {
-        if !merged_memo.contains_key(indices.as_slice()) && merged_memo.len() < MERGED_CACHE_CAP
-        {
-            let batch_caches: Vec<&FrameCache> =
-                indices.iter().map(|&i| &train_caches[i]).collect();
-            let (e_ref, f_ref) = batch_labels(indices);
-            merged_memo
-                .insert(indices.as_slice(), (merge_frame_caches(&batch_caches), e_ref, f_ref));
+    (
+        Tensor::matrix(batch_total, 1, e),
+        Tensor::matrix(batch_total * n_atoms, 3, f),
+    )
+}
+
+/// One training run as an explicit per-step state machine.
+///
+/// [`train_supervised`] is `new` → `step` until inactive → `finish`; the
+/// decomposition exists so [`crate::population::train_population`] can
+/// interleave several runs on one shared tape arena, share descriptor
+/// caches and the validation batch across a geometry bucket, and replace
+/// the per-run validation sweep with one fused population sweep. A run
+/// driven step-by-step is bit-identical to the monolithic loop it replaced:
+/// every rng draw, float op, and supervision probe happens in the same
+/// order.
+pub struct TrainRun<'a> {
+    config: &'a TrainConfig,
+    train_ds: &'a Dataset,
+    sup: &'a Supervision<'a>,
+    model: DnnpModel,
+    schedule: LrSchedule,
+    prefactors: PrefactorSchedule,
+    n_atoms: usize,
+    train_caches: Rc<Vec<FrameCache>>,
+    val_batch: Rc<PreparedBatch>,
+    adam: Adam,
+    lcurve: Lcurve,
+    diverged: bool,
+    steps_completed: usize,
+    abort: Option<AbortReason>,
+    initial_loss: Option<f64>,
+    check_every: usize,
+    batch_total: usize,
+    onehot_batch: Tensor,
+    frame_ids: Rc<[usize]>,
+    step_indices: Vec<Vec<usize>>,
+    merged_memo: HashMap<Vec<usize>, (FrameCache, Tensor, Tensor)>,
+    /// One persistent tape for the whole run (shared across runs in
+    /// population mode): each step rebuilds the same graph topology, so
+    /// `reset()` turns the tape into an arena and the steady state runs
+    /// allocation-free.
+    tape: Rc<Tape>,
+    /// Reusable merger for compositions past the memo cap: steady-state
+    /// merges reclaim the previous step's buffers.
+    batch_merger: BatchCache,
+    step: usize,
+    last_loss: f64,
+    last_trn_e_sq: f64,
+    last_trn_f_sq: f64,
+}
+
+impl<'a> TrainRun<'a> {
+    /// Set up a run: model init, per-frame descriptor caches, the merged
+    /// validation batch, and every step's batch indices (drawn up front in
+    /// the same nested order as a per-step draw, so the rng stream is
+    /// unchanged).
+    pub fn new<R: Rng + ?Sized>(
+        config: &'a TrainConfig,
+        train_ds: &'a Dataset,
+        val_ds: &Dataset,
+        rng: &mut R,
+        sup: &'a Supervision<'a>,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if val_ds.frames.is_empty() {
+            return Err("empty validation dataset".into());
         }
+        let model = DnnpModel::new(config.clone(), train_ds, rng)?;
+        // Descriptor values are weight-independent: cache them per frame
+        // once (training and validation), which removes the geometry
+        // subgraph from every step.
+        let train_caches: Rc<Vec<FrameCache>> =
+            Rc::new(train_ds.frames.iter().map(|f| model.build_cache(&f.positions)).collect());
+        let n_val = config.val_max_frames.max(1).min(val_ds.frames.len());
+        let val_indices: Vec<usize> = (0..n_val).collect();
+        let val_caches: Vec<FrameCache> =
+            val_ds.frames[..n_val].iter().map(|f| model.build_cache(&f.positions)).collect();
+        let val_batch =
+            Rc::new(PreparedBatch::assemble(&model, val_ds, &val_indices, val_caches));
+        Self::with_parts(
+            config,
+            train_ds,
+            rng,
+            sup,
+            model,
+            train_caches,
+            val_batch,
+            Rc::new(Tape::new()),
+        )
     }
 
-    // One persistent tape for the whole run: each step rebuilds the same
-    // graph topology, so `reset()` turns the tape into an arena and the
-    // steady state runs allocation-free.
-    let tape = Tape::new();
-    for (step, indices) in step_indices.iter().enumerate() {
+    /// Assemble a run from shared parts — the population path, where
+    /// descriptor caches, the validation batch, and the tape arena are
+    /// shared across every genome in a geometry bucket.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_parts<R: Rng + ?Sized>(
+        config: &'a TrainConfig,
+        train_ds: &'a Dataset,
+        rng: &mut R,
+        sup: &'a Supervision<'a>,
+        model: DnnpModel,
+        train_caches: Rc<Vec<FrameCache>>,
+        val_batch: Rc<PreparedBatch>,
+        tape: Rc<Tape>,
+    ) -> Result<Self, String> {
+        let schedule = LrSchedule::from_config(config);
+        let prefactors = PrefactorSchedule::from_config(config);
+        let n_atoms = train_ds.n_atoms();
+        let shapes: Vec<Shape> = model.params.flat().iter().map(|t| t.shape()).collect();
+        let adam = Adam::new(&shapes);
+        let batch_total = config.n_workers * config.batch_per_worker;
+        let onehot_batch = tile_onehot(&model.onehot, batch_total);
+        let frame_ids: Rc<[usize]> = (0..batch_total)
+            .flat_map(|b| std::iter::repeat_n(b, n_atoms))
+            .collect::<Vec<usize>>()
+            .into();
+        // Draw every step's batch indices up front. This lets identical
+        // batch compositions share one merged cache instead of re-merging
+        // per step.
+        let step_indices: Vec<Vec<usize>> = (0..config.num_steps)
+            .map(|_| {
+                (0..batch_total)
+                    .map(|_| rng.random_range(0..train_ds.frames.len()))
+                    .collect()
+            })
+            .collect();
+        let mut merged_memo: HashMap<Vec<usize>, (FrameCache, Tensor, Tensor)> = HashMap::new();
+        for indices in &step_indices {
+            if !merged_memo.contains_key(indices.as_slice())
+                && merged_memo.len() < MERGED_CACHE_CAP
+            {
+                let batch_caches: Vec<&FrameCache> =
+                    indices.iter().map(|&i| &train_caches[i]).collect();
+                let (e_ref, f_ref) = batch_labels(train_ds, indices, batch_total, n_atoms);
+                merged_memo.insert(
+                    indices.clone(),
+                    (merge_frame_caches(&batch_caches), e_ref, f_ref),
+                );
+            }
+        }
+        Ok(TrainRun {
+            config,
+            train_ds,
+            sup,
+            model,
+            schedule,
+            prefactors,
+            n_atoms,
+            train_caches,
+            val_batch,
+            adam,
+            lcurve: Lcurve::new(),
+            diverged: false,
+            steps_completed: 0,
+            abort: None,
+            initial_loss: None,
+            check_every: sup.check_every.max(1),
+            batch_total,
+            onehot_batch,
+            frame_ids,
+            step_indices,
+            merged_memo,
+            tape,
+            batch_merger: BatchCache::new(),
+            step: 0,
+            last_loss: f64::NAN,
+            last_trn_e_sq: 0.0,
+            last_trn_f_sq: 0.0,
+        })
+    }
+
+    /// True while the run has steps left and no abort or divergence fired.
+    pub fn is_active(&self) -> bool {
+        !self.diverged && self.abort.is_none() && self.step < self.config.num_steps
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &DnnpModel {
+        &self.model
+    }
+
+    /// Run one full step, including any due validation row. Returns `true`
+    /// while the run remains active.
+    pub fn step(&mut self) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        if self.step_core() {
+            let (rmse_e, rmse_f) = self.val_batch.rmse(&self.model);
+            self.apply_val(rmse_e, rmse_f);
+        }
+        self.advance();
+        self.is_active()
+    }
+
+    /// Move to the next step index. Split from [`TrainRun::step_core`] so
+    /// population mode can run the fused validation sweep between the two.
+    pub(crate) fn advance(&mut self) {
+        self.step += 1;
+    }
+
+    /// One training step without its validation row: supervision probes,
+    /// forward, loss, backward, Adam. Returns `true` when a validation row
+    /// is due for the step just completed (the caller supplies it — the
+    /// sequential path from its own [`PreparedBatch`], population mode from
+    /// the fused sweep).
+    pub(crate) fn step_core(&mut self) -> bool {
+        let step = self.step;
+        let sup = self.sup;
+        // Resolved once per step: `None` when telemetry is off, so the hot
+        // loop pays a single branch per instrumentation site. Everything
+        // recorded below is computed from values the step already produced
+        // — no extra rng draws, no reordered float ops — so weights are
+        // bit-identical either way.
+        let obs = sup.obs();
         // Step-boundary supervision: cancellation and the simulated-clock
         // deadline are polled *before* the step's work is paid for, so an
         // aborted run stops at the wall instead of crossing it. None of
         // these probes touch the rng stream.
-        if step % check_every == 0 {
+        if step.is_multiple_of(self.check_every) {
             if sup.is_cancelled() {
-                abort = Some(AbortReason::Cancelled { step });
-                break;
+                self.abort = Some(AbortReason::Cancelled { step });
+                return false;
             }
             if sup.deadline_fires(step) {
-                abort = Some(AbortReason::Deadline {
+                self.abort = Some(AbortReason::Deadline {
                     step,
                     sim_minutes: sup.sim_minutes(step),
                 });
-                break;
+                return false;
             }
         }
-        if sup.heartbeat_every > 0 && step % sup.heartbeat_every == 0 {
+        if sup.heartbeat_every > 0 && step.is_multiple_of(sup.heartbeat_every) {
             if let Some(beat) = sup.heartbeat {
-                beat(sup.sim_minutes(step), sup.sim_minutes(config.num_steps));
+                beat(sup.sim_minutes(step), sup.sim_minutes(self.config.num_steps));
             }
         }
         let step_t0 = obs.map(|_| std::time::Instant::now());
-        let pref = prefactors.at(schedule.decay_ratio(step));
+        let pref = self.prefactors.at(self.schedule.decay_ratio(step));
+        let n = self.n_atoms as f64;
+        let tape = &*self.tape;
 
         // One tape evaluates the whole data-parallel batch (the B frames a
         // Horovod step would process across its workers).
+        let indices = &self.step_indices[step];
         let merged_fallback;
-        let (merged, e_ref_t, f_ref_t) = match merged_memo.get(indices.as_slice()) {
+        let (merged, e_ref_t, f_ref_t) = match self.merged_memo.get(indices.as_slice()) {
             Some((m, e, f)) => (m, e, f),
             None => {
                 let batch_caches: Vec<&FrameCache> =
-                    indices.iter().map(|&i| &train_caches[i]).collect();
-                let (e_ref, f_ref) = batch_labels(indices);
-                merged_fallback = (merge_frame_caches(&batch_caches), e_ref, f_ref);
+                    indices.iter().map(|&i| &self.train_caches[i]).collect();
+                let (e_ref, f_ref) =
+                    batch_labels(self.train_ds, indices, self.batch_total, self.n_atoms);
+                merged_fallback = (self.batch_merger.merge(&batch_caches), e_ref, f_ref);
                 (&merged_fallback.0, &merged_fallback.1, &merged_fallback.2)
             }
         };
-        let taped = model.params.register(&tape);
+        let taped = self.model.params.register(tape);
         let graph = forward_cached(
-            &tape,
+            tape,
             &taped,
-            config,
-            &model.stats,
+            self.config,
+            &self.model.stats,
             merged,
-            &onehot_batch,
+            &self.onehot_batch,
             true,
         );
         let forces = graph.forces.expect("training requests forces");
 
         // Per-frame energies from the per-atom energies.
-        let energies = tape.scatter_add_rows(graph.atomic, Rc::clone(&frame_ids), batch_total);
+        let energies =
+            tape.scatter_add_rows(graph.atomic, Rc::clone(&self.frame_ids), self.batch_total);
         let e_ref = tape.constant(e_ref_t.clone());
         let e_diff = tape.sub(energies, e_ref);
         let f_ref = tape.constant(f_ref_t.clone());
         let f_diff = tape.sub(forces, f_ref);
 
         // Batch-mean loss: (1/B)·Σ_b [pe·(ΔE_b/N)² + pf·Σ‖ΔF_b‖²/(3N)].
-        let b = batch_total as f64;
+        let b = self.batch_total as f64;
         let le = tape.scale(tape.sum_all(tape.square(e_diff)), pref.pe / (n * n * b));
         let lf = tape.scale(tape.sum_all(tape.square(f_diff)), pref.pf / (3.0 * n * b));
         let loss = tape.add(le, lf);
 
         let loss_value = tape.item(loss);
-        if sup.sentinel.fires(loss_value, initial_loss) {
-            diverged = true;
-            abort = Some(AbortReason::Diverged { step, loss: loss_value });
-            break;
+        self.last_loss = loss_value;
+        if sup.sentinel.fires(loss_value, self.initial_loss) {
+            // Leave the (possibly shared) tape empty on this mid-graph exit
+            // so interleaved population runs never see stale nodes.
+            tape.reset();
+            self.diverged = true;
+            self.abort = Some(AbortReason::Diverged { step, loss: loss_value });
+            return false;
         }
-        if initial_loss.is_none() {
-            initial_loss = Some(loss_value);
+        if self.initial_loss.is_none() {
+            self.initial_loss = Some(loss_value);
         }
 
         // Training-batch RMSE bookkeeping (free: values already live).
-        let trn_e_sq: f64 = tape.with_value(e_diff, |t| {
+        self.last_trn_e_sq = tape.with_value(e_diff, |t| {
             t.data().iter().map(|v| (v / n) * (v / n)).sum::<f64>()
         }) / b;
-        let trn_f_sq: f64 = tape.with_value(f_diff, |t| {
+        self.last_trn_f_sq = tape.with_value(f_diff, |t| {
             t.data().iter().map(|v| v * v).sum::<f64>() / t.len() as f64
         });
 
@@ -392,21 +580,21 @@ pub fn train_supervised<R: Rng + ?Sized>(
         // their buffers alive independently.
         tape.reset();
         if grad_values.iter().any(|g| g.has_non_finite()) {
-            diverged = true;
-            abort = Some(AbortReason::Diverged { step, loss: loss_value });
-            break;
+            self.diverged = true;
+            self.abort = Some(AbortReason::Diverged { step, loss: loss_value });
+            return false;
         }
 
-        adam.step(&mut model.params, &grad_values, schedule.lr(step));
-        if model.params.has_non_finite() {
-            diverged = true;
-            abort = Some(AbortReason::Diverged { step, loss: loss_value });
-            break;
+        self.adam.step(&mut self.model.params, &grad_values, self.schedule.lr(step));
+        if self.model.params.has_non_finite() {
+            self.diverged = true;
+            self.abort = Some(AbortReason::Diverged { step, loss: loss_value });
+            return false;
         }
-        steps_completed = step + 1;
+        self.steps_completed = step + 1;
 
         if let Some(rec) = obs {
-            let lr = schedule.lr(step);
+            let lr = self.schedule.lr(step);
             let grad_norm = grad_values
                 .iter()
                 .map(|g| g.data().iter().map(|v| v * v).sum::<f64>())
@@ -433,104 +621,135 @@ pub fn train_supervised<R: Rng + ?Sized>(
             });
         }
 
-        if step % config.disp_freq == 0 {
-            let (rmse_e_val, rmse_f_val) = val_batch.rmse(&model);
-            if !rmse_e_val.is_finite() || !rmse_f_val.is_finite() {
-                diverged = true;
-                abort = Some(AbortReason::Diverged { step, loss: loss_value });
-                break;
-            }
-            lcurve.push(LcurveRow {
-                step,
-                rmse_e_val,
-                rmse_e_trn: trn_e_sq.sqrt(),
-                rmse_f_val,
-                rmse_f_trn: trn_f_sq.sqrt(),
-                lr: schedule.lr(step),
-            });
-            if let Some(rec) = obs {
-                // Stream the display row as an event: telemetry consumers
-                // see every interval, not just the journaled tail.
-                rec.record(Event {
-                    name: names::LCURVE_ROW,
-                    cat: cats::LCURVE,
-                    ctx: sup.span,
-                    step: Some(step as u64),
-                    when: When::InTask(sup.sim_minutes(step)),
-                    dur_min: 0.0,
-                    worker: None,
-                    args: vec![
-                        ("rmse_e_val", rmse_e_val),
-                        ("rmse_e_trn", trn_e_sq.sqrt()),
-                        ("rmse_f_val", rmse_f_val),
-                        ("rmse_f_trn", trn_f_sq.sqrt()),
-                        ("lr", schedule.lr(step)),
-                    ],
-                });
-            }
-        }
+        step.is_multiple_of(self.config.disp_freq)
     }
 
-    // Always attempt a final validation row for completed training (skipped
-    // when supervision aborted the run early: the model is half-trained and
-    // the caller only wants the structured reason).
-    if !diverged && abort.is_none() {
-        let (rmse_e_val, rmse_f_val) = val_batch.rmse(&model);
-        if rmse_e_val.is_finite() && rmse_f_val.is_finite() {
-            let last = lcurve.last().copied();
-            lcurve.push(LcurveRow {
-                step: config.num_steps,
-                rmse_e_val,
-                rmse_e_trn: last.map_or(rmse_e_val, |r| r.rmse_e_trn),
-                rmse_f_val,
-                rmse_f_trn: last.map_or(rmse_f_val, |r| r.rmse_f_trn),
-                lr: schedule.lr(config.num_steps),
-            });
-            if let Some(rec) = obs {
-                let row = lcurve.last().copied().expect("just pushed");
-                rec.record(Event {
-                    name: names::LCURVE_ROW,
-                    cat: cats::LCURVE,
-                    ctx: sup.span,
-                    step: Some(row.step as u64),
-                    when: When::InTask(sup.sim_minutes(row.step)),
-                    dur_min: 0.0,
-                    worker: None,
-                    args: vec![
-                        ("rmse_e_val", row.rmse_e_val),
-                        ("rmse_e_trn", row.rmse_e_trn),
-                        ("rmse_f_val", row.rmse_f_val),
-                        ("rmse_f_trn", row.rmse_f_trn),
-                        ("lr", row.lr),
-                    ],
-                });
-            }
-        } else {
-            diverged = true;
+    /// Record the validation row for the step just completed by
+    /// [`TrainRun::step_core`], with the same divergence handling as the
+    /// sequential loop.
+    pub(crate) fn apply_val(&mut self, rmse_e_val: f64, rmse_f_val: f64) {
+        let step = self.step;
+        if !rmse_e_val.is_finite() || !rmse_f_val.is_finite() {
+            self.diverged = true;
+            self.abort = Some(AbortReason::Diverged { step, loss: self.last_loss });
+            return;
         }
-    }
-
-    if let (Some(rec), Some(reason)) = (obs, &abort) {
-        rec.counter_add(names::C_ABORTS, 1);
-        // `kind`: 0 = diverged, 1 = deadline, 2 = cancelled.
-        let (kind, at_step, loss) = match *reason {
-            AbortReason::Diverged { step, loss } => (0.0, step, loss),
-            AbortReason::Deadline { step, .. } => (1.0, step, f64::NAN),
-            AbortReason::Cancelled { step } => (2.0, step, f64::NAN),
-        };
-        rec.record(Event {
-            name: names::TRAIN_ABORT,
-            cat: cats::TRAIN,
-            ctx: sup.span,
-            step: Some(at_step as u64),
-            when: When::InTask(sup.sim_minutes(at_step)),
-            dur_min: 0.0,
-            worker: None,
-            args: vec![("kind", kind), ("loss", loss)],
+        self.lcurve.push(LcurveRow {
+            step,
+            rmse_e_val,
+            rmse_e_trn: self.last_trn_e_sq.sqrt(),
+            rmse_f_val,
+            rmse_f_trn: self.last_trn_f_sq.sqrt(),
+            lr: self.schedule.lr(step),
         });
+        if let Some(rec) = self.sup.obs() {
+            // Stream the display row as an event: telemetry consumers see
+            // every interval, not just the journaled tail.
+            rec.record(Event {
+                name: names::LCURVE_ROW,
+                cat: cats::LCURVE,
+                ctx: self.sup.span,
+                step: Some(step as u64),
+                when: When::InTask(self.sup.sim_minutes(step)),
+                dur_min: 0.0,
+                worker: None,
+                args: vec![
+                    ("rmse_e_val", rmse_e_val),
+                    ("rmse_e_trn", self.last_trn_e_sq.sqrt()),
+                    ("rmse_f_val", rmse_f_val),
+                    ("rmse_f_trn", self.last_trn_f_sq.sqrt()),
+                    ("lr", self.schedule.lr(step)),
+                ],
+            });
+        }
     }
 
-    Ok(TrainReport { model, lcurve, diverged, steps_completed, abort })
+    /// True when the run completed all its steps and still owes the final
+    /// validation row.
+    pub(crate) fn needs_final_row(&self) -> bool {
+        !self.diverged && self.abort.is_none()
+    }
+
+    /// Complete the run: final validation row (for a run that finished its
+    /// steps) plus abort telemetry.
+    pub fn finish(self) -> TrainReport {
+        let final_rmse =
+            if self.needs_final_row() { Some(self.val_batch.rmse(&self.model)) } else { None };
+        self.finish_with(final_rmse)
+    }
+
+    /// As [`TrainRun::finish`] with an externally computed final validation
+    /// RMSE (population mode computes it in the fused sweep). Must be
+    /// `Some` exactly when [`TrainRun::needs_final_row`] is true.
+    pub(crate) fn finish_with(mut self, final_rmse: Option<(f64, f64)>) -> TrainReport {
+        // Always attempt a final validation row for completed training
+        // (skipped when supervision aborted the run early: the model is
+        // half-trained and the caller only wants the structured reason).
+        if self.needs_final_row() {
+            let (rmse_e_val, rmse_f_val) =
+                final_rmse.expect("completed run finished without a final validation RMSE");
+            if rmse_e_val.is_finite() && rmse_f_val.is_finite() {
+                let last = self.lcurve.last().copied();
+                self.lcurve.push(LcurveRow {
+                    step: self.config.num_steps,
+                    rmse_e_val,
+                    rmse_e_trn: last.map_or(rmse_e_val, |r| r.rmse_e_trn),
+                    rmse_f_val,
+                    rmse_f_trn: last.map_or(rmse_f_val, |r| r.rmse_f_trn),
+                    lr: self.schedule.lr(self.config.num_steps),
+                });
+                if let Some(rec) = self.sup.obs() {
+                    let row = self.lcurve.last().copied().expect("just pushed");
+                    rec.record(Event {
+                        name: names::LCURVE_ROW,
+                        cat: cats::LCURVE,
+                        ctx: self.sup.span,
+                        step: Some(row.step as u64),
+                        when: When::InTask(self.sup.sim_minutes(row.step)),
+                        dur_min: 0.0,
+                        worker: None,
+                        args: vec![
+                            ("rmse_e_val", row.rmse_e_val),
+                            ("rmse_e_trn", row.rmse_e_trn),
+                            ("rmse_f_val", row.rmse_f_val),
+                            ("rmse_f_trn", row.rmse_f_trn),
+                            ("lr", row.lr),
+                        ],
+                    });
+                }
+            } else {
+                self.diverged = true;
+            }
+        }
+
+        if let (Some(rec), Some(reason)) = (self.sup.obs(), &self.abort) {
+            rec.counter_add(names::C_ABORTS, 1);
+            // `kind`: 0 = diverged, 1 = deadline, 2 = cancelled.
+            let (kind, at_step, loss) = match *reason {
+                AbortReason::Diverged { step, loss } => (0.0, step, loss),
+                AbortReason::Deadline { step, .. } => (1.0, step, f64::NAN),
+                AbortReason::Cancelled { step } => (2.0, step, f64::NAN),
+            };
+            rec.record(Event {
+                name: names::TRAIN_ABORT,
+                cat: cats::TRAIN,
+                ctx: self.sup.span,
+                step: Some(at_step as u64),
+                when: When::InTask(self.sup.sim_minutes(at_step)),
+                dur_min: 0.0,
+                worker: None,
+                args: vec![("kind", kind), ("loss", loss)],
+            });
+        }
+
+        TrainReport {
+            model: self.model,
+            lcurve: self.lcurve,
+            diverged: self.diverged,
+            steps_completed: self.steps_completed,
+            abort: self.abort,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,13 @@
 #                                    artifacts to one run without, and
 #                                    deterministic exports across re-runs
 #
+# Opt-in extras (timing-sensitive, off by default on shared hardware):
+#
+#   BENCH_CHECK=1                  — fresh quick hot-path measurement must be
+#                                    within 15% of the checked-in
+#                                    BENCH_hotpath.json (bench_baseline.sh
+#                                    --check)
+#
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,5 +70,10 @@ done
 
 echo "==> [7/7] telemetry bit-identity (observed == unobserved artifacts)"
 cargo test -q -p dphpo-core --test telemetry_identity
+
+if [[ "${BENCH_CHECK:-0}" == "1" ]]; then
+    echo "==> [opt-in] hot-path bench regression check (BENCH_CHECK=1)"
+    scripts/bench_baseline.sh --check
+fi
 
 echo "verify: OK"
