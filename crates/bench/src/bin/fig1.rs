@@ -28,11 +28,12 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use dphpo_bench::harness::{
-    experiment_scale, journal_path, resume_and_report, resume_observed_and_report,
-    run_journaled_and_report, run_journaled_observed_and_report, save_experiment, write_artifact,
+    experiment_scale, journal_path, resume_campaign_and_report, results_dir,
+    run_campaign_and_report, save_experiment, write_artifact,
 };
 use dphpo_core::analysis::{ascii_level_plot, failure_breakdown_table, level_plot_csv};
-use dphpo_obs::{chrome, export, rollup, MemoryRecorder};
+use dphpo_core::campaign_report::{counter_trace_json, markdown_report, REFERENCE_POINT};
+use dphpo_obs::{chrome, export, rollup, MemoryRecorder, Recorder};
 
 /// The path following `flag`, when present.
 fn path_arg(flag: &str) -> Option<PathBuf> {
@@ -48,6 +49,11 @@ fn path_arg(flag: &str) -> Option<PathBuf> {
 /// The journal to resume from, when `--resume <path>` was passed.
 fn resume_arg() -> Option<PathBuf> {
     path_arg("--resume")
+}
+
+/// Whether a bare flag (no argument) was passed.
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
 fn write_file(path: &PathBuf, content: &str) {
@@ -72,15 +78,22 @@ fn main() {
         config.generations,
         total
     );
-    let result = match (resume_arg(), &recorder) {
-        (Some(journal), Some(rec)) => {
-            resume_observed_and_report(&config, &journal, Arc::clone(rec) as _)
+    // Observatory flags: `--status` keeps a live, atomically rewritten
+    // campaign_status.json next to the other artifacts; `--report` writes
+    // the end-of-run markdown report and the status-derived Chrome counter
+    // tracks. Both are deterministic: a killed-and-resumed campaign ends
+    // with the same bytes as an uninterrupted one.
+    let want_report = has_flag("--report");
+    let status_path =
+        (has_flag("--status") || want_report).then(|| results_dir().join("campaign_status.json"));
+    let rec_arc = recorder.clone().map(|r| r as Arc<dyn Recorder>);
+    let result = match resume_arg() {
+        Some(journal) => {
+            resume_campaign_and_report(&config, &journal, status_path.as_deref(), rec_arc)
         }
-        (Some(journal), None) => resume_and_report(&config, &journal),
-        (None, Some(rec)) => {
-            run_journaled_observed_and_report(&config, &journal_path(), Arc::clone(rec) as _)
+        None => {
+            run_campaign_and_report(&config, &journal_path(), status_path.as_deref(), rec_arc)
         }
-        (None, None) => run_journaled_and_report(&config, &journal_path()),
     };
     save_experiment(&result);
 
@@ -146,6 +159,35 @@ fn main() {
     report.push_str("\nfailure breakdown (scheduler supervision, all runs):\n");
     report.push_str(&failure_breakdown_table(&result));
 
+    // Search quality per generation: archive hypervolume against the fixed
+    // reference point (the level-plot axis limits), one column per run.
+    report.push_str(&format!(
+        "\narchive hypervolume per generation (reference point: {} eV/atom, {} eV/AA):\n",
+        REFERENCE_POINT.0, REFERENCE_POINT.1
+    ));
+    report.push_str("gen |");
+    for run in &result.status.runs {
+        report.push_str(&format!("    run {} |", run.run));
+    }
+    report.push_str("      mean\n");
+    for generation in 0..=config.generations {
+        report.push_str(&format!("{generation:>3} |"));
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for run in &result.status.runs {
+            match run.generations.get(generation) {
+                Some(row) => {
+                    report.push_str(&format!(" {:>8.3e} |", row.hypervolume));
+                    sum += row.hypervolume;
+                    n += 1;
+                }
+                None => report.push_str(&format!(" {:>8} |", "-")),
+            }
+        }
+        let mean = if n > 0 { sum / n as f64 } else { 0.0 };
+        report.push_str(&format!(" {mean:>8.3e}\n"));
+    }
+
     // Telemetry exports (only when --trace/--metrics was passed): the
     // deterministic snapshot feeds the Chrome trace, the event log, and a
     // per-generation rollup appended to this report. Wall-clock stamps go
@@ -163,6 +205,14 @@ fn main() {
         }
         report.push_str("\ntelemetry rollup (per generation, all runs):\n");
         report.push_str(&rollup::generation_rollup(&snap));
+    }
+
+    // End-of-run campaign report (markdown) plus the status-derived Chrome
+    // counter tracks (hypervolume, queue depth, utilization % on the
+    // simulated clock — loadable in Perfetto alongside `--trace`).
+    if want_report {
+        write_artifact("campaign_report.md", &markdown_report(&result.status));
+        write_artifact("campaign_counters.trace.json", &counter_trace_json(&result.status));
     }
 
     print!("{report}");

@@ -31,23 +31,43 @@ use dphpo_obs::{cats, names, Event, MemoryRecorder, Recorder, SpanCtx, When, NOO
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Best-of-`samples` wall time for each thunk, in seconds, sampled in
-/// interleaved rounds (variant 0, 1, 2, variant 0, 1, 2, ...) so slow
-/// machine drift lands on every variant equally instead of biasing
-/// whichever was timed last. One warm-up call each first.
-fn time_best_interleaved(samples: usize, fns: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+/// Wall time of every thunk per interleaved round (`samples` rounds ×
+/// `fns.len()` arms), one warm-up call each first. Interleaving puts slow
+/// machine drift on every arm equally; the caller then pairs arms *within*
+/// a round, so drift between rounds cancels out of the subtraction instead
+/// of landing on it (taking each arm's best over *different* rounds is how
+/// the baseline once recorded a negative no-op "cost").
+fn time_rounds(samples: usize, fns: &mut [&mut dyn FnMut()]) -> Vec<Vec<f64>> {
     for f in fns.iter_mut() {
         f();
     }
-    let mut best = vec![f64::MAX; fns.len()];
-    for _ in 0..samples {
-        for (i, f) in fns.iter_mut().enumerate() {
-            let t = Instant::now();
-            f();
-            best[i] = best[i].min(t.elapsed().as_secs_f64());
-        }
+    (0..samples)
+        .map(|round| {
+            // Alternate the arm order every round (boustrophedon) so any
+            // drift *within* a round biases each arm in both directions
+            // equally across the sample set.
+            let n = fns.len();
+            let mut times = vec![0.0; n];
+            let order: Vec<usize> =
+                if round % 2 == 0 { (0..n).collect() } else { (0..n).rev().collect() };
+            for i in order {
+                let t = Instant::now();
+                fns[i]();
+                times[i] = t.elapsed().as_secs_f64();
+            }
+            times
+        })
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
     }
-    best
 }
 
 fn data() -> (Dataset, Dataset) {
@@ -131,7 +151,7 @@ fn main() {
     // The subtraction estimator amplifies jitter (it differences two ~K-step
     // wall times), so the full run uses more samples and a longer window
     // than the hotpath baseline does, on top of the interleaved sampling.
-    let (samples, k_steps) = if quick { (2, 20) } else { (7, 200) };
+    let (samples, k_steps) = if quick { (2, 20) } else { (16, 200) };
     let (train_ds, val_ds) = data();
     let (train_ds, val_ds) = (&train_ds, &val_ds);
     let memory = MemoryRecorder::new();
@@ -139,30 +159,40 @@ fn main() {
 
     // Steady-state ns/step by subtraction: t(2K) − t(K) spans exactly K
     // warm steps, cancelling model setup and descriptor-cache building.
-    println!("timing {k_steps}-step runs (unobserved / no-op / MemoryRecorder)...");
-    let mut shorts: Vec<Box<dyn FnMut()>> = recorders
+    // All six (recorder × length) arms are sampled in ONE interleaved pass
+    // and the subtraction pairs the K- and 2K-step times of the *same*
+    // round (median across rounds), so drift between rounds cancels.
+    println!(
+        "timing {k_steps}- and {}-step runs (unobserved / no-op / MemoryRecorder), \
+         interleaved...",
+        2 * k_steps
+    );
+    let mut arms: Vec<Box<dyn FnMut()>> = [k_steps, 2 * k_steps]
         .iter()
-        .map(|&rec| {
-            Box::new(move || run_training(k_steps, train_ds, val_ds, rec)) as Box<dyn FnMut()>
+        .flat_map(|&steps| {
+            recorders.iter().map(move |&rec| {
+                Box::new(move || run_training(steps, train_ds, val_ds, rec)) as Box<dyn FnMut()>
+            })
         })
         .collect();
-    let mut refs: Vec<&mut dyn FnMut()> = shorts.iter_mut().map(|b| b.as_mut() as _).collect();
-    let t_short = time_best_interleaved(samples, &mut refs);
-    drop(shorts);
+    let mut refs: Vec<&mut dyn FnMut()> = arms.iter_mut().map(|b| b.as_mut() as _).collect();
+    let rounds = time_rounds(samples, &mut refs);
+    drop(arms);
 
-    println!("timing {}-step runs...", 2 * k_steps);
-    let mut longs: Vec<Box<dyn FnMut()>> = recorders
-        .iter()
-        .map(|&rec| {
-            Box::new(move || run_training(2 * k_steps, train_ds, val_ds, rec)) as Box<dyn FnMut()>
-        })
-        .collect();
-    let mut refs: Vec<&mut dyn FnMut()> = longs.iter_mut().map(|b| b.as_mut() as _).collect();
-    let t_long = time_best_interleaved(samples, &mut refs);
-    drop(longs);
-
-    let per_step = |i: usize| ((t_long[i] - t_short[i]).max(0.0) / k_steps as f64) * 1e9;
+    let n_arms = recorders.len();
+    let per_round_diffs =
+        |i: usize| rounds.iter().map(|r| r[n_arms + i] - r[i]).collect::<Vec<f64>>();
+    let per_step = |i: usize| (median(per_round_diffs(i)).max(0.0) / k_steps as f64) * 1e9;
     let (baseline_ns, noop_ns, memory_ns) = (per_step(0), per_step(1), per_step(2));
+    // Honest noise bar for the macro estimator: the median absolute
+    // deviation of the baseline arm's per-round differences, as a percent
+    // of their median (MAD matches the median estimator and shrugs off the
+    // occasional garbage round a range-based bar would amplify). Macro
+    // overheads smaller than this are indistinguishable from jitter.
+    let base_diffs = per_round_diffs(0);
+    let mid = median(base_diffs.clone());
+    let mad = median(base_diffs.iter().map(|d| (d - mid).abs()).collect());
+    let macro_jitter_pct = mad / mid.max(f64::MIN_POSITIVE) * 100.0;
 
     println!("timing the per-step instrumentation block in isolation...");
     let (micro_samples, micro_reps) = if quick { (3, 10_000) } else { (7, 200_000) };
@@ -194,7 +224,7 @@ fn main() {
     let derived_memory_pct = derived_pct(memory_block_ns);
 
     let doc = Json::object(vec![
-        ("schema", Json::String("dphpo-obs-v1".into())),
+        ("schema", Json::String("dphpo-obs-v2".into())),
         ("quick", Json::Bool(quick)),
         ("steps_measured", Json::Number(k_steps as f64)),
         ("baseline_ns_per_step", Json::Number(baseline_ns)),
@@ -202,6 +232,7 @@ fn main() {
         ("macro_memory_ns_per_step", Json::Number(memory_ns)),
         ("macro_noop_overhead_pct", Json::Number(macro_pct(noop_ns))),
         ("macro_memory_overhead_pct", Json::Number(macro_pct(memory_ns))),
+        ("macro_jitter_pct", Json::Number(macro_jitter_pct)),
         ("noop_block_ns_per_step", Json::Number(noop_block_ns)),
         ("memory_block_ns_per_step", Json::Number(memory_block_ns)),
         ("derived_noop_overhead_pct", Json::Number(derived_noop_pct)),
@@ -211,7 +242,9 @@ fn main() {
     let path = "BENCH_obs.json";
     std::fs::write(path, format!("{doc}\n")).expect("write baseline");
     println!("wrote {path}");
-    println!("macro (subtraction; jitter-prone, gross-regression guard only):");
+    println!(
+        "macro (paired subtraction; gross-regression guard only, jitter ±{macro_jitter_pct:.2}%):"
+    );
     println!("  unobserved:     {:.1} µs/step", baseline_ns / 1e3);
     println!("  no-op recorder: {:.1} µs/step ({:+.2}%)", noop_ns / 1e3, macro_pct(noop_ns));
     println!("  MemoryRecorder: {:.1} µs/step ({:+.2}%)", memory_ns / 1e3, macro_pct(memory_ns));

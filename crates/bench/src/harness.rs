@@ -258,7 +258,13 @@ impl SavedExperiment {
             .collect();
         // Snapshots predate journaling and carry neither scheduler reports
         // nor archives; downstream analysis only reads `runs`.
-        ExperimentResult { config, runs, pool_reports: Vec::new(), archives: Vec::new() }
+        ExperimentResult {
+            config,
+            runs,
+            pool_reports: Vec::new(),
+            archives: Vec::new(),
+            status: dphpo_core::CampaignStatus::default(),
+        }
     }
 }
 
@@ -339,9 +345,30 @@ pub fn run_journaled_observed_and_report(
     journaled_inner(config, journal, Some(recorder))
 }
 
+/// As [`run_journaled_and_report`], with the full observatory surface: an
+/// optional live `campaign_status.json` (rewritten atomically at every
+/// generation boundary) and an optional telemetry recorder.
+pub fn run_campaign_and_report(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    status: Option<&std::path::Path>,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> ExperimentResult {
+    journaled_inner_status(config, journal, status, recorder)
+}
+
 fn journaled_inner(
     config: &ExperimentConfig,
     journal: &std::path::Path,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> ExperimentResult {
+    journaled_inner_status(config, journal, None, recorder)
+}
+
+fn journaled_inner_status(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    status: Option<&std::path::Path>,
     recorder: Option<Arc<dyn Recorder>>,
 ) -> ExperimentResult {
     let t0 = std::time::Instant::now();
@@ -352,18 +379,15 @@ fn journaled_inner(
         );
     };
     println!("journaling to {} (resume with --resume)", journal.display());
-    let outcome = match recorder {
-        Some(rec) => dphpo_core::experiment::run_experiment_journaled_observed(
-            config,
-            journal,
-            Some(&mut progress),
-            rec,
-        ),
-        None => {
-            dphpo_core::experiment::run_experiment_journaled(config, journal, Some(&mut progress))
-        }
-    };
-    match outcome {
+    let mut campaign = dphpo_core::experiment::Campaign::new(config).journal(journal);
+    if let Some(path) = status {
+        println!("live status at {}", path.display());
+        campaign = campaign.status_file(path);
+    }
+    if let Some(rec) = recorder {
+        campaign = campaign.recorder(rec);
+    }
+    match campaign.run(Some(&mut progress)) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("experiment interrupted: {e}");
@@ -395,9 +419,30 @@ pub fn resume_observed_and_report(
     resume_inner(config, journal, Some(recorder))
 }
 
+/// As [`resume_and_report`], with the observatory surface (see
+/// [`run_campaign_and_report`]). A resumed campaign's status file converges
+/// to bytes identical to an uninterrupted run's.
+pub fn resume_campaign_and_report(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    status: Option<&std::path::Path>,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> ExperimentResult {
+    resume_inner_status(config, journal, status, recorder)
+}
+
 fn resume_inner(
     config: &ExperimentConfig,
     journal: &std::path::Path,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> ExperimentResult {
+    resume_inner_status(config, journal, None, recorder)
+}
+
+fn resume_inner_status(
+    config: &ExperimentConfig,
+    journal: &std::path::Path,
+    status: Option<&std::path::Path>,
     recorder: Option<Arc<dyn Recorder>>,
 ) -> ExperimentResult {
     let t0 = std::time::Instant::now();
@@ -408,16 +453,16 @@ fn resume_inner(
         );
     };
     println!("resuming from {}", journal.display());
-    let outcome = match recorder {
-        Some(rec) => dphpo_core::experiment::resume_experiment_observed(
-            config,
-            journal,
-            Some(&mut progress),
-            rec,
-        ),
-        None => dphpo_core::experiment::resume_experiment(config, journal, Some(&mut progress)),
-    };
-    match outcome {
+    let mut campaign =
+        dphpo_core::experiment::Campaign::new(config).journal(journal).resume();
+    if let Some(path) = status {
+        println!("live status at {}", path.display());
+        campaign = campaign.status_file(path);
+    }
+    if let Some(rec) = recorder {
+        campaign = campaign.recorder(rec);
+    }
+    match campaign.run(Some(&mut progress)) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("resume failed: {e}");

@@ -1,0 +1,665 @@
+//! Campaign observatory: a deterministic, resumable status surface.
+//!
+//! Every generation boundary distils two stories into one `CampaignStatus`
+//! row — *search quality* (Pareto-archive hypervolume, cardinality, spread,
+//! and dominance churn) and *resource efficiency* (the scheduler's
+//! busy/idle/backoff/lost utilization partition) — and rewrites
+//! `campaign_status.json` atomically. The rows are pure functions of data
+//! the write-ahead journal already persists (each generation's population
+//! and scheduler report), so a killed-and-resumed campaign reproduces the
+//! status file, the end-of-run report, and the Chrome counter tracks
+//! byte-for-byte (see DESIGN.md §11 for the determinism contract).
+//!
+//! The hypervolume convention: objectives are minimised `(energy RMSE
+//! eV/atom, force RMSE eV/Å)` and the fixed reference point is
+//! [`REFERENCE_POINT`] — the same `(0.03, 0.6)` box the fig1 level plots
+//! cull to, so a row's hypervolume is directly comparable across
+//! generations, runs, and campaigns.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use dphpo_dnnp::Json;
+use dphpo_evo::nsga2::GenerationRecord;
+use dphpo_evo::{front_stats_2d, ArchiveChurn, FrontStats, ParetoArchive};
+use dphpo_hpc::PoolReport;
+use dphpo_obs::chrome::{render, TraceEvent, US_PER_MIN};
+use dphpo_obs::cats;
+
+use crate::experiment::ExperimentConfig;
+
+/// Schema tag written into `campaign_status.json`.
+pub const STATUS_SCHEMA: &str = "dphpo-campaign-status-v1";
+
+/// Fixed hypervolume reference point `(energy RMSE eV/atom, force RMSE
+/// eV/Å)` — the fig1 level-plot axis limits, beyond which the paper culls
+/// outliers.
+pub const REFERENCE_POINT: (f64, f64) = (0.03, 0.6);
+
+/// One generation boundary's observatory row: search quality plus the
+/// utilization partition, every field a deterministic function of the
+/// journaled generation record and scheduler report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GenStatus {
+    /// Generation index (0 = the random initial generation).
+    pub generation: usize,
+    /// Evaluations submitted this generation (population size).
+    pub evaluations: usize,
+    /// Evaluations that came back as MAXINT penalties.
+    pub failures: usize,
+    /// Archive hypervolume against [`REFERENCE_POINT`] after this
+    /// generation's population was absorbed.
+    pub hypervolume: f64,
+    /// Archive cardinality at the boundary.
+    pub cardinality: usize,
+    /// Front spread (gap uniformity; 0 = perfectly uniform).
+    pub spread: f64,
+    /// Dominance churn: individuals admitted to the archive.
+    pub added: usize,
+    /// Dominance churn: archive members evicted by admissions.
+    pub evicted: usize,
+    /// Scheduler makespan of this generation's batch, minutes.
+    pub makespan_minutes: f64,
+    /// Backoff-inclusive wall clock of the batch, minutes.
+    pub wall_minutes: f64,
+    /// Σ busy minutes across worker slots.
+    pub busy_minutes: f64,
+    /// Σ idle minutes across worker slots.
+    pub idle_minutes: f64,
+    /// Σ retry-backoff minutes across worker slots.
+    pub backoff_minutes: f64,
+    /// Σ minutes lost to dead primary attempts.
+    pub lost_death_minutes: f64,
+    /// Σ minutes lost to dying speculative twins.
+    pub lost_speculation_minutes: f64,
+    /// Busy share of worker-minutes capacity, percent.
+    pub utilization_pct: f64,
+    /// Worker deaths on primary attempts.
+    pub deaths: usize,
+    /// Tasks retried at least once.
+    pub retried: usize,
+    /// Straggler tasks granted a speculative twin.
+    pub speculated: usize,
+    /// Speculative twins killed by the fault plan.
+    pub speculative_deaths: usize,
+    /// Terminal diverged / structural failures.
+    pub diverged: usize,
+    /// Terminal timeouts.
+    pub timeout: usize,
+    /// Terminal cancellations.
+    pub cancelled: usize,
+    /// Tasks that exhausted their retry budget.
+    pub exhausted: usize,
+}
+
+/// One run's status rows, oldest generation first.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunStatus {
+    /// Run index (Chrome-trace process id).
+    pub run: usize,
+    /// Rows for the generation boundaries reached so far.
+    pub generations: Vec<GenStatus>,
+}
+
+/// The whole campaign's live status: configuration echo plus per-run rows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignStatus {
+    /// Independent EA deployments configured.
+    pub n_runs: usize,
+    /// Population size per generation.
+    pub pop_size: usize,
+    /// EA steps after the random initial generation.
+    pub generations: usize,
+    /// Hypervolume reference point `(energy, force)`.
+    pub reference: (f64, f64),
+    /// Per-run rows (a run appears once its first boundary lands).
+    pub runs: Vec<RunStatus>,
+}
+
+impl CampaignStatus {
+    /// An empty status for `config`, rows to be filled per boundary.
+    pub fn new(config: &ExperimentConfig) -> Self {
+        CampaignStatus {
+            n_runs: config.n_runs,
+            pop_size: config.pop_size,
+            generations: config.generations,
+            reference: REFERENCE_POINT,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Replace (or install) one run's rows.
+    pub fn set_run(&mut self, run: usize, rows: Vec<GenStatus>) {
+        if let Some(existing) = self.runs.iter_mut().find(|r| r.run == run) {
+            existing.generations = rows;
+        } else {
+            self.runs.push(RunStatus { run, generations: rows });
+            self.runs.sort_by_key(|r| r.run);
+        }
+    }
+
+    /// Append one boundary row to a run.
+    pub fn push_row(&mut self, run: usize, row: GenStatus) {
+        if let Some(existing) = self.runs.iter_mut().find(|r| r.run == run) {
+            existing.generations.push(row);
+        } else {
+            self.runs.push(RunStatus { run, generations: vec![row] });
+            self.runs.sort_by_key(|r| r.run);
+        }
+    }
+}
+
+/// Build one boundary row from the live archive state and this
+/// generation's record, churn, and scheduler report.
+pub fn generation_row(
+    record: &GenerationRecord,
+    archive: &ParetoArchive,
+    churn: ArchiveChurn,
+    report: &PoolReport,
+) -> GenStatus {
+    let stats: FrontStats = front_stats_2d(&archive.objective_pairs(), REFERENCE_POINT);
+    let busy: f64 = report.busy_minutes.iter().sum();
+    let idle: f64 = report.idle_minutes.iter().sum();
+    let backoff: f64 = report.backoff_slot_minutes.iter().sum();
+    let lost_death: f64 = report.lost_death_minutes.iter().sum();
+    let lost_spec: f64 = report.lost_speculation_minutes.iter().sum();
+    let capacity = report.wall_minutes * report.busy_minutes.len() as f64;
+    GenStatus {
+        generation: record.generation,
+        evaluations: record.population.len(),
+        failures: record.failures,
+        hypervolume: stats.hypervolume,
+        cardinality: stats.cardinality,
+        spread: stats.spread,
+        added: churn.added,
+        evicted: churn.evicted,
+        makespan_minutes: report.makespan_minutes,
+        wall_minutes: report.wall_minutes,
+        busy_minutes: busy,
+        idle_minutes: idle,
+        backoff_minutes: backoff,
+        lost_death_minutes: lost_death,
+        lost_speculation_minutes: lost_spec,
+        utilization_pct: if capacity > 0.0 { busy / capacity * 100.0 } else { 0.0 },
+        deaths: report.worker_deaths,
+        retried: report.retried_tasks,
+        speculated: report.speculated_tasks,
+        speculative_deaths: report.speculative_deaths,
+        diverged: report.diverged_tasks,
+        timeout: report.timeout_tasks,
+        cancelled: report.cancelled_tasks,
+        exhausted: report.exhausted_tasks,
+    }
+}
+
+/// Rebuild one run's rows from its generation records and reports by
+/// replaying the archive offers from scratch — the exact operation
+/// sequence the live run performed, so a resumed campaign's rows are
+/// bit-identical to the uninterrupted run's.
+pub fn replay_rows(records: &[GenerationRecord], reports: &[PoolReport]) -> Vec<GenStatus> {
+    let mut archive = ParetoArchive::new();
+    records
+        .iter()
+        .zip(reports)
+        .map(|(record, report)| {
+            let churn = archive.offer_all_counted(&record.population);
+            generation_row(record, &archive, churn, report)
+        })
+        .collect()
+}
+
+fn json_of_row(row: &GenStatus) -> Json {
+    Json::object(vec![
+        ("generation", Json::Number(row.generation as f64)),
+        ("evaluations", Json::Number(row.evaluations as f64)),
+        ("failures", Json::Number(row.failures as f64)),
+        ("hypervolume", Json::Number(row.hypervolume)),
+        ("cardinality", Json::Number(row.cardinality as f64)),
+        ("spread", Json::Number(row.spread)),
+        ("added", Json::Number(row.added as f64)),
+        ("evicted", Json::Number(row.evicted as f64)),
+        ("makespan_minutes", Json::Number(row.makespan_minutes)),
+        ("wall_minutes", Json::Number(row.wall_minutes)),
+        ("busy_minutes", Json::Number(row.busy_minutes)),
+        ("idle_minutes", Json::Number(row.idle_minutes)),
+        ("backoff_minutes", Json::Number(row.backoff_minutes)),
+        ("lost_death_minutes", Json::Number(row.lost_death_minutes)),
+        ("lost_speculation_minutes", Json::Number(row.lost_speculation_minutes)),
+        ("utilization_pct", Json::Number(row.utilization_pct)),
+        ("deaths", Json::Number(row.deaths as f64)),
+        ("retried", Json::Number(row.retried as f64)),
+        ("speculated", Json::Number(row.speculated as f64)),
+        ("speculative_deaths", Json::Number(row.speculative_deaths as f64)),
+        ("diverged", Json::Number(row.diverged as f64)),
+        ("timeout", Json::Number(row.timeout as f64)),
+        ("cancelled", Json::Number(row.cancelled as f64)),
+        ("exhausted", Json::Number(row.exhausted as f64)),
+    ])
+}
+
+/// Render the status as deterministic pretty JSON (sorted keys, shortest
+/// round-trip numbers, trailing newline).
+pub fn status_json(status: &CampaignStatus) -> String {
+    let runs: Vec<Json> = status
+        .runs
+        .iter()
+        .map(|r| {
+            Json::object(vec![
+                ("run", Json::Number(r.run as f64)),
+                ("generations", Json::Array(r.generations.iter().map(json_of_row).collect())),
+            ])
+        })
+        .collect();
+    let doc = Json::object(vec![
+        ("schema", Json::String(STATUS_SCHEMA.into())),
+        ("n_runs", Json::Number(status.n_runs as f64)),
+        ("pop_size", Json::Number(status.pop_size as f64)),
+        ("generations", Json::Number(status.generations as f64)),
+        (
+            "reference_point",
+            Json::Array(vec![
+                Json::Number(status.reference.0),
+                Json::Number(status.reference.1),
+            ]),
+        ),
+        ("runs", Json::Array(runs)),
+    ]);
+    format!("{doc}\n")
+}
+
+/// Rewrite `path` atomically: the new contents land in a sibling temp file
+/// first and are renamed over the target, so a reader (or a crash) never
+/// sees a torn status.
+pub fn write_status_atomic(path: &Path, status: &CampaignStatus) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(status_json(status).as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Parse a `campaign_status.json` document back into a [`CampaignStatus`]
+/// (used by tooling; the campaign itself never reads the file back).
+pub fn parse_status(text: &str) -> Result<CampaignStatus, String> {
+    let doc = Json::parse(text).map_err(|e| format!("{e:?}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or_default();
+    if schema != STATUS_SCHEMA {
+        return Err(format!("unexpected status schema '{schema}'"));
+    }
+    let num = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let reference = match doc.get("reference_point") {
+        Some(Json::Array(items)) if items.len() == 2 => (
+            items[0].as_f64().unwrap_or(REFERENCE_POINT.0),
+            items[1].as_f64().unwrap_or(REFERENCE_POINT.1),
+        ),
+        _ => REFERENCE_POINT,
+    };
+    let mut status = CampaignStatus {
+        n_runs: num(&doc, "n_runs") as usize,
+        pop_size: num(&doc, "pop_size") as usize,
+        generations: num(&doc, "generations") as usize,
+        reference,
+        runs: Vec::new(),
+    };
+    if let Some(Json::Array(runs)) = doc.get("runs") {
+        for r in runs {
+            let mut rows = Vec::new();
+            if let Some(Json::Array(gens)) = r.get("generations") {
+                for g in gens {
+                    rows.push(GenStatus {
+                        generation: num(g, "generation") as usize,
+                        evaluations: num(g, "evaluations") as usize,
+                        failures: num(g, "failures") as usize,
+                        hypervolume: num(g, "hypervolume"),
+                        cardinality: num(g, "cardinality") as usize,
+                        spread: num(g, "spread"),
+                        added: num(g, "added") as usize,
+                        evicted: num(g, "evicted") as usize,
+                        makespan_minutes: num(g, "makespan_minutes"),
+                        wall_minutes: num(g, "wall_minutes"),
+                        busy_minutes: num(g, "busy_minutes"),
+                        idle_minutes: num(g, "idle_minutes"),
+                        backoff_minutes: num(g, "backoff_minutes"),
+                        lost_death_minutes: num(g, "lost_death_minutes"),
+                        lost_speculation_minutes: num(g, "lost_speculation_minutes"),
+                        utilization_pct: num(g, "utilization_pct"),
+                        deaths: num(g, "deaths") as usize,
+                        retried: num(g, "retried") as usize,
+                        speculated: num(g, "speculated") as usize,
+                        speculative_deaths: num(g, "speculative_deaths") as usize,
+                        diverged: num(g, "diverged") as usize,
+                        timeout: num(g, "timeout") as usize,
+                        cancelled: num(g, "cancelled") as usize,
+                        exhausted: num(g, "exhausted") as usize,
+                    });
+                }
+            }
+            status.runs.push(RunStatus { run: num(r, "run") as usize, generations: rows });
+        }
+    }
+    Ok(status)
+}
+
+/// The end-of-run report: hypervolume trajectory, utilization table, and
+/// failure breakdown in markdown — every byte a function of the status.
+pub fn markdown_report(status: &CampaignStatus) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Campaign report");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{} runs × population {} × {} generations (+1 random); hypervolume \
+         reference point (energy, force) = ({}, {}).",
+        status.n_runs,
+        status.pop_size,
+        status.generations,
+        status.reference.0,
+        status.reference.1
+    );
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Hypervolume trajectory");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| gen | {}mean |", header_cells(status));
+    let _ = writeln!(out, "|----:|{}-----:|", "-----:|".repeat(status.runs.len()));
+    let max_gens = status.runs.iter().map(|r| r.generations.len()).max().unwrap_or(0);
+    for g in 0..max_gens {
+        let mut cells = String::new();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in &status.runs {
+            match r.generations.get(g) {
+                Some(row) => {
+                    let _ = write!(cells, " {:.3e} |", row.hypervolume);
+                    sum += row.hypervolume;
+                    n += 1;
+                }
+                None => cells.push_str(" - |"),
+            }
+        }
+        let mean = if n > 0 { sum / n as f64 } else { 0.0 };
+        let _ = writeln!(out, "| {g} |{cells} {mean:.3e} |");
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Utilization");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| run | wall min | busy % | idle % | backoff % | lost-death % | lost-spec % |"
+    );
+    let _ = writeln!(out, "|----:|---------:|-------:|-------:|----------:|-------------:|------------:|");
+    let mut totals = UtilizationTotals::default();
+    for r in &status.runs {
+        let t = UtilizationTotals::of(&r.generations);
+        let _ = writeln!(out, "| {} |{}", r.run, t.cells());
+        totals.absorb(&t);
+    }
+    let _ = writeln!(out, "| all |{}", totals.cells());
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Failure breakdown");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| run | deaths | retried | speculated | spec-deaths | diverged | timeout | cancelled | exhausted |"
+    );
+    let _ = writeln!(
+        out,
+        "|----:|-------:|--------:|-----------:|------------:|---------:|--------:|----------:|----------:|"
+    );
+    let mut all = [0usize; 8];
+    for r in &status.runs {
+        let mut f = [0usize; 8];
+        for row in &r.generations {
+            for (slot, v) in [
+                row.deaths,
+                row.retried,
+                row.speculated,
+                row.speculative_deaths,
+                row.diverged,
+                row.timeout,
+                row.cancelled,
+                row.exhausted,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                f[slot] += v;
+                all[slot] += v;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.run, f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "| all | {} | {} | {} | {} | {} | {} | {} | {} |",
+        all[0], all[1], all[2], all[3], all[4], all[5], all[6], all[7]
+    );
+    out
+}
+
+fn header_cells(status: &CampaignStatus) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for r in &status.runs {
+        let _ = write!(s, "run {} | ", r.run);
+    }
+    s
+}
+
+#[derive(Default)]
+struct UtilizationTotals {
+    wall: f64,
+    busy: f64,
+    idle: f64,
+    backoff: f64,
+    lost_death: f64,
+    lost_spec: f64,
+    capacity: f64,
+}
+
+impl UtilizationTotals {
+    fn of(rows: &[GenStatus]) -> Self {
+        let mut t = UtilizationTotals::default();
+        for row in rows {
+            t.wall += row.wall_minutes;
+            t.busy += row.busy_minutes;
+            t.idle += row.idle_minutes;
+            t.backoff += row.backoff_minutes;
+            t.lost_death += row.lost_death_minutes;
+            t.lost_spec += row.lost_speculation_minutes;
+            // Capacity (wall × workers) equals the category sum exactly,
+            // by the scheduler's partition invariant.
+            t.capacity += row.busy_minutes
+                + row.idle_minutes
+                + row.backoff_minutes
+                + row.lost_death_minutes
+                + row.lost_speculation_minutes;
+        }
+        t
+    }
+
+    fn absorb(&mut self, other: &UtilizationTotals) {
+        self.wall += other.wall;
+        self.busy += other.busy;
+        self.idle += other.idle;
+        self.backoff += other.backoff;
+        self.lost_death += other.lost_death;
+        self.lost_spec += other.lost_spec;
+        self.capacity += other.capacity;
+    }
+
+    fn cells(&self) -> String {
+        let pct = |v: f64| if self.capacity > 0.0 { v / self.capacity * 100.0 } else { 0.0 };
+        format!(
+            " {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            self.wall,
+            pct(self.busy),
+            pct(self.idle),
+            pct(self.backoff),
+            pct(self.lost_death),
+            pct(self.lost_spec)
+        )
+    }
+}
+
+/// Chrome counter tracks derived from the status: per run, `queue depth`
+/// and `utilization %` at each generation's start and `hypervolume` at its
+/// end, on the simulated clock. Derived from the status — not the live
+/// event stream — so a killed-and-resumed campaign exports the same bytes
+/// as an uninterrupted one (replayed generations never re-emit live
+/// events).
+pub fn counter_tracks(status: &CampaignStatus) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    for r in &status.runs {
+        let pid = r.run as u64;
+        let mut clock_min = 0.0f64;
+        for row in &r.generations {
+            let start_us = clock_min * US_PER_MIN;
+            clock_min += row.makespan_minutes;
+            let end_us = clock_min * US_PER_MIN;
+            out.push(TraceEvent::counter(
+                "queue depth",
+                cats::EA,
+                pid,
+                start_us,
+                row.evaluations as f64,
+            ));
+            out.push(TraceEvent::counter(
+                "utilization %",
+                cats::EA,
+                pid,
+                start_us,
+                row.utilization_pct,
+            ));
+            out.push(TraceEvent::counter("hypervolume", cats::EA, pid, end_us, row.hypervolume));
+        }
+    }
+    out
+}
+
+/// [`counter_tracks`] rendered as a Perfetto-loadable trace document.
+pub fn counter_trace_json(status: &CampaignStatus) -> String {
+    render(&counter_tracks(status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dphpo_evo::{Fitness, Individual};
+
+    fn ind(e: f64, f: f64) -> Individual {
+        let mut i = Individual::new(vec![0.0]);
+        i.fitness = Some(Fitness::new(vec![e, f]));
+        i
+    }
+
+    fn record(generation: usize, points: &[(f64, f64)]) -> GenerationRecord {
+        GenerationRecord {
+            generation,
+            population: points.iter().map(|&(e, f)| ind(e, f)).collect(),
+            failures: 0,
+        }
+    }
+
+    fn report(makespan: f64) -> PoolReport {
+        PoolReport {
+            makespan_minutes: makespan,
+            wall_minutes: makespan,
+            busy_minutes: vec![makespan, makespan * 0.5],
+            idle_minutes: vec![0.0, makespan * 0.5],
+            lost_death_minutes: vec![0.0, 0.0],
+            lost_speculation_minutes: vec![0.0, 0.0],
+            backoff_slot_minutes: vec![0.0, 0.0],
+            per_worker_minutes: vec![makespan, makespan * 0.5],
+            ..PoolReport::default()
+        }
+    }
+
+    fn sample_status() -> CampaignStatus {
+        let records =
+            vec![record(0, &[(0.02, 0.5), (0.025, 0.45)]), record(1, &[(0.01, 0.3)])];
+        let reports = vec![report(100.0), report(80.0)];
+        let rows = replay_rows(&records, &reports);
+        let mut status = CampaignStatus {
+            n_runs: 1,
+            pop_size: 2,
+            generations: 1,
+            reference: REFERENCE_POINT,
+            runs: Vec::new(),
+        };
+        status.set_run(0, rows);
+        status
+    }
+
+    #[test]
+    fn replay_rows_track_archive_progress() {
+        let status = sample_status();
+        let rows = &status.runs[0].generations;
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].added, 2);
+        // (0.01, 0.3) dominates both generation-0 members.
+        assert_eq!(rows[1].added, 1);
+        assert_eq!(rows[1].evicted, 2);
+        assert_eq!(rows[1].cardinality, 1);
+        assert!(rows[1].hypervolume > rows[0].hypervolume);
+        assert!((rows[0].utilization_pct - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn status_json_round_trips() {
+        let status = sample_status();
+        let text = status_json(&status);
+        assert!(text.contains("\"schema\": \"dphpo-campaign-status-v1\""));
+        let parsed = parse_status(&text).expect("parse");
+        assert_eq!(parsed, status);
+        // Deterministic: same value, same bytes.
+        assert_eq!(text, status_json(&parsed));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("dphpo_status_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign_status.json");
+        let status = sample_status();
+        write_status_atomic(&path, &status).unwrap();
+        write_status_atomic(&path, &status).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), status_json(&status));
+        assert!(!path.with_extension("json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn markdown_report_contains_all_sections() {
+        let text = markdown_report(&sample_status());
+        assert!(text.contains("## Hypervolume trajectory"));
+        assert!(text.contains("## Utilization"));
+        assert!(text.contains("## Failure breakdown"));
+        assert!(text.contains("| all |"));
+        // The utilization percentages partition to 100 for run 0.
+        assert!(text.contains("75.0"), "busy share missing: {text}");
+    }
+
+    #[test]
+    fn counter_tracks_follow_the_simulated_clock() {
+        let events = counter_tracks(&sample_status());
+        assert_eq!(events.len(), 6);
+        assert!(events.iter().all(|e| e.ph == 'C'));
+        // Generation 1's hypervolume sample lands at the cumulative
+        // makespan (100 + 80 minutes).
+        let hv: Vec<_> = events.iter().filter(|e| e.name == "hypervolume").collect();
+        assert_eq!(hv[1].ts_us, 180.0 * US_PER_MIN);
+        let doc = counter_trace_json(&sample_status());
+        assert!(doc.contains("\"ph\":\"C\""));
+    }
+}

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use dphpo_dnnp::AbortReason;
 use dphpo_evo::nsga2::{BatchEvaluator, EvalResult};
-use dphpo_evo::Fitness;
+use dphpo_evo::{ArchiveChurn, Fitness, FrontStats};
 use dphpo_hpc::{
     run_batch_observed, EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskCtx,
     TaskRecord, Timeline,
@@ -26,6 +26,18 @@ use crate::journal::{EvalEntry, JournalSink};
 use crate::workflow::{
     derive_seed, estimated_minutes, evaluate_individual_observed, EvalContext, EvalRecord,
 };
+
+/// Busy share of a batch's worker-minutes capacity, in percent:
+/// `Σ busy / (wall × workers)`. Zero for an empty batch.
+pub fn utilization_pct(report: &PoolReport, n_workers: usize) -> f64 {
+    let busy: f64 = report.busy_minutes.iter().sum();
+    let capacity = report.wall_minutes * n_workers as f64;
+    if capacity > 0.0 {
+        busy / capacity * 100.0
+    } else {
+        0.0
+    }
+}
 
 /// A batch evaluator that fans genomes out across the simulated Summit
 /// allocation. Any task-level error — timeout, worker death, divergence —
@@ -111,6 +123,37 @@ impl SummitEvaluator {
     /// batch job's wall clock would have accumulated.
     pub fn total_makespan_minutes(&self) -> f64 {
         self.reports.iter().map(|r| r.makespan_minutes).sum()
+    }
+
+    /// Emit the generation-boundary front observation: an `ea.front`
+    /// instant carrying the archive's hypervolume / cardinality / spread
+    /// and its dominance churn, plus the matching gauges and counters.
+    /// Called by the campaign driver after the archive absorbs the
+    /// generation's population; a no-op without an attached recorder. The
+    /// event is timestamped at the cumulative makespan — the simulated
+    /// moment this generation's batch drained.
+    pub fn observe_front(&self, generation: u64, stats: FrontStats, churn: ArchiveChurn) {
+        let Some((obs, run)) = &self.obs else { return };
+        if !obs.enabled() {
+            return;
+        }
+        let ctx = SpanCtx::root(self.base_seed, *run).with_gen(generation as u32);
+        let mut ev = Event::instant(names::FRONT, cats::EA, ctx);
+        ev.when = When::Sim(self.total_makespan_minutes());
+        ev.args = vec![
+            ("hypervolume", stats.hypervolume),
+            ("cardinality", stats.cardinality as f64),
+            ("spread", stats.spread),
+            ("offered", churn.offered as f64),
+            ("added", churn.added as f64),
+            ("evicted", churn.evicted as f64),
+        ];
+        obs.record(ev);
+        obs.gauge_set(names::G_HYPERVOLUME, stats.hypervolume);
+        obs.gauge_set(names::G_ARCHIVE_SIZE, stats.cardinality as f64);
+        obs.gauge_set(names::G_FRONT_SPREAD, stats.spread);
+        obs.counter_add(names::C_ARCHIVE_ADDED, churn.added as u64);
+        obs.counter_add(names::C_ARCHIVE_EVICTED, churn.evicted as u64);
     }
 }
 
@@ -264,6 +307,9 @@ impl BatchEvaluator for SummitEvaluator {
                     ("retried", report.retried_tasks as f64),
                     ("speculated", report.speculated_tasks as f64),
                     ("lost_min", report.lost_minutes),
+                    ("wall_min", report.wall_minutes),
+                    ("backoff_min", report.backoff_minutes),
+                    ("util_busy_pct", utilization_pct(&report, self.pool.n_workers)),
                 ],
             });
         }

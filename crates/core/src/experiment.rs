@@ -13,7 +13,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -22,12 +22,13 @@ use rand::SeedableRng;
 
 use dphpo_dnnp::TrainConfig;
 use dphpo_evo::nsga2::{Nsga2Config, Nsga2State, RunResult};
-use dphpo_evo::{Individual, ParetoArchive};
+use dphpo_evo::{FrontStats, Individual, ParetoArchive};
 use dphpo_hpc::{CostModel, FaultInjector, PoolConfig, PoolReport, SupervisorConfig};
 use dphpo_obs::Recorder;
 use dphpo_md::generate::{generate_dataset, GenConfig};
 use dphpo_md::Dataset;
 
+use crate::campaign_report::{self, CampaignStatus};
 use crate::ea::SummitEvaluator;
 use crate::journal::{GenEntry, Journal, JournalError, JournalSink, JournalWriter};
 use crate::representation::DeepMDRepresentation;
@@ -156,6 +157,9 @@ pub struct ExperimentResult {
     /// Cross-generation Pareto archive per run (every non-dominated,
     /// non-penalty solution the run ever surfaced).
     pub archives: Vec<ParetoArchive>,
+    /// The campaign observatory: per-generation search-quality and
+    /// utilization rows (see [`crate::campaign_report`]).
+    pub status: CampaignStatus,
 }
 
 impl ExperimentResult {
@@ -243,7 +247,7 @@ pub fn run_experiment_with(
     config: &ExperimentConfig,
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> ExperimentResult {
-    run_experiment_inner(config, progress, None, None, None, None)
+    run_experiment_inner(config, progress, None, None, None, None, None)
         .expect("an unjournaled campaign cannot be interrupted")
 }
 
@@ -256,7 +260,7 @@ pub fn run_experiment_observed(
     progress: Option<&mut dyn FnMut(usize, usize)>,
     recorder: Arc<dyn Recorder>,
 ) -> ExperimentResult {
-    run_experiment_inner(config, progress, None, None, None, Some(recorder))
+    run_experiment_inner(config, progress, None, None, None, Some(recorder), None)
         .expect("an unjournaled campaign cannot be interrupted")
 }
 
@@ -269,7 +273,7 @@ pub fn run_experiment_journaled(
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> Result<ExperimentResult, ExperimentError> {
     let writer = JournalWriter::create(journal_path, config)?;
-    run_experiment_inner(config, progress, Some(Rc::new(RefCell::new(writer))), None, None, None)
+    run_experiment_inner(config, progress, Some(Rc::new(RefCell::new(writer))), None, None, None, None)
 }
 
 /// As [`run_experiment_journaled`], with a telemetry recorder: journal
@@ -288,6 +292,7 @@ pub fn run_experiment_journaled_observed(
         None,
         None,
         Some(recorder),
+        None,
     )
 }
 
@@ -306,6 +311,7 @@ pub fn run_experiment_journaled_with_kill(
         None,
         Some(Rc::new(RefCell::new(writer))),
         Some(kill_after_tasks),
+        None,
         None,
         None,
     )
@@ -352,7 +358,138 @@ fn resume_experiment_inner(
         None,
         Some(&journal),
         recorder,
+        None,
     )
+}
+
+/// The live status surface: accumulates observatory rows and (when a path
+/// is configured) rewrites `campaign_status.json` atomically at every
+/// generation boundary.
+struct StatusSink {
+    status: CampaignStatus,
+    path: Option<PathBuf>,
+}
+
+impl StatusSink {
+    fn new(config: &ExperimentConfig, path: Option<&Path>) -> Self {
+        StatusSink { status: CampaignStatus::new(config), path: path.map(Path::to_path_buf) }
+    }
+
+    fn flush(&self) {
+        if let Some(path) = &self.path {
+            campaign_report::write_status_atomic(path, &self.status)
+                .expect("rewrite campaign status file");
+        }
+    }
+}
+
+/// Builder for campaigns that want the observatory surface: a write-ahead
+/// journal, a live `campaign_status.json` (rewritten atomically at every
+/// generation boundary), chaos-mode driver kills, resume, and telemetry —
+/// in any combination. The existing free functions remain as shorthands;
+/// this is the one place every option composes.
+///
+/// ```no_run
+/// use dphpo_core::experiment::{Campaign, ExperimentConfig};
+///
+/// let config = ExperimentConfig::smoke();
+/// let result = Campaign::new(&config)
+///     .journal("campaign.jsonl")
+///     .status_file("campaign_status.json")
+///     .run(None)
+///     .unwrap();
+/// println!("{}", dphpo_core::campaign_report::markdown_report(&result.status));
+/// ```
+pub struct Campaign<'a> {
+    config: &'a ExperimentConfig,
+    journal_path: Option<PathBuf>,
+    status_path: Option<PathBuf>,
+    kill_after_tasks: Option<u64>,
+    resume: bool,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl<'a> Campaign<'a> {
+    /// A plain, unjournaled campaign for `config`.
+    pub fn new(config: &'a ExperimentConfig) -> Self {
+        Campaign {
+            config,
+            journal_path: None,
+            status_path: None,
+            kill_after_tasks: None,
+            resume: false,
+            recorder: None,
+        }
+    }
+
+    /// Attach a write-ahead journal at `path`.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Rewrite a deterministic status file at `path` at every generation
+    /// boundary (atomically: temp file + rename).
+    pub fn status_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.status_path = Some(path.into());
+        self
+    }
+
+    /// Chaos mode: kill the (simulated) driver after this many completed
+    /// tasks (see [`run_experiment_journaled_with_kill`]).
+    pub fn kill_after(mut self, tasks: u64) -> Self {
+        self.kill_after_tasks = Some(tasks);
+        self
+    }
+
+    /// Resume from the attached journal instead of starting fresh.
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Attach a telemetry recorder (strictly observational).
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Run (or resume) the campaign.
+    pub fn run(
+        self,
+        progress: Option<&mut dyn FnMut(usize, usize)>,
+    ) -> Result<ExperimentResult, ExperimentError> {
+        let status_path = self.status_path.as_deref();
+        if self.resume {
+            let journal_path =
+                self.journal_path.as_deref().expect("resume requires a journal path");
+            let journal = Journal::load(journal_path)?;
+            journal.check_config(self.config)?;
+            let writer = JournalWriter::open_append(journal_path, journal.valid_len)?;
+            return run_experiment_inner(
+                self.config,
+                progress,
+                Some(Rc::new(RefCell::new(writer))),
+                None,
+                Some(&journal),
+                self.recorder,
+                status_path,
+            );
+        }
+        let writer = match self.journal_path.as_deref() {
+            Some(path) => Some(Rc::new(RefCell::new(JournalWriter::create(path, self.config)?))),
+            None => None,
+        };
+        run_experiment_inner(
+            self.config,
+            progress,
+            writer,
+            self.kill_after_tasks,
+            None,
+            self.recorder,
+            status_path,
+        )
+    }
 }
 
 /// Mid-run state reconstructed from a journal's generation boundaries.
@@ -387,9 +524,10 @@ fn restore_point(
 }
 
 /// Close out one generation: fold the survivors into the Pareto archive,
-/// verify the (chaos-mode) driver survived the batch, and journal the
-/// boundary. The order matters — a driver that died during the batch must
-/// *not* write the boundary, exactly like a real crash.
+/// verify the (chaos-mode) driver survived the batch, journal the
+/// boundary, and publish the observatory row. The order matters — a driver
+/// that died during the batch must *not* write the boundary (or the status
+/// row), exactly like a real crash.
 fn finish_generation(
     state: &Nsga2State,
     archive: &mut ParetoArchive,
@@ -397,13 +535,15 @@ fn finish_generation(
     evaluator: &SummitEvaluator,
     rng: &StdRng,
     run_idx: usize,
+    status: &mut StatusSink,
 ) -> Result<(), ExperimentError> {
     let record = state.history.last().expect("a completed generation has a record");
-    archive.offer_all(&record.population);
+    let churn = archive.offer_all_counted(&record.population);
     let faults = evaluator.faults();
     if !faults.driver_alive() {
         return Err(ExperimentError::Interrupted { completed_tasks: faults.completed_tasks() });
     }
+    let report = evaluator.reports().last().cloned().unwrap_or_default();
     if let Some(sink) = journal {
         let entry = GenEntry {
             run: run_idx,
@@ -412,10 +552,22 @@ fn finish_generation(
             evaluations: state.evaluations,
             rng_state: rng.state(),
             archive: archive.members().to_vec(),
-            report: evaluator.reports().last().cloned().unwrap_or_default(),
+            report: report.clone(),
         };
         sink.writer.borrow_mut().append_generation(&entry);
     }
+    let row = campaign_report::generation_row(record, archive, churn, &report);
+    evaluator.observe_front(
+        record.generation as u64,
+        FrontStats {
+            cardinality: row.cardinality,
+            hypervolume: row.hypervolume,
+            spread: row.spread,
+        },
+        churn,
+    );
+    status.status.push_row(run_idx, row);
+    status.flush();
     Ok(())
 }
 
@@ -434,6 +586,7 @@ fn drive_run(
     restored: Option<RestorePoint>,
     progress: &mut Option<&mut dyn FnMut(usize, usize)>,
     recorder: Option<&Arc<dyn Recorder>>,
+    status: &mut StatusSink,
 ) -> Result<(RunResult, Vec<PoolReport>, ParetoArchive, u64), ExperimentError> {
     let seed = config.master_seed + run_idx as u64;
     let ctx = Arc::new(EvalContext {
@@ -452,6 +605,13 @@ fn drive_run(
     }
     let (state, mut rng, mut archive) = match restored {
         Some(point) => {
+            // Prefill the observatory rows for the restored generations by
+            // replaying the journaled boundaries — bit-identical to the
+            // rows the original driver published live.
+            status.status.set_run(
+                run_idx,
+                campaign_report::replay_rows(&point.state.history, &point.reports),
+            );
             evaluator.set_generation(point.state.generation as u64 + 1);
             evaluator.preload_reports(point.reports);
             (Some(point.state), StdRng::from_state(point.rng_state), point.archive)
@@ -465,13 +625,13 @@ fn drive_run(
         Some(s) => s,
         None => {
             let s = Nsga2State::start(nsga2, &mut evaluator, &mut rng);
-            finish_generation(&s, &mut archive, &journal, &evaluator, &rng, run_idx)?;
+            finish_generation(&s, &mut archive, &journal, &evaluator, &rng, run_idx, status)?;
             s
         }
     };
     while !state.is_complete(nsga2) {
         state.step(nsga2, &mut evaluator, &mut rng);
-        finish_generation(&state, &mut archive, &journal, &evaluator, &rng, run_idx)?;
+        finish_generation(&state, &mut archive, &journal, &evaluator, &rng, run_idx, status)?;
     }
     if let Some(cb) = progress.as_deref_mut() {
         cb(run_idx, config.generations);
@@ -481,6 +641,7 @@ fn drive_run(
     Ok((state.into_result(), reports, archive, completed))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_experiment_inner(
     config: &ExperimentConfig,
     mut progress: Option<&mut dyn FnMut(usize, usize)>,
@@ -488,10 +649,12 @@ fn run_experiment_inner(
     mut kill_budget: Option<u64>,
     resume_from: Option<&Journal>,
     recorder: Option<Arc<dyn Recorder>>,
+    status_path: Option<&Path>,
 ) -> Result<ExperimentResult, ExperimentError> {
     let (train, val) = build_dataset(config);
     let nsga2 = nsga2_config_for(config);
 
+    let mut status = StatusSink::new(config, status_path);
     let mut runs = Vec::with_capacity(config.n_runs);
     let mut pool_reports = Vec::with_capacity(config.n_runs);
     let mut archives = Vec::with_capacity(config.n_runs);
@@ -501,9 +664,14 @@ fn run_experiment_inner(
             None => None,
         };
         // A run the journal shows as finished is reconstructed outright —
-        // no evaluator, no training, nothing re-journaled.
+        // no evaluator, no training, nothing re-journaled. Its observatory
+        // rows come from replaying the journaled boundaries.
         if restored.as_ref().is_some_and(|p| p.state.generation >= config.generations) {
             let point = restored.take().expect("just checked");
+            status
+                .status
+                .set_run(run_idx, campaign_report::replay_rows(&point.state.history, &point.reports));
+            status.flush();
             runs.push(point.state.into_result());
             pool_reports.push(point.reports);
             archives.push(point.archive);
@@ -530,6 +698,7 @@ fn run_experiment_inner(
             restored,
             &mut progress,
             recorder.as_ref(),
+            &mut status,
         )?;
         // The kill budget spans the whole campaign: tasks this run consumed
         // bring the next run's driver that much closer to its death.
@@ -540,7 +709,13 @@ fn run_experiment_inner(
         pool_reports.push(reports);
         archives.push(archive);
     }
-    Ok(ExperimentResult { config: config.clone(), runs, pool_reports, archives })
+    Ok(ExperimentResult {
+        config: config.clone(),
+        runs,
+        pool_reports,
+        archives,
+        status: status.status,
+    })
 }
 
 #[cfg(test)]

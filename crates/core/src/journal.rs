@@ -294,6 +294,12 @@ fn report_to_json(r: &PoolReport) -> Json {
         ("spec_deaths", Json::Number(r.speculative_deaths as f64)),
         ("lost_minutes", Json::Number(r.lost_minutes)),
         ("backoff_minutes", Json::Number(r.backoff_minutes)),
+        ("busy", numbers(&r.busy_minutes)),
+        ("lost_death", numbers(&r.lost_death_minutes)),
+        ("lost_spec", numbers(&r.lost_speculation_minutes)),
+        ("backoff_slot", numbers(&r.backoff_slot_minutes)),
+        ("idle", numbers(&r.idle_minutes)),
+        ("wall", Json::Number(r.wall_minutes)),
     ])
 }
 
@@ -305,6 +311,12 @@ fn opt_usize_field(j: &Json, key: &str) -> usize {
 
 fn opt_f64_field(j: &Json, key: &str) -> f64 {
     j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Optional numeric array (absent in journals written before utilization
+/// accounting existed): missing means empty.
+fn opt_f64_array(j: &Json, key: &str) -> Vec<f64> {
+    f64_array(j, key).unwrap_or_default()
 }
 
 fn report_from_json(j: &Json) -> Result<PoolReport, JournalError> {
@@ -321,6 +333,12 @@ fn report_from_json(j: &Json) -> Result<PoolReport, JournalError> {
         speculative_deaths: opt_usize_field(j, "spec_deaths"),
         lost_minutes: opt_f64_field(j, "lost_minutes"),
         backoff_minutes: opt_f64_field(j, "backoff_minutes"),
+        busy_minutes: opt_f64_array(j, "busy"),
+        lost_death_minutes: opt_f64_array(j, "lost_death"),
+        lost_speculation_minutes: opt_f64_array(j, "lost_spec"),
+        backoff_slot_minutes: opt_f64_array(j, "backoff_slot"),
+        idle_minutes: opt_f64_array(j, "idle"),
+        wall_minutes: opt_f64_field(j, "wall"),
         ..PoolReport::default()
     })
 }

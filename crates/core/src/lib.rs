@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign_report;
 pub mod decode;
 pub mod ea;
 pub mod journal;
@@ -39,12 +40,16 @@ pub mod template;
 pub mod workflow;
 
 pub use analysis::{analyze, analyze_with_thresholds, Analysis, SolutionRecord, CHEM_ACC_ENERGY, CHEM_ACC_FORCE};
+pub use campaign_report::{
+    counter_trace_json, markdown_report, status_json, CampaignStatus, GenStatus, RunStatus,
+    REFERENCE_POINT, STATUS_SCHEMA,
+};
 pub use decode::{decode, DecodedGenome};
 pub use nas::{decode_nas, DecodedNas, NasRepresentation};
 pub use ea::SummitEvaluator;
 pub use experiment::{
     resume_experiment, resume_experiment_observed, run_experiment, run_experiment_journaled,
-    run_experiment_journaled_observed, run_experiment_observed, ExperimentConfig,
+    run_experiment_journaled_observed, run_experiment_observed, Campaign, ExperimentConfig,
     ExperimentError, ExperimentResult,
 };
 pub use journal::{Journal, JournalError, JournalWriter};

@@ -5,6 +5,19 @@
 
 use crate::individual::{Fitness, Individual};
 
+/// Dominance churn from offering one population to a [`ParetoArchive`]:
+/// how many candidates were offered, how many were admitted, and how many
+/// existing members were evicted (dominated or crowded out).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArchiveChurn {
+    /// Candidates offered (population size).
+    pub offered: usize,
+    /// Candidates admitted to the archive.
+    pub added: usize,
+    /// Existing members evicted by the admitted candidates.
+    pub evicted: usize,
+}
+
 /// An elitist archive of mutually non-dominating individuals, optionally
 /// capacity-bounded (evicting the most crowded member first).
 #[derive(Clone, Debug, Default)]
@@ -44,32 +57,56 @@ impl ParetoArchive {
     /// offers are rejected; members dominated by the offer are evicted.
     /// Returns true if the individual was admitted.
     pub fn offer(&mut self, candidate: &Individual) -> bool {
+        self.offer_counted(candidate).0
+    }
+
+    /// [`offer`](Self::offer), additionally reporting how many existing
+    /// members the offer evicted (dominated members plus any capacity
+    /// evictions). `(false, 0)` when the offer was rejected.
+    pub fn offer_counted(&mut self, candidate: &Individual) -> (bool, usize) {
         let Some(fitness) = candidate.fitness.as_ref() else {
-            return false;
+            return (false, 0);
         };
         if fitness.is_penalty() {
-            return false;
+            return (false, 0);
         }
         // Rejected if any member dominates (or duplicates) the candidate.
         for member in &self.members {
             let mf = member.fitness();
             if mf.dominates(fitness) || mf == fitness {
-                return false;
+                return (false, 0);
             }
         }
+        let before = self.members.len();
         self.members.retain(|member| !fitness.dominates(member.fitness()));
+        let mut evicted = before - self.members.len();
         self.members.push(candidate.clone());
         if let Some(cap) = self.capacity {
             while self.members.len() > cap {
                 self.evict_most_crowded();
+                evicted += 1;
             }
         }
-        true
+        (true, evicted)
     }
 
     /// Offer a whole population.
     pub fn offer_all(&mut self, population: &[Individual]) -> usize {
         population.iter().filter(|i| self.offer(i)).count()
+    }
+
+    /// Offer a whole population, reporting dominance churn: how many were
+    /// offered, admitted, and how many existing members were evicted. The
+    /// churn is a deterministic function of the archive state and the
+    /// population order, so replaying the same offers reproduces it.
+    pub fn offer_all_counted(&mut self, population: &[Individual]) -> ArchiveChurn {
+        let mut churn = ArchiveChurn { offered: population.len(), ..ArchiveChurn::default() };
+        for individual in population {
+            let (added, evicted) = self.offer_counted(individual);
+            churn.added += usize::from(added);
+            churn.evicted += evicted;
+        }
+        churn
     }
 
     fn evict_most_crowded(&mut self) {
@@ -156,5 +193,28 @@ mod tests {
         let mut archive = ParetoArchive::new();
         let pop = vec![ind(1.0, 4.0), ind(2.0, 3.0), ind(2.5, 3.5)];
         assert_eq!(archive.offer_all(&pop), 2);
+    }
+
+    #[test]
+    fn offer_all_counted_reports_churn() {
+        let mut archive = ParetoArchive::new();
+        archive.offer(&ind(1.0, 4.0));
+        archive.offer(&ind(2.0, 3.0));
+        // (0.5, 2.0) dominates both members; (2.5, 3.5) is dominated.
+        let pop = vec![ind(0.5, 2.0), ind(2.5, 3.5)];
+        let churn = archive.offer_all_counted(&pop);
+        assert_eq!(churn, ArchiveChurn { offered: 2, added: 1, evicted: 2 });
+        assert_eq!(archive.len(), 1);
+    }
+
+    #[test]
+    fn offer_counted_includes_capacity_evictions() {
+        let mut archive = ParetoArchive::with_capacity(2);
+        archive.offer(&ind(0.0, 10.0));
+        archive.offer(&ind(10.0, 0.0));
+        let (added, evicted) = archive.offer_counted(&ind(5.0, 5.0));
+        assert!(added);
+        assert_eq!(evicted, 1, "capacity eviction must be counted");
+        assert_eq!(archive.len(), 2);
     }
 }

@@ -54,8 +54,11 @@ pub use mo::{
     assign_rank_and_crowding, crowding_distance, fast_nondominated_sort, hypervolume_2d,
     pareto_front, rank_ordinal_sort, Fronts,
 };
-pub use archive::ParetoArchive;
-pub use metrics::{igd, spread_2d, zdt1_reference_front, zdt2_reference_front};
+pub use archive::{ArchiveChurn, ParetoArchive};
+pub use metrics::{
+    front_stats_2d, hypervolume, igd, spread_2d, zdt1_reference_front, zdt2_reference_front,
+    FrontStats,
+};
 pub use nsga2::{
     run_nsga2, BatchEvaluator, EvalResult, GenerationRecord, Nsga2Config, Nsga2State, RunResult,
 };

@@ -426,6 +426,26 @@ pub struct PoolReport {
     /// (`base × factor^(retry-1)` per retry). Idle waiting, not busy time —
     /// reported separately from the makespan.
     pub backoff_minutes: f64,
+    /// Simulated busy minutes per worker slot that produced a result
+    /// (successful evaluations plus structural failures, which still ran).
+    pub busy_minutes: Vec<f64>,
+    /// Simulated minutes per worker slot burned by dead primary attempts.
+    pub lost_death_minutes: Vec<f64>,
+    /// Simulated minutes per worker slot burned by dying speculative twins.
+    pub lost_speculation_minutes: Vec<f64>,
+    /// Simulated retry-backoff minutes list-scheduled onto each worker slot
+    /// (idle waiting before a requeue, not busy time).
+    pub backoff_slot_minutes: Vec<f64>,
+    /// Simulated idle minutes per worker slot: the gap between that slot's
+    /// charged time and the batch wall clock.
+    pub idle_minutes: Vec<f64>,
+    /// Backoff-inclusive simulated wall clock of the batch: the longest
+    /// per-worker `charged + backoff` time. Equals
+    /// [`PoolReport::makespan_minutes`] whenever no retry backoff was
+    /// charged, and is never smaller. Per worker slot,
+    /// `busy + lost_death + lost_speculation + backoff + idle` partitions
+    /// this value exactly.
+    pub wall_minutes: f64,
     /// Worker slots permanently retired by health scoring. Depends on which
     /// physical thread absorbed the deaths — excluded from the journal.
     pub quarantined_workers: usize,
@@ -648,6 +668,7 @@ where
     let mut finalized = vec![false; n];
     let mut retried = vec![false; n];
     let mut lost_per_task = vec![0.0f64; n];
+    let mut backoff_per_task = vec![0.0f64; n];
     // A task's primary retry chain stays open until a primary attempt
     // completes (superseded or not) or its retries are exhausted. Draining
     // every chain — not just every record — is what keeps death counts and
@@ -893,6 +914,7 @@ where
                         let backoff = sup.backoff_base_minutes
                             * sup.backoff_factor.powi(attempts[task] as i32 - 1);
                         report.backoff_minutes += backoff;
+                        backoff_per_task[task] += backoff;
                         if obs_on {
                             obs.counter_add(names::C_RETRIES, 1);
                             obs.observe(names::H_BACKOFF_MIN, backoff);
@@ -974,37 +996,85 @@ where
     // to the simulated-least-loaded worker, exactly how a Dask worker pool
     // with one task per node drains a queue. Charges are applied in a fixed
     // order (final records, then per-task retry losses, then dying twins)
-    // so the makespan is deterministic. Backoff is idle time, not busy
-    // time, and is reported separately.
+    // so the makespan is deterministic. Each charge is also tagged with its
+    // utilization category (busy / lost-to-death / lost-to-speculation) so
+    // the per-worker partition invariant holds by construction.
     let mut per_worker = vec![0.0f64; config.n_workers];
-    let mut assign = |minutes: f64| {
+    let mut busy = vec![0.0f64; config.n_workers];
+    let mut lost_death = vec![0.0f64; config.n_workers];
+    let mut lost_spec = vec![0.0f64; config.n_workers];
+    let mut assign = |minutes: f64, category: &mut [f64]| {
         let (slot, _) = per_worker
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("busy minutes are finite"))
             .expect("at least one worker");
         per_worker[slot] += minutes;
+        category[slot] += minutes;
     };
     for record in &results {
-        assign(record.minutes);
+        // An exhausted task's record carries its dead attempts' lost
+        // minutes; every other terminal record represents real compute.
+        if matches!(record.value, Err(TaskError::WorkerFailed)) {
+            assign(record.minutes, &mut lost_death);
+        } else {
+            assign(record.minutes, &mut busy);
+        }
     }
     for (task, record) in results.iter().enumerate() {
         // Exhausted tasks already carry their lost minutes as the record.
         let already_charged = matches!(record.value, Err(TaskError::WorkerFailed));
         if !already_charged && lost_per_task[task] > 0.0 {
-            assign(lost_per_task[task]);
+            assign(lost_per_task[task], &mut lost_death);
         }
     }
     if sup.speculate {
         for (task, &est) in estimates.iter().enumerate() {
             if twin_tokens.contains_key(&task) && faults.task_kills_worker(task, SPECULATIVE_ATTEMPT)
             {
-                assign(faults.death_fraction(task, SPECULATIVE_ATTEMPT) * est);
+                assign(faults.death_fraction(task, SPECULATIVE_ATTEMPT) * est, &mut lost_spec);
             }
         }
     }
     report.makespan_minutes = per_worker.iter().copied().fold(0.0, f64::max);
+    // Backoff is idle waiting, not busy time: it extends a slot's wall
+    // clock without entering the makespan. Each task's accumulated backoff
+    // is list-scheduled (in task order) onto the slot with the smallest
+    // charged-plus-backoff total, yielding a deterministic backoff-
+    // inclusive wall clock.
+    let mut backoff_slot = vec![0.0f64; config.n_workers];
+    for &minutes in backoff_per_task.iter().filter(|&&m| m > 0.0) {
+        let (slot, _) = per_worker
+            .iter()
+            .zip(&backoff_slot)
+            .map(|(charged, waiting)| charged + waiting)
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("minutes are finite"))
+            .expect("at least one worker");
+        backoff_slot[slot] += minutes;
+    }
+    let wall = per_worker
+        .iter()
+        .zip(&backoff_slot)
+        .map(|(charged, waiting)| charged + waiting)
+        .fold(0.0, f64::max);
+    report.idle_minutes = per_worker
+        .iter()
+        .zip(&backoff_slot)
+        .map(|(charged, waiting)| wall - charged - waiting)
+        .collect();
+    report.wall_minutes = wall;
     report.per_worker_minutes = per_worker;
+    report.busy_minutes = busy;
+    report.lost_death_minutes = lost_death;
+    report.lost_speculation_minutes = lost_spec;
+    report.backoff_slot_minutes = backoff_slot;
+    if obs_on {
+        let busy_total: f64 = report.busy_minutes.iter().sum();
+        let capacity = wall * config.n_workers as f64;
+        let pct = if capacity > 0.0 { busy_total / capacity * 100.0 } else { 0.0 };
+        obs.gauge_set(names::G_UTIL_BUSY_PCT, pct);
+    }
     (results, report)
 }
 
@@ -1325,6 +1395,12 @@ mod tests {
         assert_eq!(rep_a.lost_minutes, rep_b.lost_minutes);
         assert_eq!(rep_a.backoff_minutes, rep_b.backoff_minutes);
         assert_eq!(rep_a.makespan_minutes, rep_b.makespan_minutes);
+        assert_eq!(rep_a.wall_minutes, rep_b.wall_minutes);
+        assert_eq!(rep_a.busy_minutes, rep_b.busy_minutes);
+        assert_eq!(rep_a.lost_death_minutes, rep_b.lost_death_minutes);
+        assert_eq!(rep_a.lost_speculation_minutes, rep_b.lost_speculation_minutes);
+        assert_eq!(rep_a.backoff_slot_minutes, rep_b.backoff_slot_minutes);
+        assert_eq!(rep_a.idle_minutes, rep_b.idle_minutes);
     }
 
     #[test]

@@ -161,3 +161,83 @@ proptest! {
         prop_assert_eq!(a_report.backoff_minutes, b_report.backoff_minutes);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Utilization accounting invariant: for every worker slot, the five
+    /// categories (busy, lost-to-death, lost-to-speculation, backoff, idle)
+    /// exactly partition the backoff-inclusive wall clock — across any
+    /// fault plan, retry budget, nanny mode, and speculation setting.
+    #[test]
+    fn utilization_categories_partition_the_wall_clock(
+        n_workers in 1usize..6,
+        n_tasks in 0usize..13,
+        death_permille in 0usize..1000,
+        max_attempts_raw in 1usize..5,
+        nanny_bit in 0usize..2,
+        speculate_bit in 0usize..2,
+        fault_seed in 0i64..64,
+    ) {
+        let inputs: Vec<u64> = (0..n_tasks as u64).collect();
+        let config = PoolConfig {
+            n_workers,
+            timeout_minutes: Some(120.0),
+            nanny: nanny_bit == 1,
+            max_attempts: max_attempts_raw as u32,
+            supervisor: SupervisorConfig {
+                speculate: speculate_bit == 1,
+                ..SupervisorConfig::default()
+            },
+        };
+        let faults = FaultInjector::new(death_permille as f64 / 1000.0, fault_seed as u64);
+        let (_, report) = run_batch_supervised(
+            &inputs, eval, estimate, &config, &faults, |_, _| {},
+        );
+
+        // An empty batch never spins the pool up: every aggregate is zero
+        // and the per-worker vectors stay empty.
+        let slots = if n_tasks == 0 { 0 } else { n_workers };
+        if n_tasks == 0 {
+            prop_assert_eq!(report.wall_minutes, 0.0);
+            prop_assert_eq!(report.makespan_minutes, 0.0);
+        }
+        prop_assert_eq!(report.busy_minutes.len(), slots);
+        prop_assert_eq!(report.idle_minutes.len(), slots);
+        let tol = 1e-9 * (1.0 + report.wall_minutes.abs());
+        for w in 0..slots {
+            let busy = report.busy_minutes[w];
+            let death = report.lost_death_minutes[w];
+            let spec = report.lost_speculation_minutes[w];
+            let backoff = report.backoff_slot_minutes[w];
+            let idle = report.idle_minutes[w];
+            for v in [busy, death, spec, backoff, idle] {
+                prop_assert!(v >= -tol, "negative category on worker {}: {}", w, v);
+            }
+            // Charged categories partition the charged per-worker time...
+            prop_assert!(
+                (busy + death + spec - report.per_worker_minutes[w]).abs() <= tol,
+                "worker {} charged partition broken", w
+            );
+            // ...and all five partition the wall clock exactly.
+            prop_assert!(
+                (busy + death + spec + backoff + idle - report.wall_minutes).abs() <= tol,
+                "worker {}: {} + {} + {} + {} + {} != wall {}",
+                w, busy, death, spec, backoff, idle, report.wall_minutes
+            );
+        }
+        // Cross-checks against the batch-level aggregates.
+        let lost: f64 = report.lost_death_minutes.iter().sum::<f64>()
+            + report.lost_speculation_minutes.iter().sum::<f64>();
+        prop_assert!((lost - report.lost_minutes).abs() <= tol);
+        let backoff_total: f64 = report.backoff_slot_minutes.iter().sum();
+        prop_assert!((backoff_total - report.backoff_minutes).abs() <= tol);
+        let charged_max =
+            report.per_worker_minutes.iter().copied().fold(0.0, f64::max);
+        prop_assert_eq!(charged_max, report.makespan_minutes);
+        prop_assert!(report.wall_minutes >= report.makespan_minutes - tol);
+        if report.backoff_minutes == 0.0 {
+            prop_assert_eq!(report.wall_minutes, report.makespan_minutes);
+        }
+    }
+}

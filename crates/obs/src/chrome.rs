@@ -50,6 +50,22 @@ impl TraceEvent {
         Self { name: name.to_string(), cat: cat.to_string(), ph: 'X', ts_us, dur_us, pid, tid, args: Vec::new() }
     }
 
+    /// A counter (`'C'`) sample on the driver lane: Perfetto renders
+    /// consecutive samples of the same name as a counter track alongside
+    /// the span lanes.
+    pub fn counter(name: &str, cat: &str, pid: u64, ts_us: f64, value: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'C',
+            ts_us,
+            dur_us: 0.0,
+            pid,
+            tid: 0,
+            args: vec![("value".to_string(), Arg::Num(value))],
+        }
+    }
+
     /// A thread-name (`'M'`) metadata event for lane `tid` of process `pid`.
     pub fn thread_name(pid: u64, tid: u64, name: &str) -> Self {
         Self {
@@ -187,6 +203,24 @@ pub fn from_snapshot(snap: &TelemetrySnapshot) -> Vec<TraceEvent> {
             ev.args.push(((*k).to_string(), arg));
         }
         out.push(ev);
+        // Counter tracks: selected event args become 'C' samples so
+        // Perfetto plots search progress and resource efficiency alongside
+        // the span lanes. Emitted inline, so sample order follows the
+        // deterministic snapshot order.
+        let counters: &[(&str, &str)] = if e.name == names::GENERATION {
+            &[("n_tasks", "queue depth"), ("util_busy_pct", "utilization %")]
+        } else if e.name == names::FRONT {
+            &[("hypervolume", "hypervolume")]
+        } else {
+            &[]
+        };
+        for (key, track) in counters {
+            if let Some(&(_, value)) = e.args.iter().find(|(k, _)| k == key) {
+                if value.is_finite() {
+                    out.push(TraceEvent::counter(track, e.cat, pid, ts_us, value));
+                }
+            }
+        }
     }
 
     let mut meta: Vec<TraceEvent> = lanes
@@ -276,6 +310,36 @@ mod tests {
         assert!(doc.contains("\"ts\":120000000"));
         assert!(doc.contains("\"dur\":180000000"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn generation_and_front_events_emit_counter_samples() {
+        let generation = Event {
+            name: names::GENERATION,
+            cat: cats::EA,
+            ctx: SpanCtx::root(1, 0).with_gen(2),
+            step: None,
+            when: When::Sim(5.0),
+            dur_min: 10.0,
+            worker: None,
+            args: vec![("n_tasks", 4.0), ("util_busy_pct", 87.5)],
+        };
+        let mut front = Event::instant(names::FRONT, cats::EA, SpanCtx::root(1, 0).with_gen(2));
+        front.when = When::Sim(15.0);
+        front.args = vec![("hypervolume", 0.0125)];
+        let snap = TelemetrySnapshot { events: vec![generation, front], ..Default::default() };
+        let events = from_snapshot(&snap);
+        let counters: Vec<_> = events.iter().filter(|e| e.ph == 'C').collect();
+        let names: Vec<&str> = counters.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["queue depth", "utilization %", "hypervolume"]);
+        for c in &counters {
+            assert_eq!(c.tid, 0, "counter tracks live on the driver lane");
+            assert!(matches!(c.args[0], (ref k, Arg::Num(_)) if k == "value"));
+        }
+        assert_eq!(counters[2].ts_us, 15.0 * US_PER_MIN);
+        let doc = render(&events);
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"name\":\"hypervolume\""));
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub mod names {
     pub const SCHED_BACKOFF: &str = "sched.backoff";
     /// Instant: a speculative twin was launched for a straggler.
     pub const SCHED_TWIN: &str = "sched.twin";
+    /// Instant: per-generation Pareto-front quality summary (hypervolume,
+    /// cardinality, spread, archive churn) emitted at the generation
+    /// boundary after the archive absorbs the population.
+    pub const FRONT: &str = "ea.front";
 
     /// Counter: optimiser steps completed.
     pub const C_STEPS: &str = "train.steps";
@@ -85,6 +89,10 @@ pub mod names {
     pub const C_GENERATIONS: &str = "ea.generations";
     /// Counter: journal records appended.
     pub const C_JOURNAL_APPENDS: &str = "journal.appends";
+    /// Counter: individuals admitted to the Pareto archive.
+    pub const C_ARCHIVE_ADDED: &str = "ea.archive_added";
+    /// Counter: archive members evicted by newly admitted individuals.
+    pub const C_ARCHIVE_EVICTED: &str = "ea.archive_evicted";
 
     /// Gauge: tasks queued at batch submission (last + high-water).
     pub const G_QUEUE_DEPTH: &str = "sched.queue_depth";
@@ -94,6 +102,16 @@ pub mod names {
     pub const G_TAPE_POOLED: &str = "tape.pooled_buffers";
     /// Gauge (side channel): workers quarantined — racy under speculation.
     pub const G_QUARANTINED: &str = "side.quarantined_workers";
+    /// Gauge: archive hypervolume against the campaign reference point,
+    /// refreshed at each generation boundary (high-water tracks the best).
+    pub const G_HYPERVOLUME: &str = "ea.hypervolume";
+    /// Gauge: Pareto-archive cardinality at the generation boundary.
+    pub const G_ARCHIVE_SIZE: &str = "ea.archive_size";
+    /// Gauge: front spread (gap-uniformity) at the generation boundary.
+    pub const G_FRONT_SPREAD: &str = "ea.front_spread";
+    /// Gauge: busy share of the batch's worker-minutes capacity, percent
+    /// (`Σ busy / (wall × workers)`), refreshed per evaluated batch.
+    pub const G_UTIL_BUSY_PCT: &str = "sched.util_busy_pct";
 
     /// Histogram: training loss per step.
     pub const H_LOSS: &str = "train.loss";

@@ -15,6 +15,7 @@ struct GenRow {
     retries: u64,
     speculated: u64,
     lost_min: f64,
+    hypervolume: Option<f64>,
 }
 
 fn arg(e: &crate::recorder::Event, key: &str) -> Option<f64> {
@@ -45,6 +46,9 @@ pub fn generation_rollup(snap: &TelemetrySnapshot) -> String {
                 row.speculated = arg(e, "speculated").unwrap_or(0.0) as u64;
                 row.lost_min = arg(e, "lost_min").unwrap_or(0.0);
             }
+            n if n == names::FRONT => {
+                row.hypervolume = arg(e, "hypervolume");
+            }
             _ => {}
         }
     }
@@ -52,11 +56,15 @@ pub fn generation_rollup(snap: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     out.push_str("telemetry rollup (simulated clock)\n");
     out.push_str(
-        "run gen   ok fail    steps  makespan_min  busy_min  deaths retries spec  lost_min\n",
+        "run gen   ok fail    steps  makespan_min  busy_min  deaths retries spec  lost_min  hypervolume\n",
     );
     for ((run, g), r) in &rows {
+        let hv = match r.hypervolume {
+            Some(v) => format!("{v:>11.3e}"),
+            None => format!("{:>11}", "-"),
+        };
         out.push_str(&format!(
-            "{:>3} {:>3} {:>4} {:>4} {:>8}      {:>8.1}  {:>8.1}  {:>6} {:>7} {:>4}  {:>8.1}\n",
+            "{:>3} {:>3} {:>4} {:>4} {:>8}      {:>8.1}  {:>8.1}  {:>6} {:>7} {:>4}  {:>8.1}  {}\n",
             run,
             g,
             r.evals_ok,
@@ -67,7 +75,8 @@ pub fn generation_rollup(snap: &TelemetrySnapshot) -> String {
             r.deaths,
             r.retries,
             r.speculated,
-            r.lost_min
+            r.lost_min,
+            hv
         ));
     }
     if !snap.counters.is_empty() {
@@ -146,7 +155,31 @@ mod tests {
         assert!(row.contains("  0   0    1    1        3"), "row: {row:?}");
         assert!(row.contains("100.0"));
         assert!(row.contains("12.5"));
+        assert!(row.trim_end().ends_with('-'), "no front event -> hv dash: {row:?}");
         assert!(text.contains("counters: train.steps=3"));
         assert!(text.contains("hist train.loss: n=1"));
+    }
+
+    #[test]
+    fn rollup_reports_hypervolume_from_front_events() {
+        let r = MemoryRecorder::new();
+        let base = SpanCtx::root(7, 0).with_gen(1);
+        r.record(Event {
+            name: names::GENERATION,
+            cat: cats::EA,
+            ctx: base,
+            step: None,
+            when: When::Sim(0.0),
+            dur_min: 10.0,
+            worker: None,
+            args: vec![],
+        });
+        let mut front = Event::instant(names::FRONT, cats::EA, base);
+        front.args = vec![("hypervolume", 1.25e-2), ("cardinality", 3.0)];
+        r.record(front);
+        let text = generation_rollup(&r.snapshot());
+        assert!(text.lines().nth(1).unwrap().contains("hypervolume"));
+        let row = text.lines().nth(2).unwrap();
+        assert!(row.contains("1.250e-2") || row.contains("1.250e2"), "row: {row:?}");
     }
 }

@@ -24,6 +24,14 @@ pairs() {
 
 case "${1:-}" in
 --check)
+    # The telemetry-overhead baseline must carry the v2 schema: v1 numbers
+    # came from a two-pass estimator whose inter-pass machine drift could
+    # bias the subtraction (the checked-in v1 file recorded a negative
+    # no-op "overhead"). Regenerate with `--bin obs_overhead`.
+    if [[ -f "BENCH_obs.json" ]] && ! grep -q '"schema": "dphpo-obs-v2"' BENCH_obs.json; then
+        echo "bench check: BENCH_obs.json is not schema dphpo-obs-v2 — regenerate with 'cargo run --release -p dphpo-bench --bin obs_overhead'" >&2
+        exit 1
+    fi
     baseline="BENCH_hotpath.json"
     if [[ ! -f "${baseline}" ]]; then
         echo "bench check: no checked-in ${baseline} to compare against" >&2

@@ -13,7 +13,12 @@
 #   7. telemetry identity          — a faulty campaign run with a live
 #                                    recorder must produce byte-identical
 #                                    artifacts to one run without, and
-#                                    deterministic exports across re-runs
+#                                    deterministic exports across re-runs;
+#                                    plus the campaign observatory: the live
+#                                    campaign_status.json, the end-of-run
+#                                    report, and the Chrome counter tracks
+#                                    must be byte-identical across re-runs
+#                                    and across a chaos kill/resume
 #
 # Opt-in extras (timing-sensitive, off by default on shared hardware):
 #
@@ -70,6 +75,8 @@ done
 
 echo "==> [7/7] telemetry bit-identity (observed == unobserved artifacts)"
 cargo test -q -p dphpo-core --test telemetry_identity
+echo "    campaign observatory identity (status/report/counters across kill+resume)"
+cargo test -q -p dphpo-core --test campaign_report_identity
 
 if [[ "${BENCH_CHECK:-0}" == "1" ]]; then
     echo "==> [opt-in] hot-path bench regression check (BENCH_CHECK=1)"
