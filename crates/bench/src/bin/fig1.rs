@@ -12,6 +12,18 @@
 //! If the run is killed, pass `--resume <journal>` to replay the journaled
 //! work and continue to a bit-identical result instead of retraining.
 //!
+//! Campaign modes (DESIGN.md §12):
+//!
+//! * default — the paper's generational barrier;
+//! * `--steady-state` — the asynchronous steady-state loop on a fixed
+//!   8-slot pool. Every artifact gets a `steady_` prefix
+//!   (`steady_experiment.journal.jsonl`, `steady_fig1_report.txt`, …) so
+//!   the generational artifacts are never overwritten;
+//! * `--compare-modes` — runs *both* modes on a matched 8-slot pool at the
+//!   selected scale and writes `results/mode_comparison.md` (wall clock,
+//!   busy/idle minutes, utilization, hypervolume at equal budget), then
+//!   exits without touching any other artifact.
+//!
 //! Telemetry (off by default, strictly observational):
 //!
 //! * `--trace out.json` — Chrome `trace_event` JSON (open in Perfetto or
@@ -28,12 +40,61 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use dphpo_bench::harness::{
-    experiment_scale, journal_path, resume_campaign_and_report, results_dir,
-    run_campaign_and_report, save_experiment, write_artifact,
+    experiment_scale, journal_path, resume_campaign_and_report, results_dir, run_and_report,
+    run_campaign_and_report, save_experiment, write_artifact, SavedExperiment,
 };
 use dphpo_core::analysis::{ascii_level_plot, failure_breakdown_table, level_plot_csv};
 use dphpo_core::campaign_report::{counter_trace_json, markdown_report, REFERENCE_POINT};
+use dphpo_core::experiment::{CampaignMode, ExperimentConfig, ExperimentResult};
 use dphpo_obs::{chrome, export, rollup, MemoryRecorder, Recorder};
+
+/// Every flag `fig1` understands: `(name, takes a path argument, help)`.
+/// `--list-flags` prints the names one per line; `scripts/verify.sh` greps
+/// the fig1 command lines in README.md/EXPERIMENTS.md against that list so
+/// the docs can never reference a flag this binary does not parse.
+const FLAGS: &[(&str, bool, &str)] = &[
+    ("--smoke", false, "fast test-scale campaign instead of the reduced scale"),
+    ("--steady-state", false, "asynchronous steady-state campaign on a fixed 8-slot pool (steady_* artifacts)"),
+    ("--compare-modes", false, "run both campaign modes on a matched 8-slot pool, write results/mode_comparison.md, exit"),
+    ("--resume", true, "replay a write-ahead journal and continue bit-identically"),
+    ("--trace", true, "write a Chrome trace_event JSON export"),
+    ("--metrics", true, "write the deterministic event/metric JSONL export"),
+    ("--status", false, "keep a live, atomically rewritten campaign_status.json"),
+    ("--report", false, "write the markdown campaign report and Chrome counter tracks"),
+    ("--list-flags", false, "print every known flag, one per line, and exit"),
+];
+
+/// Slot count for `--steady-state` and `--compare-modes`: fixed (not
+/// `available_parallelism`) so the simulated-clock utilization numbers are
+/// reproducible on any host, and larger than one so the barrier cost the
+/// comparison measures actually exists.
+const FIXED_SLOTS: usize = 8;
+
+/// Reject any `--flag` this binary does not understand. A typo'd flag
+/// silently running the full campaign is the failure mode this prevents.
+fn validate_flags() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        match FLAGS.iter().find(|(name, _, _)| name == arg) {
+            Some((_, takes_value, _)) => {
+                if *takes_value {
+                    i += 1; // skip the flag's path argument
+                }
+            }
+            None => {
+                eprintln!("fig1: unknown flag `{arg}`\n\nknown flags:");
+                for (name, takes_value, help) in FLAGS {
+                    let shown = if *takes_value { format!("{name} <path>") } else { (*name).to_string() };
+                    eprintln!("  {shown:<22} {help}");
+                }
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+}
 
 /// The path following `flag`, when present.
 fn path_arg(flag: &str) -> Option<PathBuf> {
@@ -63,20 +124,177 @@ fn write_file(path: &PathBuf, content: &str) {
     }
 }
 
+/// Simulated-clock totals of one campaign, summed over every run and every
+/// generation/epoch of its pool reports.
+struct ModeTotals {
+    evaluations: usize,
+    wall: f64,
+    busy: f64,
+    idle: f64,
+    lost: f64,
+    backoff: f64,
+    utilization: f64,
+    hypervolume: f64,
+}
+
+fn mode_totals(result: &ExperimentResult, slots: usize) -> ModeTotals {
+    let (mut wall, mut busy, mut idle, mut lost, mut backoff) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for r in result.pool_reports.iter().flatten() {
+        wall += r.wall_minutes;
+        busy += r.busy_minutes.iter().sum::<f64>();
+        idle += r.idle_minutes.iter().sum::<f64>();
+        lost += r.lost_death_minutes.iter().sum::<f64>()
+            + r.lost_speculation_minutes.iter().sum::<f64>();
+        backoff += r.backoff_slot_minutes.iter().sum::<f64>();
+    }
+    let capacity = wall * slots as f64;
+    let finals: Vec<f64> = result
+        .status
+        .runs
+        .iter()
+        .filter_map(|r| r.generations.last().map(|g| g.hypervolume))
+        .collect();
+    ModeTotals {
+        evaluations: result.total_evaluations(),
+        wall,
+        busy,
+        idle,
+        lost,
+        backoff,
+        utilization: if capacity > 0.0 { busy / capacity * 100.0 } else { 0.0 },
+        hypervolume: if finals.is_empty() {
+            0.0
+        } else {
+            finals.iter().sum::<f64>() / finals.len() as f64
+        },
+    }
+}
+
+/// Run both campaign modes on a matched fixed-slot pool at the same scale,
+/// seed, and evaluation budget, and render the comparison as markdown. The
+/// numbers are simulated-clock minutes, so the document is deterministic.
+fn run_mode_comparison(base: &ExperimentConfig) -> String {
+    let mut gen_cfg = base.clone();
+    gen_cfg.mode = CampaignMode::Generational;
+    gen_cfg.pool.n_workers = FIXED_SLOTS;
+    let mut steady_cfg = gen_cfg.clone();
+    steady_cfg.mode = CampaignMode::SteadyState;
+
+    println!(
+        "mode comparison: {} runs x pop {} x {} generations on {} slots (both modes, seed {})",
+        gen_cfg.n_runs,
+        gen_cfg.pop_size,
+        gen_cfg.generations + 1,
+        FIXED_SLOTS,
+        gen_cfg.master_seed,
+    );
+    eprintln!("-- generational campaign --");
+    let gen_result = run_and_report(&gen_cfg);
+    eprintln!("-- steady-state campaign --");
+    let steady_result = run_and_report(&steady_cfg);
+
+    let g = mode_totals(&gen_result, FIXED_SLOTS);
+    let s = mode_totals(&steady_result, FIXED_SLOTS);
+
+    let mut md = String::new();
+    md.push_str("# Campaign-mode comparison: generational barrier vs steady-state\n\n");
+    md.push_str(&format!(
+        "Matched pools: {} runs × pop {} × {} generations = {} trainings per mode, \
+         {} worker slots, master seed {}, fault probability {}. All minutes are the \
+         scheduler's deterministic simulated clock (DESIGN.md §12), summed over every \
+         run; utilization is `Σbusy / (Σwall × slots)`; hypervolume is the mean final \
+         archive hypervolume over runs against the reference point ({}, {}).\n\n",
+        gen_cfg.n_runs,
+        gen_cfg.pop_size,
+        gen_cfg.generations + 1,
+        g.evaluations,
+        FIXED_SLOTS,
+        gen_cfg.master_seed,
+        gen_cfg.fault_probability,
+        REFERENCE_POINT.0,
+        REFERENCE_POINT.1,
+    ));
+    md.push_str(
+        "| mode | trainings | wall (min) | busy (min) | idle (min) | lost (min) | backoff (min) | utilization | mean final hypervolume |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    for (name, t) in [("generational", &g), ("steady-state", &s)] {
+        md.push_str(&format!(
+            "| {name} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1}% | {:.4e} |\n",
+            t.evaluations, t.wall, t.busy, t.idle, t.lost, t.backoff, t.utilization, t.hypervolume,
+        ));
+    }
+    md.push_str(&format!(
+        "\nAt an equal evaluation budget the steady-state campaign spends {:.1} idle \
+         slot-minutes against the generational barrier's {:.1} ({:.0}% less): a freed \
+         slot immediately receives the next bred child instead of waiting for the \
+         generation's stragglers. The saving lands on the wall clock — {:.1} vs {:.1} \
+         simulated minutes — while utilization rises from {:.1}% to {:.1}%. (Busy \
+         minutes differ somewhat between modes: after generation 0 each mode breeds \
+         different children, and training cost depends on the genome.)\n",
+        s.idle,
+        g.idle,
+        if g.idle > 0.0 { (1.0 - s.idle / g.idle) * 100.0 } else { 0.0 },
+        s.wall,
+        g.wall,
+        g.utilization,
+        s.utilization,
+    ));
+    if s.idle >= g.idle {
+        md.push_str(
+            "\n**WARNING:** steady-state idle is not below generational idle at this \
+             scale — the saturation argument does not hold here.\n",
+        );
+    }
+    md
+}
+
 fn main() {
-    let config = experiment_scale();
+    validate_flags();
+    if has_flag("--list-flags") {
+        for (name, _, _) in FLAGS {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let steady = has_flag("--steady-state");
+    let mut config = experiment_scale();
+    if steady {
+        config.mode = CampaignMode::SteadyState;
+        config.pool.n_workers = FIXED_SLOTS;
+    }
+
+    if has_flag("--compare-modes") {
+        let md = run_mode_comparison(&config);
+        write_artifact("mode_comparison.md", &md);
+        print!("{md}");
+        return;
+    }
+
+    // Steady-state artifacts live under a `steady_` prefix so the
+    // generational artifacts every other figure binary consumes are never
+    // overwritten by a steady campaign.
+    let prefix = if steady { "steady_" } else { "" };
+    let row_label = if steady { "epoch" } else { "generation" };
+
     let trace_path = path_arg("--trace");
     let metrics_path = path_arg("--metrics");
     let recorder = (trace_path.is_some() || metrics_path.is_some())
         .then(|| Arc::new(MemoryRecorder::with_wall_clock()));
     let total = config.n_runs * config.pop_size * (config.generations + 1);
     println!(
-        "Figure 1: {} runs x pop {} x {} generations (0-{}) = {} DNNP trainings",
+        "Figure 1: {} runs x pop {} x {} {row_label}s (0-{}) = {} DNNP trainings{}",
         config.n_runs,
         config.pop_size,
         config.generations + 1,
         config.generations,
-        total
+        total,
+        if steady {
+            format!(" [steady-state, {FIXED_SLOTS} slots]")
+        } else {
+            String::new()
+        },
     );
     // Observatory flags: `--status` keeps a live, atomically rewritten
     // campaign_status.json next to the other artifacts; `--report` writes
@@ -84,28 +302,42 @@ fn main() {
     // tracks. Both are deterministic: a killed-and-resumed campaign ends
     // with the same bytes as an uninterrupted one.
     let want_report = has_flag("--report");
-    let status_path =
-        (has_flag("--status") || want_report).then(|| results_dir().join("campaign_status.json"));
+    let status_path = (has_flag("--status") || want_report)
+        .then(|| results_dir().join(format!("{prefix}campaign_status.json")));
     let rec_arc = recorder.clone().map(|r| r as Arc<dyn Recorder>);
+    let default_journal = if steady {
+        results_dir().join("steady_experiment.journal.jsonl")
+    } else {
+        journal_path()
+    };
     let result = match resume_arg() {
         Some(journal) => {
             resume_campaign_and_report(&config, &journal, status_path.as_deref(), rec_arc)
         }
         None => {
-            run_campaign_and_report(&config, &journal_path(), status_path.as_deref(), rec_arc)
+            run_campaign_and_report(&config, &default_journal, status_path.as_deref(), rec_arc)
         }
     };
-    save_experiment(&result);
+    if steady {
+        write_artifact(
+            "steady_experiment.json",
+            &SavedExperiment::from_result(&result).to_json_string(),
+        );
+    } else {
+        save_experiment(&result);
+    }
 
     // CSV of every individual of every generation (the raw level-plot data).
     let csv = level_plot_csv(&result);
-    write_artifact("fig1_levels.csv", &csv);
+    write_artifact(&format!("{prefix}fig1_levels.csv"), &csv);
 
     // ASCII density plots, one per generation, aggregated over runs. The
     // paper culls generation-0 outliers (force > 0.6 or energy > 0.03) for
     // clarity; the same limits bound our axes.
     let mut report = String::new();
-    report.push_str("Figure 1: energy (y, eV/atom) vs force (x, eV/AA) losses per generation\n");
+    report.push_str(&format!(
+        "Figure 1: energy (y, eV/atom) vs force (x, eV/AA) losses per {row_label}\n"
+    ));
     report.push_str("aggregated over all runs; axis limits match the paper's culled panel\n\n");
     for generation in 0..=config.generations {
         let points: Vec<(f64, f64)> = result
@@ -123,7 +355,7 @@ fn main() {
             .filter(|(e, f)| e.is_finite() && f.is_finite() && *e < 1e17 && *f < 1e17)
             .count();
         report.push_str(&format!(
-            "--- generation {generation} ({} individuals, {} evaluable) ---\n",
+            "--- {row_label} {generation} ({} individuals, {} evaluable) ---\n",
             points.len(),
             finite
         ));
@@ -142,13 +374,13 @@ fn main() {
 
     // §3.2: failure accounting ("25 failed trainings spread across all five
     // jobs ... none in the last generation").
-    report.push_str("\nfailed trainings per generation (all runs):\n");
+    report.push_str(&format!("\nfailed trainings per {row_label} (all runs):\n"));
     let failures = result.failures_per_generation();
     for (generation, count) in failures.iter().enumerate() {
-        report.push_str(&format!("  generation {generation}: {count}\n"));
+        report.push_str(&format!("  {row_label} {generation}: {count}\n"));
     }
     report.push_str(&format!(
-        "total failures: {}; failures in final generation: {}\n",
+        "total failures: {}; failures in final {row_label}: {}\n",
         failures.iter().sum::<usize>(),
         failures.last().copied().unwrap_or(0)
     ));
@@ -162,7 +394,7 @@ fn main() {
     // Search quality per generation: archive hypervolume against the fixed
     // reference point (the level-plot axis limits), one column per run.
     report.push_str(&format!(
-        "\narchive hypervolume per generation (reference point: {} eV/atom, {} eV/AA):\n",
+        "\narchive hypervolume per {row_label} (reference point: {} eV/atom, {} eV/AA):\n",
         REFERENCE_POINT.0, REFERENCE_POINT.1
     ));
     report.push_str("gen |");
@@ -188,6 +420,17 @@ fn main() {
         report.push_str(&format!(" {mean:>8.3e}\n"));
     }
 
+    // Steady-state campaigns exist to keep the pool saturated, so their
+    // report carries the measured slot accounting (simulated clock).
+    if steady {
+        let t = mode_totals(&result, config.pool.n_workers);
+        report.push_str(&format!(
+            "\nslot accounting ({} slots, simulated minutes, all runs):\n  \
+             wall {:.1}  busy {:.1}  idle {:.1}  lost {:.1}  backoff {:.1}  utilization {:.1}%\n",
+            config.pool.n_workers, t.wall, t.busy, t.idle, t.lost, t.backoff, t.utilization,
+        ));
+    }
+
     // Telemetry exports (only when --trace/--metrics was passed): the
     // deterministic snapshot feeds the Chrome trace, the event log, and a
     // per-generation rollup appended to this report. Wall-clock stamps go
@@ -203,7 +446,7 @@ fn main() {
             let side = path.with_extension("side.jsonl");
             write_file(&side, &export::side_channel_jsonl(&snap));
         }
-        report.push_str("\ntelemetry rollup (per generation, all runs):\n");
+        report.push_str(&format!("\ntelemetry rollup (per {row_label}, all runs):\n"));
         report.push_str(&rollup::generation_rollup(&snap));
     }
 
@@ -211,10 +454,13 @@ fn main() {
     // counter tracks (hypervolume, queue depth, utilization % on the
     // simulated clock — loadable in Perfetto alongside `--trace`).
     if want_report {
-        write_artifact("campaign_report.md", &markdown_report(&result.status));
-        write_artifact("campaign_counters.trace.json", &counter_trace_json(&result.status));
+        write_artifact(&format!("{prefix}campaign_report.md"), &markdown_report(&result.status));
+        write_artifact(
+            &format!("{prefix}campaign_counters.trace.json"),
+            &counter_trace_json(&result.status),
+        );
     }
 
     print!("{report}");
-    write_artifact("fig1_report.txt", &report);
+    write_artifact(&format!("{prefix}fig1_report.txt"), &report);
 }

@@ -39,6 +39,34 @@ pub fn utilization_pct(report: &PoolReport, n_workers: usize) -> f64 {
     }
 }
 
+/// Evaluate one genome under scheduler supervision and map a structured
+/// training abort onto the scheduler's fault taxonomy. Shared by the
+/// generational batch evaluator below and the steady-state driver
+/// ([`crate::steady`]), so both campaign modes classify and penalise
+/// failures identically.
+pub(crate) fn summit_eval_outcome(
+    ctx: &EvalContext,
+    genome: &[f64],
+    seed: u64,
+    tc: &TaskCtx<'_>,
+    obs: &dyn Recorder,
+    span: SpanCtx,
+) -> EvalOutcome<EvalRecord> {
+    let (record, abort) = evaluate_individual_observed(ctx, genome, seed, tc, obs, span);
+    if record.failed {
+        let fault = match abort {
+            Some(AbortReason::Diverged { step, loss }) => EvalFault::Diverged { step, loss },
+            Some(AbortReason::Deadline { .. }) => EvalFault::Deadline,
+            Some(AbortReason::Cancelled { .. }) => EvalFault::Cancelled,
+            None => EvalFault::Failed("training failed".to_string()),
+        };
+        EvalOutcome { value: Err(fault), minutes: record.minutes }
+    } else {
+        let minutes = record.minutes;
+        EvalOutcome { value: Ok(record), minutes }
+    }
+}
+
 /// A batch evaluator that fans genomes out across the simulated Summit
 /// allocation. Any task-level error — timeout, worker death, divergence —
 /// becomes the MAXINT penalty fitness, per §2.2.4.
@@ -198,28 +226,14 @@ impl BatchEvaluator for SummitEvaluator {
                         return entry.to_outcome();
                     }
                 }
-                let (record, abort) = evaluate_individual_observed(
+                summit_eval_outcome(
                     &ctx,
                     genome,
                     seeds_ref[i],
                     tc,
                     obs,
                     base_span.with_task(i as u32, tc.attempt),
-                );
-                if record.failed {
-                    let fault = match abort {
-                        Some(AbortReason::Diverged { step, loss }) => {
-                            EvalFault::Diverged { step, loss }
-                        }
-                        Some(AbortReason::Deadline { .. }) => EvalFault::Deadline,
-                        Some(AbortReason::Cancelled { .. }) => EvalFault::Cancelled,
-                        None => EvalFault::Failed("training failed".to_string()),
-                    };
-                    EvalOutcome { value: Err(fault), minutes: record.minutes }
-                } else {
-                    let minutes = record.minutes;
-                    EvalOutcome { value: Ok(record), minutes }
-                }
+                )
             },
             |_, genome: &Vec<f64>| estimated_minutes(&estimate_ctx, genome),
             &self.pool,

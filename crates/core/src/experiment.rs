@@ -34,6 +34,20 @@ use crate::journal::{GenEntry, Journal, JournalError, JournalSink, JournalWriter
 use crate::representation::DeepMDRepresentation;
 use crate::workflow::EvalContext;
 
+/// How a campaign schedules its evaluations (see DESIGN.md §12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// The paper's per-generation barrier: a whole offspring batch is
+    /// evaluated, the driver waits for every task, then selection runs.
+    /// This is the default, and the mode every checked-in artifact uses.
+    Generational,
+    /// Asynchronous steady-state NSGA-II: each completed evaluation is
+    /// folded into the population the moment it arrives (in deterministic
+    /// *arrival order*) and a replacement child is bred and submitted
+    /// immediately, so workers never idle at a generation boundary.
+    SteadyState,
+}
+
 /// Full experiment configuration.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -55,6 +69,10 @@ pub struct ExperimentConfig {
     pub fault_probability: f64,
     /// Master seed; run `r` uses `master_seed + r`.
     pub master_seed: u64,
+    /// Scheduling mode: generational (barrier) or steady-state (async).
+    /// Part of the journal fingerprint — the two modes' journals are
+    /// mutually non-resumable.
+    pub mode: CampaignMode,
 }
 
 impl ExperimentConfig {
@@ -77,6 +95,7 @@ impl ExperimentConfig {
             },
             fault_probability: 0.002,
             master_seed: 2023,
+            mode: CampaignMode::Generational,
         }
     }
 
@@ -105,6 +124,7 @@ impl ExperimentConfig {
             },
             fault_probability: 0.002,
             master_seed: 2023,
+            mode: CampaignMode::Generational,
         }
     }
 
@@ -142,6 +162,7 @@ impl ExperimentConfig {
             },
             fault_probability: 0.0,
             master_seed: 7,
+            mode: CampaignMode::Generational,
         }
     }
 }
@@ -364,9 +385,9 @@ fn resume_experiment_inner(
 
 /// The live status surface: accumulates observatory rows and (when a path
 /// is configured) rewrites `campaign_status.json` atomically at every
-/// generation boundary.
-struct StatusSink {
-    status: CampaignStatus,
+/// generation (or steady-state epoch) boundary.
+pub(crate) struct StatusSink {
+    pub(crate) status: CampaignStatus,
     path: Option<PathBuf>,
 }
 
@@ -375,7 +396,7 @@ impl StatusSink {
         StatusSink { status: CampaignStatus::new(config), path: path.map(Path::to_path_buf) }
     }
 
-    fn flush(&self) {
+    pub(crate) fn flush(&self) {
         if let Some(path) = &self.path {
             campaign_report::write_status_atomic(path, &self.status)
                 .expect("rewrite campaign status file");
@@ -659,9 +680,12 @@ fn run_experiment_inner(
     let mut pool_reports = Vec::with_capacity(config.n_runs);
     let mut archives = Vec::with_capacity(config.n_runs);
     for run_idx in 0..config.n_runs {
-        let mut restored = match resume_from {
-            Some(journal) => restore_point(journal, run_idx)?,
-            None => None,
+        // Steady-state journals carry no generation boundaries: resume is a
+        // full deterministic re-derivation through the replay map, so there
+        // is no restore point (and no finished-run shortcut) to look for.
+        let mut restored = match (config.mode, resume_from) {
+            (CampaignMode::Generational, Some(journal)) => restore_point(journal, run_idx)?,
+            _ => None,
         };
         // A run the journal shows as finished is reconstructed outright —
         // no evaluator, no training, nothing re-journaled. Its observatory
@@ -687,19 +711,33 @@ fn run_experiment_inner(
             writer: Rc::clone(writer),
             replay: Rc::new(resume_from.map_or_else(HashMap::new, |j| j.replay_for(run_idx))),
         });
-        let (result, reports, archive, completed) = drive_run(
-            config,
-            &nsga2,
-            &train,
-            &val,
-            run_idx,
-            faults,
-            sink,
-            restored,
-            &mut progress,
-            recorder.as_ref(),
-            &mut status,
-        )?;
+        let (result, reports, archive, completed) = match config.mode {
+            CampaignMode::Generational => drive_run(
+                config,
+                &nsga2,
+                &train,
+                &val,
+                run_idx,
+                faults,
+                sink,
+                restored,
+                &mut progress,
+                recorder.as_ref(),
+                &mut status,
+            )?,
+            CampaignMode::SteadyState => crate::steady::drive_steady_run(
+                config,
+                &nsga2,
+                &train,
+                &val,
+                run_idx,
+                faults,
+                sink,
+                &mut progress,
+                recorder.as_ref(),
+                &mut status,
+            )?,
+        };
         // The kill budget spans the whole campaign: tasks this run consumed
         // bring the next run's driver that much closer to its death.
         if let Some(k) = kill_budget.as_mut() {

@@ -29,6 +29,11 @@
 //! 4. **Replay** — journaled evaluations are matched by `(run, generation,
 //!    slot)` *and* a bit-exact genome comparison; a hit short-circuits
 //!    training and returns the journaled outcome verbatim.
+//! 5. **Steady-state campaigns** additionally journal each evaluation's
+//!    `arrival` index — the position at which the population consumed it.
+//!    All steady-state RNG draws are keyed off `(run seed, arrival)`, so
+//!    the journaled arrival order fully determines population and archive
+//!    bytes regardless of live thread interleaving (DESIGN.md §12).
 //!
 //! Journals additionally carry a fingerprint of the campaign configuration
 //! ([`config_fingerprint`]); resuming under a changed configuration is
@@ -47,7 +52,7 @@ use dphpo_evo::nsga2::GenerationRecord;
 use dphpo_evo::{Fitness, Id, Individual};
 use dphpo_hpc::{EvalFault, EvalOutcome, PoolReport, TaskError, TaskRecord};
 
-use crate::experiment::ExperimentConfig;
+use crate::experiment::{CampaignMode, ExperimentConfig};
 use crate::workflow::EvalRecord;
 
 /// Journal format version; bumped on any schema change.
@@ -415,6 +420,12 @@ pub struct EvalEntry {
     pub attempts: u32,
     /// Tail of the training curve (empty on failure).
     pub lcurve_tail: Vec<LcurveRow>,
+    /// Steady-state arrival index this evaluation was consumed at — the
+    /// journaled arrival order that fully determines population and archive
+    /// bytes (DESIGN.md §12). `None` for generational entries, whose order
+    /// is already fixed by `(gen, slot)`; the key is omitted from the JSON
+    /// encoding so generational journal bytes are unchanged.
+    pub arrival: Option<usize>,
 }
 
 impl EvalEntry {
@@ -463,6 +474,7 @@ impl EvalEntry {
             minutes: task.minutes,
             attempts: task.attempts,
             lcurve_tail,
+            arrival: None,
         }
     }
 
@@ -498,7 +510,7 @@ impl EvalEntry {
     }
 
     fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut fields = vec![
             ("type", Json::String("eval".into())),
             ("run", Json::Number(self.run as f64)),
             ("gen", Json::Number(self.gen as f64)),
@@ -527,7 +539,13 @@ impl EvalEntry {
                 "lcurve_tail",
                 Json::Array(self.lcurve_tail.iter().map(lcurve_row_to_json).collect()),
             ),
-        ])
+        ];
+        // Generational entries omit the key entirely (not `null`) so their
+        // journal bytes predate-and-postdate this field identically.
+        if let Some(arrival) = self.arrival {
+            fields.push(("arrival", Json::Number(arrival as f64)));
+        }
+        Json::object(fields)
     }
 
     fn from_json(j: &Json) -> Result<Self, JournalError> {
@@ -567,6 +585,10 @@ impl EvalEntry {
                 .iter()
                 .map(lcurve_row_from_json)
                 .collect::<Result<_, _>>()?,
+            arrival: match j.get("arrival") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(usize_field(j, "arrival")?),
+            },
         })
     }
 }
@@ -649,7 +671,7 @@ impl GenEntry {
 /// differs from the configuration it is asked to continue.
 pub fn config_fingerprint(config: &ExperimentConfig) -> u64 {
     let g = &config.gen_config;
-    Json::object(vec![
+    let mut fields = vec![
         ("n_runs", Json::Number(config.n_runs as f64)),
         ("pop_size", Json::Number(config.pop_size as f64)),
         ("generations", Json::Number(config.generations as f64)),
@@ -700,8 +722,16 @@ pub fn config_fingerprint(config: &ExperimentConfig) -> u64 {
         ),
         ("fault_probability", Json::Number(config.fault_probability)),
         ("master_seed", hex_u64(config.master_seed)),
-    ])
-    .stable_hash()
+    ];
+    // The campaign mode changes every downstream byte (arrival-keyed RNG vs
+    // generation-keyed RNG), so steady-state journals must never resume a
+    // generational campaign or vice versa. The key is only added in
+    // steady-state mode so every previously written generational
+    // fingerprint — including the checked-in artifacts — is unchanged.
+    if config.mode == CampaignMode::SteadyState {
+        fields.push(("mode", Json::String("steady-state".into())));
+    }
+    Json::object(fields).stable_hash()
 }
 
 fn header_json(config: &ExperimentConfig) -> Json {
@@ -1017,6 +1047,7 @@ mod tests {
                 rmse_f_trn: 0.04,
                 lr: 1e-5,
             }],
+            arrival: None,
         };
         let j = entry.to_json();
         let back = EvalEntry::from_json(&j).unwrap();
@@ -1042,6 +1073,7 @@ mod tests {
             minutes: 0.0,
             attempts: 3,
             lcurve_tail: Vec::new(),
+            arrival: None,
         };
         assert!(EvalEntry::from_json(&entry.to_json()).is_ok());
         entry.fault = FaultKind::None;
@@ -1069,6 +1101,7 @@ mod tests {
                 minutes: 0.1,
                 attempts: 1,
                 lcurve_tail: Vec::new(),
+                arrival: None,
             });
         }
         let full_len = std::fs::metadata(&path).unwrap().len();
@@ -1114,6 +1147,7 @@ mod tests {
             minutes: 0.1,
             attempts: 1,
             lcurve_tail: Vec::new(),
+            arrival: None,
         };
         drop(JournalWriter::create(&path, &config).unwrap());
         let header_len = std::fs::metadata(&path).unwrap().len();
@@ -1151,6 +1185,7 @@ mod tests {
             minutes: 0.1,
             attempts: 1,
             lcurve_tail: Vec::new(),
+            arrival: None,
         };
         let (first, second) = {
             let mut writer = JournalWriter::create(&path, &config).unwrap();
@@ -1207,6 +1242,58 @@ mod tests {
         let mut c = base.clone();
         c.gen_config.n_atoms += 10;
         assert_ne!(config_fingerprint(&c), f0);
+        let mut c = base.clone();
+        c.mode = CampaignMode::SteadyState;
+        assert_ne!(config_fingerprint(&c), f0);
         assert_eq!(config_fingerprint(&base.clone()), f0);
+    }
+
+    #[test]
+    fn arrival_index_round_trips_and_is_absent_from_generational_bytes() {
+        let mut entry = EvalEntry {
+            run: 0,
+            gen: 0,
+            slot: 5,
+            seed: 9,
+            genome: vec![1.0, 2.0],
+            fault: FaultKind::None,
+            fault_step: None,
+            fault_loss: None,
+            objectives: Some(vec![0.1, 0.2]),
+            minutes: 1.5,
+            attempts: 1,
+            lcurve_tail: Vec::new(),
+            arrival: None,
+        };
+        // Generational entries must not grow a key: old readers and the
+        // checked-in journal bytes both depend on the exact encoding.
+        assert!(!entry.to_json().to_compact().contains("arrival"));
+        entry.arrival = Some(17);
+        let line = entry.to_json().to_compact();
+        assert!(line.contains("\"arrival\":17"));
+        let back = EvalEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(back.arrival, Some(17));
+        assert_eq!(back.to_json().to_compact(), line);
+    }
+
+    #[test]
+    fn steady_and_generational_journals_reject_each_other() {
+        let generational = ExperimentConfig::smoke();
+        let mut steady = ExperimentConfig::smoke();
+        steady.mode = CampaignMode::SteadyState;
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-mode-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        for (write_as, resume_as) in
+            [(&generational, &steady), (&steady, &generational)]
+        {
+            let path = dir.join("mode.jsonl");
+            drop(JournalWriter::create(&path, write_as).unwrap());
+            let journal = Journal::load(&path).unwrap();
+            journal.check_config(write_as).unwrap();
+            let err = journal.check_config(resume_as).unwrap_err();
+            assert!(err.to_string().contains("stale journal"), "{err}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

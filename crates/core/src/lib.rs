@@ -11,7 +11,9 @@
 //!   → input.json → train → read `lcurve.out` → two-element fitness, with
 //!   MAXINT on every failure path.
 //! * [`ea`] — the NSGA-II deployment over the `dphpo-hpc` worker pool.
-//! * [`experiment`] — five independent runs over a shared dataset.
+//! * [`experiment`] — five independent runs over a shared dataset, in
+//!   either campaign mode: the paper's generational barrier or the
+//!   asynchronous steady-state loop in [`mod@steady`] (DESIGN.md §12).
 //! * [`analysis`] — Pareto frontier, chemical-accuracy filtering, and the
 //!   exports behind every figure and table of the evaluation section.
 //!
@@ -36,6 +38,7 @@ pub mod journal;
 pub mod nas;
 pub mod experiment;
 pub mod representation;
+pub mod steady;
 pub mod template;
 pub mod workflow;
 
@@ -49,8 +52,8 @@ pub use nas::{decode_nas, DecodedNas, NasRepresentation};
 pub use ea::SummitEvaluator;
 pub use experiment::{
     resume_experiment, resume_experiment_observed, run_experiment, run_experiment_journaled,
-    run_experiment_journaled_observed, run_experiment_observed, Campaign, ExperimentConfig,
-    ExperimentError, ExperimentResult,
+    run_experiment_journaled_observed, run_experiment_observed, Campaign, CampaignMode,
+    ExperimentConfig, ExperimentError, ExperimentResult,
 };
 pub use journal::{Journal, JournalError, JournalWriter};
 pub use representation::DeepMDRepresentation;

@@ -1,0 +1,368 @@
+//! The asynchronous steady-state campaign driver: NSGA-II without the
+//! generation barrier (DESIGN.md §12).
+//!
+//! A generational campaign evaluates a whole offspring batch, then waits
+//! for the slowest task before selection runs — every faster worker idles
+//! through that tail. The steady-state driver keeps the pool saturated
+//! instead: each completed evaluation is folded into the population the
+//! moment it *arrives* and a replacement child is bred and submitted
+//! immediately, so the only idle a worker ever accrues is the final drain
+//! when the evaluation budget runs out.
+//!
+//! # The journaled arrival order
+//!
+//! Determinism cannot come from physical completion order — that is a
+//! thread race. It comes from the **arrival order**: completions are
+//! processed in ascending order of their *simulated* completion time (slot
+//! cursor + charged minutes, ties broken by slot index), which is a pure
+//! function of the campaign configuration. Each evaluation's journal record
+//! carries its `arrival` index, and every RNG draw after initialisation is
+//! keyed off `(run seed ^ SALT, arrival)` — never off wall-clock order — so
+//! `--resume` replays the journaled order byte-identically regardless of
+//! how live threads interleave.
+//!
+//! # Physical execution: windows over a simulated event queue
+//!
+//! The driver executes work in *windows*: it fills every free slot from the
+//! FIFO submission queue (in ascending-cursor order), runs the window's
+//! tasks genuinely in parallel via [`dphpo_hpc::run_stream_window`], then
+//! processes the arrivals in simulated-completion order. This is not a
+//! barrier in the simulated schedule: each slot's next task starts at that
+//! slot's own cursor, exactly where an event-driven scheduler would start
+//! it, and a child bred at arrival *k* lands on the *k*-th freed slot —
+//! the windowed refill provably reproduces the event-driven steady-state
+//! schedule while keeping the physical executor simple.
+//!
+//! # Epochs
+//!
+//! Every `pop_size` arrivals close an **epoch** — the steady-state analogue
+//! of a generation. Epoch boundaries anneal mutation σ (matching the
+//! generational schedule at equal evaluation budget), snapshot the
+//! population into a [`GenerationRecord`], slice the continuous slot
+//! accounting into a per-epoch [`PoolReport`], and publish an observatory
+//! row — so the status surface and telemetry rollups are keyed by arrival
+//! window and comparable, column for column, with a generational campaign.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dphpo_evo::nsga2::{GenerationRecord, Nsga2Config, RunResult};
+use dphpo_evo::ops::random_population;
+use dphpo_evo::steady::SteadyState;
+use dphpo_evo::{ArchiveChurn, Fitness, Individual, ParetoArchive};
+use dphpo_hpc::{
+    run_stream_window, CostModel, FaultInjector, PoolReport, StreamSlots, TaskCtx,
+};
+use dphpo_md::Dataset;
+use dphpo_obs::{cats, names, Event, Recorder, SpanCtx, When, NOOP};
+
+use crate::campaign_report;
+use crate::ea::{summit_eval_outcome, utilization_pct};
+use crate::experiment::{ExperimentConfig, ExperimentError, StatusSink};
+use crate::journal::{EvalEntry, JournalSink};
+use crate::workflow::{derive_seed, estimated_minutes, EvalContext};
+
+/// Salt separating the steady-state breeding RNG domain from the training
+/// seeds (which use the unsalted run seed, like generational campaigns).
+const STEADY_SALT: u64 = 0x57ea_d75a_17e5_eed5;
+
+/// Drive one steady-state run to completion. The counterpart of the
+/// generational `drive_run`: same dataset, same pool shape, same fault
+/// injector, same journal/replay and status surfaces — only the scheduling
+/// differs. Returns the run result, one [`PoolReport`] per epoch, the
+/// Pareto archive, and the completed-task count (for the chaos kill
+/// budget).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_steady_run(
+    config: &ExperimentConfig,
+    nsga2: &Nsga2Config,
+    train: &Arc<Dataset>,
+    val: &Arc<Dataset>,
+    run_idx: usize,
+    faults: FaultInjector,
+    journal: Option<JournalSink>,
+    progress: &mut Option<&mut dyn FnMut(usize, usize)>,
+    recorder: Option<&Arc<dyn Recorder>>,
+    status: &mut StatusSink,
+) -> Result<(RunResult, Vec<PoolReport>, ParetoArchive, u64), ExperimentError> {
+    let seed = config.master_seed + run_idx as u64;
+    let budget = config.pop_size * (config.generations + 1);
+    let ctx = Arc::new(EvalContext {
+        base_config: config.base_train_config.clone(),
+        train: Arc::clone(train),
+        val: Arc::clone(val),
+        cost_model: CostModel::default(),
+        workdir: None,
+    });
+    // One fault-decision domain for the whole run: deaths hash
+    // (seed, 0, submission, attempt), a pure function of the submission
+    // index — reproducible on resume regardless of where the driver died.
+    faults.set_batch_key(0);
+    let (obs, base_span): (&dyn Recorder, SpanCtx) = match recorder {
+        Some(rec) => (rec.as_ref(), SpanCtx::root(seed, run_idx as u32)),
+        None => (&NOOP, SpanCtx::default()),
+    };
+    let obs_on = obs.enabled();
+
+    // The initial population draws from the same RNG stream generational
+    // campaigns use (`StdRng::seed_from_u64(run seed)`), so generation 0's
+    // genomes — and therefore its training outcomes — coincide exactly.
+    let mut init_rng = StdRng::seed_from_u64(seed);
+    let initial = random_population(config.pop_size, &nsga2.init_ranges, &mut init_rng);
+    let mut pending: VecDeque<(usize, Individual)> = initial.into_iter().enumerate().collect();
+    let mut submitted = config.pop_size;
+
+    let mut slots = StreamSlots::new(config.pool.n_workers);
+    let mut steady = SteadyState::new(nsga2);
+    let mut archive = ParetoArchive::new();
+    let mut history: Vec<GenerationRecord> = Vec::with_capacity(config.generations + 1);
+    let mut epoch_reports: Vec<PoolReport> = Vec::with_capacity(config.generations + 1);
+    let mut epoch_failures = 0usize;
+    let mut epoch_churn = ArchiveChurn::default();
+    // Cumulative epoch makespans: the simulated clock GENERATION / FRONT
+    // telemetry is stamped on, mirroring the generational driver.
+    let mut epoch_sim_offset = 0.0f64;
+
+    if let Some(cb) = progress.as_deref_mut() {
+        cb(run_idx, 0);
+    }
+
+    while !pending.is_empty() {
+        // Refill every free slot in ascending-cursor order (ties by slot
+        // index): the order an event-driven scheduler would free them in.
+        let order = slots.free_order();
+        let n = pending.len().min(order.len());
+        let mut window: Vec<(usize, usize, Vec<f64>)> = Vec::with_capacity(n);
+        let mut window_inds: Vec<Individual> = Vec::with_capacity(n);
+        for &slot in order.iter().take(n) {
+            let (submission, ind) = pending.pop_front().expect("n <= pending.len()");
+            window.push((submission, slot, ind.genome.clone()));
+            window_inds.push(ind);
+        }
+
+        // Training spans are labelled with the submission "wave"
+        // (`submission / pop_size`) — a deterministic pseudo-epoch; the
+        // real epoch an arrival lands in is only known at arrival time.
+        let replay = journal.as_ref().map(|sink| &*sink.replay);
+        let reports = run_stream_window(
+            &window,
+            |tc: &TaskCtx<'_>, genome: &Vec<f64>| {
+                let submission = tc.task;
+                // Replay: a journaled outcome for this submission with a
+                // bit-exact genome match short-circuits training.
+                if let Some(entry) = replay.and_then(|map| map.get(&(0, submission))) {
+                    if entry.genome == *genome {
+                        return entry.to_outcome();
+                    }
+                }
+                summit_eval_outcome(
+                    &ctx,
+                    genome,
+                    derive_seed(seed, submission as u64),
+                    tc,
+                    obs,
+                    base_span
+                        .with_gen((submission / config.pop_size) as u32)
+                        .with_task(submission as u32, tc.attempt),
+                )
+            },
+            |_, genome: &Vec<f64>| estimated_minutes(&ctx, genome),
+            &config.pool,
+            &faults,
+        );
+
+        // Charge the window against the simulated slot clocks, then process
+        // arrivals in ascending simulated-completion order (ties broken by
+        // slot index) — the deterministic arrival order everything else is
+        // keyed off.
+        let mut arrivals: Vec<(f64, usize, usize, f64)> = Vec::with_capacity(n);
+        for (i, report) in reports.iter().enumerate() {
+            let slot = window[i].1;
+            let start = slots.cursor(slot);
+            let completion = slots.charge(slot, report);
+            arrivals.push((completion, slot, i, start));
+        }
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        for &(_completion, slot, i, start) in &arrivals {
+            let submission = window[i].0;
+            let ind = &window_inds[i];
+            let report = &reports[i];
+            let arrival_idx = steady.arrivals();
+            // Count the completion against the (chaos-mode) driver
+            // lifetime; a dead driver loses every later arrival — exactly
+            // the crash the journal protects against.
+            let driver_alive = faults.note_task_completion();
+            if let Some(sink) = &journal {
+                let replayed =
+                    sink.replay.get(&(0, submission)).is_some_and(|e| e.genome == ind.genome);
+                if driver_alive && !replayed {
+                    let mut entry = EvalEntry::from_task(
+                        sink.run,
+                        0,
+                        submission,
+                        derive_seed(seed, submission as u64),
+                        &ind.genome,
+                        &report.record,
+                    );
+                    entry.arrival = Some(arrival_idx);
+                    let offset = sink.writer.borrow_mut().append_eval(&entry);
+                    if obs_on {
+                        obs.counter_add(names::C_JOURNAL_APPENDS, 1);
+                        let mut ev = Event::instant(
+                            names::JOURNAL_APPEND,
+                            cats::JOURNAL,
+                            base_span.with_task(submission as u32, report.record.attempts),
+                        );
+                        ev.args = vec![
+                            ("offset", offset as f64),
+                            ("ok", if report.record.value.is_ok() { 1.0 } else { 0.0 }),
+                        ];
+                        obs.record(ev);
+                    }
+                }
+            }
+            // `driver_alive` (the note's return) gated the append above —
+            // "the k-th completion reached disk"; `faults.driver_alive()`
+            // decides whether the driver survives to *process* it. The gap
+            // between the two is exactly the crash-at-arrival-k semantics
+            // the chaos tests kill at every index of.
+            if !faults.driver_alive() {
+                return Err(ExperimentError::Interrupted {
+                    completed_tasks: faults.completed_tasks(),
+                });
+            }
+
+            let mut evaluated = window_inds[i].clone();
+            let failed = report.record.value.is_err();
+            let fitness = match &report.record.value {
+                Ok(rec) => rec.fitness.clone(),
+                Err(_) => Fitness::penalty(2),
+            };
+            if failed {
+                epoch_failures += 1;
+            }
+            evaluated.fitness = Some(fitness);
+            evaluated.eval_minutes = Some(report.record.minutes);
+
+            // The archive silently rejects penalty candidates, so every
+            // arrival is offered unconditionally.
+            let (added, evicted) = archive.offer_counted(&evaluated);
+            epoch_churn.offered += 1;
+            epoch_churn.added += usize::from(added);
+            epoch_churn.evicted += evicted;
+
+            if obs_on {
+                obs.observe(names::H_EVAL_MINUTES, report.record.minutes);
+                obs.record(Event {
+                    name: names::EVAL,
+                    cat: cats::SCHED,
+                    ctx: base_span
+                        .with_gen((steady.arrivals() / config.pop_size) as u32)
+                        .with_task(submission as u32, report.record.attempts),
+                    step: None,
+                    when: When::Sim(start),
+                    dur_min: report.charged_minutes(),
+                    worker: Some(slot as u32),
+                    args: vec![
+                        ("ok", if report.record.value.is_ok() { 1.0 } else { 0.0 }),
+                        ("minutes", report.record.minutes),
+                        ("attempts", report.record.attempts as f64),
+                        ("arrival", arrival_idx as f64),
+                    ],
+                });
+            }
+
+            let consumed = steady.tell(evaluated);
+            debug_assert_eq!(consumed, arrival_idx);
+
+            // Breed the replacement immediately, keyed off the journaled
+            // arrival index alone — the "ask" half of the ask/tell loop.
+            if submitted < budget {
+                let mut rng =
+                    StdRng::seed_from_u64(derive_seed(seed ^ STEADY_SALT, consumed as u64));
+                let child = steady.breed(&mut rng);
+                pending.push_back((submitted, child));
+                submitted += 1;
+            }
+
+            // Epoch boundary: snapshot, slice the accounting, publish.
+            if steady.arrivals().is_multiple_of(config.pop_size) {
+                let epoch = steady.arrivals() / config.pop_size - 1;
+                let record = GenerationRecord {
+                    generation: epoch,
+                    failures: epoch_failures,
+                    population: steady.population().to_vec(),
+                };
+                let epoch_report = slots.epoch_report();
+                let row = campaign_report::generation_row(
+                    &record,
+                    &archive,
+                    epoch_churn,
+                    &epoch_report,
+                );
+                if obs_on {
+                    obs.counter_add(names::C_GENERATIONS, 1);
+                    let span = base_span.with_gen(epoch as u32);
+                    obs.record(Event {
+                        name: names::GENERATION,
+                        cat: cats::EA,
+                        ctx: span,
+                        step: None,
+                        when: When::Sim(epoch_sim_offset),
+                        dur_min: epoch_report.makespan_minutes,
+                        worker: None,
+                        args: vec![
+                            ("n_tasks", config.pop_size as f64),
+                            ("deaths", epoch_report.worker_deaths as f64),
+                            ("retried", epoch_report.retried_tasks as f64),
+                            ("speculated", epoch_report.speculated_tasks as f64),
+                            ("lost_min", epoch_report.lost_minutes),
+                            ("wall_min", epoch_report.wall_minutes),
+                            ("backoff_min", epoch_report.backoff_minutes),
+                            (
+                                "util_busy_pct",
+                                utilization_pct(&epoch_report, config.pool.n_workers),
+                            ),
+                        ],
+                    });
+                    epoch_sim_offset += epoch_report.makespan_minutes;
+                    let mut ev = Event::instant(names::FRONT, cats::EA, span);
+                    ev.when = When::Sim(epoch_sim_offset);
+                    ev.args = vec![
+                        ("hypervolume", row.hypervolume),
+                        ("cardinality", row.cardinality as f64),
+                        ("spread", row.spread),
+                        ("offered", epoch_churn.offered as f64),
+                        ("added", epoch_churn.added as f64),
+                        ("evicted", epoch_churn.evicted as f64),
+                    ];
+                    obs.record(ev);
+                    obs.gauge_set(names::G_HYPERVOLUME, row.hypervolume);
+                    obs.gauge_set(names::G_ARCHIVE_SIZE, row.cardinality as f64);
+                    obs.gauge_set(names::G_FRONT_SPREAD, row.spread);
+                    obs.counter_add(names::C_ARCHIVE_ADDED, epoch_churn.added as u64);
+                    obs.counter_add(names::C_ARCHIVE_EVICTED, epoch_churn.evicted as u64);
+                } else {
+                    epoch_sim_offset += epoch_report.makespan_minutes;
+                }
+                status.status.push_row(run_idx, row);
+                status.flush();
+                history.push(record);
+                epoch_reports.push(epoch_report);
+                epoch_failures = 0;
+                epoch_churn = ArchiveChurn::default();
+                if let Some(cb) = progress.as_deref_mut() {
+                    cb(run_idx, epoch + 1);
+                }
+            }
+        }
+    }
+
+    assert_eq!(steady.arrivals(), budget, "every submitted task must arrive exactly once");
+    let completed = faults.completed_tasks();
+    Ok((RunResult { history, evaluations: budget }, epoch_reports, archive, completed))
+}

@@ -5,8 +5,9 @@
 //! (selection, cloning, bounded Gaussian mutation), multi-objective
 //! machinery (Pareto dominance, Deb's fast non-dominated sort, a rank-based
 //! efficient sort, crowding distance, hypervolume), the MAXINT failure-
-//! penalty convention, and a generational NSGA-II driver with the paper's
-//! per-generation mutation-σ annealing.
+//! penalty convention, a generational NSGA-II driver with the paper's
+//! per-generation mutation-σ annealing, and the steady-state (asynchronous)
+//! insertion machinery in [`steady`] used by barrier-free campaigns.
 //!
 //! The library is deliberately general: [`problems`] ships ZDT/DTLZ
 //! benchmarks so the optimizer can be validated independently of the DNNP
@@ -41,6 +42,8 @@
 //! assert_eq!(result.history.len(), 6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod archive;
 pub mod individual;
 pub mod metrics;
@@ -48,6 +51,7 @@ pub mod mo;
 pub mod nsga2;
 pub mod ops;
 pub mod problems;
+pub mod steady;
 
 pub use individual::{Fitness, Id, Individual, MAXINT};
 pub use mo::{
@@ -62,3 +66,4 @@ pub use metrics::{
 pub use nsga2::{
     run_nsga2, BatchEvaluator, EvalResult, GenerationRecord, Nsga2Config, Nsga2State, RunResult,
 };
+pub use steady::{ArrivalWindow, SteadyState};

@@ -25,10 +25,16 @@
 //! assert_eq!(*records[2].value.as_ref().unwrap(), 9);
 //! assert_eq!(report.makespan_minutes, 70.0);
 //! ```
+//!
+//! Steady-state campaigns use [`stream`] instead of the batch entry points:
+//! same supervision and accounting, no generation barrier.
+
+#![warn(missing_docs)]
 
 pub mod cluster;
 pub mod cost;
 pub mod scheduler;
+pub mod stream;
 pub mod trace;
 
 pub use cluster::{Allocation, NodeSpec};
@@ -38,4 +44,5 @@ pub use scheduler::{
     EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, SupervisorConfig, TaskCtx,
     TaskError, TaskRecord, SPECULATIVE_ATTEMPT,
 };
+pub use stream::{run_stream_window, StreamSlots, StreamTaskReport};
 pub use trace::{Span, Timeline};

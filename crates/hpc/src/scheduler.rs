@@ -342,7 +342,7 @@ impl FaultInjector {
         }
     }
 
-    fn task_kills_worker(&self, task: usize, attempt: u32) -> bool {
+    pub(crate) fn task_kills_worker(&self, task: usize, attempt: u32) -> bool {
         if self.death_probability == 0.0 {
             return false;
         }
@@ -359,7 +359,7 @@ impl FaultInjector {
     /// worker died, as a deterministic fraction in `[0, 1)` — a pure hash of
     /// `(seed, batch key, task, attempt)` under a different salt than the
     /// death decision itself, so the two are independent.
-    fn death_fraction(&self, task: usize, attempt: u32) -> f64 {
+    pub(crate) fn death_fraction(&self, task: usize, attempt: u32) -> f64 {
         let mut z = splitmix64(
             self.seed ^ 0xdead_c057_u64.wrapping_mul(self.batch_key.load(Ordering::Relaxed)),
         );

@@ -1,0 +1,522 @@
+//! Continuous-submission scheduling for steady-state campaigns: the
+//! barrier-free counterpart of [`crate::scheduler::run_batch_supervised`].
+//!
+//! A generational batch pays one synchronisation per generation — the
+//! slowest of N trainings gates every worker. A steady-state campaign
+//! instead keeps a FIFO of pending submissions and at most one in-flight
+//! task per worker slot; whenever a slot's task completes (on the simulated
+//! clock) the next pending submission starts there immediately, so the only
+//! idle time left is the end-of-run drain.
+//!
+//! Determinism works exactly as in `run_batch`: worker threads race in real
+//! time, but *when* a task completes is decided on the simulated clock —
+//! [`StreamSlots`] keeps one monotone cursor per slot and a task's
+//! completion time is its slot's cursor plus the minutes its retry chain
+//! charged. The resulting arrival order is a pure function of the campaign
+//! configuration and the fault plan, never of thread interleaving; the
+//! caller (`dphpo-core`'s steady-state driver) journals it as each
+//! evaluation's `arrival` index.
+//!
+//! Supervision carries over from the batch scheduler: per-task deadlines,
+//! divergence/cancellation classification, fault-injected worker deaths,
+//! and retries with exponential backoff all behave identically, charged to
+//! the slot the task occupies. Speculative twins are deliberately absent —
+//! they exist to shave the generational barrier's straggler tail, and a
+//! steady-state campaign has no barrier to shave.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::scheduler::{
+    EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, TaskCtx, TaskError, TaskRecord,
+};
+
+/// Terminal outcome of one stream task, with the charge breakdown the
+/// per-slot simulated clock needs (the batch scheduler only reports these
+/// in aggregate).
+#[derive(Debug)]
+pub struct StreamTaskReport<T> {
+    /// Terminal record, classified exactly as `run_batch` classifies it.
+    /// For an exhausted task ([`TaskError::WorkerFailed`]) `minutes` is the
+    /// total lost minutes, mirroring the batch scheduler's convention.
+    pub record: TaskRecord<T>,
+    /// Simulated minutes burned by dead attempts (fault-plan partial
+    /// minutes; a panicking evaluation writes off the full estimate).
+    pub lost_minutes: f64,
+    /// Retry-backoff minutes inserted before re-attempts
+    /// (`base × factor^(retry−1)`, as in the batch scheduler).
+    pub backoff_minutes: f64,
+    /// Worker deaths this task's retry chain absorbed.
+    pub deaths: usize,
+}
+
+impl<T> StreamTaskReport<T> {
+    /// Compute-minutes this task occupies its slot for (busy or lost —
+    /// excluding backoff, which is idle waiting charged separately).
+    pub fn charged_minutes(&self) -> f64 {
+        if matches!(self.record.value, Err(TaskError::WorkerFailed)) {
+            // The exhausted record's minutes *are* the lost minutes.
+            self.record.minutes
+        } else {
+            self.record.minutes + self.lost_minutes
+        }
+    }
+}
+
+/// Run one in-flight window of a steady-state campaign: every task in
+/// `tasks` — given as `(task index, slot, input)` — is evaluated in
+/// parallel (one thread each; the caller never submits more tasks than
+/// worker slots) with full retry supervision, and the reports come back in
+/// input order.
+///
+/// Fault decisions hash `(seed, batch key, task, attempt)` exactly as in
+/// the batch scheduler, so a task's retry chain is reproducible in
+/// isolation — window composition does not matter, which is what lets a
+/// resumed campaign re-execute only the unjournaled tasks of a partially
+/// completed window and still charge identical minutes.
+pub fn run_stream_window<I, T, F, E>(
+    tasks: &[(usize, usize, I)],
+    eval: F,
+    estimate: E,
+    config: &PoolConfig,
+    faults: &FaultInjector,
+) -> Vec<StreamTaskReport<T>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&TaskCtx<'_>, &I) -> EvalOutcome<T> + Sync,
+    E: Fn(usize, &I) -> f64 + Sync,
+{
+    assert!(config.max_attempts > 0, "max_attempts must be positive");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .iter()
+            .map(|(task, slot, input)| {
+                let eval = &eval;
+                let estimate = &estimate;
+                scope.spawn(move || run_one(*task, *slot, input, eval, estimate, config, faults))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stream worker panicked")).collect()
+    })
+}
+
+/// One task's supervised retry chain (runs on its own scoped thread).
+fn run_one<I, T, F, E>(
+    task: usize,
+    slot: usize,
+    input: &I,
+    eval: &F,
+    estimate: &E,
+    config: &PoolConfig,
+    faults: &FaultInjector,
+) -> StreamTaskReport<T>
+where
+    F: Fn(&TaskCtx<'_>, &I) -> EvalOutcome<T>,
+    E: Fn(usize, &I) -> f64,
+{
+    let sup = config.supervisor;
+    let est = estimate(task, input).max(0.0);
+    let mut attempt: u32 = 1;
+    let mut deaths = 0usize;
+    let mut lost = 0.0f64;
+    let mut backoff = 0.0f64;
+    loop {
+        let fault_kill = faults.task_kills_worker(task, attempt);
+        let mut outcome = None;
+        if !fault_kill {
+            let mut ctx = TaskCtx::detached(task);
+            ctx.attempt = attempt;
+            ctx.deadline_minutes = config.timeout_minutes;
+            outcome = catch_unwind(AssertUnwindSafe(|| eval(&ctx, input))).ok();
+        }
+        let Some(outcome) = outcome else {
+            // A fault-injected death burned a deterministic fraction of the
+            // estimate; a panicking evaluation writes off all of it —
+            // identical to the batch scheduler's death accounting.
+            deaths += 1;
+            lost += if fault_kill { faults.death_fraction(task, attempt) * est } else { est };
+            if attempt >= config.max_attempts {
+                return StreamTaskReport {
+                    record: TaskRecord {
+                        value: Err(TaskError::WorkerFailed),
+                        minutes: lost,
+                        worker: slot,
+                        attempts: attempt,
+                    },
+                    lost_minutes: lost,
+                    backoff_minutes: backoff,
+                    deaths,
+                };
+            }
+            backoff += sup.backoff_base_minutes * sup.backoff_factor.powi(attempt as i32 - 1);
+            attempt += 1;
+            continue;
+        };
+        let eval_minutes = outcome.minutes;
+        let timed_out =
+            matches!(config.timeout_minutes, Some(limit) if eval_minutes > limit);
+        // Timeouts charge the limit: the real job would have been killed at
+        // the wall.
+        let minutes_charged = match config.timeout_minutes {
+            Some(limit) if eval_minutes > limit => limit,
+            _ => eval_minutes,
+        };
+        let value = if timed_out {
+            Err(TaskError::Timeout { limit_minutes: config.timeout_minutes.unwrap() })
+        } else {
+            outcome.value.map_err(|fault| match fault {
+                EvalFault::Failed(reason) => TaskError::Failed(reason),
+                EvalFault::Diverged { step, loss } => TaskError::Diverged { step, loss },
+                EvalFault::Deadline => TaskError::Timeout {
+                    limit_minutes: config.timeout_minutes.unwrap_or(eval_minutes),
+                },
+                EvalFault::Cancelled => TaskError::Cancelled,
+            })
+        };
+        return StreamTaskReport {
+            record: TaskRecord { value, minutes: minutes_charged, worker: slot, attempts: attempt },
+            lost_minutes: lost,
+            backoff_minutes: backoff,
+            deaths,
+        };
+    }
+}
+
+/// Per-slot baseline captured at the last epoch boundary, so
+/// [`StreamSlots::epoch_report`] can report deltas.
+#[derive(Clone, Default)]
+struct EpochBaseline {
+    busy: Vec<f64>,
+    lost: Vec<f64>,
+    backoff: Vec<f64>,
+    deaths: usize,
+    retried: usize,
+    diverged: usize,
+    timeout: usize,
+    cancelled: usize,
+    exhausted: usize,
+}
+
+/// The simulated clock of a steady-state run: one monotone cursor per
+/// worker slot, advanced as tasks are charged to it. No list-scheduling
+/// reconstruction is needed — slot assignment is explicit and continuous,
+/// so the cursor *is* the slot's simulated wall clock.
+pub struct StreamSlots {
+    busy: Vec<f64>,
+    lost: Vec<f64>,
+    backoff: Vec<f64>,
+    deaths: usize,
+    retried: usize,
+    diverged: usize,
+    timeout: usize,
+    cancelled: usize,
+    exhausted: usize,
+    baseline: EpochBaseline,
+}
+
+impl StreamSlots {
+    /// Fresh accounting for `n_workers` slots, all at simulated time zero.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0, "stream needs at least one worker slot");
+        StreamSlots {
+            busy: vec![0.0; n_workers],
+            lost: vec![0.0; n_workers],
+            backoff: vec![0.0; n_workers],
+            deaths: 0,
+            retried: 0,
+            diverged: 0,
+            timeout: 0,
+            cancelled: 0,
+            exhausted: 0,
+            baseline: EpochBaseline {
+                busy: vec![0.0; n_workers],
+                lost: vec![0.0; n_workers],
+                backoff: vec![0.0; n_workers],
+                ..EpochBaseline::default()
+            },
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn n_slots(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// A slot's simulated clock: everything charged to it so far.
+    pub fn cursor(&self, slot: usize) -> f64 {
+        self.busy[slot] + self.lost[slot] + self.backoff[slot]
+    }
+
+    /// Slot indices ordered by who frees up first — ascending cursor, ties
+    /// broken by slot index. This is the deterministic submission order:
+    /// the front of the pending queue goes to `free_order()[0]`, and so on.
+    pub fn free_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n_slots()).collect();
+        order.sort_by(|&a, &b| {
+            self.cursor(a)
+                .partial_cmp(&self.cursor(b))
+                .expect("cursors are finite")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Charge a completed task to its slot and return the simulated time at
+    /// which the slot frees up again — the task's completion time, which
+    /// (together with the slot index as tie-break) defines the campaign's
+    /// arrival order.
+    pub fn charge<T>(&mut self, slot: usize, report: &StreamTaskReport<T>) -> f64 {
+        let exhausted = matches!(report.record.value, Err(TaskError::WorkerFailed));
+        if exhausted {
+            self.lost[slot] += report.record.minutes;
+            self.exhausted += 1;
+        } else {
+            self.busy[slot] += report.record.minutes;
+            self.lost[slot] += report.lost_minutes;
+            match &report.record.value {
+                Err(TaskError::Failed(_)) | Err(TaskError::Diverged { .. }) => self.diverged += 1,
+                Err(TaskError::Timeout { .. }) => self.timeout += 1,
+                Err(TaskError::Cancelled) => self.cancelled += 1,
+                Err(TaskError::WorkerFailed) | Err(TaskError::Speculated) | Ok(_) => {}
+            }
+        }
+        self.backoff[slot] += report.backoff_minutes;
+        self.deaths += report.deaths;
+        if report.deaths > 0 {
+            self.retried += 1;
+        }
+        self.cursor(slot)
+    }
+
+    /// Close an epoch (one population's worth of arrivals) and report it in
+    /// batch-report shape, from the per-slot deltas since the previous
+    /// boundary: `wall_minutes` is the largest slot delta, and each slot's
+    /// idle is its shortfall against that — within-epoch imbalance only,
+    /// since a saturated stream has no barrier to wait on. The per-slot
+    /// `busy + lost + backoff + idle = wall` partition holds exactly.
+    pub fn epoch_report(&mut self) -> PoolReport {
+        let n = self.n_slots();
+        let d = |now: &[f64], then: &[f64]| -> Vec<f64> {
+            (0..n).map(|s| now[s] - then[s]).collect()
+        };
+        let busy = d(&self.busy, &self.baseline.busy);
+        let lost = d(&self.lost, &self.baseline.lost);
+        let backoff = d(&self.backoff, &self.baseline.backoff);
+        let per_worker: Vec<f64> = (0..n).map(|s| busy[s] + lost[s]).collect();
+        let totals: Vec<f64> = (0..n).map(|s| per_worker[s] + backoff[s]).collect();
+        let wall = totals.iter().cloned().fold(0.0f64, f64::max);
+        let makespan = per_worker.iter().cloned().fold(0.0f64, f64::max);
+        let idle: Vec<f64> = totals.iter().map(|&t| wall - t).collect();
+        let report = PoolReport {
+            makespan_minutes: makespan,
+            per_worker_minutes: per_worker,
+            worker_deaths: self.deaths - self.baseline.deaths,
+            retried_tasks: self.retried - self.baseline.retried,
+            diverged_tasks: self.diverged - self.baseline.diverged,
+            timeout_tasks: self.timeout - self.baseline.timeout,
+            cancelled_tasks: self.cancelled - self.baseline.cancelled,
+            exhausted_tasks: self.exhausted - self.baseline.exhausted,
+            speculated_tasks: 0,
+            speculative_deaths: 0,
+            lost_minutes: lost.iter().sum(),
+            backoff_minutes: backoff.iter().sum(),
+            busy_minutes: busy,
+            lost_death_minutes: lost,
+            lost_speculation_minutes: vec![0.0; n],
+            backoff_slot_minutes: backoff,
+            idle_minutes: idle,
+            wall_minutes: wall,
+            quarantined_workers: 0,
+            heartbeats: 0,
+        };
+        self.baseline = EpochBaseline {
+            busy: self.busy.clone(),
+            lost: self.lost.clone(),
+            backoff: self.backoff.clone(),
+            deaths: self.deaths,
+            retried: self.retried,
+            diverged: self.diverged,
+            timeout: self.timeout,
+            cancelled: self.cancelled,
+            exhausted: self.exhausted,
+        };
+        report
+    }
+
+    /// Whole-run continuous accounting: the true steady-state utilization
+    /// partition, where `wall_minutes` is the latest slot cursor and each
+    /// slot's idle is purely the end-of-run drain (it stopped receiving
+    /// work while the longest slot finished). The per-slot
+    /// `busy + lost + backoff + idle = wall` partition holds exactly.
+    pub fn final_report(&self) -> PoolReport {
+        let n = self.n_slots();
+        let per_worker: Vec<f64> = (0..n).map(|s| self.busy[s] + self.lost[s]).collect();
+        let totals: Vec<f64> = (0..n).map(|s| self.cursor(s)).collect();
+        let wall = totals.iter().cloned().fold(0.0f64, f64::max);
+        let makespan = per_worker.iter().cloned().fold(0.0f64, f64::max);
+        PoolReport {
+            makespan_minutes: makespan,
+            per_worker_minutes: per_worker,
+            worker_deaths: self.deaths,
+            retried_tasks: self.retried,
+            diverged_tasks: self.diverged,
+            timeout_tasks: self.timeout,
+            cancelled_tasks: self.cancelled,
+            exhausted_tasks: self.exhausted,
+            speculated_tasks: 0,
+            speculative_deaths: 0,
+            lost_minutes: self.lost.iter().sum(),
+            backoff_minutes: self.backoff.iter().sum(),
+            busy_minutes: self.busy.clone(),
+            lost_death_minutes: self.lost.clone(),
+            lost_speculation_minutes: vec![0.0; n],
+            backoff_slot_minutes: self.backoff.clone(),
+            idle_minutes: totals.iter().map(|&t| wall - t).collect(),
+            wall_minutes: wall,
+            quarantined_workers: 0,
+            heartbeats: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SupervisorConfig;
+
+    fn config(n_workers: usize) -> PoolConfig {
+        PoolConfig {
+            n_workers,
+            timeout_minutes: Some(100.0),
+            nanny: false,
+            max_attempts: 3,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn window_reports_come_back_in_input_order() {
+        let tasks: Vec<(usize, usize, u64)> = (0..4).map(|i| (i, i, (i as u64) + 1)).collect();
+        let reports = run_stream_window(
+            &tasks,
+            |ctx, &x| EvalOutcome { value: Ok(x * x), minutes: 10.0 * ctx.task as f64 + 5.0 },
+            |_, _| 10.0,
+            &config(4),
+            &FaultInjector::none(),
+        );
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(*r.record.value.as_ref().unwrap(), ((i as u64) + 1).pow(2));
+            assert_eq!(r.record.worker, i);
+            assert_eq!(r.record.attempts, 1);
+            assert_eq!(r.charged_minutes(), 10.0 * i as f64 + 5.0);
+        }
+    }
+
+    #[test]
+    fn timeouts_charge_the_limit_and_classify() {
+        let tasks = vec![(0usize, 0usize, ())];
+        let reports = run_stream_window(
+            &tasks,
+            |_, _| EvalOutcome::<u64> { value: Ok(1), minutes: 500.0 },
+            |_, _| 500.0,
+            &config(1),
+            &FaultInjector::none(),
+        );
+        assert!(matches!(reports[0].record.value, Err(TaskError::Timeout { .. })));
+        assert_eq!(reports[0].record.minutes, 100.0);
+    }
+
+    #[test]
+    fn retry_chains_are_pure_functions_of_the_fault_plan() {
+        // A fault rate this high guarantees at least one death across 32
+        // tasks; the chains must replay identically on a second execution.
+        let faults = FaultInjector::new(0.4, 77);
+        let tasks: Vec<(usize, usize, u64)> = (0..32).map(|i| (i, i % 4, i as u64)).collect();
+        let run = || {
+            run_stream_window(
+                &tasks,
+                |_, &x| EvalOutcome { value: Ok(x), minutes: 30.0 },
+                |_, _| 30.0,
+                &config(4),
+                &faults,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(a.iter().any(|r| r.deaths > 0), "fault plan produced no deaths");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.deaths, y.deaths);
+            assert_eq!(x.record.attempts, y.record.attempts);
+            assert_eq!(x.lost_minutes, y.lost_minutes);
+            assert_eq!(x.backoff_minutes, y.backoff_minutes);
+            assert_eq!(x.record.value.is_ok(), y.record.value.is_ok());
+        }
+        // Exhausted chains carry their lost minutes as the record, like the
+        // batch scheduler.
+        for r in &a {
+            if matches!(r.record.value, Err(TaskError::WorkerFailed)) {
+                assert_eq!(r.record.minutes, r.lost_minutes);
+                assert_eq!(r.record.attempts, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_cursors_partition_exactly_with_drain_only_idle() {
+        let mut slots = StreamSlots::new(2);
+        let ok = |minutes: f64, slot: usize| StreamTaskReport::<u64> {
+            record: TaskRecord { value: Ok(1), minutes, worker: slot, attempts: 1 },
+            lost_minutes: 0.0,
+            backoff_minutes: 0.0,
+            deaths: 0,
+        };
+        assert_eq!(slots.free_order(), vec![0, 1]);
+        let t0 = slots.charge(0, &ok(10.0, 0));
+        let t1 = slots.charge(1, &ok(4.0, 1));
+        assert_eq!((t0, t1), (10.0, 4.0));
+        // Slot 1 frees first now.
+        assert_eq!(slots.free_order(), vec![1, 0]);
+        let report = slots.final_report();
+        assert_eq!(report.wall_minutes, 10.0);
+        assert_eq!(report.idle_minutes, vec![0.0, 6.0]);
+        for s in 0..2 {
+            let total = report.busy_minutes[s]
+                + report.lost_death_minutes[s]
+                + report.lost_speculation_minutes[s]
+                + report.backoff_slot_minutes[s]
+                + report.idle_minutes[s];
+            assert!((total - report.wall_minutes).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn epoch_reports_are_deltas_and_partition_exactly() {
+        let mut slots = StreamSlots::new(2);
+        let ok = |minutes: f64, slot: usize| StreamTaskReport::<u64> {
+            record: TaskRecord { value: Ok(1), minutes, worker: slot, attempts: 1 },
+            lost_minutes: 0.0,
+            backoff_minutes: 0.0,
+            deaths: 0,
+        };
+        slots.charge(0, &ok(10.0, 0));
+        slots.charge(1, &ok(4.0, 1));
+        let first = slots.epoch_report();
+        assert_eq!(first.wall_minutes, 10.0);
+        assert_eq!(first.busy_minutes, vec![10.0, 4.0]);
+        slots.charge(1, &ok(8.0, 1));
+        let second = slots.epoch_report();
+        // Only the delta since the boundary shows up.
+        assert_eq!(second.busy_minutes, vec![0.0, 8.0]);
+        assert_eq!(second.wall_minutes, 8.0);
+        assert_eq!(second.idle_minutes, vec![8.0, 0.0]);
+        for report in [&first, &second] {
+            for s in 0..2 {
+                let total = report.busy_minutes[s]
+                    + report.lost_death_minutes[s]
+                    + report.backoff_slot_minutes[s]
+                    + report.idle_minutes[s];
+                assert!((total - report.wall_minutes).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -6,10 +6,14 @@
 #   3. cargo clippy                — lints clean with warnings DENIED
 #   4. cargo doc --no-deps         — rustdoc builds with warnings DENIED
 #   5. doc-sync                    — every `--bin`/`--bench` named in
-#                                    EXPERIMENTS.md exists in the workspace
-#   6. chaos stress                — the journal crash/resume chaos suite,
-#                                    looped CHAOS_STRESS times (default 3) to
-#                                    shake out racy supervision interleavings
+#                                    EXPERIMENTS.md exists in the workspace,
+#                                    and every fig1 flag used in README.md /
+#                                    EXPERIMENTS.md is one `fig1 --list-flags`
+#                                    actually parses
+#   6. chaos stress                — the journal crash/resume chaos suites
+#                                    (generational and steady-state), looped
+#                                    CHAOS_STRESS times (default 3) to shake
+#                                    out racy supervision interleavings
 #   7. telemetry identity          — a faulty campaign run with a live
 #                                    recorder must produce byte-identical
 #                                    artifacts to one run without, and
@@ -61,16 +65,38 @@ for bench in $(grep -o -- '--bench [a-z0-9_]*' EXPERIMENTS.md | awk '{print $2}'
         echo "    ok: --bench ${bench}"
     fi
 done
+# Every fig1 flag the docs mention must be one the binary parses. Flags are
+# harvested from lines that invoke fig1 (command lines and `fig1 --flag`
+# inline references), so prose mentioning other binaries' flags is ignored.
+echo "    doc-sync: fig1 flags in README.md/EXPERIMENTS.md parse"
+known_flags="$(target/release/fig1 --list-flags)"
+doc_flags="$(grep -h -- 'fig1' README.md EXPERIMENTS.md \
+    | grep -o -- '--[a-z][a-z-]*' \
+    | sort -u || true)"
+for flag in ${doc_flags}; do
+    # cargo-level flags on the same command line are not fig1's to parse.
+    case "${flag}" in
+    --release|--bin|--bench|--example) continue ;;
+    esac
+    if ! grep -qx -- "${flag}" <<<"${known_flags}"; then
+        echo "    UNKNOWN: docs reference fig1 flag ${flag}" >&2
+        missing=1
+    else
+        echo "    ok: fig1 ${flag}"
+    fi
+done
 if [[ ${missing} -ne 0 ]]; then
     echo "verify: FAILED (doc-sync)" >&2
     exit 1
 fi
 
 CHAOS_STRESS="${CHAOS_STRESS:-3}"
-echo "==> [6/7] chaos stress: ${CHAOS_STRESS}x journal crash/resume suite"
+echo "==> [6/7] chaos stress: ${CHAOS_STRESS}x journal crash/resume suites"
 for i in $(seq 1 "${CHAOS_STRESS}"); do
-    echo "    chaos iteration ${i}/${CHAOS_STRESS}"
+    echo "    chaos iteration ${i}/${CHAOS_STRESS} (generational)"
     cargo test -q -p dphpo-core --test journal_chaos
+    echo "    chaos iteration ${i}/${CHAOS_STRESS} (steady-state)"
+    cargo test -q -p dphpo-core --test steady_state_identity
 done
 
 echo "==> [7/7] telemetry bit-identity (observed == unobserved artifacts)"
