@@ -61,6 +61,8 @@ const FLAGS: &[(&str, bool, &str)] = &[
     ("--metrics", true, "write the deterministic event/metric JSONL export"),
     ("--status", false, "keep a live, atomically rewritten campaign_status.json"),
     ("--report", false, "write the markdown campaign report and Chrome counter tracks"),
+    ("--verify-journal", true, "offline journal integrity check (frames, last snapshot, first corrupt offset); exit nonzero on damage"),
+    ("--compact", true, "rewrite a journal to its last snapshot plus the arrival suffix (generational: boundaries plus unfinished suffix)"),
     ("--list-flags", false, "print every known flag, one per line, and exit"),
 ];
 
@@ -254,6 +256,57 @@ fn main() {
     if has_flag("--list-flags") {
         for (name, _, _) in FLAGS {
             println!("{name}");
+        }
+        return;
+    }
+
+    // Offline journal maintenance: integrity check and compaction run
+    // without touching the campaign or any other artifact.
+    if let Some(path) = path_arg("--verify-journal") {
+        let report = match dphpo_core::journal::verify(&path) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("fig1: cannot verify {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        println!("journal:        {}", path.display());
+        println!("format version: {}", report.version);
+        println!("frames:         {}", report.frames);
+        println!(
+            "records:        {} evals, {} generations, {} snapshots",
+            report.evals, report.generations, report.snapshots
+        );
+        match report.last_snapshot {
+            Some((run, arrivals)) => {
+                println!("last snapshot:  run {run} at {arrivals} arrivals")
+            }
+            None => println!("last snapshot:  none"),
+        }
+        println!("valid bytes:    {} of {}", report.valid_len, report.total_len);
+        match report.first_corrupt_offset {
+            Some(offset) => {
+                println!("DAMAGED: first corrupt frame at byte {offset} (run salvage)");
+                std::process::exit(1);
+            }
+            None => println!("integrity:      ok"),
+        }
+        return;
+    }
+    if let Some(path) = path_arg("--compact") {
+        match dphpo_core::journal::compact(&path) {
+            Ok(report) => println!(
+                "compacted {}: {} -> {} frames, {} -> {} bytes",
+                path.display(),
+                report.frames_before,
+                report.frames_after,
+                report.bytes_before,
+                report.bytes_after,
+            ),
+            Err(e) => {
+                eprintln!("fig1: cannot compact {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
         return;
     }

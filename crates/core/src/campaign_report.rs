@@ -209,7 +209,7 @@ pub fn replay_rows(records: &[GenerationRecord], reports: &[PoolReport]) -> Vec<
         .collect()
 }
 
-fn json_of_row(row: &GenStatus) -> Json {
+pub(crate) fn json_of_row(row: &GenStatus) -> Json {
     Json::object(vec![
         ("generation", Json::Number(row.generation as f64)),
         ("evaluations", Json::Number(row.evaluations as f64)),
@@ -268,9 +268,12 @@ pub fn status_json(status: &CampaignStatus) -> String {
     format!("{doc}\n")
 }
 
-/// Rewrite `path` atomically: the new contents land in a sibling temp file
-/// first and are renamed over the target, so a reader (or a crash) never
-/// sees a torn status.
+/// Rewrite `path` atomically and durably: the new contents land in a
+/// sibling temp file first (written and fsynced), the *parent directory*
+/// is fsynced so the temp file's existence survives a power loss, the temp
+/// file is renamed over the target, and the directory is fsynced again so
+/// the rename itself is durable. A reader (or a crash) never sees a torn
+/// status, and after a crash the file is either the old or the new bytes.
 pub fn write_status_atomic(path: &Path, status: &CampaignStatus) -> std::io::Result<()> {
     let tmp = path.with_extension("json.tmp");
     {
@@ -278,7 +281,20 @@ pub fn write_status_atomic(path: &Path, status: &CampaignStatus) -> std::io::Res
         f.write_all(status_json(status).as_bytes())?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, path)
+    sync_parent_dir(path)?;
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Fsync the directory containing `path`, making directory-entry changes
+/// (a new file, a rename) durable. A bare relative path has an empty
+/// parent, which means the current directory.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    fs::File::open(parent)?.sync_all()
 }
 
 /// Parse a `campaign_status.json` document back into a [`CampaignStatus`]
@@ -289,7 +305,7 @@ pub fn parse_status(text: &str) -> Result<CampaignStatus, String> {
     if schema != STATUS_SCHEMA {
         return Err(format!("unexpected status schema '{schema}'"));
     }
-    let num = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let num = num_field;
     let reference = match doc.get("reference_point") {
         Some(Json::Array(items)) if items.len() == 2 => (
             items[0].as_f64().unwrap_or(REFERENCE_POINT.0),
@@ -309,38 +325,49 @@ pub fn parse_status(text: &str) -> Result<CampaignStatus, String> {
             let mut rows = Vec::new();
             if let Some(Json::Array(gens)) = r.get("generations") {
                 for g in gens {
-                    rows.push(GenStatus {
-                        generation: num(g, "generation") as usize,
-                        evaluations: num(g, "evaluations") as usize,
-                        failures: num(g, "failures") as usize,
-                        hypervolume: num(g, "hypervolume"),
-                        cardinality: num(g, "cardinality") as usize,
-                        spread: num(g, "spread"),
-                        added: num(g, "added") as usize,
-                        evicted: num(g, "evicted") as usize,
-                        makespan_minutes: num(g, "makespan_minutes"),
-                        wall_minutes: num(g, "wall_minutes"),
-                        busy_minutes: num(g, "busy_minutes"),
-                        idle_minutes: num(g, "idle_minutes"),
-                        backoff_minutes: num(g, "backoff_minutes"),
-                        lost_death_minutes: num(g, "lost_death_minutes"),
-                        lost_speculation_minutes: num(g, "lost_speculation_minutes"),
-                        utilization_pct: num(g, "utilization_pct"),
-                        deaths: num(g, "deaths") as usize,
-                        retried: num(g, "retried") as usize,
-                        speculated: num(g, "speculated") as usize,
-                        speculative_deaths: num(g, "speculative_deaths") as usize,
-                        diverged: num(g, "diverged") as usize,
-                        timeout: num(g, "timeout") as usize,
-                        cancelled: num(g, "cancelled") as usize,
-                        exhausted: num(g, "exhausted") as usize,
-                    });
+                    rows.push(row_from_json(g));
                 }
             }
             status.runs.push(RunStatus { run: num(r, "run") as usize, generations: rows });
         }
     }
     Ok(status)
+}
+
+fn num_field(j: &Json, k: &str) -> f64 {
+    j.get(k).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Parse one [`json_of_row`] object back into a [`GenStatus`]. Missing
+/// fields read as zero, matching [`parse_status`]'s tolerance.
+pub(crate) fn row_from_json(g: &Json) -> GenStatus {
+    let num = num_field;
+    GenStatus {
+        generation: num(g, "generation") as usize,
+        evaluations: num(g, "evaluations") as usize,
+        failures: num(g, "failures") as usize,
+        hypervolume: num(g, "hypervolume"),
+        cardinality: num(g, "cardinality") as usize,
+        spread: num(g, "spread"),
+        added: num(g, "added") as usize,
+        evicted: num(g, "evicted") as usize,
+        makespan_minutes: num(g, "makespan_minutes"),
+        wall_minutes: num(g, "wall_minutes"),
+        busy_minutes: num(g, "busy_minutes"),
+        idle_minutes: num(g, "idle_minutes"),
+        backoff_minutes: num(g, "backoff_minutes"),
+        lost_death_minutes: num(g, "lost_death_minutes"),
+        lost_speculation_minutes: num(g, "lost_speculation_minutes"),
+        utilization_pct: num(g, "utilization_pct"),
+        deaths: num(g, "deaths") as usize,
+        retried: num(g, "retried") as usize,
+        speculated: num(g, "speculated") as usize,
+        speculative_deaths: num(g, "speculative_deaths") as usize,
+        diverged: num(g, "diverged") as usize,
+        timeout: num(g, "timeout") as usize,
+        cancelled: num(g, "cancelled") as usize,
+        exhausted: num(g, "exhausted") as usize,
+    }
 }
 
 /// The end-of-run report: hypervolume trajectory, utilization table, and

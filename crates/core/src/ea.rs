@@ -10,7 +10,8 @@
 //! resumed campaign recomputes nothing and still reproduces the original
 //! scheduler traffic (fault decisions, retries, reports) bit-identically.
 
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use dphpo_dnnp::AbortReason;
@@ -215,6 +216,17 @@ impl BatchEvaluator for SummitEvaluator {
             None => (&NOOP, SpanCtx::default()),
         };
         let obs_on = obs.enabled();
+        // Reorder buffer between the racy physical completion order and the
+        // deterministic slot order: completions are buffered by slot and
+        // journaled as the contiguous slot prefix becomes ready, so the set
+        // of records a chaos kill leaves on disk is always a slot-order
+        // prefix — which is what makes an interrupted-then-resumed journal
+        // byte-identical to an uninterrupted one. `None` marks a replayed
+        // (already-journaled) slot. Both cells live on the driver thread:
+        // `on_complete` runs there, never concurrently.
+        type Pending = Option<(EvalEntry, u32, bool)>;
+        let buffered: RefCell<BTreeMap<usize, Pending>> = RefCell::new(BTreeMap::new());
+        let next_release = Cell::new(0usize);
         let (records, report) = run_batch_observed(
             genomes,
             |tc: &TaskCtx<'_>, genome: &Vec<f64>| {
@@ -239,42 +251,64 @@ impl BatchEvaluator for SummitEvaluator {
             &self.pool,
             faults,
             |slot, task: &TaskRecord<EvalRecord>| {
-                // Count the completion against the (chaos-mode) driver
-                // lifetime; a dead driver loses the record — exactly the
-                // crash the journal protects against.
-                let driver_alive = faults.note_task_completion();
-                if let Some(sink) = journal {
-                    let replayed = sink
-                        .replay
+                let replayed = journal.is_some_and(|sink| {
+                    sink.replay
                         .get(&(gen_idx, slot))
-                        .is_some_and(|e| e.genome == genomes[slot]);
-                    if driver_alive && !replayed {
-                        let entry = EvalEntry::from_task(
+                        .is_some_and(|e| e.genome == genomes[slot])
+                });
+                let entry = match (journal, replayed) {
+                    (Some(sink), false) => Some((
+                        EvalEntry::from_task(
                             sink.run,
                             gen_idx,
                             slot,
                             seeds_ref[slot],
                             &genomes[slot],
                             task,
-                        );
-                        let offset = sink.writer.borrow_mut().append_eval(&entry);
+                        ),
+                        task.attempts,
+                        task.value.is_ok(),
+                    )),
+                    _ => None,
+                };
+                buffered.borrow_mut().insert(slot, entry);
+                // Release (and journal) the contiguous slot prefix. Each
+                // release counts one completion against the (chaos-mode)
+                // driver lifetime; a dead driver loses the record — exactly
+                // the crash the journal protects against.
+                while let Some(item) = buffered.borrow_mut().remove(&next_release.get()) {
+                    let released = next_release.get();
+                    next_release.set(released + 1);
+                    let driver_alive = faults.note_task_completion();
+                    let (Some(sink), true, Some((entry, attempts, ok))) =
+                        (journal, driver_alive, item)
+                    else {
+                        continue;
+                    };
+                    match sink.writer.borrow_mut().append_eval(&entry) {
                         // Cross-reference the telemetry stream to the
                         // journal: the event names the byte offset the
                         // record landed at (runs on the driver thread, so
                         // ordering is deterministic).
-                        if obs_on {
-                            obs.counter_add(names::C_JOURNAL_APPENDS, 1);
-                            let mut ev = Event::instant(
-                                names::JOURNAL_APPEND,
-                                cats::JOURNAL,
-                                base_span.with_task(slot as u32, task.attempts),
-                            );
-                            ev.args = vec![
-                                ("offset", offset as f64),
-                                ("ok", if task.value.is_ok() { 1.0 } else { 0.0 }),
-                            ];
-                            obs.record(ev);
+                        Ok(offset) => {
+                            if obs_on {
+                                obs.counter_add(names::C_JOURNAL_APPENDS, 1);
+                                let mut ev = Event::instant(
+                                    names::JOURNAL_APPEND,
+                                    cats::JOURNAL,
+                                    base_span.with_task(released as u32, attempts),
+                                );
+                                ev.args = vec![
+                                    ("offset", offset as f64),
+                                    ("ok", if ok { 1.0 } else { 0.0 }),
+                                ];
+                                obs.record(ev);
+                            }
                         }
+                        // A record that failed to reach disk is a crash at
+                        // this completion: the driver dies and every later
+                        // record is lost, exactly as in a real crash.
+                        Err(_) => faults.declare_dead(),
                     }
                 }
             },

@@ -23,7 +23,10 @@ use rand::SeedableRng;
 use dphpo_dnnp::TrainConfig;
 use dphpo_evo::nsga2::{Nsga2Config, Nsga2State, RunResult};
 use dphpo_evo::{FrontStats, Individual, ParetoArchive};
-use dphpo_hpc::{CostModel, FaultInjector, PoolConfig, PoolReport, SupervisorConfig};
+use dphpo_hpc::{
+    CostModel, FaultInjector, FaultPlan, IoSite, PoolConfig, PoolReport, SupervisorConfig,
+    JOURNAL_APPEND_SITE, STATUS_FSYNC_SITE,
+};
 use dphpo_obs::Recorder;
 use dphpo_md::generate::{generate_dataset, GenConfig};
 use dphpo_md::Dataset;
@@ -32,7 +35,7 @@ use crate::campaign_report::{self, CampaignStatus};
 use crate::ea::SummitEvaluator;
 use crate::journal::{GenEntry, Journal, JournalError, JournalSink, JournalWriter};
 use crate::representation::DeepMDRepresentation;
-use crate::workflow::EvalContext;
+use crate::workflow::{stable_id, EvalContext};
 
 /// How a campaign schedules its evaluations (see DESIGN.md §12).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +76,13 @@ pub struct ExperimentConfig {
     /// Part of the journal fingerprint — the two modes' journals are
     /// mutually non-resumable.
     pub mode: CampaignMode,
+    /// Journal snapshot cadence for steady-state campaigns, in epochs:
+    /// every this many epochs (`pop_size` arrivals each) the driver appends
+    /// a self-contained snapshot record, so resume replays only the suffix
+    /// after the last snapshot instead of the whole campaign. `0` snapshots
+    /// at every window boundary. Not part of the config fingerprint — the
+    /// cadence may change between a run and its resume.
+    pub snapshot_every_epochs: usize,
 }
 
 impl ExperimentConfig {
@@ -96,6 +106,7 @@ impl ExperimentConfig {
             fault_probability: 0.002,
             master_seed: 2023,
             mode: CampaignMode::Generational,
+            snapshot_every_epochs: 1,
         }
     }
 
@@ -125,6 +136,7 @@ impl ExperimentConfig {
             fault_probability: 0.002,
             master_seed: 2023,
             mode: CampaignMode::Generational,
+            snapshot_every_epochs: 1,
         }
     }
 
@@ -163,6 +175,7 @@ impl ExperimentConfig {
             fault_probability: 0.0,
             master_seed: 7,
             mode: CampaignMode::Generational,
+            snapshot_every_epochs: 1,
         }
     }
 }
@@ -268,7 +281,7 @@ pub fn run_experiment_with(
     config: &ExperimentConfig,
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> ExperimentResult {
-    run_experiment_inner(config, progress, None, None, None, None, None)
+    run_experiment_inner(config, progress, None, None, None, None, None, None)
         .expect("an unjournaled campaign cannot be interrupted")
 }
 
@@ -281,7 +294,7 @@ pub fn run_experiment_observed(
     progress: Option<&mut dyn FnMut(usize, usize)>,
     recorder: Arc<dyn Recorder>,
 ) -> ExperimentResult {
-    run_experiment_inner(config, progress, None, None, None, Some(recorder), None)
+    run_experiment_inner(config, progress, None, None, None, Some(recorder), None, None)
         .expect("an unjournaled campaign cannot be interrupted")
 }
 
@@ -294,7 +307,16 @@ pub fn run_experiment_journaled(
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> Result<ExperimentResult, ExperimentError> {
     let writer = JournalWriter::create(journal_path, config)?;
-    run_experiment_inner(config, progress, Some(Rc::new(RefCell::new(writer))), None, None, None, None)
+    run_experiment_inner(
+        config,
+        progress,
+        Some(Rc::new(RefCell::new(writer))),
+        None,
+        None,
+        None,
+        None,
+        None,
+    )
 }
 
 /// As [`run_experiment_journaled`], with a telemetry recorder: journal
@@ -314,6 +336,7 @@ pub fn run_experiment_journaled_observed(
         None,
         Some(recorder),
         None,
+        None,
     )
 }
 
@@ -332,6 +355,7 @@ pub fn run_experiment_journaled_with_kill(
         None,
         Some(Rc::new(RefCell::new(writer))),
         Some(kill_after_tasks),
+        None,
         None,
         None,
         None,
@@ -371,7 +395,7 @@ fn resume_experiment_inner(
 ) -> Result<ExperimentResult, ExperimentError> {
     let journal = Journal::load(journal_path)?;
     journal.check_config(config)?;
-    let writer = JournalWriter::open_append(journal_path, journal.valid_len)?;
+    let writer = JournalWriter::open_append(journal_path, config, &journal)?;
     run_experiment_inner(
         config,
         progress,
@@ -379,6 +403,7 @@ fn resume_experiment_inner(
         None,
         Some(&journal),
         recorder,
+        None,
         None,
     )
 }
@@ -389,18 +414,36 @@ fn resume_experiment_inner(
 pub(crate) struct StatusSink {
     pub(crate) status: CampaignStatus,
     path: Option<PathBuf>,
+    /// Fault-injection site covering the whole atomic rewrite (temp-file
+    /// write, fsyncs, rename). A fired fault skips the rewrite: the file
+    /// keeps its previous content, exactly what a failed atomic replace
+    /// leaves behind — and the next boundary's flush rewrites it whole.
+    io: IoSite,
 }
 
 impl StatusSink {
-    fn new(config: &ExperimentConfig, path: Option<&Path>) -> Self {
-        StatusSink { status: CampaignStatus::new(config), path: path.map(Path::to_path_buf) }
+    fn new(
+        config: &ExperimentConfig,
+        path: Option<&Path>,
+        plan: Option<&Arc<FaultPlan>>,
+    ) -> Self {
+        let io = match plan {
+            Some(plan) => IoSite::new(Arc::clone(plan), STATUS_FSYNC_SITE),
+            None => IoSite::disabled(STATUS_FSYNC_SITE),
+        };
+        StatusSink { status: CampaignStatus::new(config), path: path.map(Path::to_path_buf), io }
     }
 
-    pub(crate) fn flush(&self) {
-        if let Some(path) = &self.path {
-            campaign_report::write_status_atomic(path, &self.status)
-                .expect("rewrite campaign status file");
+    /// Rewrite the status file; returns `false` when an injected fault
+    /// swallowed this rewrite (the on-disk file is stale but intact).
+    pub(crate) fn flush(&self) -> bool {
+        let Some(path) = &self.path else { return true };
+        if self.io.next().is_some() {
+            return false;
         }
+        campaign_report::write_status_atomic(path, &self.status)
+            .expect("rewrite campaign status file");
+        true
     }
 }
 
@@ -428,6 +471,7 @@ pub struct Campaign<'a> {
     kill_after_tasks: Option<u64>,
     resume: bool,
     recorder: Option<Arc<dyn Recorder>>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl<'a> Campaign<'a> {
@@ -440,6 +484,7 @@ impl<'a> Campaign<'a> {
             kill_after_tasks: None,
             resume: false,
             recorder: None,
+            fault_plan: None,
         }
     }
 
@@ -475,6 +520,16 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Attach a deterministic fault plan (see [`dphpo_hpc::faultplan`]):
+    /// scripted or seeded I/O faults at the journal-append and status-
+    /// rewrite sites, plus an optional driver kill. Every decision is a
+    /// pure function of `(chaos_seed, site, occurrence)`, so a chaos run is
+    /// exactly reproducible from its plan.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Run (or resume) the campaign.
     pub fn run(
         self,
@@ -486,7 +541,7 @@ impl<'a> Campaign<'a> {
                 self.journal_path.as_deref().expect("resume requires a journal path");
             let journal = Journal::load(journal_path)?;
             journal.check_config(self.config)?;
-            let writer = JournalWriter::open_append(journal_path, journal.valid_len)?;
+            let writer = JournalWriter::open_append(journal_path, self.config, &journal)?;
             return run_experiment_inner(
                 self.config,
                 progress,
@@ -495,6 +550,7 @@ impl<'a> Campaign<'a> {
                 Some(&journal),
                 self.recorder,
                 status_path,
+                self.fault_plan,
             );
         }
         let writer = match self.journal_path.as_deref() {
@@ -509,6 +565,7 @@ impl<'a> Campaign<'a> {
             None,
             self.recorder,
             status_path,
+            self.fault_plan,
         )
     }
 }
@@ -521,7 +578,7 @@ struct RestorePoint {
     reports: Vec<PoolReport>,
 }
 
-fn archive_from_members(members: &[Individual]) -> ParetoArchive {
+pub(crate) fn archive_from_members(members: &[Individual]) -> ParetoArchive {
     // Journaled members are mutually non-dominating, so offering them in
     // journal order reproduces the original archive exactly.
     let mut archive = ParetoArchive::new();
@@ -575,7 +632,15 @@ fn finish_generation(
             archive: archive.members().to_vec(),
             report: report.clone(),
         };
-        sink.writer.borrow_mut().append_generation(&entry);
+        if sink.writer.borrow_mut().append_generation(&entry).is_err() {
+            // A boundary that failed to reach disk is a crash at this
+            // boundary: the driver dies, and resume re-derives the
+            // generation from its (durable) evaluation records.
+            faults.declare_dead();
+            return Err(ExperimentError::Interrupted {
+                completed_tasks: faults.completed_tasks(),
+            });
+        }
     }
     let row = campaign_report::generation_row(record, archive, churn, &report);
     evaluator.observe_front(
@@ -642,16 +707,34 @@ fn drive_run(
     if let Some(cb) = progress.as_deref_mut() {
         cb(run_idx, state.as_ref().map_or(0, |s| s.generation));
     }
+    // Restamp the generation's survivors with their stable journaled ids —
+    // a pure function of (run seed, generation × pop_size + slot) — so the
+    // ids a journal carries never depend on the process-local allocation
+    // counter, and an interrupted-then-resumed journal matches an
+    // uninterrupted one byte for byte.
+    let restamp = |state: &mut Nsga2State| {
+        let generation = state.generation;
+        for (slot, ind) in state.parents.iter_mut().enumerate() {
+            ind.id = stable_id(seed, (generation * nsga2.pop_size + slot) as u64);
+        }
+        if let Some(record) = state.history.last_mut() {
+            for (slot, ind) in record.population.iter_mut().enumerate() {
+                ind.id = stable_id(seed, (generation * nsga2.pop_size + slot) as u64);
+            }
+        }
+    };
     let mut state = match state {
         Some(s) => s,
         None => {
-            let s = Nsga2State::start(nsga2, &mut evaluator, &mut rng);
+            let mut s = Nsga2State::start(nsga2, &mut evaluator, &mut rng);
+            restamp(&mut s);
             finish_generation(&s, &mut archive, &journal, &evaluator, &rng, run_idx, status)?;
             s
         }
     };
     while !state.is_complete(nsga2) {
         state.step(nsga2, &mut evaluator, &mut rng);
+        restamp(&mut state);
         finish_generation(&state, &mut archive, &journal, &evaluator, &rng, run_idx, status)?;
     }
     if let Some(cb) = progress.as_deref_mut() {
@@ -671,11 +754,24 @@ fn run_experiment_inner(
     resume_from: Option<&Journal>,
     recorder: Option<Arc<dyn Recorder>>,
     status_path: Option<&Path>,
+    fault_plan: Option<Arc<FaultPlan>>,
 ) -> Result<ExperimentResult, ExperimentError> {
     let (train, val) = build_dataset(config);
     let nsga2 = nsga2_config_for(config);
 
-    let mut status = StatusSink::new(config, status_path);
+    // The fault plan's driver kill composes with (and loses to) an explicit
+    // kill budget; its I/O faults attach to the journal writer and the
+    // status sink at their named sites.
+    if kill_budget.is_none() {
+        kill_budget = fault_plan.as_ref().and_then(|p| p.driver_kill());
+    }
+    if let (Some(writer), Some(plan)) = (&journal_writer, &fault_plan) {
+        writer
+            .borrow_mut()
+            .set_io_site(IoSite::new(Arc::clone(plan), JOURNAL_APPEND_SITE));
+    }
+
+    let mut status = StatusSink::new(config, status_path, fault_plan.as_ref());
     let mut runs = Vec::with_capacity(config.n_runs);
     let mut pool_reports = Vec::with_capacity(config.n_runs);
     let mut archives = Vec::with_capacity(config.n_runs);
@@ -706,10 +802,22 @@ fn run_experiment_inner(
         if let Some(k) = kill_budget {
             faults = faults.with_driver_kill(k);
         }
-        let sink = journal_writer.as_ref().map(|writer| JournalSink {
-            run: run_idx,
-            writer: Rc::clone(writer),
-            replay: Rc::new(resume_from.map_or_else(HashMap::new, |j| j.replay_for(run_idx))),
+        // A steady-state resume restores from the run's last snapshot (if
+        // any) and replays only the arrival suffix after it — O(window)
+        // instead of O(campaign).
+        let steady_snap = match (config.mode, resume_from) {
+            (CampaignMode::SteadyState, Some(journal)) => {
+                journal.last_snapshot_for(run_idx).cloned()
+            }
+            _ => None,
+        };
+        let sink = journal_writer.as_ref().map(|writer| {
+            let mut replay =
+                resume_from.map_or_else(HashMap::new, |j| j.replay_for(run_idx));
+            if let Some(snap) = &steady_snap {
+                replay.retain(|_, e| e.arrival.is_none_or(|a| a >= snap.arrivals));
+            }
+            JournalSink { run: run_idx, writer: Rc::clone(writer), replay: Rc::new(replay) }
         });
         let (result, reports, archive, completed) = match config.mode {
             CampaignMode::Generational => drive_run(
@@ -733,6 +841,7 @@ fn run_experiment_inner(
                 run_idx,
                 faults,
                 sink,
+                steady_snap,
                 &mut progress,
                 recorder.as_ref(),
                 &mut status,

@@ -4,11 +4,39 @@
 //! Every completed evaluation (genome, seed, fitness, wall-minutes, fault
 //! flags, `lcurve.out` tail) and every generation boundary (population, RNG
 //! stream state, mutation σ, Pareto archive, scheduler report) is appended
-//! to a JSONL file *before* the campaign moves on — one record per line,
-//! flushed per record, via the in-repo [`Json`] codec. If the driver dies
-//! mid-campaign, `resume` replays the journaled records instead of
-//! retraining, re-submits only the missing tasks to the worker pool, and
-//! continues to a result **bit-identical** to an uninterrupted run.
+//! *before* the campaign moves on — one framed record per line, flushed per
+//! record, via the in-repo [`Json`] codec. If the driver dies mid-campaign,
+//! `resume` replays the journaled records instead of retraining, re-submits
+//! only the missing tasks to the worker pool, and continues to a result
+//! **bit-identical** to an uninterrupted run.
+//!
+//! # Framing (format v2)
+//!
+//! Each line is a checksummed frame (DESIGN.md §13):
+//!
+//! ```text
+//! J2 <seq:08x> <len:08x> <crc:08x> <payload-json>\n
+//! ```
+//!
+//! `seq` is a monotonic frame sequence number (the header is frame 0),
+//! `len` the payload's byte length, and `crc` the CRC-32 (IEEE) of the
+//! payload bytes. Readers therefore detect corruption *anywhere* in the
+//! file — a flipped bit, a truncated middle, an overwritten region — not
+//! just a torn tail. [`Journal::load`] refuses a damaged file; [`salvage`]
+//! truncates it at the first bad frame, quarantines the trailing bytes to
+//! `<journal>.quarantine`, and leaves a journal that resumes
+//! deterministically from the last intact record. Unframed v1 journals
+//! (plain JSONL) are still read by a compatibility scanner and upgraded to
+//! v2 in place on the first resume.
+//!
+//! Steady-state campaigns additionally append self-contained **snapshot**
+//! records at epoch-window boundaries (population, mutation σ, pending
+//! queue, archive, slot cursors, per-epoch accumulators), so resume
+//! restores the latest snapshot and replays only the arrival suffix after
+//! it — O(window) work instead of O(campaign). [`compact`] rewrites a
+//! journal down to that suffix. (Generational journals need no extra
+//! record: every generation boundary already *is* a self-contained
+//! snapshot.)
 //!
 //! # Determinism contract
 //!
@@ -44,19 +72,24 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek as _, SeekFrom, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 use dphpo_dnnp::{Json, LcurveRow};
 use dphpo_evo::nsga2::GenerationRecord;
 use dphpo_evo::{Fitness, Id, Individual};
-use dphpo_hpc::{EvalFault, EvalOutcome, PoolReport, TaskError, TaskRecord};
+use dphpo_hpc::faultplan::{IoFault, IoSite, JOURNAL_APPEND_SITE};
+use dphpo_hpc::{EvalFault, EvalOutcome, PoolReport, StreamSlotsState, TaskError, TaskRecord};
 
+use crate::campaign_report::{json_of_row, row_from_json, GenStatus};
 use crate::experiment::{CampaignMode, ExperimentConfig};
 use crate::workflow::EvalRecord;
 
-/// Journal format version; bumped on any schema change.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Journal format version; bumped on any schema change. Version 2 added
+/// the CRC frame layer, snapshot records, and deterministic individual
+/// ids; version 1 files are still readable (and are upgraded in place on
+/// the first resume).
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// Journal parse/validation failure, with enough context to diagnose a
 /// corrupt or stale file.
@@ -79,6 +112,108 @@ impl fmt::Display for JournalError {
 }
 
 impl std::error::Error for JournalError {}
+
+// ---------------------------------------------------------------------------
+// Frame layer (format v2): `J2 <seq:08x> <len:08x> <crc:08x> <payload>\n`
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xedb88320) lookup table,
+/// built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the checksum carried by every v2 frame.
+/// Standard parameters: init and xorout `0xffffffff`, reflected. The
+/// check value of `b"123456789"` is `0xcbf43926`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Byte length of the v2 frame prefix:
+/// `"J2 "` + 8 hex (seq) + `" "` + 8 hex (len) + `" "` + 8 hex (crc) + `" "`.
+pub const FRAME_PREFIX_LEN: usize = 30;
+
+/// Render one framed journal line. The payload must be newline-free
+/// (compact JSON always is).
+pub fn frame_line(seq: u64, payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "frame payloads are single-line");
+    format!(
+        "J2 {:08x} {:08x} {:08x} {}\n",
+        seq,
+        payload.len(),
+        crc32(payload.as_bytes()),
+        payload
+    )
+}
+
+/// Parse one frame body (a line *without* its trailing newline), checking
+/// the prefix shape, the sequence number against `expected_seq`, the
+/// declared length, and the CRC. Returns the payload slice.
+pub fn parse_frame(body: &str, expected_seq: u64) -> Result<&str, JournalError> {
+    let bytes = body.as_bytes();
+    if bytes.len() < FRAME_PREFIX_LEN {
+        return Err(JournalError::new("frame shorter than its prefix"));
+    }
+    // An ASCII prefix guarantees every index below is a char boundary.
+    if !bytes[..FRAME_PREFIX_LEN].is_ascii() {
+        return Err(JournalError::new("frame prefix is not ASCII"));
+    }
+    if &body[..3] != "J2 " || bytes[11] != b' ' || bytes[20] != b' ' || bytes[29] != b' ' {
+        return Err(JournalError::new("malformed frame prefix"));
+    }
+    let hex = |range: std::ops::Range<usize>, what: &str| {
+        // Lowercase-only: `from_str_radix` would also accept uppercase,
+        // letting a case-flipped byte (`'a' ^ 0x20 == 'A'`) slip through
+        // undetected. The writer only ever emits lowercase.
+        let field = &body[range];
+        if !field.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return Err(JournalError::new(format!("frame {what} field is not lowercase hex")));
+        }
+        u64::from_str_radix(field, 16)
+            .map_err(|_| JournalError::new(format!("frame {what} field is not hex")))
+    };
+    let seq = hex(3..11, "seq")?;
+    let len = hex(12..20, "len")?;
+    let crc = hex(21..29, "crc")? as u32;
+    if seq != expected_seq {
+        return Err(JournalError::new(format!(
+            "frame sequence {seq} != expected {expected_seq}"
+        )));
+    }
+    let payload = &body[FRAME_PREFIX_LEN..];
+    if payload.len() as u64 != len {
+        return Err(JournalError::new(format!(
+            "frame length {len} != payload length {}",
+            payload.len()
+        )));
+    }
+    let actual = crc32(payload.as_bytes());
+    if actual != crc {
+        return Err(JournalError::new(format!(
+            "frame crc {crc:08x} != computed {actual:08x}"
+        )));
+    }
+    Ok(payload)
+}
 
 // ---------------------------------------------------------------------------
 // Low-level JSON helpers
@@ -662,6 +797,225 @@ impl GenEntry {
     }
 }
 
+fn generation_record_to_json(r: &GenerationRecord) -> Json {
+    Json::object(vec![
+        ("gen", Json::Number(r.generation as f64)),
+        ("failures", Json::Number(r.failures as f64)),
+        (
+            "population",
+            Json::Array(r.population.iter().map(individual_to_json).collect()),
+        ),
+    ])
+}
+
+fn generation_record_from_json(j: &Json) -> Result<GenerationRecord, JournalError> {
+    Ok(GenerationRecord {
+        generation: usize_field(j, "gen")?,
+        failures: usize_field(j, "failures")?,
+        population: array_field(j, "population")?
+            .iter()
+            .map(individual_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn slots_state_to_json(s: &StreamSlotsState) -> Json {
+    Json::object(vec![
+        ("busy", numbers(&s.busy)),
+        ("lost", numbers(&s.lost)),
+        ("backoff", numbers(&s.backoff)),
+        ("deaths", Json::Number(s.deaths as f64)),
+        ("retried", Json::Number(s.retried as f64)),
+        ("diverged", Json::Number(s.diverged as f64)),
+        ("timeout", Json::Number(s.timeout as f64)),
+        ("cancelled", Json::Number(s.cancelled as f64)),
+        ("exhausted", Json::Number(s.exhausted as f64)),
+        ("base_busy", numbers(&s.baseline_busy)),
+        ("base_lost", numbers(&s.baseline_lost)),
+        ("base_backoff", numbers(&s.baseline_backoff)),
+        ("base_deaths", Json::Number(s.baseline_deaths as f64)),
+        ("base_retried", Json::Number(s.baseline_retried as f64)),
+        ("base_diverged", Json::Number(s.baseline_diverged as f64)),
+        ("base_timeout", Json::Number(s.baseline_timeout as f64)),
+        ("base_cancelled", Json::Number(s.baseline_cancelled as f64)),
+        ("base_exhausted", Json::Number(s.baseline_exhausted as f64)),
+    ])
+}
+
+fn slots_state_from_json(j: &Json) -> Result<StreamSlotsState, JournalError> {
+    Ok(StreamSlotsState {
+        busy: f64_array(j, "busy")?,
+        lost: f64_array(j, "lost")?,
+        backoff: f64_array(j, "backoff")?,
+        deaths: usize_field(j, "deaths")?,
+        retried: usize_field(j, "retried")?,
+        diverged: usize_field(j, "diverged")?,
+        timeout: usize_field(j, "timeout")?,
+        cancelled: usize_field(j, "cancelled")?,
+        exhausted: usize_field(j, "exhausted")?,
+        baseline_busy: f64_array(j, "base_busy")?,
+        baseline_lost: f64_array(j, "base_lost")?,
+        baseline_backoff: f64_array(j, "base_backoff")?,
+        baseline_deaths: usize_field(j, "base_deaths")?,
+        baseline_retried: usize_field(j, "base_retried")?,
+        baseline_diverged: usize_field(j, "base_diverged")?,
+        baseline_timeout: usize_field(j, "base_timeout")?,
+        baseline_cancelled: usize_field(j, "base_cancelled")?,
+        baseline_exhausted: usize_field(j, "base_exhausted")?,
+    })
+}
+
+/// One steady-state snapshot: everything a resume needs to restore the
+/// driver at an epoch-window boundary without replaying the arrivals
+/// before it. Self-contained by design: the records *before* the last
+/// snapshot are dead weight ([`compact`] drops them), and resume replays
+/// only the arrival suffix after it — O(window) instead of O(campaign).
+///
+/// Steady-state RNG needs no words here: every draw is a pure function of
+/// `(run seed, arrival index)` (DESIGN.md §12), both of which the snapshot
+/// carries. A snapshot can land mid-epoch (window boundaries are arrival
+/// counts, not epoch boundaries), hence the partial per-epoch accumulators.
+#[derive(Clone, Debug)]
+pub struct SnapshotEntry {
+    /// Experiment run index.
+    pub run: usize,
+    /// Arrivals consumed when the snapshot was taken (also its key).
+    pub arrivals: usize,
+    /// Submissions issued so far (arrivals + in-flight + queued).
+    pub submitted: usize,
+    /// Mutation σ at the snapshot point.
+    pub std: Vec<f64>,
+    /// The steady population.
+    pub population: Vec<Individual>,
+    /// Bred-but-not-consumed individuals, with their submission indices —
+    /// the resubmission queue, in order.
+    pub pending: Vec<(usize, Individual)>,
+    /// Pareto-archive members.
+    pub archive: Vec<Individual>,
+    /// The slot accountant (cursors, loss/backoff tallies, epoch baseline).
+    pub slots: StreamSlotsState,
+    /// Completed epoch records so far.
+    pub history: Vec<GenerationRecord>,
+    /// Completed epochs' scheduler reports.
+    pub epoch_reports: Vec<PoolReport>,
+    /// MAXINT failures within the current (partial) epoch.
+    pub epoch_failures: usize,
+    /// Archive churn within the current epoch: `(offered, added, evicted)`.
+    pub epoch_churn: (usize, usize, usize),
+    /// Simulated-clock offset of the current epoch's start, minutes.
+    pub epoch_sim_offset: f64,
+    /// Status rows published for completed epochs (steady rows cannot be
+    /// replayed from generation records alone — churn is per-arrival).
+    pub status_rows: Vec<GenStatus>,
+}
+
+impl SnapshotEntry {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::String("snapshot".into())),
+            ("run", Json::Number(self.run as f64)),
+            ("arrivals", Json::Number(self.arrivals as f64)),
+            ("submitted", Json::Number(self.submitted as f64)),
+            ("std", numbers(&self.std)),
+            (
+                "population",
+                Json::Array(self.population.iter().map(individual_to_json).collect()),
+            ),
+            (
+                "pending",
+                Json::Array(
+                    self.pending
+                        .iter()
+                        .map(|(submission, ind)| {
+                            Json::Array(vec![
+                                Json::Number(*submission as f64),
+                                individual_to_json(ind),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "archive",
+                Json::Array(self.archive.iter().map(individual_to_json).collect()),
+            ),
+            ("slots", slots_state_to_json(&self.slots)),
+            (
+                "history",
+                Json::Array(self.history.iter().map(generation_record_to_json).collect()),
+            ),
+            (
+                "epoch_reports",
+                Json::Array(self.epoch_reports.iter().map(report_to_json).collect()),
+            ),
+            ("epoch_failures", Json::Number(self.epoch_failures as f64)),
+            (
+                "epoch_churn",
+                numbers(&[
+                    self.epoch_churn.0 as f64,
+                    self.epoch_churn.1 as f64,
+                    self.epoch_churn.2 as f64,
+                ]),
+            ),
+            ("epoch_sim_offset", Json::Number(self.epoch_sim_offset)),
+            (
+                "status_rows",
+                Json::Array(self.status_rows.iter().map(json_of_row).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, JournalError> {
+        let pending = array_field(j, "pending")?
+            .iter()
+            .map(|pair| match pair {
+                Json::Array(items) if items.len() == 2 => {
+                    let submission = items[0]
+                        .as_f64()
+                        .ok_or_else(|| JournalError::new("non-numeric pending submission"))?
+                        as usize;
+                    Ok((submission, individual_from_json(&items[1])?))
+                }
+                _ => Err(JournalError::new("pending entry must be a [submission, individual] pair")),
+            })
+            .collect::<Result<Vec<_>, JournalError>>()?;
+        let churn = f64_array(j, "epoch_churn")?;
+        if churn.len() != 3 {
+            return Err(JournalError::new("epoch_churn must be a 3-element array"));
+        }
+        Ok(SnapshotEntry {
+            run: usize_field(j, "run")?,
+            arrivals: usize_field(j, "arrivals")?,
+            submitted: usize_field(j, "submitted")?,
+            std: f64_array(j, "std")?,
+            population: array_field(j, "population")?
+                .iter()
+                .map(individual_from_json)
+                .collect::<Result<_, _>>()?,
+            pending,
+            archive: array_field(j, "archive")?
+                .iter()
+                .map(individual_from_json)
+                .collect::<Result<_, _>>()?,
+            slots: slots_state_from_json(
+                j.get("slots").ok_or_else(|| JournalError::new("missing 'slots'"))?,
+            )?,
+            history: array_field(j, "history")?
+                .iter()
+                .map(generation_record_from_json)
+                .collect::<Result<_, _>>()?,
+            epoch_reports: array_field(j, "epoch_reports")?
+                .iter()
+                .map(report_from_json)
+                .collect::<Result<_, _>>()?,
+            epoch_failures: usize_field(j, "epoch_failures")?,
+            epoch_churn: (churn[0] as usize, churn[1] as usize, churn[2] as usize),
+            epoch_sim_offset: f64_field(j, "epoch_sim_offset")?,
+            status_rows: array_field(j, "status_rows")?.iter().map(row_from_json).collect(),
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Configuration fingerprint (stale-journal rejection)
 // ---------------------------------------------------------------------------
@@ -750,66 +1104,199 @@ fn header_json(config: &ExperimentConfig) -> Json {
 // Writer
 // ---------------------------------------------------------------------------
 
-/// Appends journal records, flushing each line before returning — the
-/// "write-ahead" property: once a record is appended, a driver crash
+/// Appends framed journal records, flushing each line before returning —
+/// the "write-ahead" property: once a record is appended, a driver crash
 /// cannot lose it.
+///
+/// Appends are fallible: real I/O errors and injected [`IoFault`]s (via
+/// [`JournalWriter::set_io_site`]) surface as `Err`, and the writer does
+/// **not** advance its offset or sequence counter on failure. A driver
+/// receiving `Err` must stop journaling and crash out (it may have left a
+/// torn frame behind); [`salvage`] + resume recovers.
 pub struct JournalWriter {
     file: File,
     /// Byte offset the next record will be written at. Append methods
     /// return the offset of the record they wrote, so telemetry events can
     /// cross-reference journal entries by position.
     offset: u64,
+    /// Sequence number of the next frame.
+    seq: u64,
+    /// Fault-injection site for appends (disabled by default).
+    io: IoSite,
 }
 
 impl JournalWriter {
-    /// Create a fresh journal at `path`, writing the header record.
+    /// Create a fresh journal at `path`, writing the header as frame 0.
     pub fn create(path: &Path, config: &ExperimentConfig) -> Result<Self, JournalError> {
         let file = File::create(path)
             .map_err(|e| JournalError::new(format!("cannot create {}: {e}", path.display())))?;
-        let mut writer = JournalWriter { file, offset: 0 };
-        writer.append(&header_json(config));
+        let mut writer = JournalWriter {
+            file,
+            offset: 0,
+            seq: 0,
+            io: IoSite::disabled(JOURNAL_APPEND_SITE),
+        };
+        writer.append(&header_json(config))?;
         Ok(writer)
     }
 
+    /// Attach a fault-injection site consulted before every append.
+    pub fn set_io_site(&mut self, io: IoSite) {
+        self.io = io;
+    }
+
     /// Reopen an existing journal for appending, first truncating it to
-    /// `valid_len` bytes — the valid prefix [`Journal::load`] measured —
-    /// so a torn final line from the crash is discarded.
-    pub fn open_append(path: &Path, valid_len: u64) -> Result<Self, JournalError> {
+    /// `journal.valid_len` — the valid prefix [`Journal::load`] measured —
+    /// so a torn final frame from the crash is discarded. A v1 journal is
+    /// upgraded in place: its records are rewritten as v2 frames under a
+    /// fresh v2 header (atomically, via a temp file + rename) before the
+    /// writer opens at the end.
+    pub fn open_append(
+        path: &Path,
+        config: &ExperimentConfig,
+        journal: &Journal,
+    ) -> Result<Self, JournalError> {
+        if journal.version < 2 {
+            return upgrade_v1(path, config, journal);
+        }
         let mut file = OpenOptions::new()
             .write(true)
             .open(path)
             .map_err(|e| JournalError::new(format!("cannot open {}: {e}", path.display())))?;
-        file.set_len(valid_len)
+        file.set_len(journal.valid_len)
             .map_err(|e| JournalError::new(format!("cannot truncate journal: {e}")))?;
         file.seek(SeekFrom::End(0))
             .map_err(|e| JournalError::new(format!("cannot seek journal: {e}")))?;
-        Ok(JournalWriter { file, offset: valid_len })
+        Ok(JournalWriter {
+            file,
+            offset: journal.valid_len,
+            seq: journal.frames,
+            io: IoSite::disabled(JOURNAL_APPEND_SITE),
+        })
     }
 
-    /// Append one record, returning the byte offset it was written at.
-    /// Panics on I/O failure: a write-ahead journal that silently drops
-    /// records is worse than a crashed campaign.
-    fn append(&mut self, record: &Json) -> u64 {
-        let mut line = record.to_compact();
-        line.push('\n');
+    /// Append one framed record, returning the byte offset it was written
+    /// at. On failure (real or injected) the offset and sequence number do
+    /// not advance; the file may hold a torn frame (short write) or a
+    /// complete frame of uncertain durability (fsync failure) — both are
+    /// exactly the states [`salvage`] and the torn-tail reader tolerate.
+    fn append(&mut self, record: &Json) -> Result<u64, JournalError> {
+        let payload = record.to_compact();
+        let line = frame_line(self.seq, &payload);
+        match self.io.next() {
+            Some(IoFault::ShortWrite) => {
+                // Half the frame reaches the file, then the write fails: a
+                // torn tail with no trailing newline.
+                let cut = line.len() / 2;
+                let _ = self
+                    .file
+                    .write_all(&line.as_bytes()[..cut])
+                    .and_then(|()| self.file.flush());
+                return Err(JournalError::new(format!(
+                    "injected short write at journal offset {}",
+                    self.offset
+                )));
+            }
+            Some(IoFault::FsyncFail) => {
+                // The frame itself reaches the file but the durability
+                // barrier fails: the record may or may not survive. Here it
+                // does (the pessimistic case for resume, which must replay
+                // it and still land byte-identical).
+                self.file
+                    .write_all(line.as_bytes())
+                    .and_then(|()| self.file.flush())
+                    .map_err(|e| JournalError::new(format!("journal append failed: {e}")))?;
+                return Err(JournalError::new(format!(
+                    "injected fsync failure at journal offset {}",
+                    self.offset
+                )));
+            }
+            Some(fault @ (IoFault::IoError | IoFault::DiskFull)) => {
+                // Nothing reaches the file.
+                return Err(JournalError::new(format!(
+                    "injected {fault} at journal offset {}",
+                    self.offset
+                )));
+            }
+            None => {}
+        }
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
-            .expect("journal append failed");
+            .map_err(|e| JournalError::new(format!("journal append failed: {e}")))?;
         let at = self.offset;
         self.offset += line.len() as u64;
-        at
+        self.seq += 1;
+        Ok(at)
     }
 
     /// Append a completed-evaluation record; returns its byte offset.
-    pub fn append_eval(&mut self, entry: &EvalEntry) -> u64 {
+    pub fn append_eval(&mut self, entry: &EvalEntry) -> Result<u64, JournalError> {
         self.append(&entry.to_json())
     }
 
     /// Append a generation-boundary record; returns its byte offset.
-    pub fn append_generation(&mut self, entry: &GenEntry) -> u64 {
+    pub fn append_generation(&mut self, entry: &GenEntry) -> Result<u64, JournalError> {
         self.append(&entry.to_json())
     }
+
+    /// Append a steady-state snapshot record; returns its byte offset.
+    pub fn append_snapshot(&mut self, entry: &SnapshotEntry) -> Result<u64, JournalError> {
+        self.append(&entry.to_json())
+    }
+}
+
+/// Upgrade a v1 journal to v2 framing, atomically: a fresh v2 header
+/// (frame 0) followed by every v1 record payload re-framed in original
+/// file order, written to a temp file and renamed over the original. The
+/// v1 header, blank lines, and any torn tail are dropped.
+fn upgrade_v1(
+    path: &Path,
+    config: &ExperimentConfig,
+    journal: &Journal,
+) -> Result<JournalWriter, JournalError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| JournalError::new(format!("cannot read {}: {e}", path.display())))?;
+    let scan = scan_text(&text[..journal.valid_len as usize]);
+    if let Some((offset, reason)) = &scan.first_bad {
+        return Err(JournalError::new(format!(
+            "cannot upgrade {}: corrupt record at byte {offset}: {reason}",
+            path.display()
+        )));
+    }
+    let mut content = String::new();
+    let mut seq = 0u64;
+    content.push_str(&frame_line(seq, &header_json(config).to_compact()));
+    seq += 1;
+    for frame in &scan.frames {
+        if matches!(frame.record, ScannedRecord::Header { .. }) {
+            continue;
+        }
+        content.push_str(&frame_line(seq, &frame.payload));
+        seq += 1;
+    }
+    let tmp = path.with_extension("upgrade.tmp");
+    {
+        let mut f = File::create(&tmp)
+            .map_err(|e| JournalError::new(format!("cannot create {}: {e}", tmp.display())))?;
+        f.write_all(content.as_bytes())
+            .and_then(|()| f.sync_all())
+            .map_err(|e| JournalError::new(format!("cannot write upgraded journal: {e}")))?;
+    }
+    std::fs::rename(&tmp, path)
+        .map_err(|e| JournalError::new(format!("cannot install upgraded journal: {e}")))?;
+    let mut file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| JournalError::new(format!("cannot open {}: {e}", path.display())))?;
+    file.seek(SeekFrom::End(0))
+        .map_err(|e| JournalError::new(format!("cannot seek journal: {e}")))?;
+    Ok(JournalWriter {
+        file,
+        offset: content.len() as u64,
+        seq,
+        io: IoSite::disabled(JOURNAL_APPEND_SITE),
+    })
 }
 
 /// The journal handle an evaluator carries: where to append, which run it
@@ -832,12 +1319,164 @@ impl JournalSink {
 }
 
 // ---------------------------------------------------------------------------
-// Reader
+// Reader: scan machinery shared by load / salvage / verify / compact
 // ---------------------------------------------------------------------------
 
+/// A decoded record, typed.
+enum ScannedRecord {
+    Header { fingerprint: u64 },
+    Eval(EvalEntry),
+    Generation(GenEntry),
+    Snapshot(SnapshotEntry),
+}
+
+/// One valid record with its file position and original payload text (the
+/// payload is re-emitted verbatim by upgrade and compaction, so rewritten
+/// journals never drift through re-serialisation).
+struct ScannedFrame {
+    payload: String,
+    record: ScannedRecord,
+}
+
+/// The result of scanning journal text: every valid record in file order,
+/// the byte length of the valid prefix, and the first corruption found (a
+/// torn, newline-less tail is *not* corruption — it is the expected
+/// signature of a crash mid-append).
+struct ScanOutcome {
+    version: u64,
+    frames: Vec<ScannedFrame>,
+    valid_len: u64,
+    first_bad: Option<(u64, String)>,
+}
+
+/// Scan journal text, sniffing the format: v2 frames start with `J2 `,
+/// v1 records are bare JSON objects starting with `{`.
+fn scan_text(text: &str) -> ScanOutcome {
+    if text.starts_with('{') {
+        scan_v1(text)
+    } else {
+        scan_v2(text)
+    }
+}
+
+fn scan_v2(text: &str) -> ScanOutcome {
+    let mut out = ScanOutcome { version: 2, frames: Vec::new(), valid_len: 0, first_bad: None };
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            // Torn tail: the frame never became durable. Tolerated.
+            break;
+        }
+        let body = &line[..line.len() - 1];
+        let expected_seq = out.frames.len() as u64;
+        let parsed = parse_frame(body, expected_seq).and_then(|payload| {
+            typed_record(payload, offset as u64, out.frames.is_empty())
+                .map(|record| (payload.to_string(), record))
+        });
+        match parsed {
+            Ok((payload, record)) => {
+                out.frames.push(ScannedFrame { payload, record });
+                offset += line.len();
+                out.valid_len = offset as u64;
+            }
+            Err(e) => {
+                // A *terminated* bad frame is corruption, wherever it is:
+                // the writer never terminates a frame it did not complete.
+                out.first_bad = Some((offset as u64, e.message));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// v1 compatibility scanner: bare JSONL with the original tolerance rules
+/// (blank lines skipped, a torn or unparseable *final* line tolerated,
+/// anything earlier corrupt).
+fn scan_v1(text: &str) -> ScanOutcome {
+    let mut out = ScanOutcome { version: 1, frames: Vec::new(), valid_len: 0, first_bad: None };
+    let mut offset = 0usize;
+    let mut lines = text.split_inclusive('\n').peekable();
+    while let Some(line) = lines.next() {
+        let is_last = lines.peek().is_none();
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            offset += line.len();
+            continue;
+        }
+        // A record is durable only once its trailing newline reached the
+        // file: a torn write can end exactly at a parseable boundary, and
+        // appending after it would merge two records onto one line.
+        if is_last && !line.ends_with('\n') {
+            break;
+        }
+        match typed_record(trimmed, offset as u64, out.frames.is_empty()) {
+            Ok(record) => {
+                out.frames.push(ScannedFrame { payload: trimmed.to_string(), record });
+                offset += line.len();
+                out.valid_len = offset as u64;
+            }
+            // An unparseable final line is the v1 signature of a crash
+            // mid-append; anything earlier is real corruption.
+            Err(_) if is_last => break,
+            Err(e) => {
+                out.first_bad = Some((offset as u64, e.message));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Parse and type-check one record payload. The header must be the first
+/// record and nothing else may be; payload-level JSON or semantic failures
+/// count as corruption at `offset`.
+fn typed_record(payload: &str, offset: u64, first: bool) -> Result<ScannedRecord, JournalError> {
+    let record = Json::parse(payload)
+        .map_err(|e| JournalError::new(format!("bad JSON at byte {offset}: {e}")))?;
+    match record.get("type").and_then(Json::as_str) {
+        Some("header") => {
+            if !first {
+                return Err(JournalError::new(format!(
+                    "unexpected header record at byte {offset}"
+                )));
+            }
+            let version = f64_field(&record, "version")? as u64;
+            if version == 0 || version > JOURNAL_VERSION {
+                return Err(JournalError::new(format!(
+                    "journal version {version} > supported {JOURNAL_VERSION}"
+                )));
+            }
+            Ok(ScannedRecord::Header {
+                fingerprint: parse_hex_u64(record.get("config"), "config")?,
+            })
+        }
+        Some("eval") => Ok(ScannedRecord::Eval(EvalEntry::from_json(&record)?)),
+        Some("generation") => Ok(ScannedRecord::Generation(GenEntry::from_json(&record)?)),
+        Some("snapshot") => Ok(ScannedRecord::Snapshot(SnapshotEntry::from_json(&record)?)),
+        other => Err(JournalError::new(format!(
+            "unknown record type {other:?} at byte {offset}"
+        ))),
+    }
+}
+
+/// Read a file as UTF-8 text plus the offset of the first invalid byte, if
+/// any — scanning proceeds over the valid prefix.
+fn read_text_prefix(path: &Path) -> Result<(Vec<u8>, usize, Option<u64>), JournalError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| JournalError::new(format!("cannot read {}: {e}", path.display())))?;
+    let (text_len, utf8_bad) = match std::str::from_utf8(&bytes) {
+        Ok(_) => (bytes.len(), None),
+        Err(e) => (e.valid_up_to(), Some(e.valid_up_to() as u64)),
+    };
+    Ok((bytes, text_len, utf8_bad))
+}
+
 /// A parsed journal: header metadata plus every valid record, with the
-/// byte length of the valid prefix (a torn final line from a crash is
-/// tolerated and measured off).
+/// byte length of the valid prefix (a torn final frame from a crash is
+/// tolerated and measured off; any *other* damage makes `load` fail —
+/// run [`salvage`] to truncate and quarantine it).
+#[derive(Debug)]
 pub struct Journal {
     /// Configuration fingerprint from the header.
     pub config_fingerprint: u64,
@@ -845,85 +1484,75 @@ pub struct Journal {
     pub evals: HashMap<(usize, usize, usize), EvalEntry>,
     /// Generation boundaries keyed `(run, generation)`.
     pub generations: BTreeMap<(usize, usize), GenEntry>,
+    /// Steady-state snapshots keyed `(run, arrivals)`.
+    pub snapshots: BTreeMap<(usize, usize), SnapshotEntry>,
     /// Byte length of the valid prefix (pass to [`JournalWriter::open_append`]).
     pub valid_len: u64,
+    /// Container format the file was read as (1 = bare JSONL, 2 = framed).
+    pub version: u64,
+    /// Valid records (frames) in the file, header included.
+    pub frames: u64,
 }
 
 impl Journal {
     /// Load and validate a journal file.
     pub fn load(path: &Path) -> Result<Journal, JournalError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| JournalError::new(format!("cannot read {}: {e}", path.display())))?;
+        let (bytes, _, utf8_bad) = read_text_prefix(path)?;
+        if let Some(offset) = utf8_bad {
+            return Err(JournalError::new(format!(
+                "{}: invalid UTF-8 at byte {offset} — run salvage to quarantine the damage",
+                path.display()
+            )));
+        }
+        let text = std::str::from_utf8(&bytes).expect("checked above");
+        let scan = scan_text(text);
+        if let Some((offset, reason)) = &scan.first_bad {
+            return Err(JournalError::new(format!(
+                "{}: corrupt record at byte {offset}: {reason} — run salvage to truncate \
+                 and quarantine",
+                path.display()
+            )));
+        }
+        Journal::from_scan(scan)
+    }
+
+    fn from_scan(scan: ScanOutcome) -> Result<Journal, JournalError> {
         let mut journal = Journal {
             config_fingerprint: 0,
             evals: HashMap::new(),
             generations: BTreeMap::new(),
-            valid_len: 0,
+            snapshots: BTreeMap::new(),
+            valid_len: scan.valid_len,
+            version: scan.version,
+            frames: scan.frames.len() as u64,
         };
-        let mut offset = 0usize;
         let mut saw_header = false;
-        let mut lines = text.split_inclusive('\n').peekable();
-        while let Some(line) = lines.next() {
-            let is_last = lines.peek().is_none();
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                offset += line.len();
-                continue;
-            }
-            // A record is durable only once its trailing newline reached the
-            // file: a torn write can end exactly at a parseable boundary, and
-            // appending after it would merge two records onto one line.
-            if is_last && !line.ends_with('\n') {
-                break;
-            }
-            let parsed: Result<(), JournalError> = Json::parse(trimmed)
-                .map_err(|e| JournalError::new(format!("bad JSON at byte {offset}: {e}")))
-                .and_then(|record| {
-                    match record.get("type").and_then(Json::as_str) {
-                        Some("header") => {
-                            journal.config_fingerprint =
-                                parse_hex_u64(record.get("config"), "config")?;
-                            let version = f64_field(&record, "version")? as u64;
-                            if version != JOURNAL_VERSION {
-                                return Err(JournalError::new(format!(
-                                    "journal version {version} != supported {JOURNAL_VERSION}"
-                                )));
-                            }
-                            saw_header = true;
-                        }
-                        Some("eval") => {
-                            let entry = EvalEntry::from_json(&record)?;
-                            journal.evals.insert((entry.run, entry.gen, entry.slot), entry);
-                        }
-                        Some("generation") => {
-                            let entry = GenEntry::from_json(&record)?;
-                            journal
-                                .generations
-                                .insert((entry.run, entry.record.generation), entry);
-                        }
-                        other => {
-                            return Err(JournalError::new(format!(
-                                "unknown record type {other:?} at byte {offset}"
-                            )))
-                        }
-                    }
-                    Ok(())
-                });
-            match parsed {
-                Ok(()) => {
-                    offset += line.len();
-                    journal.valid_len = offset as u64;
+        for frame in scan.frames {
+            match frame.record {
+                ScannedRecord::Header { fingerprint } => {
+                    journal.config_fingerprint = fingerprint;
+                    saw_header = true;
                 }
-                // A torn final line is the expected signature of a crash
-                // mid-append; anything earlier is real corruption.
-                Err(_) if is_last => break,
-                Err(e) => return Err(e),
+                ScannedRecord::Eval(entry) => {
+                    journal.evals.insert((entry.run, entry.gen, entry.slot), entry);
+                }
+                ScannedRecord::Generation(entry) => {
+                    journal.generations.insert((entry.run, entry.record.generation), entry);
+                }
+                ScannedRecord::Snapshot(entry) => {
+                    journal.snapshots.insert((entry.run, entry.arrivals), entry);
+                }
             }
         }
         if !saw_header {
             return Err(JournalError::new("journal has no header record"));
         }
         Ok(journal)
+    }
+
+    /// The latest journaled snapshot of one run, if any.
+    pub fn last_snapshot_for(&self, run: usize) -> Option<&SnapshotEntry> {
+        self.snapshots.range((run, 0)..=(run, usize::MAX)).next_back().map(|(_, s)| s)
     }
 
     /// Reject the journal if it was written under a different campaign
@@ -968,6 +1597,301 @@ impl Journal {
         }
         Ok(entries)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Salvage / verify / compact
+// ---------------------------------------------------------------------------
+
+/// What [`salvage`] did to a damaged journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Container format of the salvaged file (1 or 2).
+    pub version: u64,
+    /// Valid records kept (header included).
+    pub frames_kept: u64,
+    /// Byte length the journal was truncated to.
+    pub valid_len: u64,
+    /// Bytes moved to the quarantine file (0 if the file was clean).
+    pub quarantined_bytes: u64,
+    /// Offset of the first corrupt byte, if actual corruption (not just a
+    /// benign torn tail) was found.
+    pub first_bad_offset: Option<u64>,
+    /// Where the quarantined bytes went: `<journal>.quarantine`.
+    pub quarantine_path: PathBuf,
+}
+
+/// Truncate a journal to its longest valid prefix, quarantining everything
+/// after it (torn tail, corrupt frames, trailing garbage, invalid UTF-8)
+/// to `<journal>.quarantine`. After salvage, [`Journal::load`] succeeds on
+/// any file that still has its header, and resume continues
+/// deterministically from the last intact record. Idempotent on clean
+/// files (nothing is written).
+pub fn salvage(path: &Path) -> Result<SalvageReport, JournalError> {
+    let (bytes, text_len, utf8_bad) = read_text_prefix(path)?;
+    let text = std::str::from_utf8(&bytes[..text_len]).expect("prefix is valid UTF-8");
+    let scan = scan_text(text);
+    let quarantine_path = PathBuf::from(format!("{}.quarantine", path.display()));
+    let quarantined = &bytes[scan.valid_len as usize..];
+    if !quarantined.is_empty() {
+        std::fs::write(&quarantine_path, quarantined).map_err(|e| {
+            JournalError::new(format!("cannot write {}: {e}", quarantine_path.display()))
+        })?;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::new(format!("cannot open {}: {e}", path.display())))?;
+        file.set_len(scan.valid_len)
+            .map_err(|e| JournalError::new(format!("cannot truncate journal: {e}")))?;
+        file.sync_all()
+            .map_err(|e| JournalError::new(format!("cannot sync journal: {e}")))?;
+    }
+    Ok(SalvageReport {
+        version: scan.version,
+        frames_kept: scan.frames.len() as u64,
+        valid_len: scan.valid_len,
+        quarantined_bytes: quarantined.len() as u64,
+        first_bad_offset: scan.first_bad.map(|(offset, _)| offset).or(utf8_bad),
+        quarantine_path,
+    })
+}
+
+/// Offline integrity report for a journal file ([`verify`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Container format (1 = bare JSONL, 2 = framed).
+    pub version: u64,
+    /// Valid records (header included).
+    pub frames: u64,
+    /// Evaluation records among them.
+    pub evals: u64,
+    /// Generation-boundary records among them.
+    pub generations: u64,
+    /// Snapshot records among them.
+    pub snapshots: u64,
+    /// `(run, arrivals)` of the last snapshot in file order, if any.
+    pub last_snapshot: Option<(usize, usize)>,
+    /// Byte length of the valid prefix.
+    pub valid_len: u64,
+    /// Total file length.
+    pub total_len: u64,
+    /// Offset of the first corrupt byte, if any. A benign torn ASCII tail
+    /// (crash mid-append) is *not* damage and leaves this `None`.
+    pub first_corrupt_offset: Option<u64>,
+}
+
+impl VerifyReport {
+    /// True when the file needs [`salvage`] before it can be loaded.
+    pub fn damaged(&self) -> bool {
+        self.first_corrupt_offset.is_some()
+    }
+}
+
+/// Check a journal's integrity without modifying it: counts valid frames
+/// by kind, finds the last snapshot, and reports the first corrupt offset
+/// if any. Errs only if the file cannot be read at all.
+pub fn verify(path: &Path) -> Result<VerifyReport, JournalError> {
+    let (bytes, text_len, utf8_bad) = read_text_prefix(path)?;
+    let text = std::str::from_utf8(&bytes[..text_len]).expect("prefix is valid UTF-8");
+    let scan = scan_text(text);
+    let mut report = VerifyReport {
+        version: scan.version,
+        frames: scan.frames.len() as u64,
+        evals: 0,
+        generations: 0,
+        snapshots: 0,
+        last_snapshot: None,
+        valid_len: scan.valid_len,
+        total_len: bytes.len() as u64,
+        first_corrupt_offset: scan.first_bad.map(|(offset, _)| offset).or(utf8_bad),
+    };
+    for frame in &scan.frames {
+        match &frame.record {
+            ScannedRecord::Header { .. } => {}
+            ScannedRecord::Eval(_) => report.evals += 1,
+            ScannedRecord::Generation(_) => report.generations += 1,
+            ScannedRecord::Snapshot(s) => {
+                report.snapshots += 1;
+                report.last_snapshot = Some((s.run, s.arrivals));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// What [`compact`] achieved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Valid records before compaction.
+    pub frames_before: u64,
+    /// Records in the rewritten journal.
+    pub frames_after: u64,
+    /// File bytes before.
+    pub bytes_before: u64,
+    /// File bytes after.
+    pub bytes_after: u64,
+}
+
+/// Rewrite a journal down to what resume actually replays, atomically
+/// (temp file + rename). Steady-state journals keep, per run, the last
+/// snapshot and the arrival suffix at or after it; generational journals
+/// keep every generation boundary (each one doubles as that mode's
+/// snapshot, and resume needs the full history) plus the evaluations after
+/// the last boundary. Original payload bytes are re-emitted verbatim under
+/// fresh frame sequence numbers, so nothing drifts through
+/// re-serialisation. Refuses damaged files (salvage first) and torn tails
+/// are dropped. v1 journals are compacted *and* upgraded to v2 framing in
+/// one pass.
+pub fn compact(path: &Path) -> Result<CompactReport, JournalError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| JournalError::new(format!("cannot read {}: {e}", path.display())))?;
+    let scan = scan_text(&text);
+    if let Some((offset, reason)) = &scan.first_bad {
+        return Err(JournalError::new(format!(
+            "cannot compact {}: corrupt record at byte {offset}: {reason} — salvage first",
+            path.display()
+        )));
+    }
+    let header = match scan.frames.first() {
+        Some(frame) if matches!(frame.record, ScannedRecord::Header { .. }) => frame,
+        _ => return Err(JournalError::new("journal has no header record")),
+    };
+    // v1 header payloads declare version 1; re-framing them under v2
+    // containers requires the declared version to follow.
+    let header_payload = if scan.version < 2 {
+        upgraded_header_payload(&header.payload)?
+    } else {
+        header.payload.clone()
+    };
+
+    // Steady-state journals are recognisable by their records alone:
+    // snapshots, or evals carrying an arrival index.
+    let steady = scan.frames.iter().any(|f| match &f.record {
+        ScannedRecord::Snapshot(_) => true,
+        ScannedRecord::Eval(e) => e.arrival.is_some(),
+        _ => false,
+    });
+
+    let mut runs: Vec<usize> = scan
+        .frames
+        .iter()
+        .filter_map(|f| match &f.record {
+            ScannedRecord::Eval(e) => Some(e.run),
+            ScannedRecord::Generation(g) => Some(g.run),
+            ScannedRecord::Snapshot(s) => Some(s.run),
+            ScannedRecord::Header { .. } => None,
+        })
+        .collect();
+    runs.sort_unstable();
+    runs.dedup();
+
+    let mut kept: Vec<&str> = vec![&header_payload];
+    for &run in &runs {
+        if steady {
+            // Last snapshot (file order == arrivals order), then the
+            // arrival suffix at or after it.
+            let snapshot = scan
+                .frames
+                .iter()
+                .rev()
+                .find(|f| matches!(&f.record, ScannedRecord::Snapshot(s) if s.run == run));
+            let horizon = snapshot.map_or(0, |f| match &f.record {
+                ScannedRecord::Snapshot(s) => s.arrivals,
+                _ => unreachable!(),
+            });
+            if let Some(frame) = snapshot {
+                kept.push(&frame.payload);
+            }
+            let mut evals: Vec<(usize, &str)> = scan
+                .frames
+                .iter()
+                .filter_map(|f| match &f.record {
+                    ScannedRecord::Eval(e) if e.run == run => {
+                        let arrival = e.arrival.unwrap_or(0);
+                        (arrival >= horizon).then_some((arrival, f.payload.as_str()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            evals.sort_by_key(|&(arrival, _)| arrival);
+            kept.extend(evals.into_iter().map(|(_, payload)| payload));
+        } else {
+            // Every boundary, in generation order (resume reconstructs the
+            // full history and checks contiguity), then the evaluations of
+            // the unfinished generation.
+            let mut boundaries: Vec<(usize, &str)> = scan
+                .frames
+                .iter()
+                .filter_map(|f| match &f.record {
+                    ScannedRecord::Generation(g) if g.run == run => {
+                        Some((g.record.generation, f.payload.as_str()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            boundaries.sort_by_key(|&(generation, _)| generation);
+            let horizon = boundaries.last().map_or(0, |&(generation, _)| generation + 1);
+            kept.extend(boundaries.iter().map(|&(_, payload)| payload));
+            let mut evals: Vec<((usize, usize), &str)> = scan
+                .frames
+                .iter()
+                .filter_map(|f| match &f.record {
+                    ScannedRecord::Eval(e)
+                        if e.run == run && (e.gen >= horizon || boundaries.is_empty()) =>
+                    {
+                        Some(((e.gen, e.slot), f.payload.as_str()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            evals.sort_by_key(|&(key, _)| key);
+            kept.extend(evals.into_iter().map(|(_, payload)| payload));
+        }
+    }
+
+    let mut content = String::new();
+    for (seq, payload) in kept.iter().enumerate() {
+        content.push_str(&frame_line(seq as u64, payload));
+    }
+    let tmp = path.with_extension("compact.tmp");
+    {
+        let mut f = File::create(&tmp)
+            .map_err(|e| JournalError::new(format!("cannot create {}: {e}", tmp.display())))?;
+        f.write_all(content.as_bytes())
+            .and_then(|()| f.sync_all())
+            .map_err(|e| JournalError::new(format!("cannot write compacted journal: {e}")))?;
+    }
+    std::fs::rename(&tmp, path)
+        .map_err(|e| JournalError::new(format!("cannot install compacted journal: {e}")))?;
+    Ok(CompactReport {
+        frames_before: scan.frames.len() as u64,
+        frames_after: kept.len() as u64,
+        bytes_before: text.len() as u64,
+        bytes_after: content.len() as u64,
+    })
+}
+
+/// Rewrite a v1 header payload with `version` bumped to the current
+/// format, preserving every other field and the canonical key order.
+fn upgraded_header_payload(payload: &str) -> Result<String, JournalError> {
+    let header = Json::parse(payload)
+        .map_err(|e| JournalError::new(format!("bad header payload: {e}")))?;
+    let field = |key: &str| {
+        header
+            .get(key)
+            .cloned()
+            .ok_or_else(|| JournalError::new(format!("header missing '{key}'")))
+    };
+    Ok(Json::object(vec![
+        ("type", Json::String("header".into())),
+        ("version", Json::Number(JOURNAL_VERSION as f64)),
+        ("config", field("config")?),
+        ("n_runs", field("n_runs")?),
+        ("pop_size", field("pop_size")?),
+        ("generations", field("generations")?),
+        ("master_seed", field("master_seed")?),
+    ])
+    .to_compact())
 }
 
 #[cfg(test)]
@@ -1080,61 +2004,8 @@ mod tests {
         assert!(EvalEntry::from_json(&entry.to_json()).is_err());
     }
 
-    #[test]
-    fn torn_final_line_is_tolerated_and_measured_off() {
-        let config = ExperimentConfig::smoke();
-        let dir = std::env::temp_dir().join(format!("dphpo-journal-{}", std::process::id()));
-        let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("torn.jsonl");
-        {
-            let mut writer = JournalWriter::create(&path, &config).unwrap();
-            writer.append_eval(&EvalEntry {
-                run: 0,
-                gen: 0,
-                slot: 0,
-                seed: 9,
-                genome: vec![1.0, 2.0],
-                fault: FaultKind::Diverged,
-                fault_step: None,
-                fault_loss: None,
-                objectives: None,
-                minutes: 0.1,
-                attempts: 1,
-                lcurve_tail: Vec::new(),
-                arrival: None,
-            });
-        }
-        let full_len = std::fs::metadata(&path).unwrap().len();
-        // Simulate a crash mid-append: a torn, unparseable final line.
-        use std::io::Write as _;
-        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-        f.write_all(b"{\"type\":\"eval\",\"run\":0,\"gen\":0,\"sl").unwrap();
-        drop(f);
-
-        let journal = Journal::load(&path).unwrap();
-        assert_eq!(journal.valid_len, full_len);
-        assert_eq!(journal.evals.len(), 1);
-        journal.check_config(&config).unwrap();
-
-        // A different configuration is rejected as stale.
-        let mut other = ExperimentConfig::smoke();
-        other.master_seed += 1;
-        assert!(journal.check_config(&other).is_err());
-
-        // Reopening for append truncates the torn tail.
-        drop(JournalWriter::open_append(&path, journal.valid_len).unwrap());
-        assert_eq!(std::fs::metadata(&path).unwrap().len(), full_len);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn parseable_final_line_without_newline_is_dropped() {
-        let config = ExperimentConfig::smoke();
-        let dir =
-            std::env::temp_dir().join(format!("dphpo-journal-nonl-{}", std::process::id()));
-        let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("nonl.jsonl");
-        let entry = EvalEntry {
+    fn sample_eval() -> EvalEntry {
+        EvalEntry {
             run: 0,
             gen: 0,
             slot: 0,
@@ -1148,15 +2019,97 @@ mod tests {
             attempts: 1,
             lcurve_tail: Vec::new(),
             arrival: None,
-        };
-        drop(JournalWriter::create(&path, &config).unwrap());
-        let header_len = std::fs::metadata(&path).unwrap().len();
-        // A torn write can end exactly at a record boundary: the line parses,
-        // but without its newline it is not durable and must be dropped, or
-        // the next append would merge two records onto one line.
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_wrong_sequence() {
+        let payload = r#"{"type":"eval","run":0}"#;
+        let line = frame_line(7, payload);
+        assert!(line.starts_with("J2 00000007 "));
+        assert!(line.ends_with('\n'));
+        let body = &line[..line.len() - 1];
+        assert_eq!(parse_frame(body, 7).unwrap(), payload);
+        let err = parse_frame(body, 8).unwrap_err();
+        assert!(err.message.contains("sequence"), "{err}");
+    }
+
+    #[test]
+    fn any_single_byte_flip_in_a_frame_is_detected() {
+        let payload = r#"{"type":"eval","run":0,"gen":3}"#;
+        let line = frame_line(0, payload);
+        let body = &line[..line.len() - 1];
+        for i in 0..body.len() {
+            let mut flipped = body.as_bytes().to_vec();
+            flipped[i] ^= 0x01; // stays ASCII, so UTF-8 stays valid
+            let flipped = String::from_utf8(flipped).unwrap();
+            assert!(
+                parse_frame(&flipped, 0).is_err(),
+                "flip at byte {i} went undetected: {flipped}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_measured_off() {
+        let config = ExperimentConfig::smoke();
+        let dir = std::env::temp_dir().join(format!("dphpo-journal-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("torn.jsonl");
+        {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            writer.append_eval(&sample_eval()).unwrap();
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: a torn, newline-less final frame.
         use std::io::Write as _;
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-        f.write_all(entry.to_json().to_compact().as_bytes()).unwrap();
+        f.write_all(b"J2 00000002 0000001f 1234abcd {\"type\":\"ev").unwrap();
+        drop(f);
+
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.valid_len, full_len);
+        assert_eq!(journal.evals.len(), 1);
+        assert_eq!(journal.version, JOURNAL_VERSION);
+        assert_eq!(journal.frames, 2);
+        journal.check_config(&config).unwrap();
+
+        // A different configuration is rejected as stale.
+        let mut other = ExperimentConfig::smoke();
+        other.master_seed += 1;
+        assert!(journal.check_config(&other).is_err());
+
+        // Reopening for append truncates the torn tail.
+        drop(JournalWriter::open_append(&path, &config, &journal).unwrap());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parseable_final_line_without_newline_is_dropped() {
+        let config = ExperimentConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-nonl-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("nonl.jsonl");
+        let entry = sample_eval();
+        drop(JournalWriter::create(&path, &config).unwrap());
+        let header_len = std::fs::metadata(&path).unwrap().len();
+        // A torn write can end exactly at a frame boundary minus the
+        // newline: the frame parses, but without its newline it is not
+        // durable and must be dropped, or the next append would merge two
+        // frames onto one line.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        let full_frame = frame_line(1, &entry.to_json().to_compact());
+        f.write_all(&full_frame.as_bytes()[..full_frame.len() - 1]).unwrap();
         drop(f);
 
         let journal = Journal::load(&path).unwrap();
@@ -1172,24 +2125,10 @@ mod tests {
             std::env::temp_dir().join(format!("dphpo-journal-off-{}", std::process::id()));
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("offsets.jsonl");
-        let entry = EvalEntry {
-            run: 0,
-            gen: 0,
-            slot: 0,
-            seed: 9,
-            genome: vec![1.0, 2.0],
-            fault: FaultKind::Diverged,
-            fault_step: None,
-            fault_loss: None,
-            objectives: None,
-            minutes: 0.1,
-            attempts: 1,
-            lcurve_tail: Vec::new(),
-            arrival: None,
-        };
+        let entry = sample_eval();
         let (first, second) = {
             let mut writer = JournalWriter::create(&path, &config).unwrap();
-            (writer.append_eval(&entry), writer.append_eval(&entry))
+            (writer.append_eval(&entry).unwrap(), writer.append_eval(&entry).unwrap())
         };
         // The first record starts right after the header; the second right
         // after the first — and both match what is actually on disk.
@@ -1197,17 +2136,21 @@ mod tests {
         let header_len = text.lines().next().unwrap().len() as u64 + 1;
         assert_eq!(first, header_len);
         assert_eq!(second, header_len + (second - first));
-        // The slice at the returned offset is exactly the record's line.
+        // The slice at the returned offset is exactly the record's frame.
         let line_at_first = text[first as usize..].lines().next().unwrap();
-        assert_eq!(line_at_first, entry.to_json().to_compact());
+        assert_eq!(line_at_first, &frame_line(1, &entry.to_json().to_compact())[..line_at_first.len()]);
+        assert_eq!(parse_frame(line_at_first, 1).unwrap(), entry.to_json().to_compact());
         assert_eq!(second + (second - first), text.len() as u64);
 
-        // Reopening for append continues from the valid length.
+        // Reopening for append continues from the valid length, with the
+        // next sequence number.
         let journal = Journal::load(&path).unwrap();
-        let third = JournalWriter::open_append(&path, journal.valid_len)
+        let third = JournalWriter::open_append(&path, &config, &journal)
             .unwrap()
-            .append_eval(&entry);
+            .append_eval(&entry)
+            .unwrap();
         assert_eq!(third, text.len() as u64);
+        assert!(Journal::load(&path).is_ok(), "sequence must continue contiguously");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1217,9 +2160,375 @@ mod tests {
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("corrupt.jsonl");
         let config = ExperimentConfig::smoke();
-        let header = header_json(&config).to_compact();
+        // v2: flip one payload byte of the middle frame.
+        {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            writer.append_eval(&sample_eval()).unwrap();
+            writer.append_eval(&sample_eval()).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Journal::load(&path).unwrap_err();
+        assert!(err.message.contains("salvage"), "{err}");
+        // v1: a garbage line before the end.
+        let header = r#"{"type":"header","version":1,"config":"0x0000000000000abc"}"#;
         std::fs::write(&path, format!("{header}\nnot json at all\n{header}\n")).unwrap();
         assert!(Journal::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_fail_appends_per_kind_and_salvage_recovers() {
+        use dphpo_hpc::faultplan::FaultPlan;
+        use std::sync::Arc;
+        let config = ExperimentConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-fault-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let entry = sample_eval();
+
+        // ShortWrite: a torn frame lands, the append errors, and salvage
+        // quarantines the torn bytes.
+        let path = dir.join("short.jsonl");
+        let clean_len = {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            writer.append_eval(&entry).unwrap();
+            let clean_len = std::fs::metadata(&path).unwrap().len();
+            let plan =
+                Arc::new(FaultPlan::new(3).script(JOURNAL_APPEND_SITE, 0, IoFault::ShortWrite));
+            writer.set_io_site(IoSite::new(plan, JOURNAL_APPEND_SITE));
+            assert!(writer.append_eval(&entry).is_err());
+            clean_len
+        };
+        assert!(std::fs::metadata(&path).unwrap().len() > clean_len, "torn frame expected");
+        let report = salvage(&path).unwrap();
+        assert_eq!(report.valid_len, clean_len);
+        assert_eq!(report.frames_kept, 2);
+        assert!(report.quarantined_bytes > 0);
+        assert!(report.first_bad_offset.is_none(), "a torn tail is not corruption");
+        assert!(report.quarantine_path.exists());
+        assert_eq!(Journal::load(&path).unwrap().evals.len(), 1);
+
+        // IoError / DiskFull: nothing reaches the file.
+        for fault in [IoFault::IoError, IoFault::DiskFull] {
+            let path = dir.join(format!("{fault}.jsonl"));
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            let before = std::fs::metadata(&path).unwrap().len();
+            let plan = Arc::new(FaultPlan::new(3).script(JOURNAL_APPEND_SITE, 0, fault));
+            writer.set_io_site(IoSite::new(plan, JOURNAL_APPEND_SITE));
+            assert!(writer.append_eval(&entry).is_err());
+            drop(writer);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+            assert_eq!(Journal::load(&path).unwrap().frames, 1);
+        }
+
+        // FsyncFail: the frame lands whole (the pessimistic durable case)
+        // but the append still errors.
+        let path = dir.join("fsync.jsonl");
+        let mut writer = JournalWriter::create(&path, &config).unwrap();
+        let plan = Arc::new(FaultPlan::new(3).script(JOURNAL_APPEND_SITE, 0, IoFault::FsyncFail));
+        writer.set_io_site(IoSite::new(plan, JOURNAL_APPEND_SITE));
+        assert!(writer.append_eval(&entry).is_err());
+        drop(writer);
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.evals.len(), 1, "fsync-failed frame is durable here");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_damage_and_salvage_truncates_to_the_prefix() {
+        let config = ExperimentConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-verify-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("verify.jsonl");
+        {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            for slot in 0..3 {
+                writer.append_eval(&EvalEntry { slot, ..sample_eval() }).unwrap();
+            }
+        }
+        let clean = verify(&path).unwrap();
+        assert_eq!(clean.version, JOURNAL_VERSION);
+        assert_eq!(clean.frames, 4);
+        assert_eq!(clean.evals, 3);
+        assert!(!clean.damaged());
+        assert_eq!(clean.valid_len, clean.total_len);
+
+        // Flip a byte in the third frame: verify pinpoints it, load
+        // refuses, salvage keeps exactly the two frames before it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let third_frame_offset: usize =
+            text.split_inclusive('\n').take(2).map(str::len).sum();
+        bytes[third_frame_offset + FRAME_PREFIX_LEN + 2] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let damaged = verify(&path).unwrap();
+        assert!(damaged.damaged());
+        assert_eq!(damaged.first_corrupt_offset, Some(third_frame_offset as u64));
+        assert_eq!(damaged.frames, 2);
+        assert!(Journal::load(&path).is_err());
+        let report = salvage(&path).unwrap();
+        assert_eq!(report.frames_kept, 2);
+        assert_eq!(report.first_bad_offset, Some(third_frame_offset as u64));
+        assert_eq!(report.valid_len, third_frame_offset as u64);
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.evals.len(), 1);
+        // Salvage is idempotent: a second pass finds a clean file.
+        let again = salvage(&path).unwrap();
+        assert_eq!(again.quarantined_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_utf8_is_refused_by_load_and_quarantined_by_salvage() {
+        let config = ExperimentConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-utf8-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("utf8.jsonl");
+        {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            writer.append_eval(&sample_eval()).unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xff, 0xfe, 0xfd]).unwrap();
+        drop(f);
+        let err = Journal::load(&path).unwrap_err();
+        assert!(err.message.contains("UTF-8"), "{err}");
+        let report = salvage(&path).unwrap();
+        assert_eq!(report.valid_len, clean_len);
+        assert_eq!(report.quarantined_bytes, 3);
+        assert_eq!(report.first_bad_offset, Some(clean_len));
+        assert!(Journal::load(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn handwritten_v1_journal_loads_and_upgrades_to_v2() {
+        let config = ExperimentConfig::smoke();
+        let dir = std::env::temp_dir().join(format!("dphpo-journal-v1-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("v1.jsonl");
+        // A v1 journal is bare JSONL with a version-1 header.
+        let header = Json::object(vec![
+            ("type", Json::String("header".into())),
+            ("version", Json::Number(1.0)),
+            ("config", hex_u64(config_fingerprint(&config))),
+            ("n_runs", Json::Number(config.n_runs as f64)),
+            ("pop_size", Json::Number(config.pop_size as f64)),
+            ("generations", Json::Number(config.generations as f64)),
+            ("master_seed", hex_u64(config.master_seed)),
+        ])
+        .to_compact();
+        let eval_payload = sample_eval().to_json().to_compact();
+        std::fs::write(&path, format!("{header}\n{eval_payload}\n")).unwrap();
+
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.version, 1);
+        assert_eq!(journal.frames, 2);
+        assert_eq!(journal.evals.len(), 1);
+        journal.check_config(&config).unwrap();
+
+        // open_append upgrades in place: same records, v2 frames, and the
+        // writer continues with the right sequence number.
+        let mut writer = JournalWriter::open_append(&path, &config, &journal).unwrap();
+        writer.append_eval(&EvalEntry { slot: 1, ..sample_eval() }).unwrap();
+        drop(writer);
+        let upgraded = Journal::load(&path).unwrap();
+        assert_eq!(upgraded.version, JOURNAL_VERSION);
+        assert_eq!(upgraded.frames, 3);
+        assert_eq!(upgraded.evals.len(), 2);
+        upgraded.check_config(&config).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().all(|l| l.starts_with("J2 ")), "all frames must be v2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_entry_round_trips_through_json() {
+        let snapshot = SnapshotEntry {
+            run: 1,
+            arrivals: 8,
+            submitted: 11,
+            std: vec![0.1, 0.2, 0.3],
+            population: vec![evaluated(vec![1.0, 2.0], vec![0.01, 0.2])],
+            pending: vec![(9, Individual::new(vec![3.0, 4.0]))],
+            archive: vec![evaluated(vec![5.0, 6.0], vec![0.02, 0.1])],
+            slots: StreamSlotsState {
+                busy: vec![10.0, 12.5],
+                lost: vec![0.0, 1.5],
+                backoff: vec![0.5, 0.0],
+                deaths: 1,
+                retried: 1,
+                diverged: 0,
+                timeout: 1,
+                cancelled: 0,
+                exhausted: 0,
+                baseline_busy: vec![5.0, 6.0],
+                baseline_lost: vec![0.0, 0.0],
+                baseline_backoff: vec![0.0, 0.0],
+                baseline_deaths: 0,
+                baseline_retried: 0,
+                baseline_diverged: 0,
+                baseline_timeout: 1,
+                baseline_cancelled: 0,
+                baseline_exhausted: 0,
+            },
+            history: vec![GenerationRecord {
+                generation: 0,
+                failures: 1,
+                population: vec![evaluated(vec![1.0, 2.0], vec![0.01, 0.2])],
+            }],
+            epoch_reports: vec![PoolReport {
+                makespan_minutes: 70.0,
+                per_worker_minutes: vec![70.0, 35.0],
+                busy_minutes: vec![70.0, 35.0],
+                idle_minutes: vec![0.0, 35.0],
+                lost_death_minutes: vec![0.0, 0.0],
+                lost_speculation_minutes: vec![0.0, 0.0],
+                backoff_slot_minutes: vec![0.0, 0.0],
+                wall_minutes: 70.0,
+                ..PoolReport::default()
+            }],
+            epoch_failures: 2,
+            epoch_churn: (5, 3, 1),
+            epoch_sim_offset: 123.5,
+            status_rows: vec![GenStatus {
+                generation: 0,
+                evaluations: 4,
+                hypervolume: 0.005,
+                ..GenStatus::default()
+            }],
+        };
+        let j = snapshot.to_json();
+        let back = SnapshotEntry::from_json(&j).unwrap();
+        assert_eq!(back.run, snapshot.run);
+        assert_eq!(back.arrivals, snapshot.arrivals);
+        assert_eq!(back.submitted, snapshot.submitted);
+        assert_eq!(back.std, snapshot.std);
+        assert_eq!(back.pending.len(), 1);
+        assert_eq!(back.pending[0].0, 9);
+        assert_eq!(back.pending[0].1.genome, vec![3.0, 4.0]);
+        assert_eq!(back.slots, snapshot.slots);
+        assert_eq!(back.history.len(), 1);
+        assert_eq!(back.epoch_churn, (5, 3, 1));
+        assert_eq!(back.epoch_sim_offset, 123.5);
+        assert_eq!(back.status_rows, snapshot.status_rows);
+        // Serialize → parse → serialize is a fixed point.
+        assert_eq!(back.to_json().to_compact(), j.to_compact());
+    }
+
+    #[test]
+    fn compact_keeps_the_last_snapshot_and_the_arrival_suffix() {
+        let config = ExperimentConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("dphpo-journal-compact-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("compact.jsonl");
+        let steady_eval = |arrival: usize| EvalEntry {
+            slot: arrival,
+            arrival: Some(arrival),
+            ..sample_eval()
+        };
+        let snapshot = |arrivals: usize| SnapshotEntry {
+            run: 0,
+            arrivals,
+            submitted: arrivals,
+            std: vec![0.1],
+            population: Vec::new(),
+            pending: Vec::new(),
+            archive: Vec::new(),
+            slots: StreamSlotsState {
+                busy: vec![0.0],
+                lost: vec![0.0],
+                backoff: vec![0.0],
+                baseline_busy: vec![0.0],
+                baseline_lost: vec![0.0],
+                baseline_backoff: vec![0.0],
+                ..StreamSlotsState::default()
+            },
+            history: Vec::new(),
+            epoch_reports: Vec::new(),
+            epoch_failures: 0,
+            epoch_churn: (0, 0, 0),
+            epoch_sim_offset: 0.0,
+            status_rows: Vec::new(),
+        };
+        {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            for arrival in 0..4 {
+                writer.append_eval(&steady_eval(arrival)).unwrap();
+            }
+            writer.append_snapshot(&snapshot(4)).unwrap();
+            for arrival in 4..6 {
+                writer.append_eval(&steady_eval(arrival)).unwrap();
+            }
+        }
+        let before = verify(&path).unwrap();
+        assert_eq!(before.frames, 8);
+        let report = compact(&path).unwrap();
+        assert_eq!(report.frames_before, 8);
+        // header + snapshot + 2 suffix evals
+        assert_eq!(report.frames_after, 4);
+        assert!(report.bytes_after < report.bytes_before);
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.frames, 4);
+        assert_eq!(journal.evals.len(), 2);
+        assert_eq!(journal.last_snapshot_for(0).unwrap().arrivals, 4);
+        assert!(journal.evals.values().all(|e| e.arrival.unwrap() >= 4));
+        // Compaction is idempotent.
+        let again = compact(&path).unwrap();
+        assert_eq!(again.frames_after, again.frames_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_keeps_every_generational_boundary_and_the_unfinished_suffix() {
+        let config = ExperimentConfig::smoke();
+        let dir = std::env::temp_dir()
+            .join(format!("dphpo-journal-compact-gen-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("compact_gen.jsonl");
+        let gen_entry = |generation: usize| GenEntry {
+            run: 0,
+            record: GenerationRecord { generation, failures: 0, population: Vec::new() },
+            std: vec![0.1],
+            evaluations: 4 * (generation + 1),
+            rng_state: [1, 2, 3, 4],
+            archive: Vec::new(),
+            report: PoolReport::default(),
+        };
+        {
+            let mut writer = JournalWriter::create(&path, &config).unwrap();
+            for generation in 0..2usize {
+                for slot in 0..2 {
+                    writer
+                        .append_eval(&EvalEntry {
+                            gen: generation,
+                            slot,
+                            ..sample_eval()
+                        })
+                        .unwrap();
+                }
+                writer.append_generation(&gen_entry(generation)).unwrap();
+            }
+            // Unfinished generation 2: evals, no boundary yet.
+            writer.append_eval(&EvalEntry { gen: 2, slot: 0, ..sample_eval() }).unwrap();
+        }
+        let report = compact(&path).unwrap();
+        assert_eq!(report.frames_before, 8);
+        // header + 2 boundaries + 1 suffix eval; the 4 boundary-covered
+        // evals are dropped.
+        assert_eq!(report.frames_after, 4);
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.boundaries_for(0).unwrap().len(), 2);
+        assert_eq!(journal.evals.len(), 1);
+        assert!(journal.evals.contains_key(&(0, 2, 0)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -55,7 +55,10 @@ pub use experiment::{
     run_experiment_journaled_observed, run_experiment_observed, Campaign, CampaignMode,
     ExperimentConfig, ExperimentError, ExperimentResult,
 };
-pub use journal::{Journal, JournalError, JournalWriter};
+pub use journal::{
+    compact, crc32, frame_line, parse_frame, salvage, verify, CompactReport, Journal,
+    JournalError, JournalWriter, SalvageReport, SnapshotEntry, VerifyReport, FRAME_PREFIX_LEN,
+};
 pub use representation::DeepMDRepresentation;
 pub use workflow::{
     evaluate_individual, evaluate_individual_observed, EvalContext, EvalRecord,

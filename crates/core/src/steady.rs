@@ -61,9 +61,9 @@ use dphpo_obs::{cats, names, Event, Recorder, SpanCtx, When, NOOP};
 
 use crate::campaign_report;
 use crate::ea::{summit_eval_outcome, utilization_pct};
-use crate::experiment::{ExperimentConfig, ExperimentError, StatusSink};
-use crate::journal::{EvalEntry, JournalSink};
-use crate::workflow::{derive_seed, estimated_minutes, EvalContext};
+use crate::experiment::{archive_from_members, ExperimentConfig, ExperimentError, StatusSink};
+use crate::journal::{EvalEntry, JournalSink, SnapshotEntry};
+use crate::workflow::{derive_seed, estimated_minutes, stable_id, EvalContext};
 
 /// Salt separating the steady-state breeding RNG domain from the training
 /// seeds (which use the unsalted run seed, like generational campaigns).
@@ -84,6 +84,7 @@ pub(crate) fn drive_steady_run(
     run_idx: usize,
     faults: FaultInjector,
     journal: Option<JournalSink>,
+    restored: Option<SnapshotEntry>,
     progress: &mut Option<&mut dyn FnMut(usize, usize)>,
     recorder: Option<&Arc<dyn Recorder>>,
     status: &mut StatusSink,
@@ -107,27 +108,82 @@ pub(crate) fn drive_steady_run(
     };
     let obs_on = obs.enabled();
 
-    // The initial population draws from the same RNG stream generational
+    // Snapshot cadence, in arrivals. `snapshot_every_epochs == 0` clamps to
+    // one — a snapshot at every window boundary.
+    let snap_every = (config.snapshot_every_epochs * config.pop_size).max(1);
+
+    // Restore from a journal snapshot when one is available; otherwise the
+    // initial population draws from the same RNG stream generational
     // campaigns use (`StdRng::seed_from_u64(run seed)`), so generation 0's
     // genomes — and therefore its training outcomes — coincide exactly.
-    let mut init_rng = StdRng::seed_from_u64(seed);
-    let initial = random_population(config.pop_size, &nsga2.init_ranges, &mut init_rng);
-    let mut pending: VecDeque<(usize, Individual)> = initial.into_iter().enumerate().collect();
-    let mut submitted = config.pop_size;
-
-    let mut slots = StreamSlots::new(config.pool.n_workers);
-    let mut steady = SteadyState::new(nsga2);
-    let mut archive = ParetoArchive::new();
-    let mut history: Vec<GenerationRecord> = Vec::with_capacity(config.generations + 1);
-    let mut epoch_reports: Vec<PoolReport> = Vec::with_capacity(config.generations + 1);
-    let mut epoch_failures = 0usize;
-    let mut epoch_churn = ArchiveChurn::default();
-    // Cumulative epoch makespans: the simulated clock GENERATION / FRONT
-    // telemetry is stamped on, mirroring the generational driver.
-    let mut epoch_sim_offset = 0.0f64;
+    // Either way, every individual carries its stable journaled id: the
+    // initial population by submission index, each bred child by its own
+    // submission index at breed time.
+    let (
+        mut pending,
+        mut submitted,
+        mut slots,
+        mut steady,
+        mut archive,
+        mut history,
+        mut epoch_reports,
+        mut epoch_failures,
+        mut epoch_churn,
+        mut epoch_sim_offset,
+        mut snapped_through,
+    ): (VecDeque<(usize, Individual)>, _, _, _, _, Vec<GenerationRecord>, Vec<PoolReport>, _, _, _, _) =
+        match restored {
+            Some(snap) => {
+                status.status.set_run(run_idx, snap.status_rows.clone());
+                status.flush();
+                (
+                    snap.pending.into_iter().collect(),
+                    snap.submitted,
+                    StreamSlots::from_state(snap.slots),
+                    SteadyState::restore(nsga2, snap.std, snap.population, snap.arrivals),
+                    archive_from_members(&snap.archive),
+                    snap.history,
+                    snap.epoch_reports,
+                    snap.epoch_failures,
+                    ArchiveChurn {
+                        offered: snap.epoch_churn.0,
+                        added: snap.epoch_churn.1,
+                        evicted: snap.epoch_churn.2,
+                    },
+                    snap.epoch_sim_offset,
+                    (snap.arrivals / snap_every) * snap_every,
+                )
+            }
+            None => {
+                let mut init_rng = StdRng::seed_from_u64(seed);
+                let initial =
+                    random_population(config.pop_size, &nsga2.init_ranges, &mut init_rng);
+                let pending: VecDeque<(usize, Individual)> = initial
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, mut ind)| {
+                        ind.id = stable_id(seed, i as u64);
+                        (i, ind)
+                    })
+                    .collect();
+                (
+                    pending,
+                    config.pop_size,
+                    StreamSlots::new(config.pool.n_workers),
+                    SteadyState::new(nsga2),
+                    ParetoArchive::new(),
+                    Vec::with_capacity(config.generations + 1),
+                    Vec::with_capacity(config.generations + 1),
+                    0usize,
+                    ArchiveChurn::default(),
+                    0.0f64,
+                    0usize,
+                )
+            }
+        };
 
     if let Some(cb) = progress.as_deref_mut() {
-        cb(run_idx, 0);
+        cb(run_idx, steady.epoch());
     }
 
     while !pending.is_empty() {
@@ -209,19 +265,31 @@ pub(crate) fn drive_steady_run(
                         &report.record,
                     );
                     entry.arrival = Some(arrival_idx);
-                    let offset = sink.writer.borrow_mut().append_eval(&entry);
-                    if obs_on {
-                        obs.counter_add(names::C_JOURNAL_APPENDS, 1);
-                        let mut ev = Event::instant(
-                            names::JOURNAL_APPEND,
-                            cats::JOURNAL,
-                            base_span.with_task(submission as u32, report.record.attempts),
-                        );
-                        ev.args = vec![
-                            ("offset", offset as f64),
-                            ("ok", if report.record.value.is_ok() { 1.0 } else { 0.0 }),
-                        ];
-                        obs.record(ev);
+                    match sink.writer.borrow_mut().append_eval(&entry) {
+                        Ok(offset) => {
+                            if obs_on {
+                                obs.counter_add(names::C_JOURNAL_APPENDS, 1);
+                                let mut ev = Event::instant(
+                                    names::JOURNAL_APPEND,
+                                    cats::JOURNAL,
+                                    base_span
+                                        .with_task(submission as u32, report.record.attempts),
+                                );
+                                ev.args = vec![
+                                    ("offset", offset as f64),
+                                    (
+                                        "ok",
+                                        if report.record.value.is_ok() { 1.0 } else { 0.0 },
+                                    ),
+                                ];
+                                obs.record(ev);
+                            }
+                        }
+                        // A record that failed to reach disk is a crash at
+                        // this arrival: the driver dies, the arrival (and
+                        // everything after it) is lost, and resume replays
+                        // up to the durable prefix.
+                        Err(_) => faults.declare_dead(),
                     }
                 }
             }
@@ -284,7 +352,8 @@ pub(crate) fn drive_steady_run(
             if submitted < budget {
                 let mut rng =
                     StdRng::seed_from_u64(derive_seed(seed ^ STEADY_SALT, consumed as u64));
-                let child = steady.breed(&mut rng);
+                let mut child = steady.breed(&mut rng);
+                child.id = stable_id(seed, submitted as u64);
                 pending.push_back((submitted, child));
                 submitted += 1;
             }
@@ -358,6 +427,50 @@ pub(crate) fn drive_steady_run(
                 if let Some(cb) = progress.as_deref_mut() {
                     cb(run_idx, epoch + 1);
                 }
+            }
+        }
+
+        // Window boundary: when the snapshot cadence has been crossed since
+        // the last snapshot, append a self-contained snapshot record so a
+        // later resume replays only the arrival suffix after it. Snapshots
+        // are written at window ends only — a chaos kill always lands
+        // mid-window, so a killed journal carries exactly the snapshots an
+        // uninterrupted run writes at those same boundaries, and kill+resume
+        // stays byte-identical. A dead driver writes nothing, like any
+        // other record.
+        if let Some(sink) = &journal {
+            let arrived = steady.arrivals();
+            let due = (arrived / snap_every) * snap_every;
+            if due > snapped_through && arrived > 0 && faults.driver_alive() {
+                let snap = SnapshotEntry {
+                    run: sink.run,
+                    arrivals: arrived,
+                    submitted,
+                    std: steady.std().to_vec(),
+                    population: steady.population().to_vec(),
+                    pending: pending.iter().cloned().collect(),
+                    archive: archive.members().to_vec(),
+                    slots: slots.state(),
+                    history: history.clone(),
+                    epoch_reports: epoch_reports.clone(),
+                    epoch_failures,
+                    epoch_churn: (epoch_churn.offered, epoch_churn.added, epoch_churn.evicted),
+                    epoch_sim_offset,
+                    status_rows: status
+                        .status
+                        .runs
+                        .iter()
+                        .find(|r| r.run == run_idx)
+                        .map(|r| r.generations.clone())
+                        .unwrap_or_default(),
+                };
+                if sink.writer.borrow_mut().append_snapshot(&snap).is_err() {
+                    faults.declare_dead();
+                    return Err(ExperimentError::Interrupted {
+                        completed_tasks: faults.completed_tasks(),
+                    });
+                }
+                snapped_through = due;
             }
         }
     }

@@ -234,6 +234,20 @@ fn evaluate_inner(
     (record, None)
 }
 
+/// Salt separating the stable-id derivation domain from training seeds.
+const ID_SALT: u64 = 0x1d5a_17ab_1e1d_0d0d;
+
+/// Deterministic individual identity for journaled campaigns: a pure
+/// function of the run seed and the individual's ordinal position in the
+/// campaign (`generation × pop_size + slot` generationally, the submission
+/// index in steady state). The top bit is always set, so stable ids can
+/// never collide with the low process-local [`Id::fresh`] counter range —
+/// which is what lets interrupted-and-resumed journals match uninterrupted
+/// ones byte for byte, ids included.
+pub(crate) fn stable_id(run_seed: u64, ordinal: u64) -> Id {
+    Id::from_raw(derive_seed(run_seed ^ ID_SALT, ordinal) | (1 << 63))
+}
+
 /// Deterministic per-individual seed derivation (splitmix64 over a counter).
 pub fn derive_seed(base: u64, index: u64) -> u64 {
     let mut z = base

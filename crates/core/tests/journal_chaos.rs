@@ -5,13 +5,15 @@
 //! analysis CSVs the paper's figures are built from.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use dphpo_core::analysis::{analyze, level_plot_csv};
 use dphpo_core::experiment::{
-    resume_experiment, run_experiment_journaled, run_experiment_journaled_with_kill,
+    resume_experiment, run_experiment_journaled, run_experiment_journaled_with_kill, Campaign,
     ExperimentConfig, ExperimentError, ExperimentResult,
 };
 use dphpo_evo::Individual;
+use dphpo_hpc::{FaultPlan, IoFault, JOURNAL_APPEND_SITE};
 
 /// Tiny campaign with faults and retries switched on, so replay covers
 /// successful, penalised, and retried evaluations: 2 runs × 3 individuals
@@ -36,10 +38,11 @@ fn scratch(name: &str) -> PathBuf {
 }
 
 fn canon_individual(ind: &Individual) -> String {
-    // Ids are process-local allocation order and intentionally excluded:
-    // identity across a resume is positional, not nominal.
+    // Ids are included: they are derived from (run seed, ordinal), so an
+    // interrupted-and-resumed campaign reproduces them exactly.
     format!(
-        "genome={:?} fitness={:?} rank={} distance={:?} minutes={:?}",
+        "id={} genome={:?} fitness={:?} rank={} distance={:?} minutes={:?}",
+        ind.id,
         ind.genome,
         ind.fitness.as_ref().map(|f| f.values().to_vec()),
         ind.rank,
@@ -88,6 +91,7 @@ fn resume_is_bit_identical_after_killing_the_driver_at_every_task() {
     let reference = run_experiment_journaled(&config, &reference_path, None)
         .expect("uninterrupted campaign");
     let reference_canon = canon(&reference);
+    let reference_journal_bytes = std::fs::read(&reference_path).unwrap();
 
     // Sanity: the campaign really exercises the fault machinery, so replay
     // covers penalty and retry records, not just clean successes.
@@ -115,9 +119,62 @@ fn resume_is_bit_identical_after_killing_the_driver_at_every_task() {
             reference_canon,
             "kill_after={kill_after}: resumed campaign diverged from uninterrupted run"
         );
+        // Stronger than result identity: records are framed and released in
+        // slot order with stable ids, so the journal the kill+resume pair
+        // leaves behind is byte-for-byte what the uninterrupted run wrote.
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            reference_journal_bytes,
+            "kill_after={kill_after}: journal bytes diverged"
+        );
     }
 
     let _ = std::fs::remove_dir_all(reference_path.parent().unwrap());
+}
+
+#[test]
+fn scripted_io_faults_interrupt_and_a_clean_resume_restores_byte_identity() {
+    let config = chaos_config();
+
+    let reference_path = scratch("fault-reference.jsonl");
+    let reference =
+        run_experiment_journaled(&config, &reference_path, None).expect("uninterrupted campaign");
+    let reference_canon = canon(&reference);
+    let reference_journal_bytes = std::fs::read(&reference_path).unwrap();
+
+    // One scripted fault per kind at the journal-append site, plus a
+    // plan-driven driver kill. Each interrupts the campaign; a *clean*
+    // resume (no plan — per-process occurrence counters restart, so
+    // re-arming the same script would re-fire the same fault forever)
+    // must land on the uninterrupted journal byte-for-byte.
+    let cases: Vec<(&str, FaultPlan)> = vec![
+        ("short-write", FaultPlan::new(7).script(JOURNAL_APPEND_SITE, 4, IoFault::ShortWrite)),
+        ("io-error", FaultPlan::new(7).script(JOURNAL_APPEND_SITE, 1, IoFault::IoError)),
+        ("disk-full", FaultPlan::new(7).script(JOURNAL_APPEND_SITE, 7, IoFault::DiskFull)),
+        ("fsync-fail", FaultPlan::new(7).script(JOURNAL_APPEND_SITE, 10, IoFault::FsyncFail)),
+        ("driver-kill", FaultPlan::new(7).kill_driver_at(5)),
+    ];
+    for (tag, plan) in cases {
+        let path = scratch(&format!("fault-{tag}.jsonl"));
+        match Campaign::new(&config).journal(&path).fault_plan(Arc::new(plan)).run(None) {
+            Err(ExperimentError::Interrupted { .. }) => {}
+            Err(other) => panic!("{tag}: unexpected error {other}"),
+            Ok(_) => panic!("{tag}: scripted fault must interrupt the campaign"),
+        }
+        let resumed = Campaign::new(&config)
+            .journal(&path)
+            .resume()
+            .run(None)
+            .unwrap_or_else(|e| panic!("{tag}: clean resume failed: {e}"));
+        assert_eq!(canon(&resumed), reference_canon, "{tag}: resumed campaign diverged");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            reference_journal_bytes,
+            "{tag}: journal bytes diverged"
+        );
+    }
+
+    let _ = std::fs::remove_file(&reference_path);
 }
 
 #[test]

@@ -1,0 +1,176 @@
+//! v1 → v2 journal compatibility, pinned by checked-in fixture journals
+//! (`tests/fixtures/`): bare-JSONL v1 files written by the pre-framing
+//! code. Loading must still work, resuming must reproduce the same
+//! campaign a fresh run computes, and the first append upgrades the file
+//! in place to framed v2. Fixture ids predate seed-derived stable ids, so
+//! comparisons here canonicalise without ids.
+
+use std::path::{Path, PathBuf};
+
+use dphpo_core::experiment::{Campaign, CampaignMode, ExperimentConfig, ExperimentResult};
+use dphpo_core::{verify, Journal};
+use dphpo_evo::Individual;
+
+/// The configuration the generational fixtures were recorded under.
+fn generational_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::smoke();
+    config.pop_size = 3;
+    config.fault_probability = 0.2;
+    config.pool.nanny = true;
+    config.pool.max_attempts = 2;
+    config.pool.supervisor.speculate = true;
+    config.master_seed = 41;
+    config
+}
+
+/// The configuration the steady-state fixtures were recorded under.
+fn steady_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::smoke();
+    config.mode = CampaignMode::SteadyState;
+    config.pool.n_workers = 3;
+    config.fault_probability = 0.2;
+    config.pool.nanny = true;
+    config.pool.max_attempts = 2;
+    config.master_seed = 41;
+    config
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Copy a checked-in fixture into scratch space so resume (which upgrades
+/// the file in place) never touches the repository copy.
+fn working_copy(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dphpo-v1compat-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let dest = dir.join(name);
+    std::fs::copy(fixture(name), &dest).expect("copy fixture");
+    dest
+}
+
+fn canon_individual(ind: &Individual) -> String {
+    // No ids: fixtures predate stable ids, so their journaled individuals
+    // carry legacy allocation-order ids a fresh run cannot reproduce.
+    format!(
+        "genome={:?} fitness={:?} rank={} distance={:?} minutes={:?}",
+        ind.genome,
+        ind.fitness.as_ref().map(|f| f.values().to_vec()),
+        ind.rank,
+        ind.distance,
+        ind.eval_minutes,
+    )
+}
+
+fn canon(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    for (run_idx, run) in result.runs.iter().enumerate() {
+        out.push_str(&format!("run {run_idx} evaluations={}\n", run.evaluations));
+        for record in &run.history {
+            out.push_str(&format!("  gen {} failures={}\n", record.generation, record.failures));
+            for ind in &record.population {
+                out.push_str(&format!("    {}\n", canon_individual(ind)));
+            }
+        }
+    }
+    for (run_idx, archive) in result.archives.iter().enumerate() {
+        out.push_str(&format!("archive {run_idx}\n"));
+        for ind in archive.members() {
+            out.push_str(&format!("    {}\n", canon_individual(ind)));
+        }
+    }
+    out
+}
+
+fn assert_upgraded_to_v2(path: &Path, context: &str) {
+    let report = verify(path).unwrap_or_else(|e| panic!("{context}: verify failed: {e}"));
+    assert_eq!(report.version, 2, "{context}: file was not upgraded to v2");
+    assert!(!report.damaged(), "{context}: upgrade left damage");
+    let text = std::fs::read_to_string(path).unwrap();
+    assert!(
+        text.lines().all(|l| l.starts_with("J2 ")),
+        "{context}: upgraded journal still holds unframed lines"
+    );
+}
+
+#[test]
+fn v1_fixtures_load_with_version_1_and_verify_clean() {
+    for name in [
+        "v1_generational_complete.jsonl",
+        "v1_generational_partial.jsonl",
+        "v1_steady_complete.jsonl",
+        "v1_steady_partial.jsonl",
+    ] {
+        let path = fixture(name);
+        let journal = Journal::load(&path).unwrap_or_else(|e| panic!("{name}: load failed: {e}"));
+        assert_eq!(journal.version, 1, "{name}: fixture must still read as v1");
+        assert!(!journal.evals.is_empty(), "{name}: fixture holds evaluation records");
+        let report = verify(&path).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(!report.damaged(), "{name}: pristine fixture reported damage");
+        assert_eq!(report.evals as usize, journal.evals.len());
+    }
+}
+
+#[test]
+fn resuming_a_complete_v1_journal_reconstructs_the_recorded_campaign() {
+    for (name, config) in [
+        ("v1_generational_complete.jsonl", generational_config()),
+        ("v1_steady_complete.jsonl", steady_config()),
+    ] {
+        let fresh = canon(&dphpo_core::experiment::run_experiment(&config));
+        let path = working_copy(name);
+        let resumed = Campaign::new(&config)
+            .journal(&path)
+            .resume()
+            .run(None)
+            .unwrap_or_else(|e| panic!("{name}: resume failed: {e}"));
+        assert_eq!(canon(&resumed), fresh, "{name}: reconstruction diverged from a fresh run");
+        // Opening for append upgraded the container in place; a complete
+        // campaign then has nothing left to write.
+        assert_upgraded_to_v2(&path, name);
+        let again = Campaign::new(&config)
+            .journal(&path)
+            .resume()
+            .run(None)
+            .unwrap_or_else(|e| panic!("{name}: second resume failed: {e}"));
+        assert_eq!(canon(&again), fresh, "{name}: upgraded journal reconstructs differently");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn resuming_a_partial_v1_journal_completes_and_upgrades_it() {
+    for (name, config) in [
+        ("v1_generational_partial.jsonl", generational_config()),
+        ("v1_steady_partial.jsonl", steady_config()),
+    ] {
+        let fresh = canon(&dphpo_core::experiment::run_experiment(&config));
+        let path = working_copy(name);
+        let before = Journal::load(&path).unwrap().evals.len();
+        let resumed = Campaign::new(&config)
+            .journal(&path)
+            .resume()
+            .run(None)
+            .unwrap_or_else(|e| panic!("{name}: resume failed: {e}"));
+        assert_eq!(canon(&resumed), fresh, "{name}: completed campaign diverged from a fresh run");
+        assert_upgraded_to_v2(&path, name);
+        let after = Journal::load(&path).unwrap();
+        assert_eq!(after.version, 2, "{name}: reloaded journal must be v2");
+        assert!(
+            after.evals.len() > before,
+            "{name}: resume must append the missing evaluations ({before} recorded)"
+        );
+        // The upgraded journal is a first-class v2 journal: resuming it
+        // again reconstructs without writing another byte.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let again = Campaign::new(&config)
+            .journal(&path)
+            .resume()
+            .run(None)
+            .unwrap_or_else(|e| panic!("{name}: second resume failed: {e}"));
+        assert_eq!(canon(&again), fresh, "{name}: upgraded journal reconstructs differently");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -41,10 +41,11 @@ fn scratch(name: &str) -> PathBuf {
 }
 
 fn canon_individual(ind: &Individual) -> String {
-    // Ids are process-local allocation order and intentionally excluded:
-    // identity across a resume is positional, not nominal.
+    // Ids are included: they are derived from (run seed, submission
+    // ordinal), so a resumed campaign reproduces them exactly.
     format!(
-        "genome={:?} fitness={:?} rank={} distance={:?} minutes={:?}",
+        "id={} genome={:?} fitness={:?} rank={} distance={:?} minutes={:?}",
+        ind.id,
         ind.genome,
         ind.fitness.as_ref().map(|f| f.values().to_vec()),
         ind.rank,

@@ -73,29 +73,6 @@ fn canon(result: &ExperimentResult) -> String {
     out
 }
 
-/// Individual ids (`"id":"0x…"`) are allocated from a process-global
-/// counter, so two campaigns in one test process disagree on them by
-/// construction — identity in the journal is positional, not nominal.
-/// Mask the 16 hex digits so the rest of the journal can be compared
-/// byte-for-byte.
-fn mask_ids(journal: &str) -> String {
-    let mut out = String::with_capacity(journal.len());
-    let mut rest = journal;
-    while let Some(at) = rest.find("\"id\":\"0x") {
-        let end = at + "\"id\":\"0x".len();
-        out.push_str(&rest[..end]);
-        let digits = &rest[end..end + 16];
-        assert!(
-            digits.chars().all(|c| c.is_ascii_hexdigit()),
-            "id field not followed by 16 hex digits: {digits:?}"
-        );
-        out.push_str("????????????????");
-        rest = &rest[end + 16..];
-    }
-    out.push_str(rest);
-    out
-}
-
 #[test]
 fn observed_campaign_is_bit_identical_to_unobserved() {
     let config = config();
@@ -116,25 +93,13 @@ fn observed_campaign_is_bit_identical_to_unobserved() {
     // Everything the figures are built from is bit-identical.
     assert_eq!(canon(&plain), canon(&observed));
 
-    // The write-ahead journals hold byte-identical records once
-    // process-local individual ids are masked. Records are appended in
-    // completion-*arrival* order — a worker-thread race the journal's
-    // replay is explicitly order-tolerant of — so the comparison sorts
-    // lines; every record's bytes, including the deterministic header
-    // (first line), must match exactly.
+    // The write-ahead journals are byte-identical end to end: individual
+    // ids are derived from (run seed, ordinal), and generational records
+    // are released to the journal in slot order regardless of which worker
+    // thread finished first, so no masking or sorting is needed.
     let plain_bytes = std::fs::read_to_string(&plain_journal).unwrap();
     let observed_bytes = std::fs::read_to_string(&observed_journal).unwrap();
-    assert_eq!(
-        plain_bytes.lines().next().unwrap(),
-        observed_bytes.lines().next().unwrap(),
-        "journal headers must match byte-for-byte"
-    );
-    let sorted = |s: &str| {
-        let mut lines: Vec<String> = mask_ids(s).lines().map(str::to_owned).collect();
-        lines.sort();
-        lines
-    };
-    assert_eq!(sorted(&plain_bytes), sorted(&observed_bytes));
+    assert_eq!(plain_bytes, observed_bytes, "journals must match byte-for-byte");
 
     // The recorder actually saw the campaign: a generation span per batch,
     // an eval span per training, per-step events, and journal
@@ -155,9 +120,9 @@ fn observed_campaign_is_bit_identical_to_unobserved() {
     assert!(!appends.is_empty());
     for offset in &appends {
         assert!(*offset > 0.0 && *offset < observed_bytes.len() as f64);
-        // The offset lands exactly at the start of an eval record line.
+        // The offset lands exactly at the start of a framed record line.
         assert_eq!(observed_bytes.as_bytes()[*offset as usize - 1], b'\n');
-        assert!(observed_bytes[*offset as usize..].starts_with('{'));
+        assert!(observed_bytes[*offset as usize..].starts_with("J2 "));
     }
 
     let _ = std::fs::remove_file(&plain_journal);

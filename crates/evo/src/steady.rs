@@ -58,6 +58,27 @@ impl SteadyState {
         }
     }
 
+    /// Rebuild mid-campaign state from a journal snapshot: the population,
+    /// annealed σ vector, and arrival count exactly as they stood when the
+    /// snapshot was taken. The restored state continues the σ schedule and
+    /// epoch accounting as if it had absorbed every arrival itself.
+    pub fn restore(
+        config: &Nsga2Config,
+        std: Vec<f64>,
+        population: Vec<Individual>,
+        arrivals: usize,
+    ) -> Self {
+        config.validate();
+        SteadyState {
+            capacity: config.pop_size,
+            anneal_factor: config.anneal_factor,
+            bounds: config.bounds.clone(),
+            std,
+            population,
+            arrivals,
+        }
+    }
+
     /// Current population (at most `pop_size` members, ranked and crowded).
     pub fn population(&self) -> &[Individual] {
         &self.population

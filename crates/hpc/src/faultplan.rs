@@ -1,0 +1,309 @@
+//! Deterministic fault-injection harness: a seeded, schedulable plan of
+//! I/O faults and driver kills, in the spirit of deterministic simulation
+//! testing.
+//!
+//! A [`FaultPlan`] decides, for every *named site* (e.g. `journal.append`,
+//! `status.fsync`) and every *occurrence index* at that site, whether a
+//! fault fires and which kind — as a **pure function of
+//! `(chaos_seed, site, occurrence)`**. Two processes holding plans with the
+//! same seed make identical decisions in any order, at any time, on any
+//! thread; replaying a campaign under the same plan reproduces the same
+//! faults at the same places. Specific faults can additionally be scripted
+//! at exact `(site, occurrence)` coordinates, which is how the corruption
+//! matrix pins a single fsync failure to a single status rewrite.
+//!
+//! Worker deaths keep their historical hash domain
+//! (`(seed, batch key, task, attempt)`, see [`FaultInjector`]) so every
+//! journal written before this module existed replays bit-identically; the
+//! pure hash functions behind those decisions live here
+//! ([`worker_death_unit`], [`death_fraction_unit`]) and the injector
+//! delegates to them.
+//!
+//! [`FaultInjector`]: crate::scheduler::FaultInjector
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// SplitMix64 finalizer: the hash behind every deterministic fault
+/// decision (worker deaths, death fractions, and I/O faults alike).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Salt for the worker-death decision domain (historical value — changing
+/// it would invalidate every journal ever written).
+const DEATH_SALT: u64 = 0x005e_ed0f_da7a;
+
+/// Salt for the death-fraction domain, independent of the decision itself.
+const FRACTION_SALT: u64 = 0xdead_c057;
+
+fn unit_from(z: u64) -> f64 {
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The uniform `[0, 1)` draw behind "does this attempt kill its worker?":
+/// a pure hash of `(seed, batch_key, task, attempt)`. The caller compares
+/// it against the configured death probability.
+pub fn worker_death_unit(seed: u64, batch_key: u64, task: usize, attempt: u32) -> f64 {
+    let mut z = splitmix64(seed ^ DEATH_SALT.wrapping_mul(batch_key));
+    z = splitmix64(z ^ (task as u64));
+    z = splitmix64(z ^ ((attempt as u64) << 32));
+    unit_from(z)
+}
+
+/// How far through its estimated runtime a dying attempt got, as a pure
+/// hash of `(seed, batch_key, task, attempt)` under a different salt than
+/// the death decision, so the two are independent.
+pub fn death_fraction_unit(seed: u64, batch_key: u64, task: usize, attempt: u32) -> f64 {
+    let mut z = splitmix64(seed ^ FRACTION_SALT.wrapping_mul(batch_key));
+    z = splitmix64(z ^ (task as u64));
+    z = splitmix64(z ^ ((attempt as u64) << 32));
+    unit_from(z)
+}
+
+/// An injectable I/O failure mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// The write was cut short: a partial record reached the file (a torn
+    /// frame), then the operation failed.
+    ShortWrite,
+    /// The operation failed outright; nothing reached the file.
+    IoError,
+    /// The filesystem is full; nothing reached the file.
+    DiskFull,
+    /// The data was written but the durability barrier (fsync) failed —
+    /// the bytes may or may not survive a power loss.
+    FsyncFail,
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            IoFault::ShortWrite => "short-write",
+            IoFault::IoError => "io-error",
+            IoFault::DiskFull => "disk-full",
+            IoFault::FsyncFail => "fsync-fail",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Site name for write-ahead journal appends.
+pub const JOURNAL_APPEND_SITE: &str = "journal.append";
+
+/// Site name for the atomic `campaign_status.json` rewrite (its fsync +
+/// rename barrier).
+pub const STATUS_FSYNC_SITE: &str = "status.fsync";
+
+/// A seeded, deterministic schedule of faults across named sites.
+///
+/// Every decision is a pure function of `(chaos_seed, site, occurrence)`;
+/// the plan holds no mutable state, so it can be shared freely across
+/// threads and consulted in any order.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    chaos_seed: u64,
+    io_rate: f64,
+    scripted: BTreeMap<(String, u64), IoFault>,
+    kill_driver_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan seeded with `chaos_seed`: no faults until a rate or script is
+    /// added.
+    pub fn new(chaos_seed: u64) -> Self {
+        FaultPlan { chaos_seed, ..FaultPlan::default() }
+    }
+
+    /// The seed every hashed decision is keyed off.
+    pub fn chaos_seed(&self) -> u64 {
+        self.chaos_seed
+    }
+
+    /// Inject a hashed I/O fault at each site occurrence with probability
+    /// `rate` (`[0, 1)`).
+    pub fn io_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "io fault rate must be in [0, 1)");
+        self.io_rate = rate;
+        self
+    }
+
+    /// Script one exact fault: `fault` fires at the `occurrence`-th visit
+    /// of `site` (overriding the hashed decision there).
+    pub fn script(mut self, site: &str, occurrence: u64, fault: IoFault) -> Self {
+        self.scripted.insert((site.to_string(), occurrence), fault);
+        self
+    }
+
+    /// Kill the campaign driver after `after_tasks` completed-task
+    /// notifications (the crash the write-ahead journal protects against).
+    pub fn kill_driver_at(mut self, after_tasks: u64) -> Self {
+        self.kill_driver_at = Some(after_tasks);
+        self
+    }
+
+    /// The scheduled driver-kill point, if any.
+    pub fn driver_kill(&self) -> Option<u64> {
+        self.kill_driver_at
+    }
+
+    /// The plan's decision for the `occurrence`-th visit of `site` — a pure
+    /// function of `(chaos_seed, site, occurrence)`. Scripted faults win;
+    /// otherwise a hashed draw fires with probability `io_rate`, and the
+    /// fault kind comes from independent bits of the same hash.
+    pub fn decide(&self, site: &str, occurrence: u64) -> Option<IoFault> {
+        if let Some(&fault) = self.scripted.get(&(site.to_string(), occurrence)) {
+            return Some(fault);
+        }
+        if self.io_rate <= 0.0 {
+            return None;
+        }
+        let mut z = splitmix64(self.chaos_seed ^ site_hash(site));
+        z = splitmix64(z ^ occurrence);
+        if unit_from(z) >= self.io_rate {
+            return None;
+        }
+        Some(match z & 3 {
+            0 => IoFault::ShortWrite,
+            1 => IoFault::IoError,
+            2 => IoFault::DiskFull,
+            _ => IoFault::FsyncFail,
+        })
+    }
+}
+
+/// Stable hash of a site name (fold of SplitMix64 over its bytes).
+fn site_hash(site: &str) -> u64 {
+    site.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| splitmix64(h ^ b as u64))
+}
+
+/// One site's handle on a [`FaultPlan`]: counts occurrences locally and
+/// asks the plan for a decision at each one. The counter is the *only*
+/// state — the decisions themselves stay pure, so a site that replays the
+/// same number of operations replays the same faults.
+pub struct IoSite {
+    plan: Option<Arc<FaultPlan>>,
+    site: &'static str,
+    counter: AtomicU64,
+}
+
+impl IoSite {
+    /// A site with no plan attached: never faults.
+    pub fn disabled(site: &'static str) -> Self {
+        IoSite { plan: None, site, counter: AtomicU64::new(0) }
+    }
+
+    /// A site consulting `plan` at each occurrence.
+    pub fn new(plan: Arc<FaultPlan>, site: &'static str) -> Self {
+        IoSite { plan: Some(plan), site, counter: AtomicU64::new(0) }
+    }
+
+    /// The site's name.
+    pub fn site(&self) -> &'static str {
+        self.site
+    }
+
+    /// Occurrences consumed so far.
+    pub fn occurrences(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Consume the next occurrence index and return the plan's decision
+    /// for it (always `None` when disabled).
+    pub fn next(&self) -> Option<IoFault> {
+        let occurrence = self.counter.fetch_add(1, Ordering::Relaxed);
+        self.plan.as_ref().and_then(|p| p.decide(self.site, occurrence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FaultInjector;
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_site_and_occurrence() {
+        let a = FaultPlan::new(99).io_rate(0.3);
+        let b = FaultPlan::new(99).io_rate(0.3);
+        for occurrence in 0..500 {
+            for site in [JOURNAL_APPEND_SITE, STATUS_FSYNC_SITE] {
+                assert_eq!(a.decide(site, occurrence), b.decide(site, occurrence));
+                // Consulting in a different order changes nothing.
+                assert_eq!(a.decide(site, occurrence), a.decide(site, occurrence));
+            }
+        }
+        // Sites are independent domains: the same occurrence index draws
+        // differently somewhere across 500 tries.
+        assert!((0..500).any(|i| {
+            a.decide(JOURNAL_APPEND_SITE, i) != a.decide(STATUS_FSYNC_SITE, i)
+        }));
+        // And a different seed reshuffles the schedule.
+        let c = FaultPlan::new(100).io_rate(0.3);
+        assert!((0..500)
+            .any(|i| a.decide(JOURNAL_APPEND_SITE, i) != c.decide(JOURNAL_APPEND_SITE, i)));
+    }
+
+    #[test]
+    fn hashed_rate_produces_every_fault_kind_at_roughly_the_rate() {
+        let plan = FaultPlan::new(7).io_rate(0.25);
+        let mut kinds = std::collections::BTreeSet::new();
+        let mut fired = 0usize;
+        for occurrence in 0..4000 {
+            if let Some(fault) = plan.decide(JOURNAL_APPEND_SITE, occurrence) {
+                fired += 1;
+                kinds.insert(format!("{fault}"));
+            }
+        }
+        assert_eq!(kinds.len(), 4, "all four fault kinds should appear: {kinds:?}");
+        let rate = fired as f64 / 4000.0;
+        assert!((0.15..0.35).contains(&rate), "observed rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn scripted_faults_override_the_hash_exactly_once() {
+        let plan = FaultPlan::new(1).script(STATUS_FSYNC_SITE, 3, IoFault::FsyncFail);
+        assert_eq!(plan.decide(STATUS_FSYNC_SITE, 3), Some(IoFault::FsyncFail));
+        for occurrence in (0..10).filter(|&o| o != 3) {
+            assert_eq!(plan.decide(STATUS_FSYNC_SITE, occurrence), None);
+        }
+        assert_eq!(plan.decide(JOURNAL_APPEND_SITE, 3), None);
+    }
+
+    #[test]
+    fn io_site_counts_occurrences_and_disabled_never_faults() {
+        let plan = Arc::new(FaultPlan::new(5).script(JOURNAL_APPEND_SITE, 1, IoFault::IoError));
+        let site = IoSite::new(Arc::clone(&plan), JOURNAL_APPEND_SITE);
+        assert_eq!(site.next(), None);
+        assert_eq!(site.next(), Some(IoFault::IoError));
+        assert_eq!(site.occurrences(), 2);
+        let off = IoSite::disabled(JOURNAL_APPEND_SITE);
+        assert!((0..100).all(|_| off.next().is_none()));
+    }
+
+    #[test]
+    fn worker_death_hashes_are_bit_compatible_with_the_injector() {
+        // The injector must keep replaying journals written before this
+        // module existed, so its decisions and the pure functions here must
+        // agree bit for bit.
+        let (p, seed, batch_key) = (0.37, 0xabcdef, 5u64);
+        let faults = FaultInjector::new(p, seed);
+        faults.set_batch_key(batch_key);
+        let mut deaths = 0usize;
+        for task in 0..64 {
+            for attempt in 1..=3u32 {
+                let unit = worker_death_unit(seed, batch_key, task, attempt);
+                assert_eq!(faults.task_kills_worker(task, attempt), unit < p);
+                deaths += usize::from(unit < p);
+                let fraction = death_fraction_unit(seed, batch_key, task, attempt);
+                assert!((0.0..1.0).contains(&fraction));
+                assert_eq!(faults.death_fraction(task, attempt), fraction);
+            }
+        }
+        assert!(deaths > 0, "a 0.37 death rate over 192 attempts must kill something");
+    }
+}

@@ -33,16 +33,20 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod faultplan;
 pub mod scheduler;
 pub mod stream;
 pub mod trace;
 
 pub use cluster::{Allocation, NodeSpec};
 pub use cost::{paper_job, CostModel, TrainingJob};
+pub use faultplan::{
+    FaultPlan, IoFault, IoSite, JOURNAL_APPEND_SITE, STATUS_FSYNC_SITE,
+};
 pub use scheduler::{
     run_batch, run_batch_observed, run_batch_supervised, run_batch_with_hooks, CancelToken,
     EvalFault, EvalOutcome, FaultInjector, PoolConfig, PoolReport, SupervisorConfig, TaskCtx,
     TaskError, TaskRecord, SPECULATIVE_ATTEMPT,
 };
-pub use stream::{run_stream_window, StreamSlots, StreamTaskReport};
+pub use stream::{run_stream_window, StreamSlots, StreamSlotsState, StreamTaskReport};
 pub use trace::{Span, Timeline};

@@ -282,6 +282,7 @@ pub struct FaultInjector {
     batch_key: AtomicU64,
     kill_after: Option<u64>,
     completed: AtomicU64,
+    force_dead: AtomicBool,
 }
 
 impl FaultInjector {
@@ -294,6 +295,7 @@ impl FaultInjector {
             batch_key: AtomicU64::new(0),
             kill_after: None,
             completed: AtomicU64::new(0),
+            force_dead: AtomicBool::new(false),
         }
     }
 
@@ -323,6 +325,9 @@ impl FaultInjector {
     /// kill point has been passed.
     pub fn note_task_completion(&self) -> bool {
         let n = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.force_dead.load(Ordering::Relaxed) {
+            return false;
+        }
         match self.kill_after {
             Some(k) => n <= k,
             None => true,
@@ -334,25 +339,32 @@ impl FaultInjector {
         self.completed.load(Ordering::Relaxed)
     }
 
-    /// False once the driver-kill threshold has been crossed.
+    /// False once the driver-kill threshold has been crossed or the driver
+    /// has been declared dead outright.
     pub fn driver_alive(&self) -> bool {
+        if self.force_dead.load(Ordering::Relaxed) {
+            return false;
+        }
         match self.kill_after {
             Some(k) => self.completed.load(Ordering::Relaxed) < k,
             None => true,
         }
     }
 
+    /// Declare the driver dead immediately — the reaction to an injected
+    /// (or real) I/O failure on the durability path: a driver that cannot
+    /// journal must stop, not keep computing unrecoverable state.
+    pub fn declare_dead(&self) {
+        self.force_dead.store(true, Ordering::Relaxed);
+    }
+
     pub(crate) fn task_kills_worker(&self, task: usize, attempt: u32) -> bool {
         if self.death_probability == 0.0 {
             return false;
         }
-        let mut z = splitmix64(
-            self.seed ^ 0x005e_ed0f_da7a_u64.wrapping_mul(self.batch_key.load(Ordering::Relaxed)),
-        );
-        z = splitmix64(z ^ (task as u64));
-        z = splitmix64(z ^ ((attempt as u64) << 32));
-        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        unit < self.death_probability
+        let batch_key = self.batch_key.load(Ordering::Relaxed);
+        crate::faultplan::worker_death_unit(self.seed, batch_key, task, attempt)
+            < self.death_probability
     }
 
     /// How far through its estimated runtime an attempt got before its
@@ -360,21 +372,9 @@ impl FaultInjector {
     /// `(seed, batch key, task, attempt)` under a different salt than the
     /// death decision itself, so the two are independent.
     pub(crate) fn death_fraction(&self, task: usize, attempt: u32) -> f64 {
-        let mut z = splitmix64(
-            self.seed ^ 0xdead_c057_u64.wrapping_mul(self.batch_key.load(Ordering::Relaxed)),
-        );
-        z = splitmix64(z ^ (task as u64));
-        z = splitmix64(z ^ ((attempt as u64) << 32));
-        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        let batch_key = self.batch_key.load(Ordering::Relaxed);
+        crate::faultplan::death_fraction_unit(self.seed, batch_key, task, attempt)
     }
-}
-
-/// SplitMix64 finalizer: the hash behind deterministic fault decisions.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 /// Nearest-rank quantile over an ascending-sorted slice.

@@ -377,6 +377,101 @@ impl StreamSlots {
             heartbeats: 0,
         }
     }
+
+    /// The full accounting state as a plain-data snapshot, for embedding in
+    /// a campaign journal's snapshot record. [`StreamSlots::from_state`]
+    /// rebuilds an identical accountant from it.
+    pub fn state(&self) -> StreamSlotsState {
+        StreamSlotsState {
+            busy: self.busy.clone(),
+            lost: self.lost.clone(),
+            backoff: self.backoff.clone(),
+            deaths: self.deaths,
+            retried: self.retried,
+            diverged: self.diverged,
+            timeout: self.timeout,
+            cancelled: self.cancelled,
+            exhausted: self.exhausted,
+            baseline_busy: self.baseline.busy.clone(),
+            baseline_lost: self.baseline.lost.clone(),
+            baseline_backoff: self.baseline.backoff.clone(),
+            baseline_deaths: self.baseline.deaths,
+            baseline_retried: self.baseline.retried,
+            baseline_diverged: self.baseline.diverged,
+            baseline_timeout: self.baseline.timeout,
+            baseline_cancelled: self.baseline.cancelled,
+            baseline_exhausted: self.baseline.exhausted,
+        }
+    }
+
+    /// Rebuild an accountant from a [`StreamSlotsState`] snapshot.
+    pub fn from_state(state: StreamSlotsState) -> Self {
+        assert!(!state.busy.is_empty(), "stream needs at least one worker slot");
+        StreamSlots {
+            busy: state.busy,
+            lost: state.lost,
+            backoff: state.backoff,
+            deaths: state.deaths,
+            retried: state.retried,
+            diverged: state.diverged,
+            timeout: state.timeout,
+            cancelled: state.cancelled,
+            exhausted: state.exhausted,
+            baseline: EpochBaseline {
+                busy: state.baseline_busy,
+                lost: state.baseline_lost,
+                backoff: state.baseline_backoff,
+                deaths: state.baseline_deaths,
+                retried: state.baseline_retried,
+                diverged: state.baseline_diverged,
+                timeout: state.baseline_timeout,
+                cancelled: state.baseline_cancelled,
+                exhausted: state.baseline_exhausted,
+            },
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`StreamSlots`] accountant: every cursor and
+/// counter, plus the epoch baseline, flattened for serialization.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamSlotsState {
+    /// Per-slot productive minutes.
+    pub busy: Vec<f64>,
+    /// Per-slot minutes lost to worker deaths.
+    pub lost: Vec<f64>,
+    /// Per-slot retry-backoff minutes.
+    pub backoff: Vec<f64>,
+    /// Worker deaths charged so far.
+    pub deaths: usize,
+    /// Tasks that needed at least one retry.
+    pub retried: usize,
+    /// Diverged/failed tasks.
+    pub diverged: usize,
+    /// Timed-out tasks.
+    pub timeout: usize,
+    /// Cancelled tasks.
+    pub cancelled: usize,
+    /// Tasks that exhausted their retry budget.
+    pub exhausted: usize,
+    /// Epoch-baseline per-slot productive minutes.
+    pub baseline_busy: Vec<f64>,
+    /// Epoch-baseline per-slot death-loss minutes.
+    pub baseline_lost: Vec<f64>,
+    /// Epoch-baseline per-slot backoff minutes.
+    pub baseline_backoff: Vec<f64>,
+    /// Epoch-baseline worker deaths.
+    pub baseline_deaths: usize,
+    /// Epoch-baseline retried tasks.
+    pub baseline_retried: usize,
+    /// Epoch-baseline diverged tasks.
+    pub baseline_diverged: usize,
+    /// Epoch-baseline timed-out tasks.
+    pub baseline_timeout: usize,
+    /// Epoch-baseline cancelled tasks.
+    pub baseline_cancelled: usize,
+    /// Epoch-baseline exhausted tasks.
+    pub baseline_exhausted: usize,
 }
 
 #[cfg(test)]

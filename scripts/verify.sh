@@ -23,6 +23,16 @@
 #                                    report, and the Chrome counter tracks
 #                                    must be byte-identical across re-runs
 #                                    and across a chaos kill/resume
+#   8. corruption & salvage matrix — flip/truncate a finished journal
+#                                    across byte offsets in both campaign
+#                                    modes, salvage, resume, and demand
+#                                    byte-identity with the undamaged run;
+#                                    frame-format property tests; v1-fixture
+#                                    compatibility; plus a seeded fault-plan
+#                                    sweep (CHAOS_SEEDS io-fault seeds per
+#                                    mode, default 2; CORRUPT_STRIDE /
+#                                    SALVAGE_STRIDE tighten the offset grid,
+#                                    1 = exhaustive)
 #
 # Opt-in extras (timing-sensitive, off by default on shared hardware):
 #
@@ -35,19 +45,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/7] cargo build --release"
+echo "==> [1/8] cargo build --release"
 cargo build --release --workspace
 
-echo "==> [2/7] cargo test -q"
+echo "==> [2/8] cargo test -q"
 cargo test -q --workspace
 
-echo "==> [3/7] cargo clippy (-D warnings)"
+echo "==> [3/8] cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "==> [4/7] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [4/8] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [5/7] doc-sync: EXPERIMENTS.md targets exist"
+echo "==> [5/8] doc-sync: EXPERIMENTS.md targets exist"
 missing=0
 for bin in $(grep -o -- '--bin [a-z0-9_]*' EXPERIMENTS.md | awk '{print $2}' | sort -u); do
     if [[ ! -f "crates/bench/src/bin/${bin}.rs" ]]; then
@@ -91,7 +101,7 @@ if [[ ${missing} -ne 0 ]]; then
 fi
 
 CHAOS_STRESS="${CHAOS_STRESS:-3}"
-echo "==> [6/7] chaos stress: ${CHAOS_STRESS}x journal crash/resume suites"
+echo "==> [6/8] chaos stress: ${CHAOS_STRESS}x journal crash/resume suites"
 for i in $(seq 1 "${CHAOS_STRESS}"); do
     echo "    chaos iteration ${i}/${CHAOS_STRESS} (generational)"
     cargo test -q -p dphpo-core --test journal_chaos
@@ -99,10 +109,18 @@ for i in $(seq 1 "${CHAOS_STRESS}"); do
     cargo test -q -p dphpo-core --test steady_state_identity
 done
 
-echo "==> [7/7] telemetry bit-identity (observed == unobserved artifacts)"
+echo "==> [7/8] telemetry bit-identity (observed == unobserved artifacts)"
 cargo test -q -p dphpo-core --test telemetry_identity
 echo "    campaign observatory identity (status/report/counters across kill+resume)"
 cargo test -q -p dphpo-core --test campaign_report_identity
+
+CHAOS_SEEDS="${CHAOS_SEEDS:-2}"
+echo "==> [8/8] corruption & salvage matrix (CHAOS_SEEDS=${CHAOS_SEEDS})"
+CHAOS_SEEDS="${CHAOS_SEEDS}" cargo test -q -p dphpo-core --test corruption_matrix
+echo "    frame-format property tests"
+cargo test -q -p dphpo-core --test journal_frames
+echo "    v1 fixture compatibility"
+cargo test -q -p dphpo-core --test journal_v1_compat
 
 if [[ "${BENCH_CHECK:-0}" == "1" ]]; then
     echo "==> [opt-in] hot-path bench regression check (BENCH_CHECK=1)"
