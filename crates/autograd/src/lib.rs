@@ -29,5 +29,5 @@ pub(crate) mod simd;
 pub mod tape;
 pub mod tensor;
 
-pub use tape::{Tape, Unary, Var};
+pub use tape::{Tape, TapeAllocStats, Unary, Var};
 pub use tensor::{Shape, Tensor};

@@ -22,7 +22,7 @@
 //! parameter tensors) are simply not recycled, so pooling is invisible to
 //! callers.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -222,6 +222,52 @@ struct Node {
     op: Op,
 }
 
+/// Stable kernel label for a recorded op (unary ops expand to their
+/// nonlinearity's name), used by the step-budget census.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Const => "const",
+        Op::Add(..) => "add",
+        Op::Sub(..) => "sub",
+        Op::Mul(..) => "mul",
+        Op::Neg(..) => "neg",
+        Op::Scale(..) => "scale",
+        Op::AddScalar(..) => "add_scalar",
+        Op::AddBias(..) => "add_bias",
+        Op::Matmul(..) => "matmul",
+        Op::MatmulNT(..) => "matmul_nt",
+        Op::MatmulTN(..) => "matmul_tn",
+        Op::Transpose(..) => "transpose",
+        Op::Unary(u, _) => match u {
+            Unary::Tanh => "tanh",
+            Unary::Sigmoid => "sigmoid",
+            Unary::Softplus => "softplus",
+            Unary::Relu => "relu",
+            Unary::Relu6 => "relu6",
+            Unary::Exp => "exp",
+            Unary::Sqrt => "sqrt",
+            Unary::Recip => "recip",
+            Unary::Square => "square",
+            Unary::OneMinusSquare => "one_minus_square",
+            Unary::Step => "step",
+            Unary::Clamp01 => "clamp01",
+        },
+        Op::Affine { .. } => "affine",
+        Op::SumAll(..) => "sum_all",
+        Op::SumRows(..) => "sum_rows",
+        Op::BroadcastRows(..) => "broadcast_rows",
+        Op::BroadcastScalar(..) => "broadcast_scalar",
+        Op::GatherRows(..) => "gather_rows",
+        Op::ScatterAddRows(..) => "scatter_add_rows",
+        Op::MulColVec(..) => "mul_col_vec",
+        Op::RowwiseDot(..) => "rowwise_dot",
+        Op::Reshape(..) => "reshape",
+        Op::SliceCols(..) => "slice_cols",
+        Op::PadCols(..) => "pad_cols",
+        Op::ActBack { .. } => "act_back",
+    }
+}
+
 /// An append-only tape of eagerly evaluated tensor operations.
 ///
 /// See the module docs for the arena/pooling behaviour of [`Tape::reset`].
@@ -235,6 +281,34 @@ pub struct Tape {
     /// refcount allocation; the handful of classes makes a linear scan
     /// cheaper than hashing.
     pool: RefCell<Vec<SizeClass>>,
+    /// Allocation metering, off by default: when off, the lease path pays
+    /// one `Cell` read and nothing else. Observed trainers switch it on so
+    /// pool behaviour (hits/misses/bytes) is visible per step and bucket.
+    meter: Cell<bool>,
+    /// Stats since the last [`Tape::take_alloc_stats`] call.
+    meter_window: Cell<TapeAllocStats>,
+    /// Stats since metering was enabled.
+    meter_total: Cell<TapeAllocStats>,
+    /// Bytes currently leased out (leases minus recycles, saturating: the
+    /// pool also absorbs caller-donated buffers it never leased).
+    live_bytes: Cell<u64>,
+}
+
+/// Allocation statistics of a metered [`Tape`] arena. All figures are pure
+/// functions of the lease/recycle sequence — no wall clock — so metered and
+/// unmetered runs stay bit-identical and the numbers are reproducible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TapeAllocStats {
+    /// Buffer leases served from the recycle pool.
+    pub pool_hits: u64,
+    /// Buffer leases that had to allocate fresh from the global allocator.
+    pub pool_misses: u64,
+    /// Total leases (`pool_hits + pool_misses`).
+    pub leases: u64,
+    /// Bytes of fresh capacity allocated by pool misses.
+    pub fresh_bytes: u64,
+    /// High-water mark of bytes leased out at once.
+    pub leased_bytes_hw: u64,
 }
 
 /// One recycling bucket: a power-of-two size class and its free buffers.
@@ -310,6 +384,71 @@ impl Tape {
                 Some((_, bucket)) => bucket.push(arc),
                 None => pool.push((class, vec![arc])),
             }
+            if self.meter.get() {
+                let bytes = (class * std::mem::size_of::<f64>()) as u64;
+                self.live_bytes.set(self.live_bytes.get().saturating_sub(bytes));
+            }
+        }
+    }
+
+    /// Enable or disable allocation metering. Idempotent; enabling starts
+    /// both the window and the cumulative totals from zero.
+    pub fn set_alloc_metering(&self, on: bool) {
+        if on && !self.meter.get() {
+            self.meter_window.set(TapeAllocStats::default());
+            self.meter_total.set(TapeAllocStats::default());
+            self.live_bytes.set(0);
+        }
+        self.meter.set(on);
+    }
+
+    /// Whether allocation metering is currently enabled.
+    pub fn alloc_metering(&self) -> bool {
+        self.meter.get()
+    }
+
+    /// Cumulative allocation stats since metering was enabled.
+    pub fn alloc_stats(&self) -> TapeAllocStats {
+        self.meter_total.get()
+    }
+
+    /// Allocation stats since the previous `take_alloc_stats` call, and
+    /// start a new window (its high-water begins at the bytes still leased).
+    pub fn take_alloc_stats(&self) -> TapeAllocStats {
+        let window = self.meter_window.get();
+        self.meter_window
+            .set(TapeAllocStats { leased_bytes_hw: self.live_bytes.get(), ..TapeAllocStats::default() });
+        window
+    }
+
+    /// Bytes of capacity currently retained by the recycle pool.
+    pub fn retained_bytes(&self) -> u64 {
+        self.pool
+            .borrow()
+            .iter()
+            .map(|(class, bucket)| (class * bucket.len() * std::mem::size_of::<f64>()) as u64)
+            .sum()
+    }
+
+    /// Meter one buffer lease (out-of-line so the unmetered lease path
+    /// stays a single predictable branch).
+    fn meter_lease(&self, class: usize, hit: bool) {
+        let bytes = (class * std::mem::size_of::<f64>()) as u64;
+        let live = self.live_bytes.get() + bytes;
+        self.live_bytes.set(live);
+        for cell in [&self.meter_window, &self.meter_total] {
+            let mut s = cell.get();
+            s.leases += 1;
+            if hit {
+                s.pool_hits += 1;
+            } else {
+                s.pool_misses += 1;
+                s.fresh_bytes += bytes;
+            }
+            if live > s.leased_bytes_hw {
+                s.leased_bytes_hw = live;
+            }
+            cell.set(s);
         }
     }
 
@@ -317,6 +456,19 @@ impl Tape {
     /// diagnostics hook).
     pub fn pooled_buffers(&self) -> usize {
         self.pool.borrow().iter().map(|(_, bucket)| bucket.len()).sum()
+    }
+
+    /// Per-kernel node census over a node range: `(kernel name, count)`
+    /// pairs sorted by name. Used to build the deterministic step-budget
+    /// tables — node counts depend only on graph shape, never on data.
+    pub fn op_census(&self, range: std::ops::Range<usize>) -> Vec<(&'static str, usize)> {
+        let nodes = self.nodes.borrow();
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for node in &nodes[range] {
+            *counts.entry(op_name(&node.op)).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
     }
 
     /// A buffer of exactly `len` elements with unspecified contents —
@@ -327,6 +479,9 @@ impl Tape {
             let mut pool = self.pool.borrow_mut();
             pool.iter_mut().find(|(c, _)| *c == class).and_then(|(_, bucket)| bucket.pop())
         };
+        if self.meter.get() {
+            self.meter_lease(class, recycled.is_some());
+        }
         match recycled {
             Some(mut arc) => {
                 let v = Arc::get_mut(&mut arc).expect("pooled buffer is uniquely owned");
@@ -1935,6 +2090,57 @@ mod tests {
         let second = run(&t);
         assert_eq!(t.len(), nodes_first);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn alloc_metering_counts_hits_misses_and_bytes() {
+        let t = Tape::new();
+        let run = |t: &Tape| {
+            let x = t.constant(Tensor::matrix(2, 2, vec![0.4, -1.2, 2.5, 0.3]));
+            let w = t.constant(Tensor::matrix(2, 2, vec![0.3, -0.2, 0.5, 0.7]));
+            let y = t.sum_all(t.square(t.matmul(x, w)));
+            t.value(y).into_data()
+        };
+        assert!(!t.alloc_metering());
+        t.set_alloc_metering(true);
+        let unmetered_result = {
+            let u = Tape::new();
+            run(&u)
+        };
+        let first = run(&t);
+        assert_eq!(first, unmetered_result, "metering must not perturb values");
+        t.reset();
+        let cold = t.take_alloc_stats();
+        assert_eq!(cold.leases, cold.pool_hits + cold.pool_misses);
+        assert!(cold.pool_misses > 0, "cold pass allocates fresh");
+        assert!(cold.fresh_bytes > 0);
+        assert!(cold.leased_bytes_hw >= cold.fresh_bytes);
+        assert!(t.retained_bytes() > 0, "reset retains capacity in the pool");
+        let second = run(&t);
+        t.reset();
+        assert_eq!(first, second);
+        let warm = t.take_alloc_stats();
+        assert_eq!(warm.pool_misses, 0, "warm pass runs allocation-free");
+        assert_eq!(warm.pool_hits, cold.leases);
+        let total = t.alloc_stats();
+        assert_eq!(total.leases, cold.leases + warm.leases);
+        assert_eq!(total.fresh_bytes, cold.fresh_bytes);
+    }
+
+    #[test]
+    fn op_census_labels_every_kernel_deterministically() {
+        let t = Tape::new();
+        let x = t.constant(Tensor::matrix(2, 2, vec![0.4, -1.2, 2.5, 0.3]));
+        let w = t.constant(Tensor::matrix(2, 2, vec![0.3, -0.2, 0.5, 0.7]));
+        let b = t.constant(Tensor::vector(&[-0.4, 0.1]));
+        let start = t.len();
+        let h = t.affine(x, w, b, Some(Unary::Tanh));
+        let _ = t.sum_all(t.square(h));
+        let census = t.op_census(start..t.len());
+        assert_eq!(census, vec![("affine", 1), ("square", 1), ("sum_all", 1)]);
+        let full = t.op_census(0..t.len());
+        assert!(full.contains(&("const", 3)));
+        assert_eq!(full.iter().map(|(_, c)| c).sum::<usize>(), t.len());
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //! Either flag also appends a per-generation rollup table to the fig1
 //! report. Campaign artifacts (journal, snapshot, figures) are
 //! byte-identical with or without telemetry.
+//!
+//! Profiling (off by default, deterministic): `--profile <dir>` rewrites
+//! `profile.json` (schema `dphpo-profile-v1`) and a collapsed-stack
+//! `profile.folded` (open in speedscope or inferno) in `<dir>` at every
+//! generation boundary, and appends the "where the microsecond goes"
+//! attribution table plus the per-phase tape step budget to the fig1
+//! report and the campaign report. Both artifacts are pure functions of
+//! journaled data, so they are byte-identical across kill+resume, and
+//! profiling on vs off changes no other artifact (DESIGN.md §14).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -61,6 +70,7 @@ const FLAGS: &[(&str, bool, &str)] = &[
     ("--metrics", true, "write the deterministic event/metric JSONL export"),
     ("--status", false, "keep a live, atomically rewritten campaign_status.json"),
     ("--report", false, "write the markdown campaign report and Chrome counter tracks"),
+    ("--profile", true, "rewrite deterministic profile artifacts (profile.json, profile.folded) in a directory at every boundary and append attribution tables to the reports"),
     ("--verify-journal", true, "offline journal integrity check (frames, last snapshot, first corrupt offset); exit nonzero on damage"),
     ("--compact", true, "rewrite a journal to its last snapshot plus the arrival suffix (generational: boundaries plus unfinished suffix)"),
     ("--list-flags", false, "print every known flag, one per line, and exit"),
@@ -357,6 +367,7 @@ fn main() {
     let want_report = has_flag("--report");
     let status_path = (has_flag("--status") || want_report)
         .then(|| results_dir().join(format!("{prefix}campaign_status.json")));
+    let profile_dir = path_arg("--profile");
     let rec_arc = recorder.clone().map(|r| r as Arc<dyn Recorder>);
     let default_journal = if steady {
         results_dir().join("steady_experiment.journal.jsonl")
@@ -364,12 +375,20 @@ fn main() {
         journal_path()
     };
     let result = match resume_arg() {
-        Some(journal) => {
-            resume_campaign_and_report(&config, &journal, status_path.as_deref(), rec_arc)
-        }
-        None => {
-            run_campaign_and_report(&config, &default_journal, status_path.as_deref(), rec_arc)
-        }
+        Some(journal) => resume_campaign_and_report(
+            &config,
+            &journal,
+            status_path.as_deref(),
+            rec_arc,
+            profile_dir.as_deref(),
+        ),
+        None => run_campaign_and_report(
+            &config,
+            &default_journal,
+            status_path.as_deref(),
+            rec_arc,
+            profile_dir.as_deref(),
+        ),
     };
     if steady {
         write_artifact(
@@ -503,11 +522,37 @@ fn main() {
         report.push_str(&rollup::generation_rollup(&snap));
     }
 
+    // Deterministic profile tables: the journal-derived attribution tree
+    // ("where the microsecond goes") and the base configuration's per-phase
+    // tape-node step budget — the same data `<dir>/profile.json` carries.
+    let profile_tables = profile_dir.as_ref().map(|_| {
+        let tree = dphpo_core::profile::campaign_profile(&result);
+        let (train, val) = dphpo_core::experiment::build_dataset(&config);
+        let budget = dphpo_dnnp::step_budget(&config.base_train_config, &train, &val)
+            .expect("step-budget census");
+        (dphpo_obs::profile::markdown_table(&tree), budget.markdown())
+    });
+    if let Some((attribution, budget)) = &profile_tables {
+        report.push_str("\nwhere the microsecond goes (sim-clock attribution):\n");
+        report.push_str(attribution);
+        report.push_str("\nstep budget (tape nodes per phase, base configuration):\n");
+        report.push_str(budget);
+    }
+
     // End-of-run campaign report (markdown) plus the status-derived Chrome
     // counter tracks (hypervolume, queue depth, utilization % on the
-    // simulated clock — loadable in Perfetto alongside `--trace`).
+    // simulated clock — loadable in Perfetto alongside `--trace`). The
+    // profile tables ride along only when `--profile` was passed, so the
+    // report stays byte-identical for unprofiled campaigns.
     if want_report {
-        write_artifact(&format!("{prefix}campaign_report.md"), &markdown_report(&result.status));
+        let mut md = markdown_report(&result.status);
+        if let Some((attribution, budget)) = &profile_tables {
+            md.push_str("\n## Where the microsecond goes\n\n");
+            md.push_str(attribution);
+            md.push_str("\n## Step budget\n\n");
+            md.push_str(budget);
+        }
+        write_artifact(&format!("{prefix}campaign_report.md"), &md);
         write_artifact(
             &format!("{prefix}campaign_counters.trace.json"),
             &counter_trace_json(&result.status),

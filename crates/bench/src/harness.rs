@@ -353,8 +353,9 @@ pub fn run_campaign_and_report(
     journal: &std::path::Path,
     status: Option<&std::path::Path>,
     recorder: Option<Arc<dyn Recorder>>,
+    profile: Option<&std::path::Path>,
 ) -> ExperimentResult {
-    journaled_inner_status(config, journal, status, recorder)
+    journaled_inner_status(config, journal, status, recorder, profile)
 }
 
 fn journaled_inner(
@@ -362,7 +363,7 @@ fn journaled_inner(
     journal: &std::path::Path,
     recorder: Option<Arc<dyn Recorder>>,
 ) -> ExperimentResult {
-    journaled_inner_status(config, journal, None, recorder)
+    journaled_inner_status(config, journal, None, recorder, None)
 }
 
 fn journaled_inner_status(
@@ -370,6 +371,7 @@ fn journaled_inner_status(
     journal: &std::path::Path,
     status: Option<&std::path::Path>,
     recorder: Option<Arc<dyn Recorder>>,
+    profile: Option<&std::path::Path>,
 ) -> ExperimentResult {
     let t0 = std::time::Instant::now();
     let mut progress = |run: usize, generation: usize| {
@@ -386,6 +388,10 @@ fn journaled_inner_status(
     }
     if let Some(rec) = recorder {
         campaign = campaign.recorder(rec);
+    }
+    if let Some(dir) = profile {
+        println!("profile artifacts in {}", dir.display());
+        campaign = campaign.profile_dir(dir);
     }
     match campaign.run(Some(&mut progress)) {
         Ok(result) => result,
@@ -427,8 +433,9 @@ pub fn resume_campaign_and_report(
     journal: &std::path::Path,
     status: Option<&std::path::Path>,
     recorder: Option<Arc<dyn Recorder>>,
+    profile: Option<&std::path::Path>,
 ) -> ExperimentResult {
-    resume_inner_status(config, journal, status, recorder)
+    resume_inner_status(config, journal, status, recorder, profile)
 }
 
 fn resume_inner(
@@ -436,7 +443,7 @@ fn resume_inner(
     journal: &std::path::Path,
     recorder: Option<Arc<dyn Recorder>>,
 ) -> ExperimentResult {
-    resume_inner_status(config, journal, None, recorder)
+    resume_inner_status(config, journal, None, recorder, None)
 }
 
 fn resume_inner_status(
@@ -444,6 +451,7 @@ fn resume_inner_status(
     journal: &std::path::Path,
     status: Option<&std::path::Path>,
     recorder: Option<Arc<dyn Recorder>>,
+    profile: Option<&std::path::Path>,
 ) -> ExperimentResult {
     let t0 = std::time::Instant::now();
     let mut progress = |run: usize, generation: usize| {
@@ -461,6 +469,10 @@ fn resume_inner_status(
     }
     if let Some(rec) = recorder {
         campaign = campaign.recorder(rec);
+    }
+    if let Some(dir) = profile {
+        println!("profile artifacts in {}", dir.display());
+        campaign = campaign.profile_dir(dir);
     }
     match campaign.run(Some(&mut progress)) {
         Ok(result) => result,

@@ -6,3 +6,4 @@
 //! the experiment index.
 
 pub mod harness;
+pub mod history;

@@ -1,0 +1,60 @@
+//! Flag-registry tests for the artifact binaries: `fig1 --list-flags` is
+//! the contract `scripts/verify.sh` greps the docs against, so the
+//! registry must stay complete, and an unknown flag must be rejected
+//! loudly (exit 2 with the known-flag list) instead of silently running a
+//! full campaign.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin).args(args).output().expect("spawn binary")
+}
+
+#[test]
+fn fig1_list_flags_includes_every_registered_flag() {
+    let out = run(env!("CARGO_BIN_EXE_fig1"), &["--list-flags"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let listed: Vec<&str> = stdout.lines().collect();
+    for flag in [
+        "--smoke",
+        "--steady-state",
+        "--compare-modes",
+        "--resume",
+        "--trace",
+        "--metrics",
+        "--status",
+        "--report",
+        "--profile",
+        "--verify-journal",
+        "--compact",
+        "--list-flags",
+    ] {
+        assert!(listed.contains(&flag), "--list-flags is missing {flag}: {listed:?}");
+    }
+}
+
+#[test]
+fn fig1_rejects_unknown_flags_before_running_anything() {
+    let out = run(env!("CARGO_BIN_EXE_fig1"), &["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown flag `--no-such-flag`"), "{stderr}");
+    // The rejection message doubles as usage: every known flag is listed,
+    // including the profiler entry point.
+    assert!(stderr.contains("--profile"), "usage must list --profile: {stderr}");
+}
+
+#[test]
+fn fig1_rejects_unknown_flags_even_next_to_known_ones() {
+    let out = run(env!("CARGO_BIN_EXE_fig1"), &["--smoke", "--porfile", "dir"]);
+    assert_eq!(out.status.code(), Some(2), "typo'd --profile must exit 2");
+}
+
+#[test]
+fn perf_report_rejects_unknown_flags() {
+    let out = run(env!("CARGO_BIN_EXE_perf_report"), &["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}

@@ -275,10 +275,19 @@ pub fn status_json(status: &CampaignStatus) -> String {
 /// the rename itself is durable. A reader (or a crash) never sees a torn
 /// status, and after a crash the file is either the old or the new bytes.
 pub fn write_status_atomic(path: &Path, status: &CampaignStatus) -> std::io::Result<()> {
-    let tmp = path.with_extension("json.tmp");
+    write_atomic(path, &status_json(status))
+}
+
+/// The atomic-rewrite primitive behind [`write_status_atomic`] (and the
+/// profile artifacts): write-and-fsync a `<name>.tmp` sibling, fsync the
+/// parent directory, rename over the target, fsync the directory again.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(status_json(status).as_bytes())?;
+        f.write_all(text.as_bytes())?;
         f.sync_all()?;
     }
     sync_parent_dir(path)?;

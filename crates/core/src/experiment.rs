@@ -11,7 +11,7 @@
 //! optimisation itself.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
@@ -20,13 +20,14 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dphpo_dnnp::TrainConfig;
-use dphpo_evo::nsga2::{Nsga2Config, Nsga2State, RunResult};
+use dphpo_dnnp::{StepBudget, TrainConfig};
+use dphpo_evo::nsga2::{GenerationRecord, Nsga2Config, Nsga2State, RunResult};
 use dphpo_evo::{FrontStats, Individual, ParetoArchive};
 use dphpo_hpc::{
     CostModel, FaultInjector, FaultPlan, IoSite, PoolConfig, PoolReport, SupervisorConfig,
     JOURNAL_APPEND_SITE, STATUS_FSYNC_SITE,
 };
+use dphpo_obs::profile::ProfileNode;
 use dphpo_obs::Recorder;
 use dphpo_md::generate::{generate_dataset, GenConfig};
 use dphpo_md::Dataset;
@@ -281,7 +282,7 @@ pub fn run_experiment_with(
     config: &ExperimentConfig,
     progress: Option<&mut dyn FnMut(usize, usize)>,
 ) -> ExperimentResult {
-    run_experiment_inner(config, progress, None, None, None, None, None, None)
+    run_experiment_inner(config, progress, None, None, None, None, None, None, None)
         .expect("an unjournaled campaign cannot be interrupted")
 }
 
@@ -294,7 +295,7 @@ pub fn run_experiment_observed(
     progress: Option<&mut dyn FnMut(usize, usize)>,
     recorder: Arc<dyn Recorder>,
 ) -> ExperimentResult {
-    run_experiment_inner(config, progress, None, None, None, Some(recorder), None, None)
+    run_experiment_inner(config, progress, None, None, None, Some(recorder), None, None, None)
         .expect("an unjournaled campaign cannot be interrupted")
 }
 
@@ -311,6 +312,7 @@ pub fn run_experiment_journaled(
         config,
         progress,
         Some(Rc::new(RefCell::new(writer))),
+        None,
         None,
         None,
         None,
@@ -337,6 +339,7 @@ pub fn run_experiment_journaled_observed(
         Some(recorder),
         None,
         None,
+        None,
     )
 }
 
@@ -355,6 +358,7 @@ pub fn run_experiment_journaled_with_kill(
         None,
         Some(Rc::new(RefCell::new(writer))),
         Some(kill_after_tasks),
+        None,
         None,
         None,
         None,
@@ -405,6 +409,7 @@ fn resume_experiment_inner(
         recorder,
         None,
         None,
+        None,
     )
 }
 
@@ -419,6 +424,15 @@ pub(crate) struct StatusSink {
     /// keeps its previous content, exactly what a failed atomic replace
     /// leaves behind — and the next boundary's flush rewrites it whole.
     io: IoSite,
+    /// Directory for `profile.json` / `profile.folded`; `None` leaves the
+    /// profiler off (and skips all profile bookkeeping).
+    profile_dir: Option<PathBuf>,
+    /// Per-run generation attribution nodes, keyed by run index — the
+    /// journal-derived tree the profile artifacts are rendered from.
+    profile_runs: BTreeMap<usize, Vec<ProfileNode>>,
+    /// The base configuration's per-phase tape-node census, embedded in
+    /// `profile.json` (computed once per campaign when profiling is on).
+    step_budget: Option<StepBudget>,
 }
 
 impl StatusSink {
@@ -426,17 +440,72 @@ impl StatusSink {
         config: &ExperimentConfig,
         path: Option<&Path>,
         plan: Option<&Arc<FaultPlan>>,
+        profile_dir: Option<&Path>,
+        step_budget: Option<StepBudget>,
     ) -> Self {
         let io = match plan {
             Some(plan) => IoSite::new(Arc::clone(plan), STATUS_FSYNC_SITE),
             None => IoSite::disabled(STATUS_FSYNC_SITE),
         };
-        StatusSink { status: CampaignStatus::new(config), path: path.map(Path::to_path_buf), io }
+        StatusSink {
+            status: CampaignStatus::new(config),
+            path: path.map(Path::to_path_buf),
+            io,
+            profile_dir: profile_dir.map(Path::to_path_buf),
+            profile_runs: BTreeMap::new(),
+            step_budget,
+        }
+    }
+
+    /// Append one boundary's attribution node (no-op with profiling off).
+    pub(crate) fn push_profile_row(
+        &mut self,
+        run: usize,
+        record: &GenerationRecord,
+        report: &PoolReport,
+    ) {
+        if self.profile_dir.is_none() {
+            return;
+        }
+        self.profile_runs
+            .entry(run)
+            .or_default()
+            .push(crate::profile::generation_node(record, report));
+    }
+
+    /// Replace (or install) one run's attribution nodes from journaled
+    /// boundaries — the profile twin of [`CampaignStatus::set_run`], so a
+    /// resumed campaign's artifacts match the uninterrupted run's bytes.
+    pub(crate) fn set_profile_run(
+        &mut self,
+        run: usize,
+        records: &[GenerationRecord],
+        reports: &[PoolReport],
+    ) {
+        if self.profile_dir.is_none() {
+            return;
+        }
+        let rows = records
+            .iter()
+            .zip(reports)
+            .map(|(record, report)| crate::profile::generation_node(record, report))
+            .collect();
+        self.profile_runs.insert(run, rows);
     }
 
     /// Rewrite the status file; returns `false` when an injected fault
     /// swallowed this rewrite (the on-disk file is stale but intact).
+    ///
+    /// Profile artifacts rewrite first, *outside* the fault-injection site:
+    /// profiling on vs off must not shift the status site's occurrence
+    /// sequence, and a swallowed status rewrite still leaves fresh profile
+    /// artifacts (both are whole-file rewrites at every boundary anyway).
     pub(crate) fn flush(&self) -> bool {
+        if let Some(dir) = &self.profile_dir {
+            let root = crate::profile::campaign_node(&self.profile_runs);
+            crate::profile::write_profile_atomic(dir, &root, self.step_budget.as_ref())
+                .expect("rewrite profile artifacts");
+        }
         let Some(path) = &self.path else { return true };
         if self.io.next().is_some() {
             return false;
@@ -472,6 +541,7 @@ pub struct Campaign<'a> {
     resume: bool,
     recorder: Option<Arc<dyn Recorder>>,
     fault_plan: Option<Arc<FaultPlan>>,
+    profile_dir: Option<PathBuf>,
 }
 
 impl<'a> Campaign<'a> {
@@ -485,7 +555,20 @@ impl<'a> Campaign<'a> {
             resume: false,
             recorder: None,
             fault_plan: None,
+            profile_dir: None,
         }
+    }
+
+    /// Enable the deterministic profiler: rewrite `profile.json` (schema
+    /// [`dphpo_obs::profile::PROFILE_SCHEMA`]) and `profile.folded` in
+    /// `dir` atomically at every generation (or steady-state epoch)
+    /// boundary. Both artifacts are pure functions of journaled data, so
+    /// profiling on vs off leaves every other campaign artifact
+    /// byte-identical, and the profile itself is byte-identical under
+    /// kill+resume (DESIGN.md §14).
+    pub fn profile_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.profile_dir = Some(dir.into());
+        self
     }
 
     /// Attach a write-ahead journal at `path`.
@@ -536,6 +619,7 @@ impl<'a> Campaign<'a> {
         progress: Option<&mut dyn FnMut(usize, usize)>,
     ) -> Result<ExperimentResult, ExperimentError> {
         let status_path = self.status_path.as_deref();
+        let profile_dir = self.profile_dir.as_deref();
         if self.resume {
             let journal_path =
                 self.journal_path.as_deref().expect("resume requires a journal path");
@@ -551,6 +635,7 @@ impl<'a> Campaign<'a> {
                 self.recorder,
                 status_path,
                 self.fault_plan,
+                profile_dir,
             );
         }
         let writer = match self.journal_path.as_deref() {
@@ -566,6 +651,7 @@ impl<'a> Campaign<'a> {
             self.recorder,
             status_path,
             self.fault_plan,
+            profile_dir,
         )
     }
 }
@@ -652,6 +738,7 @@ fn finish_generation(
         },
         churn,
     );
+    status.push_profile_row(run_idx, record, &report);
     status.status.push_row(run_idx, row);
     status.flush();
     Ok(())
@@ -698,6 +785,7 @@ fn drive_run(
                 run_idx,
                 campaign_report::replay_rows(&point.state.history, &point.reports),
             );
+            status.set_profile_run(run_idx, &point.state.history, &point.reports);
             evaluator.set_generation(point.state.generation as u64 + 1);
             evaluator.preload_reports(point.reports);
             (Some(point.state), StdRng::from_state(point.rng_state), point.archive)
@@ -755,9 +843,18 @@ fn run_experiment_inner(
     recorder: Option<Arc<dyn Recorder>>,
     status_path: Option<&Path>,
     fault_plan: Option<Arc<FaultPlan>>,
+    profile_dir: Option<&Path>,
 ) -> Result<ExperimentResult, ExperimentError> {
     let (train, val) = build_dataset(config);
     let nsga2 = nsga2_config_for(config);
+
+    // The step budget is a deterministic census of the base configuration's
+    // tape (node counts depend only on shapes), computed once per campaign
+    // and embedded in every profile.json rewrite.
+    let step_budget = profile_dir.map(|_| {
+        dphpo_dnnp::step_budget(&config.base_train_config, &train, &val)
+            .expect("step-budget census for the profile artifacts")
+    });
 
     // The fault plan's driver kill composes with (and loses to) an explicit
     // kill budget; its I/O faults attach to the journal writer and the
@@ -771,7 +868,7 @@ fn run_experiment_inner(
             .set_io_site(IoSite::new(Arc::clone(plan), JOURNAL_APPEND_SITE));
     }
 
-    let mut status = StatusSink::new(config, status_path, fault_plan.as_ref());
+    let mut status = StatusSink::new(config, status_path, fault_plan.as_ref(), profile_dir, step_budget);
     let mut runs = Vec::with_capacity(config.n_runs);
     let mut pool_reports = Vec::with_capacity(config.n_runs);
     let mut archives = Vec::with_capacity(config.n_runs);
@@ -791,6 +888,7 @@ fn run_experiment_inner(
             status
                 .status
                 .set_run(run_idx, campaign_report::replay_rows(&point.state.history, &point.reports));
+            status.set_profile_run(run_idx, &point.state.history, &point.reports);
             status.flush();
             runs.push(point.state.into_result());
             pool_reports.push(point.reports);

@@ -37,6 +37,7 @@ pub mod ea;
 pub mod journal;
 pub mod nas;
 pub mod experiment;
+pub mod profile;
 pub mod representation;
 pub mod steady;
 pub mod template;

@@ -135,6 +135,7 @@ pub(crate) fn drive_steady_run(
         match restored {
             Some(snap) => {
                 status.status.set_run(run_idx, snap.status_rows.clone());
+                status.set_profile_run(run_idx, &snap.history, &snap.epoch_reports);
                 status.flush();
                 (
                     snap.pending.into_iter().collect(),
@@ -418,6 +419,7 @@ pub(crate) fn drive_steady_run(
                 } else {
                     epoch_sim_offset += epoch_report.makespan_minutes;
                 }
+                status.push_profile_row(run_idx, &record, &epoch_report);
                 status.status.push_row(run_idx, row);
                 status.flush();
                 history.push(record);

@@ -1,0 +1,183 @@
+//! Property-based tests for the deterministic profiler (DESIGN.md §14):
+//!
+//! * folding a telemetry snapshot into an attribution tree is independent
+//!   of event interleaving and of which worker lane recorded each event;
+//! * `self + Σ children == inclusive` holds **bitwise** for every node of
+//!   both the span-derived and the journal-derived (campaign) trees;
+//! * the `.folded` export is always a well-formed collapsed-stack file.
+
+use std::collections::BTreeMap;
+
+use dphpo_core::profile::{campaign_node, generation_node};
+use dphpo_evo::nsga2::GenerationRecord;
+use dphpo_evo::{Fitness, Individual};
+use dphpo_hpc::PoolReport;
+use dphpo_obs::metrics::ExactSum;
+use dphpo_obs::profile::{folded, from_snapshot, ProfileNode};
+use dphpo_obs::{cats, names, Event, MemoryRecorder, Recorder, SpanCtx, When, NO_TASK};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NAMES: [&str; 4] = [names::EVAL, names::TRAIN_STEP, names::GENERATION, names::SCHED_DEATH];
+
+/// One synthetic span event: (run, task slot or NO_TASK, name index, dur).
+fn wild_event() -> impl Strategy<Value = (u32, u32, usize, f64)> {
+    (0i64..3, 0i64..6, 0usize..NAMES.len(), 0.0f64..100.0).prop_map(|(run, task, name, dur)| {
+        let task = if task == 5 { NO_TASK } else { task as u32 };
+        (run as u32, task, name, dur)
+    })
+}
+
+fn record_all(events: &[(u32, u32, usize, f64)], workers: &[Option<u32>]) -> MemoryRecorder {
+    let rec = MemoryRecorder::new();
+    for (&(run, task, name, dur), &worker) in events.iter().zip(workers) {
+        let mut e =
+            Event::instant(NAMES[name], cats::SCHED, SpanCtx::root(1, run).with_task(task, 0));
+        e.dur_min = dur;
+        e.when = When::Sim(0.0);
+        e.worker = worker;
+        rec.record(e);
+    }
+    rec
+}
+
+/// Fisher–Yates with the vendored rng (no `SliceRandom` in the shim).
+fn shuffle<T>(xs: &mut [T], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..i + 1);
+        xs.swap(i, j);
+    }
+}
+
+/// Recursive bitwise check of the branch invariant, mirroring how
+/// `ProfileNode::branch` computes the inclusive total.
+fn assert_invariant(node: &ProfileNode) {
+    let mut sum = ExactSum::default();
+    sum.add(node.self_min);
+    for c in &node.children {
+        sum.add(c.inclusive_min);
+        assert_invariant(c);
+    }
+    assert_eq!(
+        sum.value().to_bits(),
+        node.inclusive_min.to_bits(),
+        "self + Σ children != inclusive at node {}",
+        node.name
+    );
+    for pair in node.children.windows(2) {
+        // Non-strict: duplicate names are legal for `branch` (it sorts, it
+        // does not merge) even though real campaigns never produce them.
+        assert!(pair[0].name <= pair[1].name, "children of {} are not sorted", node.name);
+    }
+}
+
+fn assert_folded_well_formed(text: &str) {
+    for (i, line) in text.lines().enumerate() {
+        let (stack, micros) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("folded line {i} has no value"));
+        let n: u64 = micros.parse().unwrap_or_else(|e| panic!("folded line {i} value: {e}"));
+        assert!(n >= 1, "folded line {i} emitted a sub-microsecond count");
+        for frame in stack.split(';') {
+            assert!(!frame.is_empty(), "folded line {i}: empty frame");
+            assert!(
+                !frame.contains(' ') && !frame.contains(';'),
+                "folded line {i}: reserved separator in frame {frame:?}"
+            );
+        }
+    }
+}
+
+fn individual(minutes: f64, penalty: bool) -> Individual {
+    let mut ind = Individual::new(vec![0.0]);
+    ind.fitness = Some(if penalty { Fitness::penalty(2) } else { Fitness::new(vec![0.1, 0.2]) });
+    ind.eval_minutes = Some(minutes);
+    ind
+}
+
+fn slot_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..500.0, 1..5)
+}
+
+/// A random (record, report) boundary pair; all slot partitions are
+/// clamped to the busy vector's slot count, as in real reports.
+fn wild_boundary() -> impl Strategy<Value = (GenerationRecord, PoolReport)> {
+    let pop = prop::collection::vec((0.0f64..200.0, 0.0f64..1.0), 0..6);
+    ((0usize..40, pop), slot_vec(), slot_vec(), slot_vec(), slot_vec()).prop_map(
+        |((generation, pop), busy, idle, death, spec)| {
+            let slots = busy.len();
+            let fit = |mut v: Vec<f64>| {
+                v.resize(slots, 0.0);
+                v
+            };
+            let record = GenerationRecord {
+                generation,
+                population: pop.into_iter().map(|(m, p)| individual(m, p < 0.5)).collect(),
+                failures: 0,
+            };
+            let report = PoolReport {
+                busy_minutes: busy,
+                idle_minutes: fit(idle),
+                lost_death_minutes: fit(death),
+                lost_speculation_minutes: fit(spec),
+                backoff_slot_minutes: vec![0.0; slots],
+                ..PoolReport::default()
+            };
+            (record, report)
+        },
+    )
+}
+
+proptest! {
+    /// Any permutation of the event stream, recorded from any worker
+    /// lanes, folds to the identical attribution tree.
+    #[test]
+    fn aggregation_is_independent_of_interleaving_and_worker_count(
+        events in prop::collection::vec(wild_event(), 1..40),
+        seed in 0i64..i64::MAX,
+    ) {
+        let baseline = record_all(&events, &vec![None; events.len()]);
+        let reference = from_snapshot(&baseline.snapshot());
+
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let mut shuffled = events.clone();
+        shuffle(&mut shuffled, &mut rng);
+        let workers: Vec<Option<u32>> =
+            (0..shuffled.len() as u32).map(|i| Some(i % 7)).collect();
+        let permuted = record_all(&shuffled, &workers);
+        prop_assert_eq!(reference, from_snapshot(&permuted.snapshot()));
+    }
+
+    /// The branch invariant holds bitwise on every node of a span-derived
+    /// tree, and the folded rendering is well-formed.
+    #[test]
+    fn span_tree_invariant_and_folded_validity(
+        events in prop::collection::vec(wild_event(), 1..60),
+    ) {
+        let rec = record_all(&events, &vec![None; events.len()]);
+        let tree = from_snapshot(&rec.snapshot());
+        assert_invariant(&tree);
+        assert_folded_well_formed(&folded(&tree));
+    }
+
+    /// The branch invariant holds bitwise on every node of the
+    /// journal-derived campaign tree, whatever the boundary data, and its
+    /// folded rendering is well-formed.
+    #[test]
+    fn campaign_tree_invariant_and_folded_validity(
+        boundaries in prop::collection::vec(wild_boundary(), 1..6),
+        n_runs in 1usize..3,
+    ) {
+        let mut runs = BTreeMap::new();
+        for run in 0..n_runs {
+            let rows: Vec<ProfileNode> = boundaries
+                .iter()
+                .map(|(rec, rep)| generation_node(rec, rep))
+                .collect();
+            runs.insert(run, rows);
+        }
+        let root = campaign_node(&runs);
+        assert_invariant(&root);
+        assert_folded_well_formed(&folded(&root));
+    }
+}

@@ -46,4 +46,7 @@ pub use checkpoint::{load_model, save_model};
 pub use deploy::{model_nve_step, trajectory_divergence, DeployedState};
 pub use population::train_population;
 pub use supervise::{AbortReason, Sentinel, Supervision};
-pub use trainer::{train, train_supervised, Adam, TrainReport, TrainRun, DIVERGENCE_LOSS_LIMIT};
+pub use trainer::{
+    step_budget, train, train_supervised, Adam, PhaseBudget, StepBudget, TrainReport, TrainRun,
+    DIVERGENCE_LOSS_LIMIT,
+};

@@ -221,6 +221,14 @@ pub struct FrameGraph {
     pub energy: Var,
     /// Forces `[n, 3]`, present when requested.
     pub forces: Option<Var>,
+    /// Tape length right after the descriptor subgraph (embedding nets and
+    /// per-species pooling) — phase mark for the step-budget census.
+    pub descriptor_end: usize,
+    /// Tape length right after the fitting net and energy reduction; nodes
+    /// in `forward_end..` belong to the force backward. In the population
+    /// builder the descriptor section is shared across genomes, so these
+    /// marks delimit phases only for the single-genome builders.
+    pub forward_end: usize,
 }
 
 /// Build the energy (and optionally force) graph for one frame.
@@ -271,6 +279,7 @@ pub fn forward_frame(
         });
     }
     let acc = acc.unwrap_or_else(|| tape.constant(Tensor::zeros(Shape::D2(n, h0))));
+    let descriptor_end = tape.len();
 
     let onehot_var = tape.constant(onehot.clone());
     let pre0 = tape.add_bias(
@@ -287,6 +296,7 @@ pub fn forward_frame(
     }
     let atomic = tape.add(h, tape.matmul(onehot_var, taped.energy_bias));
     let energy = tape.sum_all(atomic);
+    let forward_end = tape.len();
 
     let forces = if want_forces {
         let de_dx = tape.grad(energy, &[x])[0];
@@ -294,7 +304,7 @@ pub fn forward_frame(
     } else {
         None
     };
-    FrameGraph { atomic, energy, forces }
+    FrameGraph { atomic, energy, forces, descriptor_end, forward_end }
 }
 
 /// Build the energy (and optionally force) graph for one frame from a
@@ -350,6 +360,7 @@ pub fn forward_cached(
         });
     }
     let acc = acc.unwrap_or_else(|| tape.constant(Tensor::zeros(Shape::D2(n, h0))));
+    let descriptor_end = tape.len();
 
     let onehot_var = tape.constant(onehot.clone());
     let pre0 = tape.add_bias(
@@ -365,6 +376,7 @@ pub fn forward_cached(
     }
     let atomic = tape.add(h, tape.matmul(onehot_var, taped.energy_bias));
     let energy = tape.sum_all(atomic);
+    let forward_end = tape.len();
 
     let forces = if want_forces {
         // One backward pass for all per-species sensitivities.
@@ -405,7 +417,7 @@ pub fn forward_cached(
     } else {
         None
     };
-    FrameGraph { atomic, energy, forces }
+    FrameGraph { atomic, energy, forces, descriptor_end, forward_end }
 }
 
 /// Build the energy (and optionally force) graphs for several genomes that
@@ -484,6 +496,8 @@ pub fn forward_population(
     }
 
     let onehot_var = tape.constant(onehot.clone());
+    // The descriptor section above is shared across the whole population.
+    let descriptor_end = tape.len();
     accs.into_iter()
         .zip(taped.iter())
         .zip(configs.iter())
@@ -503,6 +517,7 @@ pub fn forward_population(
             }
             let atomic = tape.add(h, tape.matmul(onehot_var, tp.energy_bias));
             let energy = tape.sum_all(atomic);
+            let forward_end = tape.len();
 
             let forces = if want_forces {
                 let mut wrt = Vec::new();
@@ -541,7 +556,7 @@ pub fn forward_population(
             } else {
                 None
             };
-            FrameGraph { atomic, energy, forces }
+            FrameGraph { atomic, energy, forces, descriptor_end, forward_end }
         })
         .collect()
 }

@@ -147,6 +147,11 @@ fn run_bucket<'a>(
         val_ds.frames[..n_val].iter().map(|f| model0.build_cache(&f.positions)).collect();
     let val_batch = Rc::new(PreparedBatch::assemble(&model0, val_ds, &val_indices, val_caches));
     let tape = Rc::new(Tape::new());
+    // Meter from the very first lease so the per-bucket summary below sees
+    // the cold-start misses too (step_core would only enable it lazily).
+    if sup.obs().is_some() {
+        tape.set_alloc_metering(true);
+    }
 
     // `rng0` has advanced exactly past model init, so handing it to
     // `with_parts` continues the stream at the batch-index draws — the
@@ -216,6 +221,24 @@ fn run_bucket<'a>(
             final_rmse[gi] = Some(rf);
         }
     }
+    // Per-bucket allocation summary: one instant event showing how the
+    // members shared the fused arena (cumulative over the bucket's life).
+    if let Some(rec) = sup.obs() {
+        let stats = tape.alloc_stats();
+        let mut event =
+            dphpo_obs::Event::instant(dphpo_obs::names::TAPE_BUCKET, dphpo_obs::cats::TRAIN, sup.span);
+        event.args = vec![
+            ("members", members.len() as f64),
+            ("pool_hits", stats.pool_hits as f64),
+            ("pool_misses", stats.pool_misses as f64),
+            ("leases", stats.leases as f64),
+            ("fresh_bytes", stats.fresh_bytes as f64),
+            ("leased_bytes_hw", stats.leased_bytes_hw as f64),
+            ("retained_bytes", tape.retained_bytes() as f64),
+        ];
+        rec.record(event);
+    }
+
     Ok(runs.into_iter().zip(final_rmse).map(|(run, rf)| run.finish_with(rf)).collect())
 }
 

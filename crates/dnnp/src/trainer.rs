@@ -195,6 +195,91 @@ impl PreparedBatch {
         }) / self.forces_flat.len() as f64;
         (e_sq.sqrt(), f_sq.sqrt())
     }
+
+    /// Node count and per-kernel census of one validation RMSE pass —
+    /// builds the same graph [`PreparedBatch::rmse`] builds, reads the
+    /// census, and resets. Node counts depend only on graph topology, never
+    /// on weights, so the result is deterministic.
+    pub(crate) fn budget_census(&self, model: &DnnpModel) -> (usize, Vec<(&'static str, usize)>) {
+        let tape = &self.tape;
+        tape.reset();
+        let taped = model.params.register(tape);
+        let graph = forward_cached(
+            tape,
+            &taped,
+            &model.config,
+            &model.stats,
+            &self.merged,
+            &self.onehot,
+            true,
+        );
+        let _ = self.graph_rmse(&graph);
+        let nodes = tape.len();
+        let census = tape.op_census(0..nodes);
+        tape.reset();
+        (nodes, census)
+    }
+}
+
+/// One phase of the deterministic step budget: how many tape nodes the
+/// phase records and a per-kernel census under it. Phases with zero nodes
+/// (backward, optimizer) do real work — the value-level backward and the
+/// in-place Adam update — without recording anything; their wall-clock cost
+/// rides the `side.phase.*` histograms instead.
+pub struct PhaseBudget {
+    /// Phase name: `params`, `descriptor`, `forward`, `force`, `loss`,
+    /// `backward`, `optimizer`, or `val`.
+    pub phase: &'static str,
+    /// Tape nodes recorded by the phase.
+    pub nodes: usize,
+    /// `(kernel, count)` pairs, name-sorted.
+    pub kernels: Vec<(&'static str, usize)>,
+}
+
+/// Deterministic per-phase step-budget table: the tape-node census of one
+/// training step plus one validation pass. A pure function of config and
+/// dataset shapes (probed with a fixed seed), so it is byte-identical
+/// across runs and resumes and belongs in the deterministic profile
+/// artifacts.
+pub struct StepBudget {
+    /// Phases in execution order.
+    pub phases: Vec<PhaseBudget>,
+}
+
+impl StepBudget {
+    /// Total tape nodes across all phases.
+    pub fn total_nodes(&self) -> usize {
+        self.phases.iter().map(|p| p.nodes).sum()
+    }
+
+    /// Markdown rendering: one row per phase, kernel rows indented under it.
+    pub fn markdown(&self) -> String {
+        let mut out = String::from("| phase | kernel | nodes |\n|---|---|---:|\n");
+        for p in &self.phases {
+            out.push_str(&format!("| {} | — | {} |\n", p.phase, p.nodes));
+            for (k, c) in &p.kernels {
+                out.push_str(&format!("| | {k} | {c} |\n"));
+            }
+        }
+        out.push_str(&format!("| total | | {} |\n", self.total_nodes()));
+        out
+    }
+}
+
+/// Probe the per-phase step budget for a training configuration on the
+/// given datasets: model init and one step-0 graph build on a throwaway
+/// run (fixed seed — node counts depend only on shapes), without touching
+/// any weights or rng stream a campaign uses.
+pub fn step_budget(
+    config: &TrainConfig,
+    train_ds: &Dataset,
+    val_ds: &Dataset,
+) -> Result<StepBudget, String> {
+    use rand::SeedableRng;
+    let sup = Supervision::none();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let run = TrainRun::new(config, train_ds, val_ds, &mut rng, &sup)?;
+    Ok(StepBudget { phases: run.budget_phases() })
 }
 
 /// Result of a training run.
@@ -439,6 +524,75 @@ impl<'a> TrainRun<'a> {
         !self.diverged && self.abort.is_none() && self.step < self.config.num_steps
     }
 
+    /// Build the step-0 training graph once, without evaluating the loss or
+    /// touching weights, and read back the per-phase node census. Leaves
+    /// the tape empty. See [`step_budget`].
+    fn budget_phases(&self) -> Vec<PhaseBudget> {
+        let tape = &*self.tape;
+        tape.reset();
+        let Some(indices) = self.step_indices.first() else {
+            return Vec::new();
+        };
+        let merged_owned;
+        let merged: &FrameCache = match self.merged_memo.get(indices.as_slice()) {
+            Some((m, _, _)) => m,
+            None => {
+                let batch_caches: Vec<&FrameCache> =
+                    indices.iter().map(|&i| &self.train_caches[i]).collect();
+                merged_owned = merge_frame_caches(&batch_caches);
+                &merged_owned
+            }
+        };
+        let (e_ref_t, f_ref_t) =
+            batch_labels(self.train_ds, indices, self.batch_total, self.n_atoms);
+
+        let taped = self.model.params.register(tape);
+        let params_end = tape.len();
+        let graph = forward_cached(
+            tape,
+            &taped,
+            self.config,
+            &self.model.stats,
+            merged,
+            &self.onehot_batch,
+            true,
+        );
+        let force_end = tape.len();
+        let forces = graph.forces.expect("training requests forces");
+        // Loss section: the same kernels step_core records (values unused).
+        let energies =
+            tape.scatter_add_rows(graph.atomic, Rc::clone(&self.frame_ids), self.batch_total);
+        let e_ref = tape.constant(e_ref_t);
+        let e_diff = tape.sub(energies, e_ref);
+        let f_ref = tape.constant(f_ref_t);
+        let f_diff = tape.sub(forces, f_ref);
+        let le = tape.scale(tape.sum_all(tape.square(e_diff)), 1.0);
+        let lf = tape.scale(tape.sum_all(tape.square(f_diff)), 1.0);
+        let _ = tape.add(le, lf);
+        let loss_end = tape.len();
+
+        let phase = |name: &'static str, range: std::ops::Range<usize>| PhaseBudget {
+            phase: name,
+            nodes: range.len(),
+            kernels: tape.op_census(range),
+        };
+        let mut phases = vec![
+            phase("params", 0..params_end),
+            phase("descriptor", params_end..graph.descriptor_end),
+            phase("forward", graph.descriptor_end..graph.forward_end),
+            phase("force", graph.forward_end..force_end),
+            phase("loss", force_end..loss_end),
+            // The backward is value-level and Adam updates in place:
+            // deliberately node-free (their wall twin is side.phase.*).
+            PhaseBudget { phase: "backward", nodes: 0, kernels: Vec::new() },
+            PhaseBudget { phase: "optimizer", nodes: 0, kernels: Vec::new() },
+        ];
+        tape.reset();
+        let (val_nodes, val_census) = self.val_batch.budget_census(&self.model);
+        phases.push(PhaseBudget { phase: "val", nodes: val_nodes, kernels: val_census });
+        phases
+    }
+
     /// The model being trained.
     pub fn model(&self) -> &DnnpModel {
         &self.model
@@ -451,7 +605,11 @@ impl<'a> TrainRun<'a> {
             return false;
         }
         if self.step_core() {
+            let val_t0 = self.sup.obs().map(|_| std::time::Instant::now());
             let (rmse_e, rmse_f) = self.val_batch.rmse(&self.model);
+            if let (Some(rec), Some(t0)) = (self.sup.obs(), val_t0) {
+                rec.observe(names::H_PHASE_VAL_WALL_NS, t0.elapsed().as_nanos() as f64);
+            }
             self.apply_val(rmse_e, rmse_f);
         }
         self.advance();
@@ -504,6 +662,11 @@ impl<'a> TrainRun<'a> {
         let pref = self.prefactors.at(self.schedule.decay_ratio(step));
         let n = self.n_atoms as f64;
         let tape = &*self.tape;
+        // Pool hits/misses are pure functions of the lease sequence, so the
+        // metered counts are reproducible; the unobserved path never meters.
+        if obs.is_some() && !tape.alloc_metering() {
+            tape.set_alloc_metering(true);
+        }
 
         // One tape evaluates the whole data-parallel batch (the B frames a
         // Horovod step would process across its workers).
@@ -568,9 +731,14 @@ impl<'a> TrainRun<'a> {
             t.data().iter().map(|v| v * v).sum::<f64>() / t.len() as f64
         });
 
+        // Wall twin of the graph phase (descriptor/forward/force/loss tape
+        // construction): everything from the step start to this point.
+        let graph_wall_ns = step_t0.map(|t0| t0.elapsed().as_nanos() as f64);
         // Value-level backward: the optimiser only needs gradient numbers,
         // so nothing new is recorded on the tape.
+        let backward_t0 = obs.map(|_| std::time::Instant::now());
         let grad_values: Vec<Tensor> = tape.grad_values(loss, &taped.flat);
+        let backward_wall_ns = backward_t0.map(|t0| t0.elapsed().as_nanos() as f64);
         // Arena high-water mark, read before the reset empties the node
         // list (only when telemetry is live).
         let tape_nodes = if obs.is_some() { tape.len() } else { 0 };
@@ -585,7 +753,9 @@ impl<'a> TrainRun<'a> {
             return false;
         }
 
+        let optimizer_t0 = obs.map(|_| std::time::Instant::now());
         self.adam.step(&mut self.model.params, &grad_values, self.schedule.lr(step));
+        let optimizer_wall_ns = optimizer_t0.map(|t0| t0.elapsed().as_nanos() as f64);
         if self.model.params.has_non_finite() {
             self.diverged = true;
             self.abort = Some(AbortReason::Diverged { step, loss: loss_value });
@@ -606,8 +776,21 @@ impl<'a> TrainRun<'a> {
             rec.observe(names::H_GRAD_NORM, grad_norm);
             rec.gauge_set(names::G_TAPE_NODES, tape_nodes as f64);
             rec.gauge_set(names::G_TAPE_POOLED, tape.pooled_buffers() as f64);
+            let alloc = tape.take_alloc_stats();
+            rec.counter_add(names::C_TAPE_POOL_HITS, alloc.pool_hits);
+            rec.counter_add(names::C_TAPE_POOL_MISSES, alloc.pool_misses);
+            rec.counter_add(names::C_TAPE_LEASES, alloc.leases);
+            rec.gauge_set(names::G_TAPE_LEASED_HW, alloc.leased_bytes_hw as f64);
+            rec.gauge_set(names::G_TAPE_RETAINED, tape.retained_bytes() as f64);
             if let Some(t0) = step_t0 {
                 rec.observe(names::H_STEP_WALL_NS, t0.elapsed().as_nanos() as f64);
+            }
+            if let (Some(g), Some(b), Some(o)) =
+                (graph_wall_ns, backward_wall_ns, optimizer_wall_ns)
+            {
+                rec.observe(names::H_PHASE_GRAPH_WALL_NS, g);
+                rec.observe(names::H_PHASE_BACKWARD_WALL_NS, b);
+                rec.observe(names::H_PHASE_OPTIMIZER_WALL_NS, o);
             }
             rec.record(Event {
                 name: names::TRAIN_STEP,

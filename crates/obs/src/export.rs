@@ -103,6 +103,11 @@ fn hist_line(name: &str, h: &crate::metrics::HistogramSnapshot) -> String {
 /// offsets), wall-clock stamps per event (when the recorder captured them),
 /// and `side.*` metrics. Kept out of [`events_jsonl`] so the deterministic
 /// export stays bit-identical across runs.
+///
+/// The export ends with a summary block — one `{"type":"summary",...}` line
+/// per event name carrying wall stamps (count, first/last stamp) and one
+/// per `side.*` histogram (count/total/p50/p99, quantiles at the log₂
+/// bucket resolution) — so wall data is usable without post-processing.
 pub fn side_channel_jsonl(snap: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     for e in &snap.events {
@@ -138,6 +143,35 @@ pub fn side_channel_jsonl(snap: &TelemetrySnapshot) -> String {
     for (name, h) in &snap.histograms {
         if name.starts_with(SIDE_PREFIX) {
             out.push_str(&hist_line(name, h));
+        }
+    }
+    // Summary block: wall-stamp aggregates per event name, then per-name
+    // quantile summaries of the side histograms.
+    let mut stamps: std::collections::BTreeMap<&str, (u64, u64, u64)> = std::collections::BTreeMap::new();
+    for (e, wall) in snap.events.iter().zip(&snap.wall_us) {
+        if let Some(us) = wall {
+            let entry = stamps.entry(e.name).or_insert((0, *us, *us));
+            entry.0 += 1;
+            entry.1 = entry.1.min(*us);
+            entry.2 = entry.2.max(*us);
+        }
+    }
+    for (name, (count, first, last)) in &stamps {
+        out.push_str(&format!(
+            "{{\"type\":\"summary\",\"kind\":\"wall_stamps\",\"name\":\"{}\",\"count\":{count},\"first_us\":{first},\"last_us\":{last}}}\n",
+            escape(name)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        if name.starts_with(SIDE_PREFIX) {
+            out.push_str(&format!(
+                "{{\"type\":\"summary\",\"kind\":\"hist\",\"name\":\"{}\",\"count\":{},\"total\":{},\"p50\":{},\"p99\":{}}}\n",
+                escape(name),
+                h.count,
+                fmt_num(h.sum),
+                fmt_num(h.quantile(0.5)),
+                fmt_num(h.quantile(0.99))
+            ));
         }
     }
     out
@@ -199,6 +233,41 @@ mod tests {
         assert!(side.contains(names::JOURNAL_APPEND));
         assert!(side.contains("\"offset\":512"));
         assert!(!side.contains("\"train.loss\""));
+    }
+
+    #[test]
+    fn side_channel_ends_with_summary_block() {
+        let r = MemoryRecorder::with_wall_clock();
+        r.record(Event::instant(names::JOURNAL_APPEND, cats::JOURNAL, SpanCtx::root(7, 0)));
+        r.record(Event::instant(names::JOURNAL_APPEND, cats::JOURNAL, SpanCtx::root(7, 0)));
+        for v in [100.0, 200.0, 400.0, 100_000.0] {
+            r.observe(names::H_STEP_WALL_NS, v);
+        }
+        let side = side_channel_jsonl(&r.snapshot());
+        let summaries: Vec<&str> =
+            side.lines().filter(|l| l.contains("\"type\":\"summary\"")).collect();
+        // Wall-stamp summaries per event name plus one per side histogram;
+        // all summary lines sit at the end of the export.
+        assert!(summaries.iter().any(|l| {
+            l.contains("\"kind\":\"wall_stamps\"")
+                && l.contains("\"name\":\"side.journal.append\"")
+                && l.contains("\"count\":2")
+        }));
+        let hist = summaries
+            .iter()
+            .find(|l| l.contains("\"kind\":\"hist\""))
+            .expect("histogram summary line");
+        assert!(hist.contains("\"name\":\"side.step_wall_ns\""));
+        assert!(hist.contains("\"count\":4"));
+        assert!(hist.contains("\"total\":100700"));
+        // p50 falls in the bucket holding 200 ([128, 256)); p99 in the
+        // bucket holding the 100 µs outlier ([65536, 131072)).
+        assert!(hist.contains("\"p50\":128"), "{hist}");
+        assert!(hist.contains("\"p99\":65536"), "{hist}");
+        let n = side.lines().count();
+        let first_summary =
+            side.lines().position(|l| l.contains("\"type\":\"summary\"")).unwrap();
+        assert_eq!(n - first_summary, summaries.len());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod chrome;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod rollup;
 
@@ -72,6 +73,10 @@ pub mod names {
     /// cardinality, spread, archive churn) emitted at the generation
     /// boundary after the archive absorbs the population.
     pub const FRONT: &str = "ea.front";
+    /// Instant: per-bucket tape-arena allocation summary emitted when a
+    /// fused population bucket finishes training, so pool sharing across
+    /// bucket members is visible (members, hits/misses/leases, bytes).
+    pub const TAPE_BUCKET: &str = "tape.bucket";
 
     /// Counter: optimiser steps completed.
     pub const C_STEPS: &str = "train.steps";
@@ -93,6 +98,12 @@ pub mod names {
     pub const C_ARCHIVE_ADDED: &str = "ea.archive_added";
     /// Counter: archive members evicted by newly admitted individuals.
     pub const C_ARCHIVE_EVICTED: &str = "ea.archive_evicted";
+    /// Counter: tape-arena buffer leases served from the recycle pool.
+    pub const C_TAPE_POOL_HITS: &str = "tape.pool_hits";
+    /// Counter: tape-arena buffer leases that had to allocate fresh.
+    pub const C_TAPE_POOL_MISSES: &str = "tape.pool_misses";
+    /// Counter: total tape-arena buffer leases (hits + misses).
+    pub const C_TAPE_LEASES: &str = "tape.leases";
 
     /// Gauge: tasks queued at batch submission (last + high-water).
     pub const G_QUEUE_DEPTH: &str = "sched.queue_depth";
@@ -112,6 +123,11 @@ pub mod names {
     /// Gauge: busy share of the batch's worker-minutes capacity, percent
     /// (`Σ busy / (wall × workers)`), refreshed per evaluated batch.
     pub const G_UTIL_BUSY_PCT: &str = "sched.util_busy_pct";
+    /// Gauge: high-water of bytes leased out of the tape arena at once
+    /// (pool hits and fresh allocations alike; high-water tracks peak).
+    pub const G_TAPE_LEASED_HW: &str = "tape.leased_bytes_hw";
+    /// Gauge: bytes of capacity retained in the tape's recycle pool.
+    pub const G_TAPE_RETAINED: &str = "tape.retained_bytes";
 
     /// Histogram: training loss per step.
     pub const H_LOSS: &str = "train.loss";
@@ -125,6 +141,18 @@ pub mod names {
     pub const H_BACKOFF_MIN: &str = "sched.backoff_min";
     /// Histogram (side channel): wall nanoseconds per optimiser step.
     pub const H_STEP_WALL_NS: &str = "side.step_wall_ns";
+    /// Histogram (side channel): wall nanoseconds of the graph phase of a
+    /// step (descriptor + forward + force + loss tape construction).
+    pub const H_PHASE_GRAPH_WALL_NS: &str = "side.phase.graph_wall_ns";
+    /// Histogram (side channel): wall nanoseconds of the value-level
+    /// backward sweep per step.
+    pub const H_PHASE_BACKWARD_WALL_NS: &str = "side.phase.backward_wall_ns";
+    /// Histogram (side channel): wall nanoseconds of the in-place Adam
+    /// update per step.
+    pub const H_PHASE_OPTIMIZER_WALL_NS: &str = "side.phase.optimizer_wall_ns";
+    /// Histogram (side channel): wall nanoseconds of the validation RMSE
+    /// pass (its own persistent tape, forward + force only).
+    pub const H_PHASE_VAL_WALL_NS: &str = "side.phase.val_wall_ns";
 
     /// Prefix marking a metric or event as a non-deterministic side channel.
     pub const SIDE_PREFIX: &str = "side.";

@@ -31,14 +31,14 @@ pub struct GaugeValue {
 /// associative, so a plain `+=` here would leak thread-scheduling noise
 /// into the last ulp.
 #[derive(Clone, Debug, Default)]
-struct ExactSum {
+pub struct ExactSum {
     partials: Vec<f64>,
 }
 
 impl ExactSum {
     /// Fold a finite value into the expansion (error-free transformations;
     /// each partial carries a disjoint range of the exact sum's bits).
-    fn add(&mut self, mut x: f64) {
+    pub fn add(&mut self, mut x: f64) {
         let mut kept = 0;
         for j in 0..self.partials.len() {
             let mut y = self.partials[j];
@@ -58,7 +58,7 @@ impl ExactSum {
     }
 
     /// Correctly rounded value of the exact sum.
-    fn value(&self) -> f64 {
+    pub fn value(&self) -> f64 {
         // Sum from largest to smallest; once a nonzero residual appears the
         // remaining partials can only matter through the half-way (round-
         // to-even) correction below — the same finish `math.fsum` uses.
@@ -90,6 +90,16 @@ impl ExactSum {
         }
         hi
     }
+}
+
+/// Correctly rounded sum of an iterator of `f64`s (order-independent; see
+/// [`ExactSum`]).
+pub fn fsum(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = ExactSum::default();
+    for v in values {
+        acc.add(v);
+    }
+    acc.value()
 }
 
 /// Fixed-bucket log₂-scale histogram.
@@ -189,6 +199,26 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Lower bound of the bucket holding the `q`-quantile observation
+    /// (0 when empty). Resolution is one log₂ bucket — a factor of two —
+    /// which is enough for the order-of-magnitude wall-clock summaries the
+    /// side-channel export publishes, and it is a pure function of the
+    /// bucket counts, so it inherits their interleaving independence.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (lower, c) in &self.buckets {
+            cumulative += c;
+            if cumulative >= target {
+                return *lower;
+            }
+        }
+        self.max
     }
 }
 

@@ -1,0 +1,342 @@
+//! Deterministic profiler: fold telemetry into a self-time attribution tree.
+//!
+//! A [`ProfileNode`] carries inclusive time, self time, and a call count
+//! per span name, on the **simulated** clock (cost-model minutes) — the
+//! wall-clock twin of each phase rides the `side.*` histograms and never
+//! enters these artifacts. Two invariants make the tree a deterministic
+//! export:
+//!
+//! * `inclusive == fsum(self, children inclusives)` **bitwise**, enforced
+//!   by construction: [`ProfileNode::branch`] computes the inclusive total
+//!   with the exact (Shewchuk) accumulator, so the identity holds for every
+//!   node regardless of how the tree was assembled or merged.
+//! * Children are keyed and ordered by name (lexicographic), so the tree —
+//!   and the `.folded` / markdown renderings derived from it — is
+//!   independent of event interleaving and worker count.
+//!
+//! Self time of a span-derived node is *observed* duration minus children
+//! (`fsum(dur, -child inclusives)`), which can be slightly negative when a
+//! parent span under-reports its children; the JSON keeps the signed value
+//! (it is diagnostic), the `.folded` export clamps at zero because
+//! collapsed-stack counts are unsigned.
+
+use std::collections::BTreeMap;
+
+use crate::chrome::US_PER_MIN;
+use crate::metrics::ExactSum;
+use crate::names::{EVAL, GENERATION, SIDE_PREFIX};
+use crate::recorder::{TelemetrySnapshot, NO_TASK};
+
+/// Schema tag written into `profile.json`.
+pub const PROFILE_SCHEMA: &str = "dphpo-profile-v1";
+
+/// One node of the attribution tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileNode {
+    /// Span (or synthetic phase) name; frame label in the `.folded` export.
+    pub name: String,
+    /// Number of spans/events folded into this node (0 for purely
+    /// structural intermediate nodes).
+    pub count: u64,
+    /// Simulated minutes attributed to this node itself (may be negative
+    /// for span-derived nodes; see the module docs).
+    pub self_min: f64,
+    /// `fsum(self_min, children inclusive_min)` — exact by construction.
+    pub inclusive_min: f64,
+    /// Child nodes, sorted by name.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Leaf node: inclusive time equals self time.
+    pub fn leaf(name: impl Into<String>, count: u64, self_min: f64) -> Self {
+        Self::branch(name, count, self_min, Vec::new())
+    }
+
+    /// Interior node; sorts the children by name and computes the inclusive
+    /// total exactly, so `self + Σ child == inclusive` holds bitwise.
+    pub fn branch(
+        name: impl Into<String>,
+        count: u64,
+        self_min: f64,
+        mut children: Vec<ProfileNode>,
+    ) -> Self {
+        children.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut sum = ExactSum::default();
+        sum.add(self_min);
+        for c in &children {
+            sum.add(c.inclusive_min);
+        }
+        Self { name: name.into(), count, self_min, inclusive_min: sum.value(), children }
+    }
+
+    /// Total node count of the subtree (including this node).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ProfileNode::size).sum::<usize>()
+    }
+}
+
+/// Merge same-named subtrees: counts add, self times fold exactly, and
+/// children are merged recursively by name.
+pub fn merge(name: &str, nodes: &[&ProfileNode]) -> ProfileNode {
+    let count = nodes.iter().map(|n| n.count).sum();
+    let mut self_sum = ExactSum::default();
+    let mut by_name: BTreeMap<&str, Vec<&ProfileNode>> = BTreeMap::new();
+    for n in nodes {
+        self_sum.add(n.self_min);
+        for c in &n.children {
+            by_name.entry(&c.name).or_default().push(c);
+        }
+    }
+    let children = by_name.into_iter().map(|(k, group)| merge(k, &group)).collect();
+    ProfileNode::branch(name, count, self_sum.value(), children)
+}
+
+/// Accumulator used while folding events: durations are collected as exact
+/// sums per path and finalized into [`ProfileNode`]s at the end.
+#[derive(Default)]
+struct Raw {
+    count: u64,
+    dur: ExactSum,
+    children: BTreeMap<String, Raw>,
+}
+
+impl Raw {
+    fn descend(&mut self, path: &[String]) -> &mut Raw {
+        let mut node = self;
+        for frame in path {
+            node = node.children.entry(frame.clone()).or_default();
+        }
+        node
+    }
+
+    fn finalize(self, name: String) -> ProfileNode {
+        let children: Vec<ProfileNode> =
+            self.children.into_iter().map(|(n, raw)| raw.finalize(n)).collect();
+        // Structural nodes (count 0) were never observed as spans: they own
+        // no time of their own. Observed nodes attribute dur − children.
+        let self_min = if self.count == 0 {
+            0.0
+        } else {
+            let mut s = self.dur;
+            for c in &children {
+                s.add(-c.inclusive_min);
+            }
+            s.value()
+        };
+        ProfileNode::branch(name, self.count, self_min, children)
+    }
+}
+
+/// Stack path of an event inside the attribution tree. The hierarchy is
+/// structural — run / generation / eval / leaf — rather than temporal, so
+/// it is a pure function of each event's [`crate::SpanCtx`] coordinates and
+/// needs no begin/end pairing.
+fn event_path(run: u32, task: u32, name: &str) -> Vec<String> {
+    let run_frame = format!("run{run}");
+    if name == GENERATION {
+        return vec![run_frame, GENERATION.to_string()];
+    }
+    if task != NO_TASK {
+        if name == EVAL {
+            return vec![run_frame, GENERATION.to_string(), EVAL.to_string()];
+        }
+        return vec![run_frame, GENERATION.to_string(), EVAL.to_string(), name.to_string()];
+    }
+    vec![run_frame, GENERATION.to_string(), name.to_string()]
+}
+
+/// Fold a telemetry snapshot into an attribution tree rooted at
+/// `"campaign"`. `side.*` events are skipped (they are wall-clock / racy by
+/// contract); instants contribute call counts only. The result is
+/// independent of event interleaving and worker count because paths derive
+/// from span coordinates and aggregation is keyed by name.
+pub fn from_snapshot(snap: &TelemetrySnapshot) -> ProfileNode {
+    let mut root = Raw::default(); // structural root: count 0, no own time
+    for e in &snap.events {
+        if e.name.starts_with(SIDE_PREFIX) {
+            continue;
+        }
+        let path = event_path(e.ctx.run, e.ctx.task, e.name);
+        let node = root.descend(&path);
+        node.count += 1;
+        node.dur.add(e.dur_min);
+    }
+    root.finalize("campaign".to_string())
+}
+
+/// Sanitize a frame name for the collapsed-stack format: the separator is
+/// `;` and the count delimiter is a space, so neither may appear in a frame.
+fn fold_frame(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c == ';' || c.is_whitespace() { '_' } else { c }).collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Render the tree as collapsed stacks (`a;b;c <count>` per line), loadable
+/// by inferno / speedscope / `flamegraph.pl`. Counts are self-time in
+/// integer microseconds of simulated time; zero and negative self times are
+/// omitted (the format's counts are unsigned).
+pub fn folded(root: &ProfileNode) -> String {
+    fn walk(node: &ProfileNode, stack: &mut Vec<String>, out: &mut String) {
+        stack.push(fold_frame(&node.name));
+        let us = (node.self_min * US_PER_MIN).round();
+        if us >= 1.0 {
+            out.push_str(&stack.join(";"));
+            out.push(' ');
+            out.push_str(&format!("{}\n", us as u64));
+        }
+        for c in &node.children {
+            walk(c, stack, out);
+        }
+        stack.pop();
+    }
+    let mut out = String::new();
+    let mut stack = Vec::new();
+    walk(root, &mut stack, &mut out);
+    out
+}
+
+/// Render the tree as a markdown "where the microsecond goes" table:
+/// depth-indented span names with call counts, inclusive/self minutes, and
+/// self share of the root's inclusive total.
+pub fn markdown_table(root: &ProfileNode) -> String {
+    fn walk(node: &ProfileNode, depth: usize, total: f64, out: &mut String) {
+        let indent = "· ".repeat(depth);
+        let share = if total > 0.0 { node.self_min / total * 100.0 } else { 0.0 };
+        out.push_str(&format!(
+            "| {}{} | {} | {:.4} | {:.4} | {:.2}% |\n",
+            indent, node.name, node.count, node.inclusive_min, node.self_min, share
+        ));
+        for c in &node.children {
+            walk(c, depth + 1, total, out);
+        }
+    }
+    let mut out = String::from(
+        "| span | calls | inclusive (sim min) | self (sim min) | self % |\n\
+         |---|---:|---:|---:|---:|\n",
+    );
+    walk(root, 0, root.inclusive_min, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Event, MemoryRecorder, Recorder, SpanCtx, When};
+    use crate::{cats, names};
+
+    fn span(run: u32, task: u32, name: &'static str, dur: f64) -> Event {
+        let mut e = Event::instant(name, cats::SCHED, SpanCtx::root(1, run).with_task(task, 0));
+        e.dur_min = dur;
+        e.when = When::Sim(0.0);
+        e
+    }
+
+    #[test]
+    fn invariant_holds_for_every_node() {
+        fn check(node: &ProfileNode) {
+            let mut s = ExactSum::default();
+            s.add(node.self_min);
+            for c in &node.children {
+                s.add(c.inclusive_min);
+                check(c);
+            }
+            assert_eq!(s.value().to_bits(), node.inclusive_min.to_bits(), "node {}", node.name);
+        }
+        let r = MemoryRecorder::new();
+        r.record(span(0, 3, names::EVAL, 7.5));
+        r.record(span(0, 3, names::TRAIN_STEP, 0.25));
+        r.record(span(0, NO_TASK, names::GENERATION, 9.0));
+        r.record(span(1, 0, names::EVAL, 2.0));
+        let tree = from_snapshot(&r.snapshot());
+        check(&tree);
+        assert_eq!(tree.name, "campaign");
+        assert_eq!(tree.size(), 8);
+    }
+
+    #[test]
+    fn aggregation_is_independent_of_recording_order() {
+        let events =
+            [span(0, 0, names::EVAL, 1.0), span(0, 1, names::EVAL, 2.0), span(0, 0, names::TRAIN_STEP, 0.5)];
+        let fwd = MemoryRecorder::new();
+        for e in &events {
+            fwd.record(e.clone());
+        }
+        let rev = MemoryRecorder::new();
+        for e in events.iter().rev() {
+            let mut e = e.clone();
+            e.worker = Some(7); // different worker lane must not matter
+            rev.record(e);
+        }
+        assert_eq!(from_snapshot(&fwd.snapshot()), from_snapshot(&rev.snapshot()));
+    }
+
+    #[test]
+    fn self_time_subtracts_children_and_side_events_are_skipped() {
+        let r = MemoryRecorder::new();
+        r.record(span(0, NO_TASK, names::GENERATION, 10.0));
+        r.record(span(0, 0, names::EVAL, 4.0));
+        r.record(span(0, 0, names::TRAIN_STEP, 1.5));
+        r.record(span(0, NO_TASK, names::JOURNAL_APPEND, 99.0)); // side.* — ignored
+        let tree = from_snapshot(&r.snapshot());
+        assert_eq!(tree.inclusive_min, 10.0);
+        let generation = &tree.children[0].children[0];
+        assert_eq!(generation.name, "generation");
+        assert_eq!(generation.self_min, 6.0); // 10 − eval's 4
+        let eval = &generation.children[0];
+        assert_eq!(eval.name, "eval");
+        assert_eq!(eval.self_min, 2.5); // 4 − train.step's 1.5
+        assert_eq!(eval.children[0].name, "train.step");
+        assert!(!folded(&tree).contains("journal"));
+    }
+
+    #[test]
+    fn folded_lines_are_valid_collapsed_stacks() {
+        let r = MemoryRecorder::new();
+        r.record(span(0, NO_TASK, names::GENERATION, 3.0));
+        r.record(span(0, 2, names::EVAL, 1.0));
+        let out = folded(&from_snapshot(&r.snapshot()));
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("count separator");
+            assert!(count.parse::<u64>().expect("u64 count") > 0);
+            for frame in stack.split(';') {
+                assert!(!frame.is_empty(), "empty frame in {line:?}");
+                assert!(!frame.contains(' '));
+            }
+        }
+        assert!(out.contains("campaign;run0;generation;eval 60000000\n"));
+    }
+
+    #[test]
+    fn merge_folds_same_named_children_exactly() {
+        let a = ProfileNode::branch("gen0", 1, 0.0, vec![ProfileNode::leaf("busy", 2, 3.0)]);
+        let b = ProfileNode::branch("gen1", 1, 0.0, vec![ProfileNode::leaf("busy", 1, 4.0)]);
+        let m = merge("all", &[&a, &b]);
+        assert_eq!(m.count, 2);
+        assert_eq!(m.children.len(), 1);
+        assert_eq!(m.children[0].count, 3);
+        assert_eq!(m.children[0].inclusive_min, 7.0);
+        assert_eq!(m.inclusive_min, 7.0);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let tree = ProfileNode::branch("campaign", 1, 0.0, vec![ProfileNode::leaf("busy", 4, 2.0)]);
+        let md = markdown_table(&tree);
+        assert!(md.starts_with("| span |"));
+        assert!(md.contains("| campaign | 1 | 2.0000 | 0.0000 | 0.00% |"));
+        assert!(md.contains("| · busy | 4 | 2.0000 | 2.0000 | 100.00% |"));
+    }
+
+    #[test]
+    fn fold_frame_sanitizes_separators() {
+        assert_eq!(fold_frame("a b;c"), "a_b_c");
+        assert_eq!(fold_frame(""), "_");
+    }
+}

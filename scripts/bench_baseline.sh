@@ -24,12 +24,15 @@ pairs() {
 
 case "${1:-}" in
 --check)
-    # The telemetry-overhead baseline must carry the v2 schema: v1 numbers
+    # The telemetry-overhead baseline must carry the v3 schema: v1 numbers
     # came from a two-pass estimator whose inter-pass machine drift could
     # bias the subtraction (the checked-in v1 file recorded a negative
-    # no-op "overhead"). Regenerate with `--bin obs_overhead`.
-    if [[ -f "BENCH_obs.json" ]] && ! grep -q '"schema": "dphpo-obs-v2"' BENCH_obs.json; then
-        echo "bench check: BENCH_obs.json is not schema dphpo-obs-v2 — regenerate with 'cargo run --release -p dphpo-bench --bin obs_overhead'" >&2
+    # no-op "overhead"), and v2 predates the profiler-enabled block (alloc
+    # metering counters and per-phase wall twins), so its live-block number
+    # no longer measures the instrumentation the trainer actually runs.
+    # Regenerate with `--bin obs_overhead`.
+    if [[ -f "BENCH_obs.json" ]] && ! grep -q '"schema": "dphpo-obs-v3"' BENCH_obs.json; then
+        echo "bench check: BENCH_obs.json is not schema dphpo-obs-v3 — regenerate with 'cargo run --release -p dphpo-bench --bin obs_overhead'" >&2
         exit 1
     fi
     baseline="BENCH_hotpath.json"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Perf-history regression gate (BENCH_history.jsonl at the repo root).
+#
+#   perf_history.sh             diff the checked-in snapshots
+#                               (BENCH_hotpath.json, BENCH_obs.json)
+#                               against the history trajectory and FAIL if
+#                               any timing row regressed >15% over its
+#                               history median
+#   perf_history.sh --append    same diff, then append the snapshots to
+#                               BENCH_history.jsonl (one measured point per
+#                               refresh; run after bench_baseline.sh and
+#                               obs_overhead so the trajectory grows)
+#
+# The no-argument form is wired into scripts/verify.sh behind BENCH_CHECK=1,
+# next to bench_baseline.sh --check: timing gates on a shared box are noisy,
+# so both are opt-in rather than part of the default tier-1 run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+case "${1:-}" in
+--append)
+    cargo run --release -p dphpo-bench --bin perf_report -- --check --append
+    ;;
+"")
+    cargo run --release -p dphpo-bench --bin perf_report -- --check
+    ;;
+*)
+    echo "usage: perf_history.sh [--append]" >&2
+    exit 2
+    ;;
+esac

@@ -33,31 +33,42 @@
 #                                    mode, default 2; CORRUPT_STRIDE /
 #                                    SALVAGE_STRIDE tighten the offset grid,
 #                                    1 = exhaustive)
+#   9. profile identity            — profiling on/off leaves every campaign
+#                                    artifact byte-identical, and the
+#                                    profile artifacts themselves are
+#                                    byte-identical across kill+resume and
+#                                    re-runs (both campaign modes); plus the
+#                                    profiler property tests (aggregation
+#                                    order-independence, the exact
+#                                    self+children==inclusive invariant,
+#                                    folded-format validity)
 #
 # Opt-in extras (timing-sensitive, off by default on shared hardware):
 #
 #   BENCH_CHECK=1                  — fresh quick hot-path measurement must be
 #                                    within 15% of the checked-in
 #                                    BENCH_hotpath.json (bench_baseline.sh
-#                                    --check)
+#                                    --check), and perf_report --check must
+#                                    find no row regressed against
+#                                    BENCH_history.jsonl (perf_history.sh)
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/8] cargo build --release"
+echo "==> [1/9] cargo build --release"
 cargo build --release --workspace
 
-echo "==> [2/8] cargo test -q"
+echo "==> [2/9] cargo test -q"
 cargo test -q --workspace
 
-echo "==> [3/8] cargo clippy (-D warnings)"
+echo "==> [3/9] cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "==> [4/8] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [4/9] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [5/8] doc-sync: EXPERIMENTS.md targets exist"
+echo "==> [5/9] doc-sync: EXPERIMENTS.md targets exist"
 missing=0
 for bin in $(grep -o -- '--bin [a-z0-9_]*' EXPERIMENTS.md | awk '{print $2}' | sort -u); do
     if [[ ! -f "crates/bench/src/bin/${bin}.rs" ]]; then
@@ -101,7 +112,7 @@ if [[ ${missing} -ne 0 ]]; then
 fi
 
 CHAOS_STRESS="${CHAOS_STRESS:-3}"
-echo "==> [6/8] chaos stress: ${CHAOS_STRESS}x journal crash/resume suites"
+echo "==> [6/9] chaos stress: ${CHAOS_STRESS}x journal crash/resume suites"
 for i in $(seq 1 "${CHAOS_STRESS}"); do
     echo "    chaos iteration ${i}/${CHAOS_STRESS} (generational)"
     cargo test -q -p dphpo-core --test journal_chaos
@@ -109,22 +120,29 @@ for i in $(seq 1 "${CHAOS_STRESS}"); do
     cargo test -q -p dphpo-core --test steady_state_identity
 done
 
-echo "==> [7/8] telemetry bit-identity (observed == unobserved artifacts)"
+echo "==> [7/9] telemetry bit-identity (observed == unobserved artifacts)"
 cargo test -q -p dphpo-core --test telemetry_identity
 echo "    campaign observatory identity (status/report/counters across kill+resume)"
 cargo test -q -p dphpo-core --test campaign_report_identity
 
 CHAOS_SEEDS="${CHAOS_SEEDS:-2}"
-echo "==> [8/8] corruption & salvage matrix (CHAOS_SEEDS=${CHAOS_SEEDS})"
+echo "==> [8/9] corruption & salvage matrix (CHAOS_SEEDS=${CHAOS_SEEDS})"
 CHAOS_SEEDS="${CHAOS_SEEDS}" cargo test -q -p dphpo-core --test corruption_matrix
 echo "    frame-format property tests"
 cargo test -q -p dphpo-core --test journal_frames
 echo "    v1 fixture compatibility"
 cargo test -q -p dphpo-core --test journal_v1_compat
 
+echo "==> [9/9] profile identity (profiling on/off, kill+resume, both modes)"
+cargo test -q -p dphpo-core --test profile_identity
+echo "    profiler property tests"
+cargo test -q -p dphpo-core --test profile_props
+
 if [[ "${BENCH_CHECK:-0}" == "1" ]]; then
     echo "==> [opt-in] hot-path bench regression check (BENCH_CHECK=1)"
     scripts/bench_baseline.sh --check
+    echo "==> [opt-in] perf-history regression check (BENCH_CHECK=1)"
+    scripts/perf_history.sh
 fi
 
 echo "verify: OK"
